@@ -1,0 +1,75 @@
+// Ablation: strict VN-ordered gradient reduction vs hierarchical
+// device-order reduction (DESIGN.md §4, decision 2).
+//
+// Both compute the same weighted mean, but float addition is not
+// associative: under hierarchical reduction the trained parameters drift
+// across mappings, while the strict VN order is bit-exact. This bench
+// quantifies the drift — the cost the paper's ±0.5% reproducibility band
+// absorbs and this library eliminates.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vf;
+using vf::bench::Flags;
+
+namespace {
+
+Tensor run(std::int64_t devices, ReductionMode mode, std::int64_t steps,
+           std::uint64_t seed) {
+  ProxyTask task = make_task("qnli-sim", seed);
+  Sequential model = make_proxy_model("qnli-sim", seed);
+  TrainRecipe recipe = make_recipe("qnli-sim");
+  EngineConfig cfg;
+  cfg.seed = seed;
+  cfg.enforce_memory = false;
+  cfg.reduction = mode;
+  VirtualFlowEngine eng(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                        model_profile("bert-base"),
+                        make_devices(DeviceType::kV100, devices),
+                        VnMapping::even(8, devices, recipe.global_batch), cfg);
+  for (std::int64_t i = 0; i < steps; ++i) eng.train_step();
+  return eng.parameters();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"steps", "training steps (default 100)"},
+                           {"seed", "experiment seed (default 42)"}});
+  if (flags.help_requested()) {
+    flags.print_help("Ablation: reduction order vs mapping invariance");
+    return 0;
+  }
+  const std::int64_t steps = flags.get_int("steps", 100);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  print_banner(std::cout,
+               "Ablation: parameter drift vs the 1-GPU run after " +
+                   std::to_string(steps) + " steps (qnli-sim, 8 VNs)");
+  Table table({"devices", "strict VN order (max |diff|)", "hierarchical (max |diff|)"});
+  const Tensor strict_ref = run(1, ReductionMode::kStrictVnOrder, steps, seed);
+  const Tensor hier_ref = run(1, ReductionMode::kHierarchical, steps, seed);
+  double worst_hier = 0.0;
+  bool strict_exact = true;
+  for (const std::int64_t d : {2, 4, 8}) {
+    const Tensor s = run(d, ReductionMode::kStrictVnOrder, steps, seed);
+    const Tensor h = run(d, ReductionMode::kHierarchical, steps, seed);
+    const double ds = s.max_abs_diff(strict_ref);
+    const double dh = h.max_abs_diff(hier_ref);
+    strict_exact &= s.equals(strict_ref);
+    worst_hier = std::max(worst_hier, dh);
+    table.row().cell(d).cell(ds, 8).cell(dh, 8);
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Summary");
+  std::printf("  strict VN-order reduction bit-exact across mappings: %s\n",
+              strict_exact ? "YES" : "NO");
+  std::printf("  hierarchical reduction worst parameter drift: %.2e\n", worst_hier);
+  std::printf(
+      "  Both modes train correctly; the strict order is what upgrades the\n"
+      "  paper's +/-0.5%% accuracy band to bit-exact reproducibility.\n");
+  return 0;
+}

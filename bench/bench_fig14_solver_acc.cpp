@@ -1,0 +1,81 @@
+// Figure 14: heterogeneous-solver prediction accuracy. For every Table 4
+// configuration, compare the solver's predicted throughput (from offline
+// profiles + the comm estimate) against the engine-simulated "actual"
+// throughput. Paper: predictions within 5.6% of actual on average.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vf;
+using vf::bench::Flags;
+
+namespace {
+
+struct HeteroConfig {
+  std::string name;
+  std::int64_t v100s, v100_bs, v100_vn;
+  std::int64_t p100s, p100_bs, p100_vn;
+};
+
+const std::vector<HeteroConfig> kConfigs = {
+    {"H1a", 2, 2048, 8, 2, 2048, 8},  {"H1b", 2, 3072, 16, 2, 1024, 4},
+    {"H1c", 2, 3072, 32, 2, 1024, 4}, {"H2a", 2, 3072, 16, 4, 512, 2},
+    {"H2b", 2, 3072, 16, 4, 512, 4},  {"H2c", 2, 3072, 16, 4, 512, 8},
+    {"H2d", 2, 3072, 16, 4, 512, 16}, {"H3", 2, 2048, 8, 8, 512, 2},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {});
+  if (flags.help_requested()) {
+    flags.print_help("Fig 14: solver-predicted vs actual throughput (Table 4 configs)");
+    return 0;
+  }
+  const ModelProfile& m = model_profile("resnet50");
+  std::map<DeviceType, OfflineProfile> profiles;
+  profiles.emplace(DeviceType::kV100, profile_workload(DeviceType::kV100, m));
+  profiles.emplace(DeviceType::kP100, profile_workload(DeviceType::kP100, m));
+  HeterogeneousSolver solver(m, std::move(profiles));
+
+  print_banner(std::cout, "Fig 14: predicted vs actual throughput (img/s)");
+  Table table({"exp", "actual", "solver", "error (%)"});
+  double total_err = 0.0;
+  for (const auto& c : kConfigs) {
+    // Actual: engine-style simulation (barrier + ring all-reduce).
+    double worst = 0.0;
+    worst = std::max(worst, device_step_time_s(
+                                device_spec(DeviceType::kV100), m,
+                                std::vector<std::int64_t>(
+                                    static_cast<std::size_t>(c.v100_vn),
+                                    c.v100_bs / c.v100_vn)));
+    worst = std::max(worst, device_step_time_s(
+                                device_spec(DeviceType::kP100), m,
+                                std::vector<std::int64_t>(
+                                    static_cast<std::size_t>(c.p100_vn),
+                                    c.p100_bs / c.p100_vn)));
+    const std::int64_t world = c.v100s + c.p100s;
+    const std::int64_t B = c.v100s * c.v100_bs + c.p100s * c.p100_bs;
+    const double actual =
+        static_cast<double>(B) /
+        (worst + ring_allreduce_time_s(m.param_bytes(), world, {}));
+
+    // Solver prediction from the profile-driven objective.
+    std::vector<TypeAssignment> a = {
+        {DeviceType::kV100, c.v100s, c.v100_bs, c.v100_vn, c.v100_bs / c.v100_vn},
+        {DeviceType::kP100, c.p100s, c.p100_bs, c.p100_vn, c.p100_bs / c.p100_vn}};
+    const double predicted = static_cast<double>(B) / solver.predict_step_time(a);
+
+    const double err = 100.0 * std::fabs(predicted - actual) / actual;
+    total_err += err;
+    table.row().cell(c.name).cell(actual, 0).cell(predicted, 0).cell(err, 2);
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Claims vs paper");
+  vf::bench::print_claim("mean absolute prediction error (%)",
+                         total_err / static_cast<double>(kConfigs.size()), 5.6);
+  return 0;
+}

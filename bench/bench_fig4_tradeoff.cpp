@@ -1,0 +1,47 @@
+// Figure 4: the time/resource trade-off space virtual nodes open up.
+// Today's frameworks occupy only the 1-VN-per-GPU corner; VirtualFlow
+// trades GPUs for sequential waves at near-linear cost.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vf;
+using vf::bench::Flags;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"batch", "global batch (default 1024)"}});
+  if (flags.help_requested()) {
+    flags.print_help("Fig 4: time vs GPU requirement at a fixed global batch");
+    return 0;
+  }
+  const std::int64_t B = flags.get_int("batch", 1024);
+  const DeviceSpec& dev = device_spec(DeviceType::kV100);
+  const ModelProfile& m = model_profile("resnet50");
+
+  print_banner(std::cout, "Fig 4: ResNet-50, global batch " + std::to_string(B) +
+                              ", V100s (4 total VNs)");
+  Table table({"GPUs", "VN/GPU", "step time (s)", "norm time", "norm GPUs"});
+  const std::int64_t total_vns = 4;
+  double t_full = 0.0;
+  for (const std::int64_t gpus : {4, 2, 1}) {
+    const std::int64_t vn_per_gpu = total_vns / gpus;
+    const std::vector<std::int64_t> vns(static_cast<std::size_t>(vn_per_gpu),
+                                        B / total_vns);
+    const double compute = device_step_time_s(dev, m, vns);
+    const double comm = gpus > 1 ? ring_allreduce_time_s(m.param_bytes(), gpus, {}) : 0.0;
+    const double t = compute + comm;
+    if (gpus == 4) t_full = t;
+    table.row()
+        .cell(gpus)
+        .cell(vn_per_gpu)
+        .cell(t, 4)
+        .cell(t / t_full, 2)
+        .cell(static_cast<double>(gpus) / 4.0, 2);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n  Today's design space is the first row only (1 VN per GPU); VirtualFlow\n"
+      "  gracefully falls back to fewer GPUs at ~proportionally longer steps.\n");
+  return 0;
+}

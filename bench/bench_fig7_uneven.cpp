@@ -1,0 +1,83 @@
+// Figure 7 (right): even vs uneven batch splits on a heterogeneous
+// cluster. Training ResNet-50 at global batch 8192 on 2 V100 + 2 P100:
+// the even 2048:2048 split is bottlenecked on the P100s; the solver's
+// uneven split (3072:1024) is ~44% faster.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vf;
+using vf::bench::Flags;
+
+namespace {
+
+double config_step_time(const HeterogeneousSolver& solver, std::int64_t bv,
+                        std::int64_t bp) {
+  std::vector<TypeAssignment> a;
+  TypeAssignment v;
+  v.type = DeviceType::kV100;
+  v.gpus = 2;
+  v.per_gpu_batch = bv;
+  v.vns_per_gpu = solver.choose_vns(DeviceType::kV100, bv);
+  v.per_vn_batch = bv / v.vns_per_gpu;
+  a.push_back(v);
+  TypeAssignment p;
+  p.type = DeviceType::kP100;
+  p.gpus = 2;
+  p.per_gpu_batch = bp;
+  p.vns_per_gpu = solver.choose_vns(DeviceType::kP100, bp);
+  p.per_vn_batch = bp / p.vns_per_gpu;
+  a.push_back(p);
+  return solver.predict_step_time(a);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {});
+  if (flags.help_requested()) {
+    flags.print_help("Fig 7 (right): even vs uneven split on 2 V100 + 2 P100");
+    return 0;
+  }
+  const ModelProfile& m = model_profile("resnet50");
+  std::map<DeviceType, OfflineProfile> profiles;
+  profiles.emplace(DeviceType::kV100, profile_workload(DeviceType::kV100, m));
+  profiles.emplace(DeviceType::kP100, profile_workload(DeviceType::kP100, m));
+  HeterogeneousSolver solver(m, std::move(profiles));
+
+  print_banner(std::cout, "Fig 7 (left): offline profiles (throughput vs batch)");
+  Table prof_table({"batch", "V100 (img/s)", "P100 (img/s)"});
+  for (const std::int64_t b : {16, 32, 64, 128, 192, 256}) {
+    prof_table.row()
+        .cell(b)
+        .cell(static_cast<double>(b) / solver.profile(DeviceType::kV100).step_time(b), 1)
+        .cell(static_cast<double>(b) / solver.profile(DeviceType::kP100).step_time(b), 1);
+  }
+  prof_table.print(std::cout);
+
+  print_banner(std::cout,
+               "Fig 7 (right): ResNet-50, B=8192 on 2 V100 + 2 P100 (16 GB each)");
+  const double even = config_step_time(solver, 2048, 2048);
+  const double uneven = config_step_time(solver, 3072, 1024);
+  Table table({"config", "V100:P100 per-GPU batch", "step time (s)"});
+  table.row().cell("even").cell("2048:2048").cell(even, 3);
+  table.row().cell("uneven (solver)").cell("3072:1024").cell(uneven, 3);
+  table.print(std::cout);
+
+  const auto best = solver.solve({{DeviceType::kV100, 2}, {DeviceType::kP100, 2}}, 8192);
+  std::printf("\n  solver recommendation:");
+  if (best.has_value()) {
+    for (const auto& a : best->assignment)
+      std::printf(" %s x%lld: BS %lld (%lld VN)", device_type_name(a.type),
+                  static_cast<long long>(a.gpus),
+                  static_cast<long long>(a.per_gpu_batch),
+                  static_cast<long long>(a.vns_per_gpu));
+    std::printf("  -> %.3f s/step\n", best->predicted_step_time_s);
+  }
+
+  print_banner(std::cout, "Claims vs paper");
+  vf::bench::print_claim("uneven split step-time reduction (%)",
+                         100.0 * (1.0 - uneven / even), 44.0);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: batch-size exploration with virtual nodes on one RTX 2080 Ti.
+//
+// Holding the GPU fixed and varying the VN count sweeps the global batch
+// over {4 (TF), 8, 16, 32, 64, 128} for BERT-LARGE fine-tuning on RTE,
+// SST-2 and MRPC proxies. Unlike the reproducibility experiments, the
+// batch CHANGES here, so trajectories legitimately differ — that is the
+// point: the user explores convergence at batch sizes that previously
+// required up to 32 GPUs.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vf;
+using vf::bench::Flags;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"seed", "experiment seed (default 42)"}});
+  if (flags.help_requested()) {
+    flags.print_help("Fig 9: batch exploration on 1 GPU (RTE / SST-2 / MRPC)");
+    return 0;
+  }
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::vector<std::int64_t> batches = {4, 8, 16, 32, 64, 128};
+
+  // SST-2 in Fig 9 is the BERT-LARGE exploration variant: use the sst2
+  // distribution at rte-like scale via the mrpc-style proxy family.
+  const std::vector<std::string> tasks = {"rte-sim", "sst2-sim", "mrpc-sim"};
+
+  for (const auto& task_name : tasks) {
+    print_banner(std::cout, "Fig 9: BERT-LARGE on " + task_name +
+                                " (1x RTX 2080 Ti, VN = batch/4)");
+    Table table({"batch", "VNs", "final acc (%)", "acc by epoch 2/4/6/8/10"});
+    double best_acc = 0.0;
+    std::int64_t best_batch = 0;
+    double tf4_acc = 0.0;
+    for (const std::int64_t b : batches) {
+      const std::int64_t vns = std::max<std::int64_t>(1, b / 4);
+      auto s = vf::bench::make_setup(task_name, "bert-large", vns, 1,
+                                     DeviceType::kRtx2080Ti, seed, b);
+      const TrainResult res = train(s.engine, *s.task.val, s.recipe.epochs);
+      std::string curve;
+      for (std::size_t e = 1; e < res.curve.size(); e += 2) {
+        if (!curve.empty()) curve += " / ";
+        curve += fmt_double(res.curve[e].val_accuracy, 3);
+      }
+      table.row().cell(b).cell(vns).cell(100 * res.final_accuracy, 2).cell(curve);
+      if (res.final_accuracy > best_acc) {
+        best_acc = res.final_accuracy;
+        best_batch = b;
+      }
+      if (b == 4) tf4_acc = res.final_accuracy;
+    }
+    table.print(std::cout);
+    std::printf("  best batch: %lld (final acc %.2f%%); batch 4 (TF ceiling): %.2f%%\n",
+                static_cast<long long>(best_batch), 100 * best_acc, 100 * tf4_acc);
+    if (task_name == "rte-sim") {
+      vf::bench::print_claim("RTE: gain of best explored batch over batch 4 (pts)",
+                             100 * (best_acc - tf4_acc), 7.1);
+    }
+  }
+
+  print_banner(std::cout, "Context");
+  std::printf(
+      "  Batch 128 on vanilla TF would need ~32 GPUs (paper §6.3); here it runs on\n"
+      "  one simulated 2080 Ti with 32 virtual nodes.\n");
+  return 0;
+}

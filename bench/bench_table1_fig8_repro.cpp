@@ -1,0 +1,134 @@
+// Table 1 + Figure 8: reproducibility of ResNet-50/ImageNet-class training
+// across GPU counts and types.
+//
+// VirtualFlow rows fix the global batch at 8192 by fixing the total number
+// of virtual nodes (32 on V100s, 64 on 2080 Tis) and only remapping them;
+// the TF* baseline instead shrinks the batch to 256 x n_gpus and reuses
+// the batch-8192 hyperparameters without retuning (§6.2).
+//
+// Expected shape (paper): every VF row hits the target accuracy (±0.5%);
+// TF* diverges or lands visibly lower, worst at 1 GPU.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vf;
+using vf::bench::EngineSetup;
+using vf::bench::Flags;
+
+namespace {
+
+struct Row {
+  std::string config;
+  std::int64_t gpus = 0;
+  std::int64_t batch = 0;
+  std::int64_t vn_per_gpu = 0;
+  double acc = 0.0;
+  double hours = 0.0;
+  std::vector<EpochRecord> curve;
+};
+
+Row run_vf(std::int64_t gpus, DeviceType type, std::int64_t total_vns,
+           std::int64_t epochs, std::uint64_t seed) {
+  EngineSetup s = vf::bench::make_setup("imagenet-sim", "resnet50", total_vns, gpus,
+                                        type, seed, -1, epochs);
+  const TrainResult res = train(s.engine, *s.task.val, s.recipe.epochs);
+  Row row;
+  row.config = std::string("VF ") + std::to_string(gpus) + "x" + device_type_name(type);
+  row.gpus = gpus;
+  row.batch = s.recipe.global_batch;
+  row.vn_per_gpu = total_vns / gpus;
+  row.acc = res.final_accuracy;
+  row.hours = res.total_sim_time_s / 3600.0;
+  row.curve = res.curve;
+  return row;
+}
+
+Row run_tf_star(std::int64_t gpus, std::int64_t epochs, std::uint64_t seed) {
+  // TF*: local batch 256 per GPU, one "virtual node" per GPU (i.e. plain
+  // data parallelism), same hyperparameters as the batch-8192 recipe.
+  const std::int64_t batch = 256 * gpus;
+  EngineSetup s = vf::bench::make_setup("imagenet-sim", "resnet50", gpus, gpus,
+                                        DeviceType::kV100, seed, batch, epochs);
+  const TrainResult res = train(s.engine, *s.task.val, s.recipe.epochs);
+  Row row;
+  row.config = "TF* " + std::to_string(gpus) + "xV100";
+  row.gpus = gpus;
+  row.batch = batch;
+  row.vn_per_gpu = 1;
+  row.acc = res.final_accuracy;
+  row.hours = res.total_sim_time_s / 3600.0;
+  row.curve = res.curve;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"epochs", "training epochs (default 30)"},
+               {"seed", "experiment seed (default 42)"}});
+  if (flags.help_requested()) {
+    flags.print_help("Table 1 + Fig 8: reproducibility across GPU counts/types");
+    return 0;
+  }
+  const std::int64_t epochs = flags.get_int("epochs", 30);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  print_banner(std::cout, "Table 1: ResNet-50 (imagenet-sim), global batch 8192");
+  std::vector<Row> rows;
+  for (const std::int64_t g : {1, 2, 4, 8, 16})
+    rows.push_back(run_vf(g, DeviceType::kV100, 32, epochs, seed));
+  // The dagger row: 2x RTX 2080 Ti with 64 total VNs (per-VN batch 128).
+  rows.push_back(run_vf(2, DeviceType::kRtx2080Ti, 64, epochs, seed));
+  for (const std::int64_t g : {1, 2, 4, 8}) rows.push_back(run_tf_star(g, epochs, seed));
+
+  Table table({"config", "GPUs", "BS", "VN/GPU", "final acc (%)", "sim hours"});
+  for (const Row& r : rows) {
+    table.row()
+        .cell(r.config)
+        .cell(r.gpus)
+        .cell(r.batch)
+        .cell(r.vn_per_gpu)
+        .cell(100.0 * r.acc, 2)
+        .cell(r.hours, 2);
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Fig 8: convergence trajectories (val acc by epoch)");
+  std::printf("  %-18s", "epoch");
+  for (const Row& r : rows) std::printf("%-16s", r.config.c_str());
+  std::printf("\n");
+  for (std::size_t e = 0; e < rows[0].curve.size(); e += 3) {
+    std::printf("  %-18lld", static_cast<long long>(rows[0].curve[e].epoch));
+    for (const Row& r : rows) std::printf("%-16.4f", r.curve[e].val_accuracy);
+    std::printf("\n");
+  }
+
+  print_banner(std::cout, "Claims vs paper");
+  const double target = make_task("imagenet-sim", seed).target_accuracy;
+  double vf_min = 1.0, vf_max = 0.0, tf_worst = 1.0;
+  bool identical = true;  // across same-VN-count (V100) rows: bit-exact
+  for (const Row& r : rows) {
+    if (r.config.rfind("VF", 0) == 0) {
+      vf_min = std::min(vf_min, r.acc);
+      vf_max = std::max(vf_max, r.acc);
+      // The 2080 Ti row uses 64 total VNs (vs 32 on V100s), so its per-VN
+      // batch statistics differ slightly — the paper reports the same
+      // effect (75.68..76.01 across rows); bit-exactness applies to rows
+      // with the same total VN count.
+      if (r.config.find("V100") != std::string::npos) identical &= (r.acc == rows[0].acc);
+    } else {
+      tf_worst = std::min(tf_worst, r.acc);
+    }
+  }
+  vf::bench::print_claim("VF accuracy (all configs, min)", 100 * vf_min, 100 * target);
+  vf::bench::print_claim("VF accuracy spread across configs (pts)",
+                         100 * (vf_max - vf_min), 0.5);
+  vf::bench::print_claim("TF* worst accuracy (paper: 1 GPU = 69.25)", 100 * tf_worst,
+                         69.25);
+  std::printf("  VF V100 rows (32 VNs) bit-identical across 1-16 GPUs: %s\n", identical ? "YES" : "NO");
+  std::printf("  (paper: all rows within +/-0.5%%; ours additionally bit-exact per VN count)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "common/bench_util.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace vf::bench {
+
+Flags::Flags(int argc, char** argv, const std::map<std::string, std::string>& known)
+    : known_(known) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    check(arg.rfind("--", 0) == 0, "flags look like --key=value, got: " + arg);
+    const auto eq = arg.find('=');
+    check(eq != std::string::npos, "missing '=' in flag: " + arg);
+    const std::string key = arg.substr(2, eq - 2);
+    check(known_.count(key) == 1, "unknown flag --" + key);
+    values_[key] = arg.substr(eq + 1);
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stoll(it->second);
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+std::string Flags::get_string(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+void Flags::print_help(const std::string& title) const {
+  std::cout << title << "\n\nFlags:\n";
+  for (const auto& [key, desc] : known_) std::cout << "  --" << key << "=...  " << desc << "\n";
+}
+
+EngineSetup make_setup(const std::string& task_name, const std::string& profile_name,
+                       std::int64_t total_vns, std::int64_t num_devices,
+                       DeviceType type, std::uint64_t seed,
+                       std::int64_t batch_override, std::int64_t epochs_override) {
+  ProxyTask task = make_task(task_name, seed);
+  TrainRecipe recipe = batch_override > 0
+                           ? make_recipe_with_batch(task_name, batch_override)
+                           : make_recipe(task_name);
+  if (epochs_override > 0) recipe.epochs = epochs_override;
+  Sequential model = make_proxy_model(task_name, seed);
+
+  EngineConfig cfg;
+  cfg.seed = seed;
+  // The proxy models are tiny; simulated memory limits apply to the paper
+  // profile and are already exercised by the memory benches/tests. The
+  // training benches run the mappings the paper ran.
+  cfg.enforce_memory = false;
+
+  VirtualFlowEngine engine(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                           model_profile(profile_name), make_devices(type, num_devices),
+                           VnMapping::even(total_vns, num_devices, recipe.global_batch),
+                           cfg);
+  return EngineSetup{std::move(task), std::move(recipe), std::move(engine)};
+}
+
+void print_claim(const std::string& name, double measured, double paper,
+                 const std::string& unit) {
+  std::printf("  %-52s measured=%.3f%s paper=%.3f%s\n", name.c_str(), measured,
+              unit.c_str(), paper, unit.c_str());
+}
+
+}  // namespace vf::bench

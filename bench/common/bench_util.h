@@ -1,0 +1,58 @@
+// Shared plumbing for the paper-experiment benchmark harnesses: flag
+// parsing, engine construction from (task, mapping), and output helpers.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§6), printing the same rows/series the paper reports plus a
+// `paper=` reference where a published number exists. EXPERIMENTS.md
+// records the paper-vs-measured comparison for every binary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "virtualflow.h"
+
+namespace vf::bench {
+
+/// Minimal --key=value flag parser (unknown keys are rejected so typos in
+/// sweep scripts fail loudly).
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::map<std::string, std::string>& known);
+
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+  bool help_requested() const { return help_; }
+  void print_help(const std::string& title) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> known_;
+  bool help_ = false;
+};
+
+/// Builds a ready-to-run engine for a proxy task.
+struct EngineSetup {
+  ProxyTask task;
+  TrainRecipe recipe;
+  VirtualFlowEngine engine;
+};
+
+/// `total_vns` virtual nodes over `num_devices` devices of `type`, at the
+/// task's reference batch (or `batch_override` if > 0). Memory checks use
+/// the given paper-model profile.
+EngineSetup make_setup(const std::string& task_name, const std::string& profile_name,
+                       std::int64_t total_vns, std::int64_t num_devices,
+                       DeviceType type, std::uint64_t seed,
+                       std::int64_t batch_override = -1,
+                       std::int64_t epochs_override = -1);
+
+/// Prints "name: measured vs paper (delta)" comparison lines.
+void print_claim(const std::string& name, double measured, double paper,
+                 const std::string& unit = "");
+
+}  // namespace vf::bench

@@ -1,0 +1,48 @@
+// Hyperparameter exploration (§6.3 / Fig 2): use virtual nodes to explore
+// batch sizes that do not fit in one GPU's memory — on that one GPU.
+//
+//   $ ./build/examples/batch_exploration
+#include <cstdio>
+
+#include "virtualflow.h"
+
+int main() {
+  using namespace vf;
+  const std::uint64_t seed = 42;
+
+  // BERT-LARGE fine-tuning on the RTE proxy; an RTX 2080 Ti fits batch 4.
+  const DeviceSpec& gpu = device_spec(DeviceType::kRtx2080Ti);
+  const ModelProfile& profile = model_profile("bert-large");
+  const std::int64_t max_fit = max_micro_batch(gpu, profile, /*use_grad_buffer=*/true);
+  std::printf("bert-large on one %s: largest batch that fits is %lld\n", gpu.name.c_str(),
+              static_cast<long long>(max_fit));
+
+  ProxyTask task = make_task("rte-sim", seed);
+  std::printf("exploring batch sizes on rte-sim (%lld training examples):\n\n",
+              static_cast<long long>(task.train->size()));
+
+  std::printf("  %-8s %-6s %-16s %-14s\n", "batch", "VNs", "final acc (%)",
+              "sim time (s)");
+  for (const std::int64_t batch : {4, 8, 16, 32, 64}) {
+    const std::int64_t vns = std::max<std::int64_t>(1, batch / max_fit);
+    Sequential model = make_proxy_model("rte-sim", seed);
+    TrainRecipe recipe = make_recipe_with_batch("rte-sim", batch);
+    EngineConfig config;
+    config.seed = seed;
+    VirtualFlowEngine engine(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                             profile, make_devices(DeviceType::kRtx2080Ti, 1),
+                             VnMapping::even(vns, 1, batch), config);
+    const TrainResult res = train(engine, *task.val, recipe.epochs);
+    std::printf("  %-8lld %-6lld %-16.2f %-14.0f%s\n", static_cast<long long>(batch),
+                static_cast<long long>(vns), 100 * res.final_accuracy,
+                res.total_sim_time_s,
+                batch <= max_fit ? "  <- reachable without VirtualFlow" : "");
+  }
+
+  std::printf(
+      "\nEvery row beyond batch %lld was previously out of reach on this GPU —\n"
+      "vanilla frameworks would need %lld GPUs for batch 64. Virtual nodes turn\n"
+      "the memory wall into extra sequential waves on the same device.\n",
+      static_cast<long long>(max_fit), static_cast<long long>(64 / max_fit));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Collective communication: cost model + functional collectives.
+//
+// Substitution (DESIGN.md §1): the paper synchronizes gradients with
+// Horovod ring all-reduce over a 16 Gbps interconnect. Here the *data
+// movement is real* (tensors are actually combined, because §5.2's
+// weighted-averaging correctness results are numerical claims) while the
+// *latency* comes from the standard α-β ring model.
+//
+// Determinism note: reductions combine contributions in ascending rank /
+// virtual-node order. Floating-point addition is not associative, so a
+// fixed order is what upgrades the paper's "same convergence across
+// hardware (±0.5%)" to this repo's bit-exact reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vf {
+
+/// α-β interconnect description. Defaults approximate the paper's testbed
+/// (16 Gbps between servers).
+struct LinkSpec {
+  double latency_s = 50e-6;            ///< per-message latency (α)
+  double bandwidth_bytes = 2.0e9;      ///< 16 Gbps (β)
+};
+
+/// Time for a ring all-reduce of `bytes` across `world` participants.
+double ring_allreduce_time_s(double bytes, std::int64_t world, const LinkSpec& link);
+
+/// Time for a ring all-gather where each of `world` participants
+/// contributes `bytes` (total traffic (world-1) x bytes per node).
+double ring_allgather_time_s(double bytes, std::int64_t world, const LinkSpec& link);
+
+/// Time for a broadcast of `bytes` from one root to `world - 1` receivers.
+double broadcast_time_s(double bytes, std::int64_t world, const LinkSpec& link);
+
+/// Weighted sum of equally-shaped tensors: out = Σ_i weights[i] * bufs[i],
+/// reduced in ascending index order. This is the numerical core of both
+/// homogeneous averaging (uniform weights) and the weighted gradient
+/// synchronization of §5.2 (weights = per-device batch shares).
+Tensor weighted_sum(const std::vector<const Tensor*>& bufs,
+                    const std::vector<double>& weights);
+
+/// Convenience: uniform average in ascending index order.
+Tensor average(const std::vector<const Tensor*>& bufs);
+
+}  // namespace vf

@@ -1,0 +1,125 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/common.h"
+
+namespace vf {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5646434B50543031ULL;  // "VFCKPT01"
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check(bool(is), "checkpoint truncated while reading u64");
+  return v;
+}
+
+double read_f64(std::istream& is) {
+  double v = 0.0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check(bool(is), "checkpoint truncated while reading f64");
+  return v;
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_u64(os, static_cast<std::uint64_t>(t.rank()));
+  for (std::int64_t i = 0; i < t.rank(); ++i)
+    write_u64(os, static_cast<std::uint64_t>(t.dim(i)));
+  os.write(reinterpret_cast<const char*>(t.data().data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto rank = static_cast<std::int64_t>(read_u64(is));
+  check(rank >= 0 && rank <= 4, "checkpoint tensor has invalid rank");
+  std::vector<std::int64_t> shape;
+  for (std::int64_t i = 0; i < rank; ++i)
+    shape.push_back(static_cast<std::int64_t>(read_u64(is)));
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data().data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  check(bool(is), "checkpoint truncated while reading tensor data");
+  return t;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_u64(is);
+  check(n < (1ULL << 20), "checkpoint string implausibly large");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  check(bool(is), "checkpoint truncated while reading string");
+  return s;
+}
+
+}  // namespace
+
+void save_checkpoint(const Checkpoint& snapshot, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  check(os.is_open(), "cannot open checkpoint file for writing: " + path);
+
+  write_u64(os, kMagic);
+  write_tensor(os, snapshot.parameters);
+  write_u64(os, snapshot.optimizer_slots.size());
+  for (const Tensor& t : snapshot.optimizer_slots) write_tensor(os, t);
+  write_u64(os, static_cast<std::uint64_t>(snapshot.optimizer_counter));
+  write_u64(os, snapshot.vn_states.size());
+  for (const VnState& st : snapshot.vn_states) {
+    const auto keys = st.keys();
+    write_u64(os, keys.size());
+    for (const std::string& k : keys) {
+      write_string(os, k);
+      write_tensor(os, st.get(k));
+    }
+  }
+  write_u64(os, static_cast<std::uint64_t>(snapshot.step));
+  write_f64(os, snapshot.sim_time_s);
+  check(bool(os), "checkpoint write failed: " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  check(is.is_open(), "cannot open checkpoint file: " + path);
+  check(read_u64(is) == kMagic, "not a VirtualFlow checkpoint: " + path);
+
+  Checkpoint snap;
+  snap.parameters = read_tensor(is);
+  const auto n_slots = read_u64(is);
+  check(n_slots < (1ULL << 20), "checkpoint slot count implausibly large");
+  for (std::uint64_t i = 0; i < n_slots; ++i)
+    snap.optimizer_slots.push_back(read_tensor(is));
+  snap.optimizer_counter = static_cast<std::int64_t>(read_u64(is));
+  const auto n_states = read_u64(is);
+  check(n_states < (1ULL << 20), "checkpoint VN count implausibly large");
+  for (std::uint64_t i = 0; i < n_states; ++i) {
+    VnState st;
+    const auto n_keys = read_u64(is);
+    check(n_keys < (1ULL << 20), "checkpoint key count implausibly large");
+    for (std::uint64_t k = 0; k < n_keys; ++k) {
+      const std::string key = read_string(is);
+      st.put(key, read_tensor(is));
+    }
+    snap.vn_states.push_back(std::move(st));
+  }
+  snap.step = static_cast<std::int64_t>(read_u64(is));
+  snap.sim_time_s = read_f64(is);
+  return snap;
+}
+
+}  // namespace vf

@@ -1,0 +1,26 @@
+// Checkpoint file I/O.
+//
+// The restart-based baselines the paper compares against ([38], Gavel,
+// Optimus, ...) persist jobs to disk between allocations; this module is
+// that substrate. Format: a small versioned binary container holding the
+// flat parameter vector, optimizer slots + counter, per-VN stateful-kernel
+// tensors, and progress counters. Round-tripping a Checkpoint through a
+// file is byte-exact, so a restored job continues on the identical
+// trajectory (tested in tests/core/test_checkpoint.cpp).
+#pragma once
+
+#include <string>
+
+#include "core/engine.h"
+
+namespace vf {
+
+/// Serializes `snapshot` to `path` (overwrites). Throws VfError on I/O
+/// failure.
+void save_checkpoint(const Checkpoint& snapshot, const std::string& path);
+
+/// Reads a checkpoint previously written by save_checkpoint. Throws
+/// VfError on missing file, bad magic, or truncation.
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace vf

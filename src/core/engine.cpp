@@ -1,0 +1,377 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace vf {
+
+VirtualFlowEngine::VirtualFlowEngine(const Sequential& model, const Optimizer& optimizer,
+                                     const LrSchedule& schedule, const Dataset& train,
+                                     ModelProfile profile, std::vector<Device> devices,
+                                     VnMapping mapping, EngineConfig config)
+    : profile_(std::move(profile)),
+      devices_(std::move(devices)),
+      mapping_(std::move(mapping)),
+      config_(config),
+      schedule_(schedule.clone()),
+      batcher_(train, config.seed, mapping_.global_batch()) {
+  check(static_cast<std::int64_t>(devices_.size()) == mapping_.num_devices(),
+        "mapping device count (" + std::to_string(mapping_.num_devices()) +
+            ") must match cluster size (" + std::to_string(devices_.size()) + ")");
+  vn_states_.resize(static_cast<std::size_t>(mapping_.total_vns()));
+  build_replicas(model, optimizer);
+  if (config_.enforce_memory) check_memory();
+}
+
+void VirtualFlowEngine::build_replicas(const Sequential& proto,
+                                       const Optimizer& opt_proto) {
+  replicas_.clear();
+  replicas_.reserve(devices_.size());
+  for (const Device& dev : devices_) {
+    Replica r;
+    r.device = dev;
+    r.model = proto;  // deep copy
+    r.optimizer = opt_proto.clone();
+    replicas_.push_back(std::move(r));
+  }
+}
+
+bool VirtualFlowEngine::uses_grad_buffer(std::int64_t d) const {
+  // With a single VN per device VirtualFlow falls back to stock framework
+  // behaviour and needs no separate accumulation buffer (§3.2).
+  return mapping_.device_vns(d).size() > 1;
+}
+
+MemoryBreakdown VirtualFlowEngine::device_memory(std::int64_t d) const {
+  return peak_memory(profile_, mapping_.device_batches(d), uses_grad_buffer(d));
+}
+
+void VirtualFlowEngine::check_memory() const {
+  for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
+    check_fits(devices_[static_cast<std::size_t>(d)].spec(), profile_,
+               mapping_.device_batches(d), uses_grad_buffer(d));
+  }
+}
+
+StepStats VirtualFlowEngine::train_step() {
+  const std::int64_t bpe = batcher_.batches_per_epoch();
+  const std::int64_t epoch = step_ / bpe;
+  const std::int64_t bie = step_ % bpe;
+  const std::int64_t total_vns = mapping_.total_vns();
+  const auto slices = mapping_.slices();
+
+  // --- Fig 5 steps 1-3: per-device sequential VN execution. The devices
+  // run concurrently in a real deployment; numerically their work is
+  // independent until the sync barrier, so a sequential host loop computes
+  // the identical result.
+  std::vector<Tensor> vn_grad_sums(static_cast<std::size_t>(total_vns));
+  std::vector<double> vn_loss_sums(static_cast<std::size_t>(total_vns), 0.0);
+
+  for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
+    Replica& rep = replicas_[static_cast<std::size_t>(d)];
+    for (const std::int32_t vn : mapping_.device_vns(d)) {
+      MicroBatch mb = batcher_.micro_batch(epoch, bie, slices, vn);
+      ExecContext ctx;
+      ctx.seed = config_.seed;
+      ctx.step = step_;
+      ctx.vn_id = vn;
+      ctx.training = true;
+      ctx.state = &vn_states_[static_cast<std::size_t>(vn)];
+
+      rep.model.zero_grad();
+      Tensor logits = rep.model.forward(mb.features, ctx);
+      LossResult loss = softmax_cross_entropy(logits, mb.labels);
+      rep.model.backward(loss.grad_logits);
+
+      vn_grad_sums[static_cast<std::size_t>(vn)] = rep.model.flatten_grads();
+      vn_loss_sums[static_cast<std::size_t>(vn)] = loss.loss_sum;
+    }
+  }
+
+  // --- Fig 5 steps 4-5: synchronize and update.
+  double loss = 0.0;
+  const double comm_s = sync_and_update(vn_grad_sums, vn_loss_sums, &loss);
+
+  // --- Simulated timing: barrier at the slowest device, plus all-reduce.
+  double compute_s = 0.0;
+  double max_mem = 0.0;
+  for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
+    const DeviceSpec& spec = devices_[static_cast<std::size_t>(d)].spec();
+    compute_s = std::max(
+        compute_s, device_step_time_s(spec, profile_, mapping_.device_batches(d)));
+    max_mem = std::max(max_mem, device_memory(d).total());
+  }
+  double step_time = compute_s + comm_s;
+  if (!first_step_done_) {
+    double extra = 0.0;
+    for (const Device& dev : devices_) extra = std::max(extra, dev.spec().first_step_extra_s);
+    step_time += extra;
+    first_step_done_ = true;
+  }
+
+  clock_s_ += step_time;
+  ++step_;
+
+  StepStats s;
+  s.step = step_;
+  s.loss = loss;
+  s.step_time_s = step_time;
+  s.sim_time_s = clock_s_;
+  s.throughput = static_cast<double>(mapping_.global_batch()) / step_time;
+  s.comm_time_s = comm_s;
+  s.max_device_mem = max_mem;
+  return s;
+}
+
+double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sums,
+                                          const std::vector<double>& vn_loss_sums,
+                                          double* out_loss) {
+  const auto b = static_cast<double>(mapping_.global_batch());
+
+  double loss_sum = 0.0;
+  for (const double l : vn_loss_sums) loss_sum += l;
+
+  Tensor global;
+  if (config_.reduction == ReductionMode::kStrictVnOrder) {
+    // Ascending VN-id reduction of per-VN gradient *sums*, then one
+    // division by the global batch. Mathematically this equals the
+    // paper's weighted average of per-device means (§5.2):
+    // sum_d (B_d / B) * mean_d(g) = sum_all(g) / B — and, because the
+    // order is fixed by VN id, the result is bit-identical under any
+    // VN -> device mapping.
+    global = vn_grad_sums.at(0);
+    for (std::size_t vn = 1; vn < vn_grad_sums.size(); ++vn)
+      global.add_(vn_grad_sums[vn]);
+  } else {
+    // Hierarchical mode (ablation): each device folds its own VNs into
+    // its gradient buffer, then buffers combine in device-rank order —
+    // the shape of a real ring all-reduce. Same expectation, but the
+    // addition order now depends on placement.
+    std::vector<Tensor> device_sums;
+    for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
+      Tensor buf;
+      bool first = true;
+      for (const std::int32_t vn : mapping_.device_vns(d)) {
+        if (first) {
+          buf = vn_grad_sums[static_cast<std::size_t>(vn)];
+          first = false;
+        } else {
+          buf.add_(vn_grad_sums[static_cast<std::size_t>(vn)]);
+        }
+      }
+      device_sums.push_back(std::move(buf));
+    }
+    global = std::move(device_sums.front());
+    for (std::size_t d = 1; d < device_sums.size(); ++d) global.add_(device_sums[d]);
+  }
+  global.scale_(static_cast<float>(1.0 / b));
+  *out_loss = loss_sum / b;
+
+  const float lr = schedule_->lr(step_);
+  for (Replica& rep : replicas_) {
+    rep.model.load_grads(global);
+    rep.optimizer->apply(rep.model, lr);
+  }
+
+  if (mapping_.num_devices() <= 1) return 0.0;
+  return ring_allreduce_time_s(profile_.param_bytes(),
+                               mapping_.num_devices(), config_.link);
+}
+
+void VirtualFlowEngine::resize(std::vector<Device> new_devices, const ResizeOptions& opts) {
+  check(!new_devices.empty(), "cannot resize to zero devices");
+  const VnMapping new_mapping =
+      mapping_.redistributed(static_cast<std::int64_t>(new_devices.size()));
+  reconfigure(std::move(new_devices), new_mapping, opts);
+}
+
+void VirtualFlowEngine::reconfigure(std::vector<Device> new_devices,
+                                    VnMapping new_mapping, const ResizeOptions& opts) {
+  check(static_cast<std::int64_t>(new_devices.size()) == new_mapping.num_devices(),
+        "reconfigure: device count mismatch");
+  check(new_mapping.global_batch() == mapping_.global_batch(),
+        "reconfigure must preserve the global batch size (got " +
+            std::to_string(new_mapping.global_batch()) + ", want " +
+            std::to_string(mapping_.global_batch()) + ")");
+
+  // Migration cost (§4.1): one all-gather carrying model parameters,
+  // optimizer slots, and per-VN stateful-kernel tensors to bootstrap the
+  // new workers. Typically well under a second — vs. minutes for the
+  // checkpoint-restart baseline.
+  double migration_s = 0.0;
+  if (opts.seamless) {
+    double state_bytes = profile_.param_bytes();
+    state_bytes += static_cast<double>(replicas_.at(0).optimizer->slot_bytes());
+    for (const VnState& st : vn_states_) state_bytes += static_cast<double>(st.total_bytes());
+    // The state is sharded across participants for the all-gather, so the
+    // wire cost is ~one full copy of the state, not world x state. Both
+    // the departing and the joining workers take part, so the ring spans
+    // the larger of the two memberships.
+    const auto world = std::max<std::int64_t>(
+        static_cast<std::int64_t>(new_devices.size()), mapping_.num_devices());
+    migration_s = ring_allgather_time_s(state_bytes / static_cast<double>(world),
+                                        world, config_.link);
+  } else {
+    migration_s = config_.restart_penalty_s;
+  }
+  clock_s_ += migration_s;
+
+  if (!opts.migrate_state) {
+    // Naive bootstrap: stateful kernels (batch-norm moving statistics)
+    // are reset on the new workers — the §4.1 failure mode.
+    for (VnState& st : vn_states_) st.clear();
+  }
+
+  // VN states are keyed by VN id. A semantics-preserving resize keeps the
+  // VN count; a general reconfiguration (heterogeneous) may change it, in
+  // which case surviving ids keep their state and new ids start fresh.
+  vn_states_.resize(static_cast<std::size_t>(new_mapping.total_vns()));
+
+  const Sequential proto = replicas_.at(0).model;  // deep copy with current params
+  const std::unique_ptr<Optimizer> opt_proto = replicas_.at(0).optimizer->clone();
+
+  devices_ = std::move(new_devices);
+  mapping_ = std::move(new_mapping);
+  build_replicas(proto, *opt_proto);
+  if (config_.enforce_memory) check_memory();
+}
+
+void VirtualFlowEngine::fail_device(std::int64_t device_index, const ResizeOptions& opts) {
+  check_index(device_index, static_cast<std::int64_t>(devices_.size()), "device");
+  check(devices_.size() > 1, "cannot lose the last device");
+  std::vector<Device> survivors;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (static_cast<std::int64_t>(d) != device_index) survivors.push_back(devices_[d]);
+  }
+  // The failed device's replica is gone, but every survivor holds the
+  // full model, and VN state lives with the (logical) virtual nodes —
+  // redistribute and continue.
+  resize(std::move(survivors), opts);
+}
+
+Checkpoint VirtualFlowEngine::capture() const {
+  Checkpoint snap;
+  snap.parameters = replicas_.at(0).model.flatten_params();
+  snap.optimizer_slots = replicas_.at(0).optimizer->slots();
+  snap.optimizer_counter = replicas_.at(0).optimizer->counter();
+  snap.vn_states = vn_states_;
+  snap.step = step_;
+  snap.sim_time_s = clock_s_;
+  return snap;
+}
+
+void VirtualFlowEngine::restore(const Checkpoint& snapshot) {
+  check(snapshot.vn_states.size() == vn_states_.size(),
+        "checkpoint virtual-node count (" + std::to_string(snapshot.vn_states.size()) +
+            ") does not match the engine (" + std::to_string(vn_states_.size()) + ")");
+  for (Replica& rep : replicas_) {
+    rep.model.unflatten_params(snapshot.parameters);
+    rep.optimizer->slots() = snapshot.optimizer_slots;
+    rep.optimizer->set_counter(snapshot.optimizer_counter);
+  }
+  vn_states_ = snapshot.vn_states;
+  step_ = snapshot.step;
+  clock_s_ = snapshot.sim_time_s;
+}
+
+const Sequential& VirtualFlowEngine::replica_model(std::int64_t d) const {
+  check_index(d, num_replicas(), "replica");
+  return replicas_[static_cast<std::size_t>(d)].model;
+}
+
+Tensor VirtualFlowEngine::parameters() const {
+  return replicas_.at(0).model.flatten_params();
+}
+
+const VnState& VirtualFlowEngine::vn_state(std::int32_t vn) const {
+  check_index(vn, static_cast<std::int64_t>(vn_states_.size()), "virtual node");
+  return vn_states_[static_cast<std::size_t>(vn)];
+}
+
+namespace {
+
+/// Averages per-VN stateful-kernel tensors (in ascending VN-id order) into
+/// one evaluation-time state. VNs missing a key are skipped.
+VnState average_states(const std::vector<VnState>& states) {
+  VnState out;
+  if (states.empty()) return out;
+  for (const std::string& key : states.front().keys()) {
+    Tensor acc;
+    std::int64_t count = 0;
+    for (const VnState& st : states) {
+      if (!st.has(key)) continue;
+      if (count == 0) {
+        acc = st.get(key);
+      } else {
+        acc.add_(st.get(key));
+      }
+      ++count;
+    }
+    if (count > 0) {
+      acc.scale_(1.0F / static_cast<float>(count));
+      out.put(key, std::move(acc));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double VirtualFlowEngine::evaluate(const Dataset& eval, std::int64_t limit) {
+  VnState eval_state = average_states(vn_states_);
+  Sequential& model = replicas_.at(0).model;
+
+  const std::int64_t n = limit < 0 ? eval.size() : std::min(limit, eval.size());
+  std::int64_t correct = 0;
+  constexpr std::int64_t kChunk = 1024;
+  for (std::int64_t start = 0; start < n; start += kChunk) {
+    const std::int64_t count = std::min(kChunk, n - start);
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
+    Tensor features;
+    std::vector<std::int64_t> labels;
+    eval.gather(idx, features, labels);
+
+    ExecContext ctx;
+    ctx.seed = config_.seed;
+    ctx.step = step_;
+    ctx.training = false;
+    ctx.state = eval_state.empty() ? nullptr : &eval_state;
+    const Tensor logits = model.forward(features, ctx);
+    const auto preds = logits.row_argmax();
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      if (preds[i] == labels[i]) ++correct;
+  }
+  check(n > 0, "evaluate on empty dataset");
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double VirtualFlowEngine::evaluate_loss(const Dataset& eval, std::int64_t limit) {
+  VnState eval_state = average_states(vn_states_);
+  Sequential& model = replicas_.at(0).model;
+
+  const std::int64_t n = limit < 0 ? eval.size() : std::min(limit, eval.size());
+  check(n > 0, "evaluate_loss on empty dataset");
+  double loss_sum = 0.0;
+  constexpr std::int64_t kChunk = 1024;
+  for (std::int64_t start = 0; start < n; start += kChunk) {
+    const std::int64_t count = std::min(kChunk, n - start);
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
+    Tensor features;
+    std::vector<std::int64_t> labels;
+    eval.gather(idx, features, labels);
+
+    ExecContext ctx;
+    ctx.seed = config_.seed;
+    ctx.step = step_;
+    ctx.training = false;
+    ctx.state = eval_state.empty() ? nullptr : &eval_state;
+    const Tensor logits = model.forward(features, ctx);
+    loss_sum += softmax_cross_entropy(logits, labels).loss_sum;
+  }
+  return loss_sum / static_cast<double>(n);
+}
+
+}  // namespace vf

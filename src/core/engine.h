@@ -1,0 +1,190 @@
+// VirtualFlowEngine: the paper's core execution loop (Fig 5).
+//
+// Each training step:
+//   1. for every device (in parallel in real deployments; the simulated
+//      step time is the max over devices), run its virtual nodes
+//      sequentially: forward pass (+ input prefetch), backward pass,
+//      aggregate the VN's gradients into the device's shared gradient
+//      buffer;
+//   2. synchronize gradients across devices with a *weighted* all-reduce
+//      (§5.2) so that every example contributes equally no matter how the
+//      batch was partitioned;
+//   3. every device applies the same averaged gradient to its replica.
+//
+// Math is real (actual SGD on actual gradients); device/step timing comes
+// from the analytic cost model and a virtual clock (DESIGN.md §4.1).
+//
+// Reduction-order contract: gradient contributions are combined in
+// ascending virtual-node-id order. Together with VN-id-keyed data
+// sharding, dropout, and batch-norm state, this makes the entire training
+// trajectory a pure function of (model, hyperparameters, seed, total VNs)
+// — bit-identical across any device mapping, which is the paper's
+// reproducibility claim strengthened from ±0.5% to exact equality.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/comm.h"
+#include "core/mapping.h"
+#include "data/batch.h"
+#include "device/cost_model.h"
+#include "device/memory_model.h"
+#include "device/model_profile.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+
+namespace vf {
+
+/// Gradient reduction order (DESIGN.md §4, ablated by
+/// bench_ablation_reduction).
+enum class ReductionMode : std::uint8_t {
+  /// Combine per-VN gradient sums in ascending VN-id order. Bit-exact
+  /// under any VN -> device mapping (this library's default contract).
+  kStrictVnOrder,
+  /// Combine per-device partial sums in device order — what a naive
+  /// hierarchical all-reduce does. Numerically correct but only
+  /// approximately mapping-invariant (float addition is not associative).
+  kHierarchical,
+};
+
+/// Engine configuration.
+struct EngineConfig {
+  std::uint64_t seed = 42;
+  LinkSpec link;
+  /// If false, skip the simulated-memory fit check (used by unit tests
+  /// that run tiny models under mappings the real profile would OOM).
+  bool enforce_memory = true;
+  /// Seconds charged for a checkpoint-restart resize; used when
+  /// `Resize::seamless` is false to model restart-based baselines [38].
+  double restart_penalty_s = 45.0;
+  ReductionMode reduction = ReductionMode::kStrictVnOrder;
+};
+
+/// A point-in-time snapshot of everything a training job needs to resume:
+/// model parameters, optimizer slots and counters, per-VN stateful-kernel
+/// tensors, and progress counters. See core/checkpoint.h for file I/O.
+struct Checkpoint {
+  Tensor parameters;
+  std::vector<Tensor> optimizer_slots;
+  std::int64_t optimizer_counter = 0;
+  std::vector<VnState> vn_states;
+  std::int64_t step = 0;
+  double sim_time_s = 0.0;
+};
+
+/// Telemetry for one training step.
+struct StepStats {
+  std::int64_t step = 0;
+  double loss = 0.0;           ///< global-batch mean training loss
+  double step_time_s = 0.0;    ///< simulated wall time of this step
+  double sim_time_s = 0.0;     ///< simulated clock after this step
+  double throughput = 0.0;     ///< examples per simulated second
+  double comm_time_s = 0.0;    ///< all-reduce portion of step_time_s
+  double max_device_mem = 0.0; ///< peak simulated memory over devices
+};
+
+/// Options controlling a resize (§4.1).
+struct ResizeOptions {
+  /// Migrate VN state (batch-norm moving stats) and optimizer slots via
+  /// all-gather. Setting false models the naive bootstrap that resets
+  /// stateful kernels — the failure mode §4.1 warns about.
+  bool migrate_state = true;
+  /// Seamless VirtualFlow resize (sub-second all-gather) vs stop-and-
+  /// restart-from-checkpoint (the paper's baseline schedulers).
+  bool seamless = true;
+};
+
+/// Data-parallel synchronous training engine with virtual-node processing.
+class VirtualFlowEngine {
+ public:
+  /// The engine clones `model` onto every device (replica per device) and
+  /// `optimizer` likewise. `profile` drives simulated timing/memory.
+  VirtualFlowEngine(const Sequential& model, const Optimizer& optimizer,
+                    const LrSchedule& schedule, const Dataset& train,
+                    ModelProfile profile, std::vector<Device> devices,
+                    VnMapping mapping, EngineConfig config);
+
+  /// Runs one global-batch step (Fig 5 steps 1-6).
+  StepStats train_step();
+
+  /// Elastic resize: redistribute the existing virtual nodes across a new
+  /// device set (§4.1). Keeps VN count/batches, hence semantics.
+  void resize(std::vector<Device> new_devices, const ResizeOptions& opts = {});
+
+  /// Fault tolerance (§7): drop the device at `device_index` and
+  /// redistribute its virtual nodes over the survivors, reusing the
+  /// elastic migration machinery. Training continues uninterrupted from
+  /// the application's perspective; a later resize() re-adds replacements.
+  /// Throws if it would leave zero devices.
+  void fail_device(std::int64_t device_index, const ResizeOptions& opts = {});
+
+  /// Snapshot / restore of full training state (the substrate behind the
+  /// checkpoint-restart baselines and the fault-tolerance story).
+  Checkpoint capture() const;
+  void restore(const Checkpoint& snapshot);
+
+  /// General reconfiguration to an arbitrary mapping (used by
+  /// heterogeneous training, §5). The new mapping must preserve the
+  /// global batch size.
+  void reconfigure(std::vector<Device> new_devices, VnMapping new_mapping,
+                   const ResizeOptions& opts = {});
+
+  /// Top-1 accuracy on `eval` (full dataset, or first `limit` examples).
+  /// Uses batch-norm moving statistics averaged over VNs in id order.
+  double evaluate(const Dataset& eval, std::int64_t limit = -1);
+
+  /// Mean loss on `eval` without updating anything.
+  double evaluate_loss(const Dataset& eval, std::int64_t limit = -1);
+
+  // ---- Introspection (tests, benches) ----
+  std::int64_t step() const { return step_; }
+  std::int64_t epoch() const { return step_ / batcher_.batches_per_epoch(); }
+  std::int64_t steps_per_epoch() const { return batcher_.batches_per_epoch(); }
+  double sim_time_s() const { return clock_s_; }
+  const VnMapping& mapping() const { return mapping_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  const ModelProfile& profile() const { return profile_; }
+  std::int64_t num_replicas() const { return static_cast<std::int64_t>(replicas_.size()); }
+  /// Replica d's model (replicas are asserted identical in tests).
+  const Sequential& replica_model(std::int64_t d) const;
+  /// Flat parameter vector of replica 0 (the canonical copy).
+  Tensor parameters() const;
+  /// Per-VN stateful-kernel storage (batch-norm moving stats).
+  const VnState& vn_state(std::int32_t vn) const;
+  /// Simulated peak memory on device d under the current mapping.
+  MemoryBreakdown device_memory(std::int64_t d) const;
+  /// Whether device d uses the shared gradient buffer (V_d > 1).
+  bool uses_grad_buffer(std::int64_t d) const;
+
+ private:
+  struct Replica {
+    Device device;
+    Sequential model;
+    std::unique_ptr<Optimizer> optimizer;
+  };
+
+  void build_replicas(const Sequential& proto, const Optimizer& opt_proto);
+  void check_memory() const;
+  double sync_and_update(const std::vector<Tensor>& vn_grad_sums,
+                         const std::vector<double>& vn_loss_sums, double* out_loss);
+
+  ModelProfile profile_;
+  std::vector<Device> devices_;
+  VnMapping mapping_;
+  EngineConfig config_;
+  std::unique_ptr<LrSchedule> schedule_;
+  EpochBatcher batcher_;
+
+  std::vector<Replica> replicas_;
+  std::vector<VnState> vn_states_;  // indexed by VN id; survives resizes
+
+  std::int64_t step_ = 0;
+  double clock_s_ = 0.0;
+  bool first_step_done_ = false;
+};
+
+}  // namespace vf

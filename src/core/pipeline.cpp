@@ -1,0 +1,58 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "device/memory_model.h"
+#include "util/common.h"
+
+namespace vf {
+
+ModelProfile stage_profile(const ModelProfile& model, std::int64_t stages) {
+  check(stages > 0, "stage count must be positive");
+  ModelProfile p = model;
+  p.name = model.name + "/stage";
+  const double s = static_cast<double>(stages);
+  p.param_count = model.param_count / stages;
+  p.flops_per_example = model.flops_per_example / s;
+  p.activation_bytes_per_example = model.activation_bytes_per_example / s;
+  p.workspace_bytes = model.workspace_bytes / s;
+  return p;
+}
+
+PipelineCost pipeline_cost(const DeviceSpec& spec, const ModelProfile& model,
+                           const PipelineConfig& config) {
+  check(config.stages > 0 && config.replicas_per_stage > 0 && config.vns_per_replica > 0,
+        "pipeline configuration values must be positive");
+  check(config.replicas_per_stage % config.vns_per_replica == 0,
+        "virtual-node fold must divide the data-parallel replica count");
+  check(config.global_batch > 0, "global batch must be positive");
+  check(config.global_batch % config.replicas_per_stage == 0,
+        "global batch must divide evenly among data-parallel replicas");
+
+  const std::int64_t device_slots_per_stage =
+      config.replicas_per_stage / config.vns_per_replica;
+  const std::int64_t micro_batch = config.global_batch / config.replicas_per_stage;
+
+  const ModelProfile stage = stage_profile(model, config.stages);
+
+  // Each physical slot runs `vns_per_replica` sequential passes of the
+  // stage (the unrolled pipelines of Fig 19, bottom); the pipeline needs
+  // (stages - 1) extra passes to fill and drain.
+  const double pass = pass_time_s(spec, stage, micro_batch);
+  const double passes_steady = static_cast<double>(config.vns_per_replica);
+  const double passes_fill = static_cast<double>(config.stages - 1);
+  const double compute_s = (passes_steady + passes_fill) * pass;
+
+  PipelineCost out;
+  out.devices_required = config.stages * device_slots_per_stage;
+  out.step_time_s = compute_s + update_time_s(spec, stage) + spec.step_fixed_s;
+  out.throughput = static_cast<double>(config.global_batch) / out.step_time_s;
+  // One stage's parameters + grad buffer + one VN's activations at a time.
+  const std::vector<std::int64_t> vn_batches(
+      static_cast<std::size_t>(config.vns_per_replica), micro_batch);
+  out.peak_stage_mem_bytes =
+      peak_memory(stage, vn_batches, config.vns_per_replica > 1).total();
+  return out;
+}
+
+}  // namespace vf

@@ -1,0 +1,51 @@
+// Model parallelism with virtual nodes (paper §7, Fig 19).
+//
+// The paper sketches this as future work: when a model is partitioned into
+// S pipeline stages and each stage is replicated R ways for data
+// parallelism (S*R accelerators total), virtual nodes let the R data-
+// parallel replicas of every stage be *unrolled* onto a single accelerator
+// as R sequential virtual nodes — dropping the requirement to S
+// accelerators at ~R x the step time. This module provides the analytic
+// resource/time accounting for that trade-off (the Fig 19 bench target).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/cost_model.h"
+#include "device/model_profile.h"
+#include "device/spec.h"
+
+namespace vf {
+
+/// Configuration of a model-parallel job.
+struct PipelineConfig {
+  std::int64_t stages = 1;            ///< model partitions (S)
+  std::int64_t replicas_per_stage = 1;///< data-parallel width (R)
+  std::int64_t vns_per_replica = 1;   ///< virtual nodes folded per replica slot
+  std::int64_t global_batch = 0;
+};
+
+/// Result of the pipeline cost analysis.
+struct PipelineCost {
+  std::int64_t devices_required = 0;  ///< physical accelerators needed
+  double step_time_s = 0.0;           ///< simulated training step time
+  double throughput = 0.0;            ///< examples per second
+  double peak_stage_mem_bytes = 0.0;  ///< per-device memory at the fattest stage
+};
+
+/// Per-stage profile: the model's cost split evenly across `stages`
+/// partitions (layer-balanced partitioning assumption).
+ModelProfile stage_profile(const ModelProfile& model, std::int64_t stages);
+
+/// Cost of running the pipeline on `spec`-type devices.
+///
+/// devices_required = stages * replicas_per_stage / vns_per_replica; the
+/// VN fold must divide the replica count. Each physical device hosting a
+/// stage executes vns_per_replica sequential passes per step (Fig 19,
+/// bottom). Pipeline fill/drain is modelled as one extra micro-batch pass
+/// per additional stage.
+PipelineCost pipeline_cost(const DeviceSpec& spec, const ModelProfile& model,
+                           const PipelineConfig& config);
+
+}  // namespace vf

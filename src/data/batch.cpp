@@ -1,0 +1,56 @@
+#include "data/batch.h"
+
+#include "util/common.h"
+
+namespace vf {
+
+EpochBatcher::EpochBatcher(const Dataset& dataset, std::uint64_t seed,
+                           std::int64_t global_batch)
+    : dataset_(dataset),
+      seed_(seed),
+      global_batch_(global_batch),
+      n_batches_(vf::batches_per_epoch(dataset.size(), global_batch)) {}
+
+void EpochBatcher::ensure_epoch(std::int64_t epoch) {
+  if (epoch == cached_epoch_) return;
+  perm_ = epoch_permutation(dataset_.size(), seed_, epoch);
+  cached_epoch_ = epoch;
+}
+
+std::vector<std::int64_t> EpochBatcher::indices(std::int64_t epoch,
+                                                std::int64_t batch_in_epoch,
+                                                const std::vector<BatchSlice>& slices,
+                                                std::int64_t vn) {
+  check_index(batch_in_epoch, n_batches_, "batch in epoch");
+  check_index(vn, static_cast<std::int64_t>(slices.size()), "virtual node");
+  ensure_epoch(epoch);
+
+  const BatchSlice& slice = slices[static_cast<std::size_t>(vn)];
+  const std::int64_t base = batch_in_epoch * global_batch_ + slice.begin;
+  check(base + slice.count <= dataset_.size(), "batch slice exceeds dataset");
+
+  std::vector<std::int64_t> out(static_cast<std::size_t>(slice.count));
+  for (std::int64_t k = 0; k < slice.count; ++k)
+    out[static_cast<std::size_t>(k)] = perm_[static_cast<std::size_t>(base + k)];
+  return out;
+}
+
+MicroBatch EpochBatcher::micro_batch(std::int64_t epoch, std::int64_t batch_in_epoch,
+                                     const std::vector<BatchSlice>& slices,
+                                     std::int64_t vn) {
+  const auto idx = indices(epoch, batch_in_epoch, slices, vn);
+  MicroBatch mb;
+  dataset_.gather(idx, mb.features, mb.labels);
+  return mb;
+}
+
+MicroBatch materialize_all(const Dataset& dataset, std::int64_t limit) {
+  const std::int64_t n = limit < 0 ? dataset.size() : std::min(limit, dataset.size());
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  MicroBatch mb;
+  dataset.gather(idx, mb.features, mb.labels);
+  return mb;
+}
+
+}  // namespace vf

@@ -1,0 +1,61 @@
+// Batch provider: materializes per-virtual-node micro-batches.
+//
+// Caches the epoch permutation so the engine can pull many VN slices per
+// step without re-deriving it; the produced indices are identical to the
+// pure-function form in sharding.h (a property test asserts this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/sharding.h"
+
+namespace vf {
+
+/// One virtual node's materialized micro-batch.
+struct MicroBatch {
+  Tensor features;                   ///< [count x feature_dim]
+  std::vector<std::int64_t> labels;  ///< size count
+};
+
+/// Iterates a dataset in deterministic epoch order, serving per-VN slices
+/// of each global batch. The slicing (per-VN shares) may change between
+/// batches — that is exactly what happens on an elastic resize or a
+/// heterogeneous reconfiguration — without affecting which examples appear
+/// in which global batch.
+class EpochBatcher {
+ public:
+  EpochBatcher(const Dataset& dataset, std::uint64_t seed, std::int64_t global_batch);
+
+  std::int64_t batches_per_epoch() const { return n_batches_; }
+  std::int64_t global_batch() const { return global_batch_; }
+
+  /// Dataset indices for VN `vn` of global batch `batch_in_epoch` in
+  /// `epoch`, given the current slice layout.
+  std::vector<std::int64_t> indices(std::int64_t epoch, std::int64_t batch_in_epoch,
+                                    const std::vector<BatchSlice>& slices,
+                                    std::int64_t vn);
+
+  /// Materialized micro-batch for VN `vn`.
+  MicroBatch micro_batch(std::int64_t epoch, std::int64_t batch_in_epoch,
+                         const std::vector<BatchSlice>& slices, std::int64_t vn);
+
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  void ensure_epoch(std::int64_t epoch);
+
+  const Dataset& dataset_;
+  std::uint64_t seed_;
+  std::int64_t global_batch_;
+  std::int64_t n_batches_;
+  std::int64_t cached_epoch_ = -1;
+  std::vector<std::int64_t> perm_;
+};
+
+/// Materializes an entire dataset (or its first `limit` examples) for
+/// evaluation passes.
+MicroBatch materialize_all(const Dataset& dataset, std::int64_t limit = -1);
+
+}  // namespace vf

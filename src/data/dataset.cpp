@@ -1,0 +1,150 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace vf {
+
+void Dataset::gather(const std::vector<std::int64_t>& indices, Tensor& features,
+                     std::vector<std::int64_t>& labels) const {
+  const auto n = static_cast<std::int64_t>(indices.size());
+  features = Tensor({n, feature_dim()});
+  labels.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const Example ex = example(indices[static_cast<std::size_t>(r)]);
+    check(static_cast<std::int64_t>(ex.features.size()) == feature_dim(),
+          "dataset example feature dim mismatch");
+    for (std::int64_t j = 0; j < feature_dim(); ++j)
+      features.at(r, j) = ex.features[static_cast<std::size_t>(j)];
+    labels[static_cast<std::size_t>(r)] = ex.label;
+  }
+}
+
+// -------------------------------------------------- GaussianMixtureDataset
+
+GaussianMixtureDataset::GaussianMixtureDataset(std::string name, std::uint64_t seed,
+                                               std::int64_t n, std::int64_t dim,
+                                               std::int64_t classes, float noise,
+                                               std::int64_t index_offset)
+    : name_(std::move(name)),
+      seed_(seed),
+      n_(n),
+      dim_(dim),
+      classes_(classes),
+      noise_(noise),
+      index_offset_(index_offset) {
+  check(n > 0 && dim > 0 && classes > 1, "invalid GaussianMixtureDataset parameters");
+  check(noise > 0.0F, "noise must be positive");
+  // Class centers on a deterministic stream; unit-norm directions scaled
+  // apart so class separation is controlled purely by `noise`.
+  CounterRng rng(seed_, /*stream=*/0xC3A7E5);
+  centers_.resize(static_cast<std::size_t>(classes));
+  for (auto& c : centers_) {
+    c.resize(static_cast<std::size_t>(dim));
+    float norm2 = 0.0F;
+    for (auto& v : c) {
+      v = rng.normal();
+      norm2 += v * v;
+    }
+    const float inv = 1.0F / std::sqrt(std::max(norm2, 1e-12F));
+    for (auto& v : c) v *= inv;
+  }
+}
+
+Example GaussianMixtureDataset::example(std::int64_t i) const {
+  check_index(i, n_, "dataset example");
+  CounterRng rng(seed_, 0xE1A000ULL + static_cast<std::uint64_t>(i + index_offset_));
+  Example ex;
+  ex.label = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(classes_)));
+  const auto& center = centers_[static_cast<std::size_t>(ex.label)];
+  ex.features.resize(static_cast<std::size_t>(dim_));
+  for (std::int64_t j = 0; j < dim_; ++j)
+    ex.features[static_cast<std::size_t>(j)] =
+        center[static_cast<std::size_t>(j)] + noise_ * rng.normal();
+  return ex;
+}
+
+// --------------------------------------------------------- TeacherDataset
+
+TeacherDataset::TeacherDataset(std::string name, std::uint64_t seed, std::int64_t n,
+                               std::int64_t dim, std::int64_t classes,
+                               std::int64_t hidden, float label_noise,
+                               std::int64_t index_offset)
+    : name_(std::move(name)),
+      seed_(seed),
+      n_(n),
+      dim_(dim),
+      classes_(classes),
+      hidden_(hidden),
+      label_noise_(label_noise),
+      index_offset_(index_offset) {
+  check(n > 0 && dim > 0 && classes > 1 && hidden > 0, "invalid TeacherDataset parameters");
+  check(label_noise >= 0.0F && label_noise < 1.0F, "label noise must be in [0, 1)");
+  CounterRng rng(seed_, /*stream=*/0x7EAC4E);
+  w1_.resize(static_cast<std::size_t>(dim * hidden));
+  w2_.resize(static_cast<std::size_t>(hidden * classes));
+  const float s1 = std::sqrt(2.0F / static_cast<float>(dim));
+  const float s2 = std::sqrt(2.0F / static_cast<float>(hidden));
+  for (auto& v : w1_) v = rng.normal(0.0F, s1);
+  for (auto& v : w2_) v = rng.normal(0.0F, s2);
+}
+
+Example TeacherDataset::example(std::int64_t i) const {
+  check_index(i, n_, "dataset example");
+  CounterRng rng(seed_, 0x7E0000ULL + static_cast<std::uint64_t>(i + index_offset_));
+  Example ex;
+  ex.features.resize(static_cast<std::size_t>(dim_));
+  for (auto& v : ex.features) v = rng.normal();
+
+  // Teacher forward pass: relu(x @ w1) @ w2, label = argmax.
+  std::vector<float> h(static_cast<std::size_t>(hidden_), 0.0F);
+  for (std::int64_t k = 0; k < hidden_; ++k) {
+    float acc = 0.0F;
+    for (std::int64_t j = 0; j < dim_; ++j)
+      acc += ex.features[static_cast<std::size_t>(j)] *
+             w1_[static_cast<std::size_t>(j * hidden_ + k)];
+    h[static_cast<std::size_t>(k)] = acc > 0.0F ? acc : 0.0F;
+  }
+  std::int64_t best = 0;
+  float best_v = -1e30F;
+  for (std::int64_t c = 0; c < classes_; ++c) {
+    float acc = 0.0F;
+    for (std::int64_t k = 0; k < hidden_; ++k)
+      acc += h[static_cast<std::size_t>(k)] * w2_[static_cast<std::size_t>(k * classes_ + c)];
+    if (acc > best_v) {
+      best_v = acc;
+      best = c;
+    }
+  }
+  ex.label = best;
+
+  if (label_noise_ > 0.0F && rng.next_double() < label_noise_) {
+    ex.label = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(classes_)));
+  }
+  return ex;
+}
+
+// --------------------------------------------------------- SpiralsDataset
+
+SpiralsDataset::SpiralsDataset(std::string name, std::uint64_t seed, std::int64_t n,
+                               float noise)
+    : name_(std::move(name)), seed_(seed), n_(n), noise_(noise) {
+  check(n > 0, "SpiralsDataset size must be positive");
+  check(noise >= 0.0F, "noise must be non-negative");
+}
+
+Example SpiralsDataset::example(std::int64_t i) const {
+  check_index(i, n_, "dataset example");
+  CounterRng rng(seed_, 0x59124ULL + static_cast<std::uint64_t>(i));
+  Example ex;
+  ex.label = static_cast<std::int64_t>(i % 2);
+  const float t = 0.25F + 3.5F * static_cast<float>(rng.next_double());  // angle parameter
+  const float r = t / 4.0F;
+  const float phase = ex.label == 0 ? 0.0F : 3.14159265F;
+  ex.features = {r * std::cos(t * 3.0F + phase) + noise_ * rng.normal(),
+                 r * std::sin(t * 3.0F + phase) + noise_ * rng.normal()};
+  return ex;
+}
+
+}  // namespace vf

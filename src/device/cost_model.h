@@ -1,0 +1,44 @@
+// Analytic step-time cost model for simulated accelerators.
+//
+// step_time(device, model, VN batches) =
+//     Σ_v [ launch + max(compute(b_v), memory(b_v)) ]   (sequential VNs)
+//   + update_time                                        (once per step!)
+//   + fixed framework overhead
+//
+// Charging the parameter update once per step regardless of V is the
+// mechanism behind two results the paper reports: Fig 17's throughput
+// *increase* at high virtual-node counts (bigger global batch -> fewer
+// updates per example) and Fig 18's low overhead when a workload already
+// fits in memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/model_profile.h"
+#include "device/spec.h"
+
+namespace vf {
+
+/// Batch-size utilization curve: fraction of peak compute achieved at
+/// micro-batch size b. Saturating b / (b + b_half).
+double batch_utilization(const ModelProfile& model, double batch);
+
+/// Forward+backward time of one virtual-node pass of `batch` examples.
+double pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                   std::int64_t batch);
+
+/// Parameter-update time (optimizer step), charged once per training step.
+double update_time_s(const DeviceSpec& spec, const ModelProfile& model);
+
+/// Full local step time for one device running its VN batches sequentially.
+/// Does not include gradient synchronization (the engine adds comm cost).
+double device_step_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                          const std::vector<std::int64_t>& vn_batches);
+
+/// Steady-state training throughput (examples/s) of a single device running
+/// a local batch of `batch` split into `vns` equal virtual nodes.
+double device_throughput(const DeviceSpec& spec, const ModelProfile& model,
+                         std::int64_t batch, std::int64_t vns);
+
+}  // namespace vf

@@ -1,0 +1,66 @@
+// Memory accounting for simulated accelerators, by Fig 6's categories:
+// inputs, activations, kernel_temp (workspace), parameters, the gradient
+// buffer VirtualFlow adds, and "other" framework overhead.
+//
+// Invariants this model encodes (paper §3.3):
+//  * the gradient buffer is shared across all VNs on a device, so its cost
+//    is one model-size constant, independent of V;
+//  * activations are per-VN and only one VN's activations are live at a
+//    time (sequential execution), plus the prefetched inputs of the next
+//    VN (Fig 5, step 1);
+//  * peak memory is therefore driven by the *largest* VN on the device,
+//    not the sum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/model_profile.h"
+#include "device/spec.h"
+
+namespace vf {
+
+/// Per-category memory footprint in bytes (Fig 6 legend).
+struct MemoryBreakdown {
+  double inputs = 0.0;
+  double activations = 0.0;
+  double kernel_temp = 0.0;
+  double parameters = 0.0;
+  double grad_buffer = 0.0;
+  double other = 0.0;
+
+  double total() const {
+    return inputs + activations + kernel_temp + parameters + grad_buffer + other;
+  }
+};
+
+/// Fixed framework overhead ("other" + "unknown" in Fig 6).
+constexpr double kFrameworkOverheadBytes = 850.0 * 1024.0 * 1024.0;
+
+/// Peak memory of a device running the given VN micro-batches.
+/// `use_grad_buffer` is false only in the V=1 fallback, where VirtualFlow
+/// behaves exactly like the stock framework (§3.2).
+MemoryBreakdown peak_memory(const ModelProfile& model,
+                            const std::vector<std::int64_t>& vn_batches,
+                            bool use_grad_buffer);
+
+/// True if the given VN layout fits in the device's usable memory.
+bool fits(const DeviceSpec& spec, const ModelProfile& model,
+          const std::vector<std::int64_t>& vn_batches, bool use_grad_buffer);
+
+/// Throws OomError (mirroring the framework's OOM abort) if it doesn't fit.
+void check_fits(const DeviceSpec& spec, const ModelProfile& model,
+                const std::vector<std::int64_t>& vn_batches, bool use_grad_buffer);
+
+/// Largest micro-batch (power of 2 or midpoint, per §5.1.1) that fits on
+/// the device as a single virtual node. Returns 0 if even batch 1 OOMs.
+std::int64_t max_micro_batch(const DeviceSpec& spec, const ModelProfile& model,
+                             bool use_grad_buffer);
+
+/// The "power-of-2-like" batch sizes of §5.1.1: powers of two plus the
+/// midpoints between adjacent powers (48, 96, 192, ...), ascending, up to
+/// and including `limit`.
+std::vector<std::int64_t> pow2_like_batches(std::int64_t limit);
+
+}  // namespace vf

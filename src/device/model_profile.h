@@ -1,0 +1,43 @@
+// Performance profile of a deep-learning model, as the device cost model
+// sees it.
+//
+// The paper's evaluation uses ResNet-50, ResNet-56, BERT-BASE/LARGE and a
+// WMT Transformer. We cannot run those architectures here, but all of the
+// paper's *performance* results depend only on a handful of per-model
+// quantities: parameter bytes, FLOPs per example, activation bytes per
+// example, and how quickly a device saturates with batch size. Profiles
+// carrying those quantities (calibrated to published model sizes — e.g.
+// ResNet-50's 102.45 MB of parameters from Fig 6) drive the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vf {
+
+/// Static performance-relevant description of one model/workload.
+struct ModelProfile {
+  std::string name;
+
+  std::int64_t param_count = 0;          ///< trainable scalars
+  double flops_per_example = 0.0;        ///< forward-pass FLOPs per example
+  double activation_bytes_per_example = 0.0;  ///< forward activation footprint
+  double input_bytes_per_example = 0.0;  ///< input tensor footprint
+  double workspace_bytes = 0.0;          ///< kernel scratch ("kernel_temp" in Fig 6)
+
+  /// Batch size at which a device reaches half of its saturated
+  /// throughput on this model; smaller values mean the model saturates
+  /// hardware quickly (large per-example kernels).
+  double batch_half_saturation = 32.0;
+
+  /// Multiplier on the parameter-update cost (optimizers like LAMB/Adam
+  /// touch more state per parameter than plain SGD).
+  double update_cost_factor = 1.0;
+
+  double param_bytes() const { return static_cast<double>(param_count) * 4.0; }
+
+  /// Forward+backward FLOPs per example (backward ~ 2x forward).
+  double train_flops_per_example() const { return 3.0 * flops_per_example; }
+};
+
+}  // namespace vf

@@ -1,0 +1,89 @@
+#include "device/spec.h"
+
+#include "util/common.h"
+
+namespace vf {
+
+const char* device_type_name(DeviceType t) {
+  switch (t) {
+    case DeviceType::kV100: return "V100";
+    case DeviceType::kP100: return "P100";
+    case DeviceType::kK80: return "K80";
+    case DeviceType::kRtx2080Ti: return "RTX2080Ti";
+  }
+  return "unknown";
+}
+
+namespace {
+
+DeviceSpec make_spec(DeviceType t) {
+  DeviceSpec s;
+  s.type = t;
+  s.name = device_type_name(t);
+  switch (t) {
+    case DeviceType::kV100:
+      s.peak_tflops = 15.7;
+      s.compute_efficiency = 0.64;  // -> ~10.0 effective TFLOP/s
+      s.mem_bytes = 16.0 * kGiB;
+      s.mem_bw_bytes = 900e9;
+      break;
+    case DeviceType::kP100:
+      s.peak_tflops = 9.3;
+      s.compute_efficiency = 0.27;  // -> ~2.5 effective: V100 is 4x (paper §5.1.2)
+      s.mem_bytes = 16.0 * kGiB;
+      s.mem_bw_bytes = 732e9;
+      break;
+    case DeviceType::kK80:
+      s.peak_tflops = 4.1;          // per-die
+      s.compute_efficiency = 0.15;  // -> ~0.6 effective: ~4x slower than P100
+      s.mem_bytes = 12.0 * kGiB;
+      s.mem_bw_bytes = 240e9;
+      s.kernel_launch_s = 60e-6;
+      break;
+    case DeviceType::kRtx2080Ti:
+      s.peak_tflops = 13.4;
+      s.compute_efficiency = 0.56;  // -> ~7.5 effective (~0.75x V100)
+      s.mem_bytes = 11.0 * kGiB;
+      s.mem_bw_bytes = 616e9;
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+const DeviceSpec& device_spec(DeviceType t) {
+  static const DeviceSpec v100 = make_spec(DeviceType::kV100);
+  static const DeviceSpec p100 = make_spec(DeviceType::kP100);
+  static const DeviceSpec k80 = make_spec(DeviceType::kK80);
+  static const DeviceSpec rtx = make_spec(DeviceType::kRtx2080Ti);
+  switch (t) {
+    case DeviceType::kV100: return v100;
+    case DeviceType::kP100: return p100;
+    case DeviceType::kK80: return k80;
+    case DeviceType::kRtx2080Ti: return rtx;
+  }
+  throw VfError("unknown device type");
+}
+
+std::vector<Device> make_devices(DeviceType t, std::int64_t count, std::int64_t first_id) {
+  check(count >= 0, "device count must be non-negative");
+  std::vector<Device> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) out.push_back({first_id + i, t});
+  return out;
+}
+
+std::vector<Device> make_heterogeneous(
+    const std::vector<std::pair<DeviceType, std::int64_t>>& groups) {
+  std::vector<Device> out;
+  std::int64_t next_id = 0;
+  for (const auto& [type, count] : groups) {
+    auto g = make_devices(type, count, next_id);
+    next_id += count;
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+}  // namespace vf

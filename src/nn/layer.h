@@ -1,0 +1,73 @@
+// Layer abstraction for the trainable neural-network substrate.
+//
+// Layers are deliberately deterministic: any randomness (dropout masks) is
+// keyed by (experiment seed, layer index, step, virtual-node id), never by
+// call order, so that the same logical computation yields bit-identical
+// results regardless of which device executes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/state.h"
+#include "tensor/tensor.h"
+
+namespace vf {
+
+/// Execution context threaded through forward passes. Identifies *which*
+/// logical computation this is (step + virtual node) and where stateful
+/// kernels should read/write their per-VN state.
+struct ExecContext {
+  std::uint64_t seed = 0;     ///< experiment seed (keys dropout masks)
+  std::int64_t step = 0;      ///< global training step
+  std::int32_t vn_id = 0;     ///< virtual node id executing this pass
+  bool training = true;       ///< training vs inference mode
+  VnState* state = nullptr;   ///< per-VN stateful-kernel storage (may be null)
+};
+
+/// Base class for all layers. A layer caches whatever it needs during
+/// forward() so that the next backward() can produce input gradients and
+/// accumulate parameter gradients.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = default;
+  Layer& operator=(const Layer&) = default;
+
+  virtual Tensor forward(const Tensor& x, const ExecContext& ctx) = 0;
+
+  /// Consumes d(loss)/d(output), returns d(loss)/d(input), and adds
+  /// parameter gradients into the tensors returned by grads().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (paired 1:1 with grads()).
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<const Tensor*> params() const { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  /// Zeroes accumulated parameter gradients.
+  void zero_grad();
+
+  /// Deep copy (used to build per-device model replicas).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Total trainable scalar count.
+  std::int64_t param_count() const;
+
+  /// Set by Sequential when the layer is added; gives stateful/random
+  /// layers a stable identity within the model. Composite layers override
+  /// this to re-key their children into a disjoint index range.
+  virtual void set_layer_index(std::int32_t idx) { layer_index_ = idx; }
+  std::int32_t layer_index() const { return layer_index_; }
+
+ protected:
+  std::int32_t layer_index_ = -1;
+};
+
+}  // namespace vf

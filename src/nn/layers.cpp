@@ -1,0 +1,296 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace vf {
+
+void Layer::zero_grad() {
+  for (Tensor* g : grads()) g->fill(0.0F);
+}
+
+std::int64_t Layer::param_count() const {
+  std::int64_t n = 0;
+  for (const Tensor* p : params()) n += p->size();
+  return n;
+}
+
+// ---------------------------------------------------------------- Dense
+
+Dense::Dense(std::int64_t in_dim, std::int64_t out_dim, CounterRng& rng)
+    : w_(Tensor::randn({in_dim, out_dim}, rng,
+                       std::sqrt(2.0F / static_cast<float>(in_dim)))),
+      b_(Tensor({out_dim})),
+      dw_(Tensor({in_dim, out_dim})),
+      db_(Tensor({out_dim})) {
+  check(in_dim > 0 && out_dim > 0, "Dense dimensions must be positive");
+}
+
+Tensor Dense::forward(const Tensor& x, const ExecContext& ctx) {
+  check(x.rank() == 2 && x.cols() == w_.rows(), "Dense: input shape mismatch");
+  if (ctx.training) cached_input_ = x;
+  Tensor y = x.matmul(w_);
+  for (std::int64_t i = 0; i < y.rows(); ++i)
+    for (std::int64_t j = 0; j < y.cols(); ++j) y.at(i, j) += b_.at(j);
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  check(!cached_input_.empty(), "Dense::backward before forward");
+  dw_.add_(cached_input_.matmul_transpose_lhs(grad_out));
+  db_.add_(grad_out.column_sums());
+  return grad_out.matmul_transpose_rhs(w_);
+}
+
+// ----------------------------------------------------------------- Relu
+
+Tensor Relu::forward(const Tensor& x, const ExecContext& ctx) {
+  if (ctx.training) cached_input_ = x;
+  Tensor y = x;
+  for (float& v : y.data())
+    if (v < 0.0F) v = 0.0F;
+  return y;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  check(!cached_input_.empty(), "Relu::backward before forward");
+  check_same_shape(grad_out, cached_input_, "Relu::backward");
+  Tensor gx = grad_out;
+  auto in = cached_input_.data();
+  auto g = gx.data();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (in[i] <= 0.0F) g[i] = 0.0F;
+  return gx;
+}
+
+// ----------------------------------------------------------------- Tanh
+
+Tensor Tanh::forward(const Tensor& x, const ExecContext& ctx) {
+  Tensor y = x;
+  for (float& v : y.data()) v = std::tanh(v);
+  if (ctx.training) cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  check(!cached_output_.empty(), "Tanh::backward before forward");
+  Tensor gx = grad_out;
+  auto out = cached_output_.data();
+  auto g = gx.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0F - out[i] * out[i];
+  return gx;
+}
+
+// -------------------------------------------------------------- Dropout
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  check(rate >= 0.0F && rate < 1.0F, "dropout rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, const ExecContext& ctx) {
+  if (!ctx.training || rate_ == 0.0F) return x;
+  // Mask stream keyed purely by logical identifiers -> mapping-invariant.
+  const std::uint64_t stream =
+      derive_seed(static_cast<std::uint64_t>(layer_index_) + 1,
+                  (static_cast<std::uint64_t>(ctx.step) << 20) ^
+                      static_cast<std::uint64_t>(ctx.vn_id));
+  CounterRng rng(ctx.seed, stream);
+  cached_mask_ = Tensor(x.shape());
+  const float keep = 1.0F - rate_;
+  auto m = cached_mask_.data();
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m[i] = rng.next_double() < keep ? 1.0F / keep : 0.0F;
+  return x.mul(cached_mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (cached_mask_.empty()) return grad_out;  // eval mode or rate 0
+  return grad_out.mul(cached_mask_);
+}
+
+// ---------------------------------------------------------- BatchNorm1d
+
+BatchNorm1d::BatchNorm1d(std::int64_t dim, float momentum, float eps)
+    : momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor({dim})),
+      beta_(Tensor({dim})),
+      dgamma_(Tensor({dim})),
+      dbeta_(Tensor({dim})) {
+  check(dim > 0, "BatchNorm1d dim must be positive");
+  check(momentum > 0.0F && momentum < 1.0F, "BatchNorm1d momentum must be in (0, 1)");
+  gamma_.fill(1.0F);
+}
+
+std::string BatchNorm1d::mean_key() const {
+  return "bn" + std::to_string(layer_index_) + "/moving_mean";
+}
+std::string BatchNorm1d::var_key() const {
+  return "bn" + std::to_string(layer_index_) + "/moving_var";
+}
+
+Tensor BatchNorm1d::forward(const Tensor& x, const ExecContext& ctx) {
+  const std::int64_t n = x.rows(), d = x.cols();
+  check(d == dim(), "BatchNorm1d: feature dim mismatch");
+
+  std::vector<float> mean(static_cast<std::size_t>(d), 0.0F);
+  std::vector<float> var(static_cast<std::size_t>(d), 0.0F);
+
+  if (ctx.training) {
+    check(n > 0, "BatchNorm1d training forward needs a non-empty batch");
+    for (std::int64_t j = 0; j < d; ++j) {
+      float m = 0.0F;
+      for (std::int64_t i = 0; i < n; ++i) m += x.at(i, j);
+      m /= static_cast<float>(n);
+      float v = 0.0F;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float c = x.at(i, j) - m;
+        v += c * c;
+      }
+      v /= static_cast<float>(n);
+      mean[static_cast<std::size_t>(j)] = m;
+      var[static_cast<std::size_t>(j)] = v;
+    }
+    if (ctx.state != nullptr) {
+      // Moving stats live in the *virtual node's* state, initialized to
+      // mean 0 / var 1 on first touch.
+      Tensor& mm = ctx.state->slot(mean_key(), {d});
+      Tensor& mv = ctx.state->slot(var_key(), {d});
+      if (!ctx.state->has(var_key() + "/init")) {
+        mv.fill(1.0F);
+        ctx.state->slot(var_key() + "/init", {1}).fill(1.0F);
+      }
+      for (std::int64_t j = 0; j < d; ++j) {
+        mm.at(j) = momentum_ * mm.at(j) + (1.0F - momentum_) * mean[static_cast<std::size_t>(j)];
+        mv.at(j) = momentum_ * mv.at(j) + (1.0F - momentum_) * var[static_cast<std::size_t>(j)];
+      }
+    }
+  } else {
+    // Inference: use the VN's moving statistics (mean 0 / var 1 if absent,
+    // which models the "reset state" failure mode of unmigrated workers).
+    for (std::int64_t j = 0; j < d; ++j) {
+      mean[static_cast<std::size_t>(j)] = 0.0F;
+      var[static_cast<std::size_t>(j)] = 1.0F;
+    }
+    if (ctx.state != nullptr && ctx.state->has(mean_key())) {
+      const Tensor& mm = ctx.state->get(mean_key());
+      const Tensor& mv = ctx.state->get(var_key());
+      for (std::int64_t j = 0; j < d; ++j) {
+        mean[static_cast<std::size_t>(j)] = mm.at(j);
+        var[static_cast<std::size_t>(j)] = mv.at(j);
+      }
+    }
+  }
+
+  Tensor y({n, d});
+  cached_inv_std_.assign(static_cast<std::size_t>(d), 0.0F);
+  for (std::int64_t j = 0; j < d; ++j)
+    cached_inv_std_[static_cast<std::size_t>(j)] =
+        1.0F / std::sqrt(var[static_cast<std::size_t>(j)] + eps_);
+  if (ctx.training) cached_xhat_ = Tensor({n, d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float xhat = (x.at(i, j) - mean[static_cast<std::size_t>(j)]) *
+                         cached_inv_std_[static_cast<std::size_t>(j)];
+      if (ctx.training) cached_xhat_.at(i, j) = xhat;
+      y.at(i, j) = gamma_.at(j) * xhat + beta_.at(j);
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+  check(!cached_xhat_.empty(), "BatchNorm1d::backward before training forward");
+  const std::int64_t n = grad_out.rows(), d = grad_out.cols();
+  check_same_shape(grad_out, cached_xhat_, "BatchNorm1d::backward");
+
+  Tensor gx({n, d});
+  for (std::int64_t j = 0; j < d; ++j) {
+    float sum_g = 0.0F, sum_gx = 0.0F;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sum_g += grad_out.at(i, j);
+      sum_gx += grad_out.at(i, j) * cached_xhat_.at(i, j);
+    }
+    dbeta_.at(j) += sum_g;
+    dgamma_.at(j) += sum_gx;
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(j)];
+    const float g = gamma_.at(j);
+    const float inv_n = 1.0F / static_cast<float>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      gx.at(i, j) = g * inv_std *
+                    (grad_out.at(i, j) - inv_n * sum_g -
+                     cached_xhat_.at(i, j) * inv_n * sum_gx);
+    }
+  }
+  return gx;
+}
+
+// ------------------------------------------------------------ LayerNorm
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps)
+    : eps_(eps),
+      gamma_(Tensor({dim})),
+      beta_(Tensor({dim})),
+      dgamma_(Tensor({dim})),
+      dbeta_(Tensor({dim})) {
+  check(dim > 0, "LayerNorm dim must be positive");
+  gamma_.fill(1.0F);
+}
+
+Tensor LayerNorm::forward(const Tensor& x, const ExecContext& ctx) {
+  const std::int64_t n = x.rows(), d = x.cols();
+  check(d == dim(), "LayerNorm: feature dim mismatch");
+  Tensor y({n, d});
+  if (ctx.training) {
+    cached_xhat_ = Tensor({n, d});
+    cached_inv_std_.assign(static_cast<std::size_t>(n), 0.0F);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    float mean = 0.0F;
+    for (std::int64_t j = 0; j < d; ++j) mean += x.at(i, j);
+    mean /= static_cast<float>(d);
+    float var = 0.0F;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float c = x.at(i, j) - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float inv_std = 1.0F / std::sqrt(var + eps_);
+    if (ctx.training) cached_inv_std_[static_cast<std::size_t>(i)] = inv_std;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float xhat = (x.at(i, j) - mean) * inv_std;
+      if (ctx.training) cached_xhat_.at(i, j) = xhat;
+      y.at(i, j) = gamma_.at(j) * xhat + beta_.at(j);
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  check(!cached_xhat_.empty(), "LayerNorm::backward before training forward");
+  const std::int64_t n = grad_out.rows(), d = grad_out.cols();
+  check_same_shape(grad_out, cached_xhat_, "LayerNorm::backward");
+
+  Tensor gx({n, d});
+  const float inv_d = 1.0F / static_cast<float>(d);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float sum_g = 0.0F, sum_gx = 0.0F;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float gy = grad_out.at(i, j) * gamma_.at(j);
+      sum_g += gy;
+      sum_gx += gy * cached_xhat_.at(i, j);
+    }
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float gy = grad_out.at(i, j) * gamma_.at(j);
+      gx.at(i, j) = inv_std * (gy - inv_d * sum_g -
+                               cached_xhat_.at(i, j) * inv_d * sum_gx);
+      dgamma_.at(j) += grad_out.at(i, j) * cached_xhat_.at(i, j);
+      dbeta_.at(j) += grad_out.at(i, j);
+    }
+  }
+  return gx;
+}
+
+}  // namespace vf

@@ -1,0 +1,62 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace vf {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  check(logits.rank() == 2, "softmax_cross_entropy expects rank-2 logits");
+  const std::int64_t n = logits.rows(), c = logits.cols();
+  check(static_cast<std::int64_t>(labels.size()) == n,
+        "softmax_cross_entropy: label count mismatch");
+
+  LossResult out;
+  out.grad_logits = Tensor({n, c});
+  out.count = n;
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    check_index(y, c, "class label");
+
+    // Numerically stable log-softmax.
+    float mx = logits.at(i, 0);
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, logits.at(i, j));
+    double z = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(logits.at(i, j) - mx));
+    const double log_z = std::log(z) + mx;
+
+    out.loss_sum += log_z - logits.at(i, y);
+
+    std::int64_t best = 0;
+    float best_v = logits.at(i, 0);
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (logits.at(i, j) > best_v) {
+        best_v = logits.at(i, j);
+        best = j;
+      }
+    }
+    if (best == y) ++out.correct;
+
+    for (std::int64_t j = 0; j < c; ++j) {
+      const double p = std::exp(static_cast<double>(logits.at(i, j)) - log_z);
+      out.grad_logits.at(i, j) = static_cast<float>(p) - (j == y ? 1.0F : 0.0F);
+    }
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  check(logits.rows() == static_cast<std::int64_t>(labels.size()),
+        "accuracy: label count mismatch");
+  check(logits.rows() > 0, "accuracy of empty batch");
+  const auto preds = logits.row_argmax();
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (preds[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace vf

@@ -1,0 +1,159 @@
+#include "nn/model.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace vf {
+
+Sequential::Sequential(const Sequential& other) { *this = other; }
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  next_index_ = other.next_index_;
+  layer_index_ = other.layer_index_;
+  return *this;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  check(layer != nullptr, "cannot add null layer");
+  layers_.push_back(std::move(layer));
+  set_layer_index(layer_index_);  // re-key all children deterministically
+  return *this;
+}
+
+void Sequential::set_layer_index(std::int32_t idx) {
+  layer_index_ = idx;
+  // Children of the root (-1) get 0, 1, 2, ...; children of a nested
+  // composite at index k get (k+1)*1000 + position, keeping subtree index
+  // ranges disjoint for realistic model depths.
+  const std::int32_t base = (idx + 1) * 1000;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->set_layer_index(base + static_cast<std::int32_t>(i));
+  }
+}
+
+Tensor Sequential::forward(const Tensor& x, const ExecContext& ctx) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, ctx);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Tensor*> Sequential::params() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<const Tensor*> Sequential::params() const {
+  std::vector<const Tensor*> out;
+  for (const auto& l : layers_)
+    for (const Tensor* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::grads() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* g : l->grads()) out.push_back(g);
+  return out;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  return std::make_unique<Sequential>(*this);
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  check(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+Tensor Sequential::flatten_params() const {
+  std::int64_t total = 0;
+  for (const Tensor* p : params()) total += p->size();
+  Tensor flat({total});
+  std::int64_t off = 0;
+  for (const Tensor* p : params()) {
+    std::copy(p->data().begin(), p->data().end(), flat.data().begin() + off);
+    off += p->size();
+  }
+  return flat;
+}
+
+void Sequential::unflatten_params(const Tensor& flat) {
+  std::int64_t off = 0;
+  for (Tensor* p : params()) {
+    check(off + p->size() <= flat.size(), "unflatten_params: flat tensor too small");
+    std::copy_n(flat.data().begin() + off, p->size(), p->data().begin());
+    off += p->size();
+  }
+  check(off == flat.size(), "unflatten_params: flat tensor size mismatch");
+}
+
+Tensor Sequential::flatten_grads() const {
+  auto* self = const_cast<Sequential*>(this);
+  std::int64_t total = 0;
+  for (Tensor* g : self->grads()) total += g->size();
+  Tensor flat({total});
+  std::int64_t off = 0;
+  for (Tensor* g : self->grads()) {
+    std::copy(g->data().begin(), g->data().end(), flat.data().begin() + off);
+    off += g->size();
+  }
+  return flat;
+}
+
+void Sequential::load_grads(const Tensor& flat) {
+  std::int64_t off = 0;
+  for (Tensor* g : grads()) {
+    check(off + g->size() <= flat.size(), "load_grads: flat tensor too small");
+    std::copy_n(flat.data().begin() + off, g->size(), g->data().begin());
+    off += g->size();
+  }
+  check(off == flat.size(), "load_grads: flat tensor size mismatch");
+}
+
+std::string Sequential::describe() const {
+  std::string s;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i) s += "-";
+    s += layers_[i]->name();
+  }
+  return s;
+}
+
+// -------------------------------------------------------- ResidualBlock
+
+ResidualBlock::ResidualBlock(Sequential inner) : inner_(std::move(inner)) {}
+
+void ResidualBlock::set_layer_index(std::int32_t idx) {
+  layer_index_ = idx;
+  inner_.set_layer_index(idx);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, const ExecContext& ctx) {
+  Tensor y = inner_.forward(x, ctx);
+  check_same_shape(x, y, "ResidualBlock (inner must preserve shape)");
+  return y.add_(x);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = inner_.backward(grad_out);
+  return g.add_(grad_out);
+}
+
+std::unique_ptr<Layer> ResidualBlock::clone() const {
+  return std::make_unique<ResidualBlock>(*this);
+}
+
+}  // namespace vf

@@ -1,0 +1,79 @@
+// Sequential model container, residual blocks, and parameter flattening.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/layers.h"
+
+namespace vf {
+
+/// A sequential stack of layers. This is VirtualFlow's "model graph": the
+/// graph contains *no* hardware configuration — device placement lives
+/// entirely in the VnMapping (src/core/mapping.h), which is the point of
+/// the paper's decoupling argument.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; assigns its stable layer index.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override;
+  std::vector<const Tensor*> params() const override;
+  std::vector<Tensor*> grads() override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "sequential"; }
+
+  /// Re-keys children into an index range disjoint from other subtrees so
+  /// that dropout streams and batch-norm state keys never collide.
+  void set_layer_index(std::int32_t idx) override;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+  /// Copies all parameters into one contiguous vector (used to model the
+  /// flat gradient buffer and for all-gather state migration).
+  Tensor flatten_params() const;
+  /// Loads parameters back from a flat vector produced by flatten_params().
+  void unflatten_params(const Tensor& flat);
+  /// Same for accumulated gradients.
+  Tensor flatten_grads() const;
+  void load_grads(const Tensor& flat);
+
+  /// Structural description, e.g. "dense(64x128)-relu-bn-dense(128x16)".
+  std::string describe() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::int32_t next_index_ = 0;
+};
+
+/// Residual wrapper: y = x + inner(x). Input and output dims must agree.
+class ResidualBlock : public Layer {
+ public:
+  explicit ResidualBlock(Sequential inner);
+
+  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return inner_.params(); }
+  std::vector<const Tensor*> params() const override { return inner_.params(); }
+  std::vector<Tensor*> grads() override { return inner_.grads(); }
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "residual"; }
+  void set_layer_index(std::int32_t idx) override;
+
+ private:
+  Sequential inner_;
+};
+
+}  // namespace vf

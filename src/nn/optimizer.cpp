@@ -1,0 +1,148 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace vf {
+
+std::int64_t Optimizer::slot_bytes() const {
+  std::int64_t n = 0;
+  for (const Tensor& s : slots_) n += s.size() * static_cast<std::int64_t>(sizeof(float));
+  return n;
+}
+
+void Optimizer::ensure_slots(Sequential& model, std::size_t per_param) {
+  const auto params = model.params();
+  const std::size_t want = params.size() * per_param;
+  if (slots_.size() == want) return;
+  check(slots_.empty(), "optimizer slot layout changed mid-training");
+  slots_.reserve(want);
+  for (std::size_t rep = 0; rep < per_param; ++rep) {
+    for (const Tensor* p : params) slots_.emplace_back(p->shape());
+  }
+}
+
+// ------------------------------------------------------------------ Sgd
+
+Sgd::Sgd(float momentum, float weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {
+  check(momentum >= 0.0F && momentum < 1.0F, "momentum must be in [0, 1)");
+  check(weight_decay >= 0.0F, "weight decay must be non-negative");
+}
+
+void Sgd::apply(Sequential& model, float lr) {
+  const auto params = model.params();
+  const auto grads = model.grads();
+  check(params.size() == grads.size(), "params/grads mismatch");
+
+  if (momentum_ == 0.0F) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      Tensor& p = *params[i];
+      const Tensor& g = *grads[i];
+      for (std::int64_t k = 0; k < p.size(); ++k) {
+        const float gk = g.at(k) + weight_decay_ * p.at(k);
+        p.at(k) -= lr * gk;
+      }
+    }
+    return;
+  }
+
+  ensure_slots(model, 1);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& v = slots_[i];
+    for (std::int64_t k = 0; k < p.size(); ++k) {
+      const float gk = g.at(k) + weight_decay_ * p.at(k);
+      v.at(k) = momentum_ * v.at(k) + gk;
+      p.at(k) -= lr * v.at(k);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Lamb
+
+Lamb::Lamb(float beta1, float beta2, float eps, float weight_decay)
+    : beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {
+  check(beta1 > 0.0F && beta1 < 1.0F, "beta1 must be in (0, 1)");
+  check(beta2 > 0.0F && beta2 < 1.0F, "beta2 must be in (0, 1)");
+  check(weight_decay >= 0.0F, "weight decay must be non-negative");
+}
+
+void Lamb::apply(Sequential& model, float lr) {
+  const auto params = model.params();
+  const auto grads = model.grads();
+  check(params.size() == grads.size(), "params/grads mismatch");
+
+  ensure_slots(model, 2);  // first half: m, second half: v
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = slots_[i];
+    Tensor& v = slots_[params.size() + i];
+
+    // Adam moments, then the LAMB per-tensor trust ratio: scale the update
+    // so its norm is proportional to the parameter norm.
+    double w_norm2 = 0.0, u_norm2 = 0.0;
+    std::vector<float> update(static_cast<std::size_t>(p.size()));
+    for (std::int64_t k = 0; k < p.size(); ++k) {
+      m.at(k) = beta1_ * m.at(k) + (1.0F - beta1_) * g.at(k);
+      v.at(k) = beta2_ * v.at(k) + (1.0F - beta2_) * g.at(k) * g.at(k);
+      const float mhat = m.at(k) / bc1;
+      const float vhat = v.at(k) / bc2;
+      const float u = mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * p.at(k);
+      update[static_cast<std::size_t>(k)] = u;
+      w_norm2 += static_cast<double>(p.at(k)) * p.at(k);
+      u_norm2 += static_cast<double>(u) * u;
+    }
+    const double w_norm = std::sqrt(w_norm2);
+    const double u_norm = std::sqrt(u_norm2);
+    // Trust ratio: ||w|| / ||u||, defaulting to 1 for zero norms.
+    const float trust = (w_norm > 0.0 && u_norm > 0.0)
+                            ? static_cast<float>(w_norm / u_norm)
+                            : 1.0F;
+    for (std::int64_t k = 0; k < p.size(); ++k)
+      p.at(k) -= lr * trust * update[static_cast<std::size_t>(k)];
+  }
+}
+
+// ----------------------------------------------------------------- Adam
+
+Adam::Adam(float beta1, float beta2, float eps, float weight_decay)
+    : beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {
+  check(beta1 > 0.0F && beta1 < 1.0F, "beta1 must be in (0, 1)");
+  check(beta2 > 0.0F && beta2 < 1.0F, "beta2 must be in (0, 1)");
+}
+
+void Adam::apply(Sequential& model, float lr) {
+  const auto params = model.params();
+  const auto grads = model.grads();
+  check(params.size() == grads.size(), "params/grads mismatch");
+
+  ensure_slots(model, 2);  // first half: m, second half: v
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = slots_[i];
+    Tensor& v = slots_[params.size() + i];
+    for (std::int64_t k = 0; k < p.size(); ++k) {
+      const float gk = g.at(k) + weight_decay_ * p.at(k);
+      m.at(k) = beta1_ * m.at(k) + (1.0F - beta1_) * gk;
+      v.at(k) = beta2_ * v.at(k) + (1.0F - beta2_) * gk * gk;
+      const float mhat = m.at(k) / bc1;
+      const float vhat = v.at(k) / bc2;
+      p.at(k) -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace vf

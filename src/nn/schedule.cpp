@@ -1,0 +1,63 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace vf {
+
+ConstantLr::ConstantLr(float lr) : lr_(lr) { check(lr > 0.0F, "lr must be positive"); }
+
+float ConstantLr::lr(std::int64_t /*step*/) const { return lr_; }
+
+std::unique_ptr<LrSchedule> ConstantLr::clone() const {
+  return std::make_unique<ConstantLr>(*this);
+}
+
+WarmupStepDecayLr::WarmupStepDecayLr(float peak, std::int64_t warmup_steps,
+                                     std::vector<std::int64_t> milestones, float decay)
+    : peak_(peak),
+      warmup_steps_(warmup_steps),
+      milestones_(std::move(milestones)),
+      decay_(decay) {
+  check(peak > 0.0F, "peak lr must be positive");
+  check(warmup_steps >= 0, "warmup steps must be non-negative");
+  check(decay > 0.0F && decay <= 1.0F, "decay must be in (0, 1]");
+  for (std::size_t i = 1; i < milestones_.size(); ++i)
+    check(milestones_[i] > milestones_[i - 1], "milestones must be increasing");
+}
+
+float WarmupStepDecayLr::lr(std::int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return peak_ * static_cast<float>(step + 1) / static_cast<float>(warmup_steps_);
+  }
+  float v = peak_;
+  for (auto m : milestones_)
+    if (step >= m) v *= decay_;
+  return v;
+}
+
+std::unique_ptr<LrSchedule> WarmupStepDecayLr::clone() const {
+  return std::make_unique<WarmupStepDecayLr>(*this);
+}
+
+CosineLr::CosineLr(float peak, std::int64_t total_steps, float floor)
+    : peak_(peak), total_steps_(total_steps), floor_(floor) {
+  check(peak > 0.0F, "peak lr must be positive");
+  check(total_steps > 0, "total steps must be positive");
+  check(floor >= 0.0F && floor <= peak, "floor must be in [0, peak]");
+}
+
+float CosineLr::lr(std::int64_t step) const {
+  const double frac =
+      std::min(1.0, static_cast<double>(step) / static_cast<double>(total_steps_));
+  const double cos_term = 0.5 * (1.0 + std::cos(3.14159265358979323846 * frac));
+  return floor_ + static_cast<float>(cos_term) * (peak_ - floor_);
+}
+
+std::unique_ptr<LrSchedule> CosineLr::clone() const {
+  return std::make_unique<CosineLr>(*this);
+}
+
+}  // namespace vf

@@ -1,0 +1,76 @@
+// Learning-rate schedules.
+//
+// The schedules are expressed in *steps of the global batch*, never in
+// device counts — an LR schedule that referenced the hardware would break
+// the hardware-independence contract that VirtualFlow exists to provide.
+// The TF* baseline in the reproducibility experiments deliberately reuses
+// a schedule tuned for the large global batch while shrinking the batch,
+// which is exactly the paper's "no retuning" failure mode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vf {
+
+/// Learning rate as a function of the global step.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  LrSchedule() = default;
+  LrSchedule(const LrSchedule&) = default;
+  LrSchedule& operator=(const LrSchedule&) = default;
+
+  virtual float lr(std::int64_t step) const = 0;
+  virtual std::unique_ptr<LrSchedule> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fixed learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr);
+  float lr(std::int64_t step) const override;
+  std::unique_ptr<LrSchedule> clone() const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup to `peak` over `warmup_steps`, then piecewise-constant
+/// decay: multiply by `decay` at each step listed in `milestones`.
+/// This mirrors the Goyal et al. ImageNet recipe the paper's ResNet-50
+/// experiments use (warmup + step decay at fixed epochs).
+class WarmupStepDecayLr : public LrSchedule {
+ public:
+  WarmupStepDecayLr(float peak, std::int64_t warmup_steps,
+                    std::vector<std::int64_t> milestones, float decay);
+  float lr(std::int64_t step) const override;
+  std::unique_ptr<LrSchedule> clone() const override;
+  std::string name() const override { return "warmup_step_decay"; }
+
+ private:
+  float peak_;
+  std::int64_t warmup_steps_;
+  std::vector<std::int64_t> milestones_;
+  float decay_;
+};
+
+/// Cosine decay from `peak` to `floor` over `total_steps`.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float peak, std::int64_t total_steps, float floor = 0.0F);
+  float lr(std::int64_t step) const override;
+  std::unique_ptr<LrSchedule> clone() const override;
+  std::string name() const override { return "cosine"; }
+
+ private:
+  float peak_;
+  std::int64_t total_steps_;
+  float floor_;
+};
+
+}  // namespace vf

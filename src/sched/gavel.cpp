@@ -1,0 +1,106 @@
+#include "sched/gavel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace vf {
+
+GavelScheduler::GavelScheduler(GavelOptions options) : options_(options) {
+  check(options.round_s > 0.0, "round duration must be positive");
+}
+
+std::map<std::int64_t, Allocation> GavelScheduler::schedule(
+    const ClusterInventory& cluster, const std::vector<const JobState*>& jobs,
+    double now) {
+  // Round-based: allocations only change at round boundaries. Between
+  // boundaries, return the cached decision restricted to still-active
+  // jobs (a finished job's GPUs stay idle until the round ends, exactly
+  // the slack the paper's elastic approaches exploit).
+  if (now + 1e-9 < next_recompute_s_) {
+    std::map<std::int64_t, Allocation> out;
+    for (const JobState* j : jobs) {
+      const auto it = cached_.find(j->spec.id);
+      if (it != cached_.end()) out[j->spec.id] = it->second;
+    }
+    return out;
+  }
+  next_recompute_s_ =
+      (std::floor(now / options_.round_s + 1e-9) + 1.0) * options_.round_s;
+  cached_ = compute_round(cluster, jobs);
+  return cached_;
+}
+
+std::map<std::int64_t, Allocation> GavelScheduler::compute_round(
+    const ClusterInventory& cluster, const std::vector<const JobState*>& jobs) const {
+  // Least attained (weighted) service first; ties by arrival then id.
+  std::vector<const JobState*> order = jobs;
+  std::sort(order.begin(), order.end(), [](const JobState* a, const JobState* b) {
+    const double la = a->attained_service / a->spec.priority;
+    const double lb = b->attained_service / b->spec.priority;
+    if (la != lb) return la < lb;
+    if (a->spec.arrival_s != b->spec.arrival_s) return a->spec.arrival_s < b->spec.arrival_s;
+    return a->spec.id < b->spec.id;
+  });
+
+  std::map<DeviceType, std::int64_t> free = cluster.per_type;
+  std::map<std::int64_t, Allocation> out;
+
+  // Pass 1 (stock Gavel): each job gets its best single-type allocation
+  // from what is left, at most its demand.
+  for (const JobState* j : order) {
+    Allocation best;
+    double best_tput = 0.0;
+    for (const auto& [type, avail] : free) {
+      if (avail <= 0) continue;
+      const std::int64_t count = std::min(j->spec.demand_gpus, avail);
+      const Allocation cand = Allocation::of(type, count);
+      const double tput =
+          allocation_throughput(j->spec.profile, j->spec.global_batch, cand);
+      if (tput > best_tput) {
+        best_tput = tput;
+        best = cand;
+      }
+    }
+    if (!best.empty()) {
+      for (const auto& [type, count] : best.per_type) free[type] -= count;
+      out[j->spec.id] = best;
+    }
+  }
+
+  if (!options_.heterogeneous_allocations) return out;
+
+  // Pass 2 (+HT): in the same order, offer each job the leftover GPUs of
+  // other types, keeping an addition only if it improves the job's
+  // throughput by at least min_hetero_gain (VirtualFlow's solver fallback
+  // behaviour: don't mix when mixing doesn't help).
+  for (const JobState* j : order) {
+    const auto it = out.find(j->spec.id);
+    if (it == out.end()) continue;
+    Allocation current = it->second;
+    double current_tput =
+        allocation_throughput(j->spec.profile, j->spec.global_batch, current);
+    for (auto& [type, avail] : free) {
+      if (avail <= 0 || current.per_type.count(type) != 0) continue;
+      // Try the largest useful extra grant first, shrinking until it helps.
+      for (std::int64_t extra = std::min(avail, j->spec.demand_gpus * 2); extra >= 1;
+           extra /= 2) {
+        Allocation cand = current;
+        cand.per_type[type] = extra;
+        const double tput =
+            allocation_throughput(j->spec.profile, j->spec.global_batch, cand);
+        if (tput >= current_tput * (1.0 + options_.min_hetero_gain)) {
+          current = cand;
+          current_tput = tput;
+          avail -= extra;
+          break;
+        }
+      }
+    }
+    it->second = current;
+  }
+  return out;
+}
+
+}  // namespace vf

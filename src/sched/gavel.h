@@ -1,0 +1,53 @@
+// Gavel-style round-based Least-Attained-Service scheduler, with the
+// paper's heterogeneous-allocation extension (§6.5.2).
+//
+// Gavel [36] schedules heterogeneous clusters in fixed rounds (6 minutes
+// in the paper), ordering jobs by least attained (weighted) service, but
+// only ever gives a job GPUs of a single type per round. The paper's
+// extension lets a job additionally use leftover GPUs of *other* types —
+// possible only because VirtualFlow's heterogeneous training keeps the
+// global batch and convergence semantics intact under uneven splits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sched/simulator.h"
+
+namespace vf {
+
+/// Configuration for the Gavel simulation.
+struct GavelOptions {
+  bool heterogeneous_allocations = false;  ///< the paper's +HT extension
+  double round_s = 360.0;                  ///< paper: 6-minute rounds
+  double restart_penalty_s = 30.0;         ///< checkpoint-restart on change
+  /// Minimum relative throughput gain for adding another device type to a
+  /// job's allocation (keeps the extension from mixing types for noise).
+  double min_hetero_gain = 0.05;
+};
+
+class GavelScheduler : public Scheduler {
+ public:
+  explicit GavelScheduler(GavelOptions options);
+
+  std::map<std::int64_t, Allocation> schedule(
+      const ClusterInventory& cluster, const std::vector<const JobState*>& jobs,
+      double now) override;
+
+  double round_interval_s() const override { return options_.round_s; }
+  double resize_penalty_s() const override { return options_.restart_penalty_s; }
+  std::string name() const override {
+    return options_.heterogeneous_allocations ? "gavel+ht" : "gavel";
+  }
+
+ private:
+  std::map<std::int64_t, Allocation> compute_round(
+      const ClusterInventory& cluster, const std::vector<const JobState*>& jobs) const;
+
+  GavelOptions options_;
+  double next_recompute_s_ = 0.0;
+  std::map<std::int64_t, Allocation> cached_;
+};
+
+}  // namespace vf

@@ -1,0 +1,66 @@
+// Event-driven cluster simulator.
+//
+// Advances simulated time between scheduling events (job arrivals,
+// completions, and — for round-based policies like Gavel — periodic round
+// boundaries), asking the policy for fresh allocations at each event.
+// Allocation changes cost time: a seamless VirtualFlow resize pauses the
+// job for ~1 s (the §4.1 all-gather), while restart-based baselines pay a
+// checkpoint-restore penalty, matching the paper's comparison axis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "comm/comm.h"
+#include "sched/job.h"
+#include "sched/throughput.h"
+
+namespace vf {
+
+/// Typed GPU inventory of the simulated cluster.
+struct ClusterInventory {
+  std::map<DeviceType, std::int64_t> per_type;
+  std::int64_t total() const;
+};
+
+/// Scheduling policy interface.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Returns the desired allocation for every *arrived, unfinished* job
+  /// (jobs omitted from the result are left queued/preempted with no
+  /// GPUs). Must never over-commit the inventory.
+  virtual std::map<std::int64_t, Allocation> schedule(
+      const ClusterInventory& cluster, const std::vector<const JobState*>& jobs,
+      double now) = 0;
+
+  /// > 0 for round-based policies (Gavel): the simulator inserts a
+  /// scheduling event every interval even without arrivals/completions.
+  virtual double round_interval_s() const { return 0.0; }
+
+  /// Seconds a job is paused when its allocation changes. VirtualFlow's
+  /// elastic resize is ~1 s; checkpoint-restart baselines take longer.
+  virtual double resize_penalty_s() const { return 1.0; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Result of simulating one trace under one policy.
+struct SimResult {
+  std::vector<JobState> jobs;      ///< final states, trace order
+  double makespan_s = 0.0;         ///< last completion time
+  double avg_utilization = 0.0;    ///< busy GPU-time / (total GPUs x makespan)
+
+  std::vector<double> jcts() const;            ///< completion - arrival
+  std::vector<double> queueing_delays() const; ///< first start - arrival
+};
+
+/// Runs the trace to completion. `link` prices gradient synchronization in
+/// each job's throughput.
+SimResult simulate(const ClusterInventory& cluster, std::vector<JobSpec> trace,
+                   Scheduler& policy, const LinkSpec& link = {});
+
+}  // namespace vf

@@ -1,0 +1,33 @@
+// Job throughput estimation under arbitrary (typed, possibly mixed)
+// allocations. Shared by every scheduler: the elastic WFS scheduler prices
+// resizes with it, and Gavel(+HT) uses it both to pick allocations and to
+// advance simulated progress.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/comm.h"
+#include "sched/job.h"
+
+namespace vf {
+
+/// Step time of `profile` training at `global_batch` under `alloc`.
+///
+/// Homogeneous allocations split the batch evenly; the per-GPU batch is
+/// folded into the fewest virtual nodes that fit the device's memory.
+/// Heterogeneous allocations split the batch in proportion to per-GPU
+/// effective speed (the balanced split the heterogeneous solver would
+/// choose on a continuous grid) and are bottlenecked by the slowest type.
+/// Returns +inf for an empty allocation.
+double allocation_step_time_s(const ModelProfile& profile, std::int64_t global_batch,
+                              const Allocation& alloc, const LinkSpec& link = {});
+
+/// Examples per second under `alloc` (0 for an empty allocation).
+double allocation_throughput(const ModelProfile& profile, std::int64_t global_batch,
+                             const Allocation& alloc, const LinkSpec& link = {});
+
+/// Throughput of the job's best single-V100 configuration; the LAS
+/// normalization unit (one "fair GPU" of service).
+double reference_throughput(const ModelProfile& profile, std::int64_t global_batch);
+
+}  // namespace vf

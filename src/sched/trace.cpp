@@ -1,0 +1,70 @@
+#include "sched/trace.h"
+
+#include <cmath>
+
+#include "util/common.h"
+#include "util/rng.h"
+#include "workloads/profiles.h"
+
+namespace vf {
+
+const std::vector<WorkloadMixEntry>& table3_mix() {
+  static const std::vector<WorkloadMixEntry> mix = {
+      // Table 3 of the paper. Demands follow the paper's per-workload
+      // virtual-node/GPU ranges; base_steps give hour-scale jobs once the
+      // cost model prices each step.
+      {"resnet56", "cifar10-sim", {64, 128}, 2, 3000},
+      {"resnet50", "imagenet-sim", {256, 512, 1024, 2048, 4096, 8192}, 8, 1200},
+      {"bert-base", "cola-sim", {8, 16, 32, 64, 128}, 4, 2000},
+      {"bert-base", "sst2-sim", {8, 16, 32, 64, 128}, 4, 2000},
+      {"transformer", "", {4096, 8192, 16384, 32768, 65536}, 8, 1500},
+  };
+  return mix;
+}
+
+std::vector<JobSpec> poisson_trace(const TraceOptions& options) {
+  check(options.num_jobs > 0, "trace must contain jobs");
+  check(options.jobs_per_hour > 0.0, "arrival rate must be positive");
+  CounterRng rng(options.seed, /*stream=*/0x7A4CE);
+  std::vector<WorkloadMixEntry> mix;
+  for (const auto& e : table3_mix()) {
+    if (options.workloads.empty()) {
+      mix.push_back(e);
+    } else {
+      for (const auto& w : options.workloads)
+        if (e.workload == w) mix.push_back(e);
+    }
+  }
+  check(!mix.empty(), "workload filter excluded the whole Table 3 mix");
+
+  std::vector<JobSpec> trace;
+  double t = 0.0;
+  const double mean_gap = 3600.0 / options.jobs_per_hour;
+  for (std::int64_t i = 0; i < options.num_jobs; ++i) {
+    // Exponential interarrival.
+    const double u = std::max(1e-12, rng.next_double());
+    t += -std::log(u) * mean_gap;
+
+    const auto& entry = mix[rng.next_below(mix.size())];
+    JobSpec j;
+    j.id = i;
+    j.arrival_s = t;
+    const double pr[] = {1.0, 5.0, 10.0};
+    j.priority = pr[rng.next_below(3)];
+    j.workload = entry.workload;
+    j.task = entry.task;
+    j.profile = model_profile(entry.workload);
+    j.global_batch =
+        entry.batch_sizes[rng.next_below(entry.batch_sizes.size())];
+    j.demand_gpus = entry.demand_gpus;
+    // Job length jitter: 0.5x .. 1.5x of the nominal step count.
+    const double jitter = 0.5 + rng.next_double();
+    j.total_steps = std::max<std::int64_t>(
+        10, static_cast<std::int64_t>(static_cast<double>(entry.base_steps) * jitter *
+                                      options.steps_scale));
+    trace.push_back(j);
+  }
+  return trace;
+}
+
+}  // namespace vf

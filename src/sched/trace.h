@@ -1,0 +1,46 @@
+// Trace generation: the paper's Table 3 workload mix and Poisson arrivals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace vf {
+
+/// One entry of the Table 3 workload mix: a (model, dataset) pair with the
+/// batch sizes the paper sampled for it.
+struct WorkloadMixEntry {
+  std::string workload;                 ///< model-profile name
+  std::string task;                     ///< proxy-task name ("" = none)
+  std::vector<std::int64_t> batch_sizes;///< Table 3 "Batch sizes" column
+  std::int64_t demand_gpus = 1;
+  std::int64_t base_steps = 600;        ///< nominal job length in steps
+};
+
+/// The Table 3 mix (ResNet-56/cifar10, ResNet-50/ImageNet, BERT-BASE on
+/// CoLA and SST-2, Transformer/WMT).
+const std::vector<WorkloadMixEntry>& table3_mix();
+
+/// Options for Poisson trace generation (§6.4.2: 20 jobs, 12 jobs/hour,
+/// priorities drawn from {1, 5, 10}).
+struct TraceOptions {
+  std::int64_t num_jobs = 20;
+  double jobs_per_hour = 12.0;
+  std::uint64_t seed = 1;
+  /// Scales job lengths ("we train each job for only a subset of the
+  /// steps or epochs needed for convergence").
+  double steps_scale = 1.0;
+  /// Restrict sampling to these workload names (empty = full Table 3 mix).
+  /// The Gavel experiments draw from "a subset of the workloads in
+  /// Table 3" (§6.5.2) — the compute-heavy, large-batch ones.
+  std::vector<std::string> workloads;
+};
+
+/// Samples a trace: exponential interarrivals, workloads uniform over the
+/// mix, batch size uniform over the entry's options, priority from
+/// {1, 5, 10}.
+std::vector<JobSpec> poisson_trace(const TraceOptions& options);
+
+}  // namespace vf

@@ -1,0 +1,142 @@
+#include "solver/solver.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace vf {
+
+HeterogeneousSolver::HeterogeneousSolver(ModelProfile model,
+                                         std::map<DeviceType, OfflineProfile> profiles,
+                                         LinkSpec link)
+    : model_(std::move(model)), profiles_(std::move(profiles)), link_(link) {
+  check(!profiles_.empty(), "solver needs at least one device profile");
+  for (const auto& [type, prof] : profiles_)
+    check(prof.workload() == model_.name,
+          "profile for " + device_spec(type).name + " is for workload '" +
+              prof.workload() + "', not '" + model_.name + "'");
+}
+
+const OfflineProfile& HeterogeneousSolver::profile(DeviceType type) const {
+  const auto it = profiles_.find(type);
+  check(it != profiles_.end(),
+        std::string("no profile for device type ") + device_type_name(type));
+  return it->second;
+}
+
+std::int64_t HeterogeneousSolver::choose_vns(DeviceType type,
+                                             std::int64_t per_gpu_batch) const {
+  check(per_gpu_batch > 0, "per-GPU batch must be positive");
+  const std::int64_t frontier = profile(type).max_batch();
+  for (std::int64_t v = 1; v <= per_gpu_batch; ++v) {
+    if (per_gpu_batch % v != 0) continue;
+    if (per_gpu_batch / v <= frontier) return v;
+  }
+  return 0;
+}
+
+double HeterogeneousSolver::predict_step_time(
+    const std::vector<TypeAssignment>& assignment) const {
+  check(!assignment.empty(), "empty assignment");
+  double worst = 0.0;
+  std::int64_t world = 0;
+  for (const TypeAssignment& a : assignment) {
+    check(a.vns_per_gpu > 0 && a.per_vn_batch > 0 && a.gpus > 0,
+          "invalid type assignment");
+    const double t = static_cast<double>(a.vns_per_gpu) *
+                     profile(a.type).step_time(a.per_vn_batch);
+    worst = std::max(worst, t);
+    world += a.gpus;
+  }
+  const double comm = world > 1 ? ring_allreduce_time_s(model_.param_bytes(), world, link_)
+                                : 0.0;
+  return worst + comm;
+}
+
+void HeterogeneousSolver::enumerate(const std::vector<GpuGroup>& inventory,
+                                    std::size_t idx, std::int64_t remaining,
+                                    std::vector<TypeAssignment>& partial,
+                                    std::vector<SolverResult>& out) const {
+  if (idx == inventory.size()) {
+    if (remaining != 0 || partial.empty()) return;
+    SolverResult r;
+    r.assignment = partial;
+    r.predicted_step_time_s = predict_step_time(partial);
+    std::int64_t b = 0;
+    for (const auto& a : partial) b += a.gpus * a.per_gpu_batch;
+    r.predicted_throughput = static_cast<double>(b) / r.predicted_step_time_s;
+    r.heterogeneous = partial.size() > 1;
+    out.push_back(std::move(r));
+    return;
+  }
+
+  const GpuGroup& g = inventory[idx];
+  check(g.count > 0, "GPU group count must be positive");
+
+  // Option 1: skip this type entirely (b_i = 0).
+  enumerate(inventory, idx + 1, remaining, partial, out);
+
+  // Option 2: per-GPU batch from the power-of-2-like grid, using every
+  // GPU of the group. Per-GPU batches may exceed the memory frontier —
+  // that is what multiple virtual nodes are for.
+  if (profiles_.count(g.type) == 0) return;  // unprofiled type: cannot use
+  for (const std::int64_t b : pow2_like_batches(remaining)) {
+    const std::int64_t used = b * g.count;
+    if (used > remaining) break;
+    const std::int64_t v = choose_vns(g.type, b);
+    if (v == 0) continue;
+    TypeAssignment a;
+    a.type = g.type;
+    a.gpus = g.count;
+    a.per_gpu_batch = b;
+    a.vns_per_gpu = v;
+    a.per_vn_batch = b / v;
+    partial.push_back(a);
+    enumerate(inventory, idx + 1, remaining - used, partial, out);
+    partial.pop_back();
+  }
+}
+
+std::vector<SolverResult> HeterogeneousSolver::solve_all(
+    const std::vector<GpuGroup>& inventory, std::int64_t global_batch) const {
+  check(!inventory.empty(), "empty inventory");
+  check(global_batch > 0, "global batch must be positive");
+  std::vector<SolverResult> out;
+  std::vector<TypeAssignment> partial;
+  enumerate(inventory, 0, global_batch, partial, out);
+  std::sort(out.begin(), out.end(), [](const SolverResult& x, const SolverResult& y) {
+    if (x.predicted_step_time_s != y.predicted_step_time_s)
+      return x.predicted_step_time_s < y.predicted_step_time_s;
+    // Tie-break toward simpler (fewer types, fewer GPUs) configurations.
+    if (x.assignment.size() != y.assignment.size())
+      return x.assignment.size() < y.assignment.size();
+    std::int64_t gx = 0, gy = 0;
+    for (const auto& a : x.assignment) gx += a.gpus;
+    for (const auto& a : y.assignment) gy += a.gpus;
+    return gx < gy;
+  });
+  return out;
+}
+
+std::optional<SolverResult> HeterogeneousSolver::solve(
+    const std::vector<GpuGroup>& inventory, std::int64_t global_batch) const {
+  auto all = solve_all(inventory, global_batch);
+  if (all.empty()) return std::nullopt;
+
+  // Fallback rule (§5.1.2): prefer the best homogeneous configuration
+  // unless a heterogeneous one improves the step time by more than the
+  // profiling noise floor — mixing types for a within-noise "win" would
+  // add coordination complexity for nothing (the paper's H1 behaviour).
+  constexpr double kNoiseMargin = 0.02;
+  const SolverResult& best = all.front();
+  if (!best.heterogeneous) return best;
+  for (const SolverResult& r : all) {
+    if (!r.heterogeneous &&
+        r.predicted_step_time_s <= best.predicted_step_time_s * (1.0 + kNoiseMargin)) {
+      return r;
+    }
+  }
+  return best;
+}
+
+}  // namespace vf

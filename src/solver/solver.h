@@ -1,0 +1,91 @@
+// Heterogeneous solver (§5.1.2).
+//
+// Given offline profiles t_i(b) for every device type, a heterogeneous
+// inventory {n_i}, and a global batch B, find per-type per-GPU batches b_i
+// and virtual-node counts v_i minimizing the paper's objective
+//
+//     min  max_i ( v_i * t_i(b_i / v_i) + comm )
+//     s.t. sum_i n_i * b_i = B
+//
+// (the paper writes t_i(b_i) * v_i; with t_i defined on the *per-VN*
+// micro-batch this is v_i * t_i(b_i / v_i), which is the computable form —
+// each of the v_i sequential virtual nodes runs a micro-batch of b_i/v_i).
+// Batch sizes are restricted to the power-of-2-like grid of §5.1.1. When
+// no heterogeneous combination beats the best homogeneous configuration
+// the solver falls back to homogeneous, exactly as the paper describes for
+// experiment group H1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "comm/comm.h"
+#include "device/model_profile.h"
+#include "profiler/profiler.h"
+
+namespace vf {
+
+/// A pool of identical GPUs available to the job.
+struct GpuGroup {
+  DeviceType type = DeviceType::kV100;
+  std::int64_t count = 0;
+};
+
+/// The solver's decision for one device type.
+struct TypeAssignment {
+  DeviceType type = DeviceType::kV100;
+  std::int64_t gpus = 0;          ///< n_i (all GPUs of the group, or skipped)
+  std::int64_t per_gpu_batch = 0; ///< b_i
+  std::int64_t vns_per_gpu = 0;   ///< v_i
+  std::int64_t per_vn_batch = 0;  ///< b_i / v_i
+};
+
+/// A complete configuration with its predicted performance.
+struct SolverResult {
+  std::vector<TypeAssignment> assignment;  ///< used types only
+  double predicted_step_time_s = 0.0;
+  double predicted_throughput = 0.0;       ///< examples/s
+  bool heterogeneous = false;              ///< more than one type used
+};
+
+/// Solver over a fixed workload (model + per-type offline profiles).
+class HeterogeneousSolver {
+ public:
+  HeterogeneousSolver(ModelProfile model,
+                      std::map<DeviceType, OfflineProfile> profiles,
+                      LinkSpec link = {});
+
+  /// Best configuration for the inventory, or nullopt if no feasible
+  /// split of B exists on the power-of-2-like grid.
+  std::optional<SolverResult> solve(const std::vector<GpuGroup>& inventory,
+                                    std::int64_t global_batch) const;
+
+  /// All feasible configurations, best first (used by the evaluation
+  /// benches to show the even-vs-uneven gap of Fig 7).
+  std::vector<SolverResult> solve_all(const std::vector<GpuGroup>& inventory,
+                                      std::int64_t global_batch) const;
+
+  /// Predicted step time of an explicit configuration (Fig 14's
+  /// "Solver" series; also lets benches price the paper's Table 4 rows).
+  double predict_step_time(const std::vector<TypeAssignment>& assignment) const;
+
+  /// Picks the cheapest feasible VN count for a per-GPU batch on a type:
+  /// the smallest v dividing `per_gpu_batch` whose micro-batch fits the
+  /// device's profiled memory frontier. Returns 0 if none fits.
+  std::int64_t choose_vns(DeviceType type, std::int64_t per_gpu_batch) const;
+
+  const OfflineProfile& profile(DeviceType type) const;
+
+ private:
+  void enumerate(const std::vector<GpuGroup>& inventory, std::size_t idx,
+                 std::int64_t remaining, std::vector<TypeAssignment>& partial,
+                 std::vector<SolverResult>& out) const;
+
+  ModelProfile model_;
+  std::map<DeviceType, OfflineProfile> profiles_;
+  LinkSpec link_;
+};
+
+}  // namespace vf

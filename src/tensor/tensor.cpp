@@ -1,0 +1,279 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace vf {
+
+namespace {
+std::int64_t shape_product(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    check(d >= 0, "tensor dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  check(shape_.size() <= 4, "tensor rank must be <= 4");
+  data_.assign(static_cast<std::size_t>(shape_product(shape_)), 0.0F);
+}
+
+Tensor Tensor::zeros(std::initializer_list<std::int64_t> shape) {
+  return Tensor(std::vector<std::int64_t>(shape));
+}
+
+Tensor Tensor::full(std::initializer_list<std::int64_t> shape, float value) {
+  Tensor t{std::vector<std::int64_t>(shape)};
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_values(std::vector<std::int64_t> shape, std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  check(static_cast<std::int64_t>(values.size()) == shape_product(t.shape_),
+        "from_values: value count does not match shape");
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, CounterRng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.normal(0.0F, stddev);
+  return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  check_index(i, rank(), "tensor dim");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i) {
+  check_index(i, size(), "tensor element");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  check_index(i, size(), "tensor element");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  check(rank() == 2, "rank-2 accessor on non-matrix tensor");
+  check_index(r, rows(), "row");
+  check_index(c, cols(), "col");
+  return data_[static_cast<std::size_t>(r * cols() + c)];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+std::int64_t Tensor::rows() const {
+  check(rank() == 2, "rows() requires a rank-2 tensor");
+  return shape_[0];
+}
+
+std::int64_t Tensor::cols() const {
+  check(rank() == 2, "cols() requires a rank-2 tensor");
+  return shape_[1];
+}
+
+Tensor& Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  check(a.shape() == b.shape(),
+        std::string(op) + ": shape mismatch " + a.shape_str() + " vs " + b.shape_str());
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  check_same_shape(*this, other, "add_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  check_same_shape(*this, other, "sub_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  check_same_shape(*this, other, "mul_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float a, const Tensor& x) {
+  check_same_shape(*this, x, "axpy_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scalar_(float s) {
+  for (float& v : data_) v += s;
+  return *this;
+}
+
+Tensor Tensor::add(const Tensor& other) const { return Tensor(*this).add_(other); }
+Tensor Tensor::sub(const Tensor& other) const { return Tensor(*this).sub_(other); }
+Tensor Tensor::mul(const Tensor& other) const { return Tensor(*this).mul_(other); }
+Tensor Tensor::scaled(float s) const { return Tensor(*this).scale_(s); }
+
+Tensor Tensor::matmul(const Tensor& rhs) const {
+  check(rank() == 2 && rhs.rank() == 2, "matmul requires rank-2 tensors");
+  check(cols() == rhs.rows(), "matmul: inner dimensions disagree (" + shape_str() + " @ " +
+                                  rhs.shape_str() + ")");
+  const std::int64_t m = rows(), k = cols(), n = rhs.cols();
+  Tensor out({m, n});
+  // i-k-j loop order keeps the inner loop contiguous in both rhs and out.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = &data_[static_cast<std::size_t>(i * k)];
+    float* o_row = &out.data_[static_cast<std::size_t>(i * n)];
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float a = a_row[kk];
+      if (a == 0.0F) continue;
+      const float* b_row = &rhs.data_[static_cast<std::size_t>(kk * n)];
+      for (std::int64_t j = 0; j < n; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_transpose_lhs(const Tensor& rhs) const {
+  check(rank() == 2 && rhs.rank() == 2, "matmul_transpose_lhs requires rank-2 tensors");
+  check(rows() == rhs.rows(), "matmul_transpose_lhs: row counts disagree");
+  const std::int64_t k = rows(), m = cols(), n = rhs.cols();
+  Tensor out({m, n});
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* a_row = &data_[static_cast<std::size_t>(kk * m)];
+    const float* b_row = &rhs.data()[static_cast<std::size_t>(kk * n)];
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float a = a_row[i];
+      if (a == 0.0F) continue;
+      float* o_row = &out.data_[static_cast<std::size_t>(i * n)];
+      for (std::int64_t j = 0; j < n; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_transpose_rhs(const Tensor& rhs) const {
+  check(rank() == 2 && rhs.rank() == 2, "matmul_transpose_rhs requires rank-2 tensors");
+  check(cols() == rhs.cols(), "matmul_transpose_rhs: column counts disagree");
+  const std::int64_t m = rows(), k = cols(), n = rhs.rows();
+  Tensor out({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = &data_[static_cast<std::size_t>(i * k)];
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = &rhs.data()[static_cast<std::size_t>(j * k)];
+      float acc = 0.0F;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      out.data_[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transposed() const {
+  check(rank() == 2, "transposed requires a rank-2 tensor");
+  Tensor out({cols(), rows()});
+  for (std::int64_t i = 0; i < rows(); ++i)
+    for (std::int64_t j = 0; j < cols(); ++j) out.at(j, i) = at(i, j);
+  return out;
+}
+
+float Tensor::sum() const {
+  float s = 0.0F;
+  for (float v : data_) s += v;
+  return s;
+}
+
+float Tensor::mean() const {
+  check(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0F;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::squared_norm() const {
+  float s = 0.0F;
+  for (float v : data_) s += v * v;
+  return s;
+}
+
+Tensor Tensor::column_sums() const {
+  check(rank() == 2, "column_sums requires a rank-2 tensor");
+  Tensor out({cols()});
+  for (std::int64_t i = 0; i < rows(); ++i)
+    for (std::int64_t j = 0; j < cols(); ++j) out.at(j) += at(i, j);
+  return out;
+}
+
+std::vector<std::int64_t> Tensor::row_argmax() const {
+  check(rank() == 2, "row_argmax requires a rank-2 tensor");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows()));
+  for (std::int64_t i = 0; i < rows(); ++i) {
+    std::int64_t best = 0;
+    float best_v = at(i, 0);
+    for (std::int64_t j = 1; j < cols(); ++j) {
+      if (at(i, j) > best_v) {
+        best_v = at(i, j);
+        best = j;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor Tensor::slice_rows(std::int64_t start_row, std::int64_t count) const {
+  check(rank() == 2, "slice_rows requires a rank-2 tensor");
+  check(start_row >= 0 && count >= 0 && start_row + count <= rows(),
+        "slice_rows out of range");
+  Tensor out({count, cols()});
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(start_row * cols()),
+              static_cast<std::ptrdiff_t>(count * cols()), out.data_.begin());
+  return out;
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  check_same_shape(*this, other, "max_abs_diff");
+  float m = 0.0F;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace vf

@@ -1,0 +1,108 @@
+// Dense float tensor used by the neural-network substrate.
+//
+// VirtualFlow's convergence experiments run real SGD, so this is a real
+// (if deliberately small) tensor library: row-major dense storage, the
+// elementwise/matmul/reduction ops the nn layers need, and nothing more.
+// Determinism matters more than speed here — every op is sequential and
+// order-stable so that training trajectories are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vf {
+
+/// Row-major dense float tensor with up to rank-4 shapes (rank 1 and 2 are
+/// what the layers use; higher ranks exist for completeness).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  /// Convenience rank-1 / rank-2 constructors.
+  static Tensor zeros(std::initializer_list<std::int64_t> shape);
+  static Tensor full(std::initializer_list<std::int64_t> shape, float value);
+  static Tensor from_values(std::vector<std::int64_t> shape, std::vector<float> values);
+
+  /// Gaussian init with the given stddev (mean 0), deterministic in `rng`.
+  static Tensor randn(std::vector<std::int64_t> shape, CounterRng& rng, float stddev = 1.0F);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+  /// Rank-2 accessors.
+  float& at(std::int64_t r, std::int64_t c);
+  float at(std::int64_t r, std::int64_t c) const;
+
+  /// Number of rows / columns for rank-2 tensors.
+  std::int64_t rows() const;
+  std::int64_t cols() const;
+
+  // ---- In-place ops (return *this for chaining) ----
+  Tensor& fill(float value);
+  Tensor& add_(const Tensor& other);           // this += other
+  Tensor& sub_(const Tensor& other);           // this -= other
+  Tensor& mul_(const Tensor& other);           // elementwise this *= other
+  Tensor& scale_(float s);                     // this *= s
+  Tensor& axpy_(float a, const Tensor& x);     // this += a * x
+  Tensor& add_scalar_(float s);                // this += s
+
+  // ---- Out-of-place ops ----
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(const Tensor& other) const;
+  Tensor scaled(float s) const;
+
+  /// Matrix multiply: (m x k) @ (k x n) -> (m x n). Both rank-2.
+  Tensor matmul(const Tensor& rhs) const;
+  /// this^T @ rhs for rank-2 tensors: (k x m)^T is (m x k).
+  Tensor matmul_transpose_lhs(const Tensor& rhs) const;
+  /// this @ rhs^T for rank-2 tensors.
+  Tensor matmul_transpose_rhs(const Tensor& rhs) const;
+
+  Tensor transposed() const;
+
+  // ---- Reductions ----
+  float sum() const;
+  float mean() const;
+  float abs_max() const;
+  float squared_norm() const;
+  /// Per-column sums of a rank-2 tensor -> rank-1 of length cols().
+  Tensor column_sums() const;
+  /// Row-wise argmax of a rank-2 tensor -> vector of column indices.
+  std::vector<std::int64_t> row_argmax() const;
+
+  /// Copies `count` rows starting at `start_row` into a new tensor.
+  Tensor slice_rows(std::int64_t start_row, std::int64_t count) const;
+
+  /// Exact equality (bitwise over all elements); used by reproducibility tests.
+  bool equals(const Tensor& other) const;
+  /// Max elementwise absolute difference.
+  float max_abs_diff(const Tensor& other) const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Checks two tensors share a shape; throws with a helpful message otherwise.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op);
+
+}  // namespace vf

@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace vf {
+
+double sum(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double mean(const std::vector<double>& xs) {
+  check(!xs.empty(), "mean of empty vector");
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  check(xs.size() >= 2, "stddev needs at least two samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  check(!xs.empty(), "percentile of empty vector");
+  check(p >= 0.0 && p <= 1.0, "percentile p must be in [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 0.5); }
+
+double min_of(const std::vector<double>& xs) {
+  check(!xs.empty(), "min of empty vector");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  check(!xs.empty(), "max of empty vector");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  check(!xs.empty(), "cdf of empty vector");
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back({xs[i], static_cast<double>(i + 1) / static_cast<double>(xs.size())});
+  }
+  return out;
+}
+
+double pct_change(double a, double b) {
+  check(a != 0.0, "pct_change baseline must be non-zero");
+  return (b - a) / a * 100.0;
+}
+
+}  // namespace vf

@@ -1,0 +1,32 @@
+// Summary statistics used by the scheduler experiments (JCT distributions,
+// queueing-delay CDFs) and the microbenchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vf {
+
+double mean(const std::vector<double>& xs);
+double sum(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// p in [0, 1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+double median(std::vector<double> xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  // P(X <= value)
+};
+
+/// Full empirical CDF (sorted); suitable for plotting Fig 12-style curves.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// Relative change (b - a) / a, in percent. Used for "reduced X by N%" rows.
+double pct_change(double a, double b);
+
+}  // namespace vf

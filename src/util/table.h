@@ -1,0 +1,54 @@
+// Console table / CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints the same rows the paper reports; this helper
+// keeps the formatting consistent (aligned console table plus optional CSV
+// next to it for plotting).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vf {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add_* calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  Table& cell(std::size_t value);
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (headers + rows).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by Table and ad-hoc output).
+std::string fmt_double(double v, int precision = 3);
+
+/// Formats a byte count human-readably (e.g. "8.17 GB").
+std::string fmt_bytes(double bytes);
+
+/// Prints a section banner used between experiment phases in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace vf

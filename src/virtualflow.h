@@ -1,0 +1,67 @@
+// VirtualFlow: decoupling deep-learning models from the underlying
+// hardware via virtual node processing.
+//
+// Umbrella header exposing the full public API. Typical usage:
+//
+//   #include "virtualflow.h"
+//
+//   vf::ProxyTask task = vf::make_task("imagenet-sim", /*seed=*/42);
+//   vf::TrainRecipe recipe = vf::make_recipe("imagenet-sim");
+//   vf::Sequential model = vf::make_proxy_model("imagenet-sim", 42);
+//
+//   auto devices = vf::make_devices(vf::DeviceType::kV100, 4);
+//   auto mapping = vf::VnMapping::even(/*total_vns=*/32, /*devices=*/4,
+//                                      recipe.global_batch);
+//   vf::VirtualFlowEngine engine(model, *recipe.optimizer, *recipe.schedule,
+//                                *task.train, vf::model_profile("resnet50"),
+//                                devices, mapping, {});
+//   vf::TrainResult result = vf::train(engine, *task.val, recipe.epochs);
+//
+// Changing `devices` (count or type) while keeping `total_vns` fixed
+// yields a bit-identical `result` — that is the library's core contract.
+#pragma once
+
+// Substrates.
+#include "util/common.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "tensor/tensor.h"
+#include "nn/layer.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "nn/state.h"
+#include "data/batch.h"
+#include "data/dataset.h"
+#include "data/sharding.h"
+#include "device/cost_model.h"
+#include "device/memory_model.h"
+#include "device/model_profile.h"
+#include "device/spec.h"
+#include "comm/comm.h"
+
+// Core virtual-node engine.
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/mapping.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+
+// Heterogeneous training.
+#include "profiler/profiler.h"
+#include "solver/solver.h"
+
+// Cluster scheduling.
+#include "sched/gavel.h"
+#include "sched/job.h"
+#include "sched/simulator.h"
+#include "sched/throughput.h"
+#include "sched/trace.h"
+#include "sched/wfs.h"
+
+// Paper workload catalog.
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"

@@ -1,0 +1,95 @@
+#include "workloads/profiles.h"
+
+#include <map>
+
+#include "util/common.h"
+
+namespace vf {
+
+namespace {
+
+ModelProfile resnet50_profile() {
+  ModelProfile p;
+  p.name = "resnet50";
+  p.param_count = 25'610'000;                   // 102.45 MB of fp32 (Fig 6)
+  p.flops_per_example = 4.1e9;                  // forward at 224x224
+  p.activation_bytes_per_example = 40.6 * kMiB; // -> 8.17 GB at batch 192 (Fig 6)
+  p.input_bytes_per_example = 224.0 * 224 * 3 * 4;
+  p.workspace_bytes = 788.81e6;                 // "kernel_temp" (Fig 6)
+  p.batch_half_saturation = 3.0;                // large conv kernels saturate fast
+  p.update_cost_factor = 2.0;                   // SGD + momentum
+  return p;
+}
+
+ModelProfile resnet56_profile() {
+  ModelProfile p;
+  p.name = "resnet56";
+  p.param_count = 850'000;                      // CIFAR-scale ResNet
+  p.flops_per_example = 0.126e9;
+  p.activation_bytes_per_example = 1.6 * kMiB;
+  p.input_bytes_per_example = 32.0 * 32 * 3 * 4;
+  p.workspace_bytes = 64.0 * kMiB;
+  p.batch_half_saturation = 48.0;               // tiny kernels need big batches
+  p.update_cost_factor = 2.0;
+  return p;
+}
+
+ModelProfile bert_base_profile() {
+  ModelProfile p;
+  p.name = "bert-base";
+  p.param_count = 110'000'000;                  // 440 MB
+  p.flops_per_example = 22.0e9;                 // seq len 128, forward
+  p.activation_bytes_per_example = 220.0 * kMiB;// batch 64 > 13.7 GB: OOM on V100 (Table 2)
+  p.input_bytes_per_example = 2.0 * kKiB;
+  p.workspace_bytes = 512.0 * kMiB;
+  p.batch_half_saturation = 4.0;
+  p.update_cost_factor = 6.0;                   // Adam/LAMB state + trust ratios
+  return p;
+}
+
+ModelProfile bert_large_profile() {
+  ModelProfile p;
+  p.name = "bert-large";
+  p.param_count = 340'000'000;                  // 1.36 GB
+  p.flops_per_example = 78.0e9;
+  p.activation_bytes_per_example = 1.45 * kGiB; // max batch 4 on 2080 Ti (Fig 18)
+  p.input_bytes_per_example = 2.0 * kKiB;
+  p.workspace_bytes = 512.0 * kMiB;
+  p.batch_half_saturation = 0.15;               // huge per-example kernels saturate at once
+  p.update_cost_factor = 6.0;                   // expensive LAMB-style update: Fig 17 lever
+  return p;
+}
+
+ModelProfile transformer_profile() {
+  // WMT'14 translation Transformer; "examples" are tokens, matching the
+  // token-denominated batch sizes in Table 3 (4096 ... 65536).
+  ModelProfile p;
+  p.name = "transformer";
+  p.param_count = 210'000'000;                  // 840 MB
+  p.flops_per_example = 0.42e9;                 // per token, forward
+  p.activation_bytes_per_example = 2.4 * kMiB;  // max 3072 tokens on 2080 Ti (Fig 18)
+  p.input_bytes_per_example = 8.0;
+  p.workspace_bytes = 512.0 * kMiB;
+  p.batch_half_saturation = 48.0;
+  p.update_cost_factor = 6.0;
+  return p;
+}
+
+}  // namespace
+
+const ModelProfile& model_profile(const std::string& name) {
+  static const std::map<std::string, ModelProfile> catalog = {
+      {"resnet50", resnet50_profile()},       {"resnet56", resnet56_profile()},
+      {"bert-base", bert_base_profile()},     {"bert-large", bert_large_profile()},
+      {"transformer", transformer_profile()},
+  };
+  const auto it = catalog.find(name);
+  check(it != catalog.end(), "unknown model profile: " + name);
+  return it->second;
+}
+
+std::vector<std::string> model_profile_names() {
+  return {"resnet50", "resnet56", "bert-base", "bert-large", "transformer"};
+}
+
+}  // namespace vf

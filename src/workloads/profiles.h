@@ -1,0 +1,26 @@
+// Catalog of paper-workload performance profiles.
+//
+// Calibration anchors (all from the paper):
+//  * ResNet-50 parameters = 102.45 MB, activations ~8.17 GB near the max
+//    batch on an RTX 2080 Ti (Fig 6), max batch 192 on 2080 Ti, 256 on a
+//    16 GB V100 (Fig 18, §6.2.1).
+//  * BERT-LARGE max batch 4 on 2080 Ti; Transformer max batch 3072
+//    (Fig 18). BERT-BASE batch 64 does not fit one V100 (Table 2).
+//  * V100 : P100 ≈ 4 : 1 for ResNet-50-class work (§5.1.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/model_profile.h"
+
+namespace vf {
+
+/// Profiles by paper name: "resnet50", "resnet56", "bert-base",
+/// "bert-large", "transformer". Throws on unknown name.
+const ModelProfile& model_profile(const std::string& name);
+
+/// All catalog profile names.
+std::vector<std::string> model_profile_names();
+
+}  // namespace vf

@@ -1,0 +1,243 @@
+#include "workloads/tasks.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/common.h"
+
+namespace vf {
+
+namespace {
+
+/// Static description of one proxy task family.
+struct TaskDef {
+  // Dataset geometry.
+  std::string kind;  // "gmm" or "teacher"
+  std::int64_t train_n = 0, val_n = 0, dim = 0, classes = 0;
+  float noise = 0.0F;          // gmm: feature noise; teacher: label-flip rate
+  std::int64_t teacher_hidden = 3;  // teacher-network width (boundary complexity)
+  // Model geometry.
+  std::int64_t hidden = 64;
+  float dropout = 0.0F;
+  bool batch_norm = true;
+  // Recipe (tuned once for `global_batch`).
+  std::int64_t global_batch = 0;
+  std::int64_t epochs = 0;
+  std::string optimizer;  // "sgd" or "adam"
+  std::string schedule = "warmup_step";  // "warmup_step", "cosine", or "constant"
+  float lr = 0.0F;
+  std::int64_t warmup_steps = 0;   // fixed warmup steps (SGD recipes)
+  double warmup_frac = 0.0;        // if > 0, warmup = frac * total steps
+  // Paper target accuracy.
+  double target = 0.0;
+};
+
+const std::map<std::string, TaskDef>& task_defs() {
+  static const std::map<std::string, TaskDef> defs = [] {
+    std::map<std::string, TaskDef> m;
+
+    // ResNet-50 / ImageNet stand-in. Reference batch 8192, SGD+momentum
+    // with warmup + step decay (the Goyal et al. recipe shape). Target
+    // 76.26% top-1 (§6.2.1).
+    TaskDef imagenet;
+    imagenet.kind = "gmm";
+    imagenet.train_n = 16384;
+    imagenet.val_n = 4096;
+    imagenet.dim = 32;
+    imagenet.classes = 16;
+    imagenet.noise = 0.375F;  // calibrated: trained accuracy ~0.768 (target 0.7626)
+    imagenet.hidden = 64;
+    imagenet.dropout = 0.0F;
+    imagenet.batch_norm = true;
+    imagenet.global_batch = 8192;
+    imagenet.epochs = 30;
+    imagenet.optimizer = "sgd";
+    // Tuned for batch 8192 (the linear-scaling-rule magnitude). Running
+    // this rate at small batches without retuning is exactly what breaks
+    // the TF* baseline (Table 1 / Fig 8).
+    imagenet.lr = 3.0F;
+    imagenet.warmup_steps = 10;
+    imagenet.target = 0.7626;
+    m["imagenet-sim"] = imagenet;
+
+    // ResNet-56 / CIFAR-10 stand-in (used by the scheduler traces).
+    TaskDef cifar = imagenet;
+    cifar.train_n = 8192;
+    cifar.val_n = 2048;
+    cifar.classes = 10;
+    cifar.noise = 0.28F;  // calibrated to the paper's ResNet-56 ~0.92
+    cifar.global_batch = 128;
+    cifar.epochs = 6;
+    cifar.lr = 0.12F;
+    cifar.warmup_steps = 20;
+    cifar.target = 0.926;
+    m["cifar10-sim"] = cifar;
+
+    // BERT-BASE GLUE fine-tuning stand-ins (Table 2). Reference batch 64,
+    // Adam. Ceiling is set by the label-flip rate: acc_max ~ 1 - p/2.
+    TaskDef glue;
+    glue.kind = "teacher";
+    glue.dim = 16;
+    glue.classes = 2;
+    glue.teacher_hidden = 3;
+    glue.hidden = 64;
+    glue.dropout = 0.1F;
+    glue.batch_norm = true;
+    glue.global_batch = 64;
+    glue.optimizer = "adam";
+    glue.lr = 4e-3F;
+    glue.warmup_steps = 0;
+
+    TaskDef qnli = glue;   // paper target 90.90%; calibrated run: 0.9131
+    qnli.train_n = 10496;  // ~1/10 of QNLI per epoch (paper §6.2.2)
+    qnli.val_n = 4096;
+    qnli.noise = 0.10F;
+    qnli.epochs = 20;
+    qnli.target = 0.9090;
+    m["qnli-sim"] = qnli;
+
+    TaskDef sst2 = glue;   // paper target 91.97%; calibrated run: 0.9199
+    sst2.train_n = 6735;   // ~1/10 of SST-2 per epoch
+    sst2.val_n = 4096;
+    sst2.noise = 0.06F;
+    sst2.epochs = 20;
+    sst2.target = 0.9197;
+    m["sst2-sim"] = sst2;
+
+    TaskDef cola = glue;   // paper target 82.36%; calibrated run: 0.8289
+    cola.train_n = 8551;   // full CoLA
+    cola.val_n = 4096;
+    cola.noise = 0.27F;
+    cola.epochs = 25;
+    cola.target = 0.8236;
+    m["cola-sim"] = cola;
+
+    // BERT-LARGE fine-tuning stand-ins (Figs 2 and 9): small datasets where
+    // batch size visibly moves the final accuracy. Reference batch 16 —
+    // the batch the paper found best on RTE, reachable on one 2080 Ti only
+    // with virtual nodes.
+    TaskDef rte = glue;
+    rte.train_n = 2490;    // true RTE training-set size
+    rte.val_n = 2048;
+    rte.noise = 0.26F;
+    rte.teacher_hidden = 4;
+    rte.dropout = 0.0F;
+    rte.global_batch = 16;
+    rte.epochs = 10;
+    rte.optimizer = "sgd";
+    // Cosine decay tuned for batch 16; deliberately NOT retuned elsewhere.
+    // At batch 4 this rate is too noisy to converge (the Fig 2 effect),
+    // robustly across seeds.
+    rte.schedule = "cosine";
+    rte.lr = 0.12F;
+    rte.target = 0.73;     // paper Fig 2: ~0.73 at batch 16
+    m["rte-sim"] = rte;
+
+    TaskDef mrpc = rte;
+    mrpc.train_n = 3668;   // true MRPC training-set size
+    mrpc.noise = 0.22F;
+    mrpc.target = 0.87;
+    m["mrpc-sim"] = mrpc;
+
+    return m;
+  }();
+  return defs;
+}
+
+const TaskDef& task_def(const std::string& name) {
+  const auto& defs = task_defs();
+  const auto it = defs.find(name);
+  check(it != defs.end(), "unknown proxy task: " + name);
+  return it->second;
+}
+
+std::shared_ptr<Dataset> make_dataset(const TaskDef& d, const std::string& name,
+                                      std::uint64_t seed, bool validation) {
+  const std::int64_t n = validation ? d.val_n : d.train_n;
+  // Train and val share the task seed (and hence the GMM centers / teacher
+  // weights) but draw disjoint examples via the index offset.
+  const std::uint64_t ds_seed = derive_seed(seed, 0x7124);
+  const std::int64_t offset = validation ? d.train_n : 0;
+  if (d.kind == "gmm") {
+    return std::make_shared<GaussianMixtureDataset>(
+        name + (validation ? "/val" : "/train"), ds_seed, n, d.dim, d.classes,
+        d.noise, offset);
+  }
+  return std::make_shared<TeacherDataset>(name + (validation ? "/val" : "/train"),
+                                          ds_seed, n, d.dim, d.classes,
+                                          d.teacher_hidden, d.noise, offset);
+}
+
+}  // namespace
+
+ProxyTask make_task(const std::string& name, std::uint64_t seed) {
+  const TaskDef& d = task_def(name);
+  ProxyTask t;
+  t.name = name;
+  t.train = make_dataset(d, name, seed, /*validation=*/false);
+  t.val = make_dataset(d, name, seed, /*validation=*/true);
+  t.target_accuracy = d.target;
+  return t;
+}
+
+Sequential make_proxy_model(const std::string& task_name, std::uint64_t seed) {
+  const TaskDef& d = task_def(task_name);
+  CounterRng rng(seed, /*stream=*/0x30DE1);
+  Sequential model;
+  model.add(std::make_unique<Dense>(d.dim, d.hidden, rng));
+  if (d.batch_norm) model.add(std::make_unique<BatchNorm1d>(d.hidden));
+  model.add(std::make_unique<Relu>());
+  if (d.dropout > 0.0F) model.add(std::make_unique<Dropout>(d.dropout));
+  model.add(std::make_unique<Dense>(d.hidden, d.hidden, rng));
+  if (d.batch_norm) model.add(std::make_unique<BatchNorm1d>(d.hidden));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Dense>(d.hidden, d.classes, rng));
+  return model;
+}
+
+TrainRecipe make_recipe(const std::string& task_name) {
+  const TaskDef& d = task_def(task_name);
+  return make_recipe_with_batch(task_name, d.global_batch);
+}
+
+TrainRecipe make_recipe_with_batch(const std::string& task_name,
+                                   std::int64_t global_batch) {
+  const TaskDef& d = task_def(task_name);
+  TrainRecipe r;
+  r.global_batch = global_batch;
+  r.epochs = d.epochs;
+  if (d.optimizer == "sgd") {
+    r.optimizer = std::make_unique<Sgd>(/*momentum=*/0.9F, /*weight_decay=*/1e-4F);
+  } else {
+    r.optimizer = std::make_unique<Adam>();
+  }
+  // NOTE: the schedule is expressed in steps of the *reference* batch, then
+  // rescaled to step counts of the requested batch so that decay happens at
+  // the same epoch boundaries. The learning rate itself is NOT rescaled —
+  // per the paper's TF* setup, no linear-scaling-rule retuning is applied
+  // when the batch changes.
+  const std::int64_t steps_per_epoch = std::max<std::int64_t>(1, d.train_n / global_batch);
+  const std::int64_t total = steps_per_epoch * d.epochs;
+  if (d.schedule == "cosine") {
+    r.schedule = std::make_unique<CosineLr>(d.lr, total);
+  } else if (d.schedule == "constant" || d.optimizer == "adam") {
+    r.schedule = std::make_unique<ConstantLr>(d.lr);
+  } else {
+    std::int64_t w = d.warmup_frac > 0.0
+                         ? static_cast<std::int64_t>(d.warmup_frac * static_cast<double>(total))
+                         : d.warmup_steps;
+    w = std::clamp<std::int64_t>(w, 1, std::max<std::int64_t>(1, total / 5));
+    r.schedule = std::make_unique<WarmupStepDecayLr>(
+        d.lr, w,
+        std::vector<std::int64_t>{total * 6 / 10, total * 8 / 10}, 0.1F);
+  }
+  return r;
+}
+
+std::vector<std::string> task_names() {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : task_defs()) out.push_back(k);
+  return out;
+}
+
+}  // namespace vf

@@ -1,0 +1,191 @@
+// Checkpoint capture/restore and file round-tripping: the substrate behind
+// the restart-based baselines, and the §7 fault-tolerance story.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf {
+namespace {
+
+EngineConfig test_cfg() {
+  EngineConfig cfg;
+  cfg.seed = 42;
+  cfg.enforce_memory = false;
+  return cfg;
+}
+
+VirtualFlowEngine make_engine(const ProxyTask& task, const Sequential& model,
+                              const TrainRecipe& recipe, std::int64_t devices = 2) {
+  return VirtualFlowEngine(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                           model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, devices),
+                           VnMapping::even(8, devices, recipe.global_batch),
+                           test_cfg());
+}
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const char* name)
+      : path(std::string(::testing::TempDir()) + "/" + name) {}
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+TEST(Checkpoint, CaptureRestoreResumesExactTrajectory) {
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe r1 = make_recipe("qnli-sim");
+  TrainRecipe r2 = make_recipe("qnli-sim");
+
+  auto continuous = make_engine(task, model, r1);
+  auto restarted = make_engine(task, model, r2);
+  for (int i = 0; i < 10; ++i) {
+    continuous.train_step();
+    restarted.train_step();
+  }
+  const Checkpoint snap = restarted.capture();
+  // Diverge the restarted engine, then restore.
+  for (int i = 0; i < 5; ++i) restarted.train_step();
+  restarted.restore(snap);
+  EXPECT_EQ(restarted.step(), 10);
+  // Both now advance from step 10; trajectories must match bit-exactly
+  // (optimizer slots and Adam counters restored too).
+  for (int i = 0; i < 10; ++i) {
+    continuous.train_step();
+    restarted.train_step();
+  }
+  EXPECT_TRUE(continuous.parameters().equals(restarted.parameters()));
+  EXPECT_DOUBLE_EQ(continuous.evaluate(*task.val), restarted.evaluate(*task.val));
+}
+
+TEST(Checkpoint, FileRoundTripIsExact) {
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe recipe = make_recipe("cola-sim");
+  auto eng = make_engine(task, model, recipe);
+  for (int i = 0; i < 7; ++i) eng.train_step();
+
+  const Checkpoint snap = eng.capture();
+  TempPath file("vf_ckpt_roundtrip.bin");
+  save_checkpoint(snap, file.path);
+  const Checkpoint loaded = load_checkpoint(file.path);
+
+  EXPECT_TRUE(loaded.parameters.equals(snap.parameters));
+  EXPECT_EQ(loaded.step, snap.step);
+  EXPECT_DOUBLE_EQ(loaded.sim_time_s, snap.sim_time_s);
+  EXPECT_EQ(loaded.optimizer_counter, snap.optimizer_counter);
+  ASSERT_EQ(loaded.optimizer_slots.size(), snap.optimizer_slots.size());
+  for (std::size_t i = 0; i < snap.optimizer_slots.size(); ++i)
+    EXPECT_TRUE(loaded.optimizer_slots[i].equals(snap.optimizer_slots[i]));
+  ASSERT_EQ(loaded.vn_states.size(), snap.vn_states.size());
+  for (std::size_t i = 0; i < snap.vn_states.size(); ++i) {
+    EXPECT_EQ(loaded.vn_states[i].keys(), snap.vn_states[i].keys());
+    for (const auto& key : snap.vn_states[i].keys())
+      EXPECT_TRUE(loaded.vn_states[i].get(key).equals(snap.vn_states[i].get(key)));
+  }
+}
+
+TEST(Checkpoint, RestoreAcrossProcessBoundaryEquivalent) {
+  // Simulate a restart: build a FRESH engine, load the file, continue.
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe r1 = make_recipe("qnli-sim");
+  TrainRecipe r2 = make_recipe("qnli-sim");
+
+  TempPath file("vf_ckpt_restart.bin");
+  auto first = make_engine(task, model, r1);
+  for (int i = 0; i < 8; ++i) first.train_step();
+  save_checkpoint(first.capture(), file.path);
+  for (int i = 0; i < 6; ++i) first.train_step();
+
+  auto second = make_engine(task, model, r2);  // fresh init
+  second.restore(load_checkpoint(file.path));
+  for (int i = 0; i < 6; ++i) second.train_step();
+  EXPECT_TRUE(first.parameters().equals(second.parameters()));
+}
+
+TEST(Checkpoint, LoadErrors) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/path/ckpt.bin"), VfError);
+  TempPath file("vf_ckpt_garbage.bin");
+  {
+    std::ofstream os(file.path, std::ios::binary);
+    os << "not a checkpoint";
+  }
+  EXPECT_THROW(load_checkpoint(file.path), VfError);
+}
+
+TEST(Checkpoint, RestoreRejectsVnCountMismatch) {
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe r1 = make_recipe("qnli-sim");
+  auto eng = make_engine(task, model, r1);
+  Checkpoint snap = eng.capture();
+  snap.vn_states.pop_back();
+  EXPECT_THROW(eng.restore(snap), VfError);
+}
+
+TEST(FaultTolerance, DeviceFailureContinuesBitExactly) {
+  // §7: when a worker dies, its virtual nodes migrate to survivors and
+  // training continues as if nothing happened (vs. checkpoint-restart).
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe r1 = make_recipe("qnli-sim");
+  TrainRecipe r2 = make_recipe("qnli-sim");
+
+  auto healthy = make_engine(task, model, r1, 4);
+  auto faulty = make_engine(task, model, r2, 4);
+  for (int i = 0; i < 6; ++i) {
+    healthy.train_step();
+    faulty.train_step();
+  }
+  faulty.fail_device(2);  // device 2 dies
+  EXPECT_EQ(faulty.mapping().num_devices(), 3);
+  EXPECT_EQ(faulty.mapping().total_vns(), 8);
+  for (int i = 0; i < 6; ++i) {
+    healthy.train_step();
+    faulty.train_step();
+  }
+  // Replacement arrives: scale back up.
+  faulty.resize(make_devices(DeviceType::kV100, 4));
+  for (int i = 0; i < 6; ++i) {
+    healthy.train_step();
+    faulty.train_step();
+  }
+  EXPECT_TRUE(healthy.parameters().equals(faulty.parameters()));
+}
+
+TEST(FaultTolerance, CannotLoseLastDevice) {
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe recipe = make_recipe("qnli-sim");
+  auto eng = make_engine(task, model, recipe, 1);
+  EXPECT_THROW(eng.fail_device(0), VfError);
+  auto eng2 = make_engine(task, model, recipe, 2);
+  EXPECT_THROW(eng2.fail_device(5), VfError);  // bad index
+}
+
+TEST(FaultTolerance, RepeatedFailuresDownToOneDevice) {
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe recipe = make_recipe("qnli-sim");
+  auto eng = make_engine(task, model, recipe, 4);
+  eng.train_step();
+  eng.fail_device(0);
+  eng.train_step();
+  eng.fail_device(0);
+  eng.train_step();
+  eng.fail_device(1);
+  EXPECT_EQ(eng.mapping().num_devices(), 1);
+  const StepStats s = eng.train_step();
+  EXPECT_GT(s.throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace vf

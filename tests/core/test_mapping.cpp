@@ -1,0 +1,100 @@
+// VnMapping invariants: every VN placed exactly once, batches conserved.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/mapping.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+TEST(VnMapping, EvenSplitsUniformly) {
+  const auto m = VnMapping::even(16, 4, 8192);
+  EXPECT_EQ(m.num_devices(), 4);
+  EXPECT_EQ(m.total_vns(), 16);
+  EXPECT_EQ(m.global_batch(), 8192);
+  for (std::int64_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(m.device_vns(d).size(), 4u);
+    EXPECT_EQ(m.device_batch_total(d), 2048);
+  }
+  for (std::int32_t vn = 0; vn < 16; ++vn) EXPECT_EQ(m.vn_batch(vn), 512);
+}
+
+TEST(VnMapping, EvenHandlesNonDividingVnCount) {
+  const auto m = VnMapping::even(5, 2, 500);
+  EXPECT_EQ(m.device_vns(0).size(), 3u);
+  EXPECT_EQ(m.device_vns(1).size(), 2u);
+  EXPECT_EQ(m.global_batch(), 500);
+}
+
+TEST(VnMapping, EvenValidation) {
+  EXPECT_THROW(VnMapping::even(4, 8, 64), VfError);   // more devices than VNs
+  EXPECT_THROW(VnMapping::even(3, 1, 64), VfError);   // 64 % 3 != 0
+  EXPECT_THROW(VnMapping::even(0, 1, 64), VfError);
+}
+
+TEST(VnMapping, UnevenAssignsVnIdsInDeviceOrder) {
+  // Fig 7's heterogeneous shape: device 0 runs two VNs of 3072, device 1
+  // runs four VNs of 256.
+  const auto m = VnMapping::uneven({{3072, 3072}, {256, 256, 256, 256}});
+  EXPECT_EQ(m.total_vns(), 6);
+  EXPECT_EQ(m.global_batch(), 7168);
+  EXPECT_EQ(m.device_vns(0), (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(m.device_vns(1), (std::vector<std::int32_t>{2, 3, 4, 5}));
+  EXPECT_EQ(m.vn_batch(0), 3072);
+  EXPECT_EQ(m.vn_batch(5), 256);
+  EXPECT_EQ(m.device_batch_total(0), 6144);
+}
+
+TEST(VnMapping, UnevenValidation) {
+  EXPECT_THROW(VnMapping::uneven({}), VfError);
+  EXPECT_THROW(VnMapping::uneven({{64}, {}}), VfError);   // empty device
+  EXPECT_THROW(VnMapping::uneven({{64}, {0}}), VfError);  // zero batch
+}
+
+TEST(VnMapping, RedistributedPreservesVnsAndBatches) {
+  // Fig 1: 16 GPUs -> 4 GPUs keeps all 16 VNs, 4 per GPU.
+  const auto m16 = VnMapping::even(16, 16, 8192);
+  const auto m4 = m16.redistributed(4);
+  EXPECT_EQ(m4.num_devices(), 4);
+  EXPECT_EQ(m4.total_vns(), 16);
+  EXPECT_EQ(m4.global_batch(), 8192);
+  EXPECT_EQ(m4.shares(), m16.shares());
+  for (std::int64_t d = 0; d < 4; ++d) EXPECT_EQ(m4.device_vns(d).size(), 4u);
+}
+
+TEST(VnMapping, RedistributeUpAndDown) {
+  const auto m = VnMapping::even(8, 2, 64);
+  const auto up = m.redistributed(8);
+  EXPECT_EQ(up.num_devices(), 8);
+  for (std::int64_t d = 0; d < 8; ++d) EXPECT_EQ(up.device_vns(d).size(), 1u);
+  EXPECT_THROW(m.redistributed(9), VfError);  // more devices than VNs
+}
+
+TEST(VnMapping, SlicesMatchShares) {
+  const auto m = VnMapping::uneven({{6}, {2}});
+  const auto slices = m.slices();
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].count, 6);
+  EXPECT_EQ(slices[1].begin, 6);
+}
+
+TEST(VnMapping, DeviceOfFindsHost) {
+  const auto m = VnMapping::even(6, 3, 60);
+  EXPECT_EQ(m.device_of(0), 0);
+  EXPECT_EQ(m.device_of(2), 1);
+  EXPECT_EQ(m.device_of(5), 2);
+  EXPECT_THROW(m.device_of(6), VfError);
+}
+
+TEST(VnMapping, DescribeMentionsGeometry) {
+  const auto m = VnMapping::even(4, 2, 64);
+  const std::string s = m.describe();
+  EXPECT_NE(s.find("2 device"), std::string::npos);
+  EXPECT_NE(s.find("4 VN"), std::string::npos);
+  EXPECT_NE(s.find("64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/batch.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+GaussianMixtureDataset make_ds() {
+  return GaussianMixtureDataset("t", 42, 64, 4, 2, 0.3F);
+}
+
+TEST(EpochBatcher, MatchesPureFunctionForm) {
+  // The cached batcher must produce exactly the indices of the pure
+  // sharding functions.
+  const auto ds = make_ds();
+  EpochBatcher batcher(ds, 7, 16);
+  const auto slices = split_batch(16, {4, 4, 8});
+  for (std::int64_t epoch : {0, 1, 5}) {
+    for (std::int64_t b = 0; b < batcher.batches_per_epoch(); ++b) {
+      for (std::int64_t vn = 0; vn < 3; ++vn) {
+        EXPECT_EQ(batcher.indices(epoch, b, slices, vn),
+                  vn_batch_indices(64, 7, epoch, b, 16, slices, vn));
+      }
+    }
+  }
+}
+
+TEST(EpochBatcher, CacheSurvivesEpochSwitches) {
+  const auto ds = make_ds();
+  EpochBatcher batcher(ds, 7, 16);
+  const auto slices = split_batch(16, {16});
+  const auto e0 = batcher.indices(0, 0, slices, 0);
+  batcher.indices(1, 0, slices, 0);  // switch epoch
+  EXPECT_EQ(batcher.indices(0, 0, slices, 0), e0);  // switch back
+}
+
+TEST(EpochBatcher, MicroBatchMaterializesFeaturesAndLabels) {
+  const auto ds = make_ds();
+  EpochBatcher batcher(ds, 7, 16);
+  const auto slices = split_batch(16, {12, 4});
+  const MicroBatch mb = batcher.micro_batch(0, 0, slices, 1);
+  EXPECT_EQ(mb.features.rows(), 4);
+  EXPECT_EQ(mb.features.cols(), 4);
+  EXPECT_EQ(mb.labels.size(), 4u);
+}
+
+TEST(EpochBatcher, SliceLayoutMayChangeBetweenBatches) {
+  // An elastic resize changes the slicing mid-epoch; the union of indices
+  // per global batch must be unaffected.
+  const auto ds = make_ds();
+  EpochBatcher batcher(ds, 7, 16);
+  const auto even = split_batch(16, {4, 4, 4, 4});
+  const auto skew = split_batch(16, {8, 8});
+
+  std::set<std::int64_t> union_even, union_skew;
+  for (std::int64_t vn = 0; vn < 4; ++vn)
+    for (auto i : batcher.indices(0, 1, even, vn)) union_even.insert(i);
+  for (std::int64_t vn = 0; vn < 2; ++vn)
+    for (auto i : batcher.indices(0, 1, skew, vn)) union_skew.insert(i);
+  EXPECT_EQ(union_even, union_skew);
+}
+
+TEST(EpochBatcher, OutOfRangeBatchThrows) {
+  const auto ds = make_ds();
+  EpochBatcher batcher(ds, 7, 16);
+  const auto slices = split_batch(16, {16});
+  EXPECT_THROW(batcher.indices(0, 4, slices, 0), VfError);  // 64/16 = 4 batches
+  EXPECT_THROW(batcher.indices(0, 0, slices, 1), VfError);  // only VN 0 exists
+}
+
+TEST(MaterializeAll, FullAndLimited) {
+  const auto ds = make_ds();
+  const MicroBatch all = materialize_all(ds);
+  EXPECT_EQ(all.features.rows(), 64);
+  const MicroBatch ten = materialize_all(ds, 10);
+  EXPECT_EQ(ten.features.rows(), 10);
+  // Limited view is a prefix of the full view.
+  for (std::int64_t j = 0; j < ds.feature_dim(); ++j)
+    EXPECT_EQ(ten.features.at(9, j), all.features.at(9, j));
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,138 @@
+// Synthetic dataset generators: determinism, geometry, split semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+TEST(GaussianMixture, DeterministicExamples) {
+  GaussianMixtureDataset a("t", 42, 100, 8, 4, 0.3F);
+  GaussianMixtureDataset b("t", 42, 100, 8, 4, 0.3F);
+  for (std::int64_t i = 0; i < 100; i += 7) {
+    const Example ea = a.example(i);
+    const Example eb = b.example(i);
+    EXPECT_EQ(ea.label, eb.label);
+    EXPECT_EQ(ea.features, eb.features);
+  }
+}
+
+TEST(GaussianMixture, ExampleAccessIsOrderIndependent) {
+  GaussianMixtureDataset a("t", 42, 100, 8, 4, 0.3F);
+  const Example e50_first = a.example(50);
+  GaussianMixtureDataset b("t", 42, 100, 8, 4, 0.3F);
+  for (std::int64_t i = 0; i < 50; ++i) b.example(i);
+  EXPECT_EQ(b.example(50).features, e50_first.features);
+}
+
+TEST(GaussianMixture, SeedsChangeData) {
+  GaussianMixtureDataset a("t", 1, 10, 8, 4, 0.3F);
+  GaussianMixtureDataset b("t", 2, 10, 8, 4, 0.3F);
+  EXPECT_NE(a.example(0).features, b.example(0).features);
+}
+
+TEST(GaussianMixture, LabelsCoverClasses) {
+  GaussianMixtureDataset d("t", 3, 2000, 4, 5, 0.3F);
+  std::set<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 2000; ++i) labels.insert(d.example(i).label);
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST(GaussianMixture, OffsetShiftsExamplesButKeepsCenters) {
+  // With offset n, val example i equals what train example i+n would be —
+  // same mixture, disjoint draws.
+  GaussianMixtureDataset train("t", 4, 100, 8, 4, 0.3F, 0);
+  GaussianMixtureDataset val("t", 4, 50, 8, 4, 0.3F, 100);
+  GaussianMixtureDataset wide("t", 4, 150, 8, 4, 0.3F, 0);
+  EXPECT_EQ(val.example(0).features, wide.example(100).features);
+  EXPECT_NE(val.example(0).features, train.example(0).features);
+}
+
+TEST(GaussianMixture, NoiseControlsSpread) {
+  GaussianMixtureDataset tight("t", 5, 500, 8, 2, 0.05F);
+  GaussianMixtureDataset loose("t", 5, 500, 8, 2, 1.0F);
+  // Average distance of example from its class's average position grows
+  // with noise; proxy: feature variance.
+  auto var = [](const Dataset& d) {
+    double sum = 0.0, sum2 = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t i = 0; i < 500; ++i) {
+      for (float v : d.example(i).features) {
+        sum += v;
+        sum2 += v * v;
+        ++n;
+      }
+    }
+    const double m = sum / n;
+    return sum2 / n - m * m;
+  };
+  EXPECT_GT(var(loose), var(tight) * 2.0);
+}
+
+TEST(GaussianMixture, InvalidParamsThrow) {
+  EXPECT_THROW(GaussianMixtureDataset("t", 1, 0, 8, 4, 0.3F), VfError);
+  EXPECT_THROW(GaussianMixtureDataset("t", 1, 10, 8, 1, 0.3F), VfError);
+  EXPECT_THROW(GaussianMixtureDataset("t", 1, 10, 8, 4, 0.0F), VfError);
+}
+
+TEST(Teacher, DeterministicAndConsistent) {
+  TeacherDataset a("t", 42, 50, 8, 2, 4, 0.1F);
+  TeacherDataset b("t", 42, 50, 8, 2, 4, 0.1F);
+  for (std::int64_t i = 0; i < 50; i += 5) {
+    EXPECT_EQ(a.example(i).label, b.example(i).label);
+    EXPECT_EQ(a.example(i).features, b.example(i).features);
+  }
+}
+
+TEST(Teacher, LabelNoiseRateApproximatelyRespected) {
+  // With noise p, labels differ from the clean teacher on ~p/2 of examples
+  // (resampling can restore the original label for binary classes).
+  TeacherDataset clean("t", 7, 4000, 8, 2, 4, 0.0F);
+  TeacherDataset noisy("t", 7, 4000, 8, 2, 4, 0.4F);
+  std::int64_t diff = 0;
+  for (std::int64_t i = 0; i < 4000; ++i)
+    if (clean.example(i).label != noisy.example(i).label) ++diff;
+  EXPECT_NEAR(static_cast<double>(diff) / 4000.0, 0.2, 0.03);
+}
+
+TEST(Teacher, BothClassesPresent) {
+  TeacherDataset d("t", 8, 1000, 8, 2, 4, 0.0F);
+  std::set<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 1000; ++i) labels.insert(d.example(i).label);
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(Spirals, GeometryAndDeterminism) {
+  SpiralsDataset d("s", 42, 100, 0.0F);
+  EXPECT_EQ(d.feature_dim(), 2);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_EQ(d.example(0).label, 0);
+  EXPECT_EQ(d.example(1).label, 1);
+  SpiralsDataset e("s", 42, 100, 0.0F);
+  EXPECT_EQ(d.example(13).features, e.example(13).features);
+}
+
+TEST(Dataset, GatherMaterializesSelectedRows) {
+  GaussianMixtureDataset d("t", 9, 100, 4, 3, 0.3F);
+  Tensor feats;
+  std::vector<std::int64_t> labels;
+  d.gather({5, 10, 5}, feats, labels);
+  EXPECT_EQ(feats.rows(), 3);
+  EXPECT_EQ(feats.cols(), 4);
+  EXPECT_EQ(labels.size(), 3u);
+  // Row 0 and row 2 both reference example 5.
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_EQ(feats.at(0, j), feats.at(2, j));
+  EXPECT_EQ(labels[0], labels[2]);
+}
+
+TEST(Dataset, ExampleIndexOutOfRangeThrows) {
+  GaussianMixtureDataset d("t", 10, 10, 4, 3, 0.3F);
+  EXPECT_THROW(d.example(10), VfError);
+  EXPECT_THROW(d.example(-1), VfError);
+}
+
+}  // namespace
+}  // namespace vf

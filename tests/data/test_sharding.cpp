@@ -1,0 +1,128 @@
+// Exactly-once sharding (§5.2) — including the parameterized property test
+// over uneven share vectors that guards the heterogeneous data semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "data/sharding.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+TEST(EpochPermutation, IsPermutationAndDeterministic) {
+  const auto p = epoch_permutation(100, 42, 3);
+  std::set<std::int64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(p, epoch_permutation(100, 42, 3));
+}
+
+TEST(EpochPermutation, VariesByEpochAndSeed) {
+  EXPECT_NE(epoch_permutation(64, 42, 0), epoch_permutation(64, 42, 1));
+  EXPECT_NE(epoch_permutation(64, 42, 0), epoch_permutation(64, 43, 0));
+}
+
+TEST(SplitBatch, EvenShares) {
+  const auto slices = split_batch(8, {2, 2, 2, 2});
+  ASSERT_EQ(slices.size(), 4u);
+  EXPECT_EQ(slices[0].begin, 0);
+  EXPECT_EQ(slices[3].begin, 6);
+  for (const auto& s : slices) EXPECT_EQ(s.count, 2);
+}
+
+TEST(SplitBatch, UnevenSharesPreserveOrder) {
+  // The paper's 6:2 example (§5.2).
+  const auto slices = split_batch(8, {6, 2});
+  EXPECT_EQ(slices[0].count, 6);
+  EXPECT_EQ(slices[1].begin, 6);
+  EXPECT_EQ(slices[1].count, 2);
+}
+
+TEST(SplitBatch, Validation) {
+  EXPECT_THROW(split_batch(8, {4, 3}), VfError);   // doesn't sum to B
+  EXPECT_THROW(split_batch(8, {8, 0}), VfError);   // zero share
+  EXPECT_THROW(split_batch(8, {}), VfError);       // no VNs
+  EXPECT_THROW(split_batch(0, {0}), VfError);      // empty batch
+}
+
+TEST(BatchesPerEpoch, DropRemainder) {
+  EXPECT_EQ(batches_per_epoch(100, 30), 3);
+  EXPECT_EQ(batches_per_epoch(90, 30), 3);
+  EXPECT_THROW(batches_per_epoch(10, 30), VfError);
+}
+
+TEST(VnBatchIndices, DisjointCoverAcrossVnsWithinBatch) {
+  const auto slices = split_batch(12, {4, 4, 4});
+  std::set<std::int64_t> seen;
+  for (std::int64_t vn = 0; vn < 3; ++vn) {
+    for (auto idx : vn_batch_indices(48, 42, 0, 1, 12, slices, vn)) {
+      EXPECT_TRUE(seen.insert(idx).second) << "index seen twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(VnBatchIndices, IndependentOfSliceLayoutUnion) {
+  // The union of indices in a global batch must not depend on how the
+  // batch is sliced — only per-VN membership changes.
+  auto collect = [](const std::vector<BatchSlice>& slices) {
+    std::set<std::int64_t> all;
+    for (std::size_t vn = 0; vn < slices.size(); ++vn)
+      for (auto i : vn_batch_indices(64, 7, 2, 1, 16, slices,
+                                     static_cast<std::int64_t>(vn)))
+        all.insert(i);
+    return all;
+  };
+  EXPECT_EQ(collect(split_batch(16, {4, 4, 4, 4})),
+            collect(split_batch(16, {12, 4})));
+  EXPECT_EQ(collect(split_batch(16, {4, 4, 4, 4})),
+            collect(split_batch(16, {16})));
+}
+
+// ---- Property test: exactly-once delivery over an epoch for arbitrary
+// (even and uneven) share vectors.
+class ShardingProperty : public ::testing::TestWithParam<std::vector<std::int64_t>> {};
+
+TEST_P(ShardingProperty, ExactlyOncePerEpoch) {
+  const std::vector<std::int64_t> shares = GetParam();
+  const std::int64_t B = std::accumulate(shares.begin(), shares.end(), std::int64_t{0});
+  const std::int64_t dataset = 4 * B + 3;  // deliberately not a multiple
+  const auto slices = split_batch(B, shares);
+  const std::int64_t nb = batches_per_epoch(dataset, B);
+
+  std::map<std::int64_t, int> count;
+  for (std::int64_t b = 0; b < nb; ++b) {
+    for (std::size_t vn = 0; vn < shares.size(); ++vn) {
+      for (auto idx : vn_batch_indices(dataset, 42, 1, b, B, slices,
+                                       static_cast<std::int64_t>(vn))) {
+        ++count[idx];
+      }
+    }
+  }
+  // Every consumed example exactly once; exactly nb*B examples consumed.
+  std::int64_t total = 0;
+  for (const auto& [idx, c] : count) {
+    EXPECT_EQ(c, 1) << "example " << idx << " seen " << c << " times";
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, dataset);
+    total += c;
+  }
+  EXPECT_EQ(total, nb * B);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShareVectors, ShardingProperty,
+    ::testing::Values(
+        std::vector<std::int64_t>{8},                 // single VN
+        std::vector<std::int64_t>{4, 4},              // even
+        std::vector<std::int64_t>{6, 2},              // paper's §5.2 example
+        std::vector<std::int64_t>{3, 1, 1, 3},        // mixed
+        std::vector<std::int64_t>{1, 1, 1, 1, 1, 1},  // many tiny VNs
+        std::vector<std::int64_t>{12, 4},             // 3:1 heterogeneous
+        std::vector<std::int64_t>{5, 7, 11},          // awkward primes
+        std::vector<std::int64_t>{1, 31}));           // extreme skew
+
+}  // namespace
+}  // namespace vf

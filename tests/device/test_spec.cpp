@@ -1,0 +1,76 @@
+// Device catalog: calibration anchors the paper's ratios depend on.
+#include <gtest/gtest.h>
+
+#include "device/spec.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+TEST(DeviceSpec, CatalogNames) {
+  EXPECT_STREQ(device_type_name(DeviceType::kV100), "V100");
+  EXPECT_STREQ(device_type_name(DeviceType::kP100), "P100");
+  EXPECT_STREQ(device_type_name(DeviceType::kK80), "K80");
+  EXPECT_STREQ(device_type_name(DeviceType::kRtx2080Ti), "RTX2080Ti");
+}
+
+TEST(DeviceSpec, MemoryCapacities) {
+  EXPECT_DOUBLE_EQ(device_spec(DeviceType::kV100).mem_bytes, 16.0 * kGiB);
+  EXPECT_DOUBLE_EQ(device_spec(DeviceType::kP100).mem_bytes, 16.0 * kGiB);
+  EXPECT_DOUBLE_EQ(device_spec(DeviceType::kRtx2080Ti).mem_bytes, 11.0 * kGiB);
+  EXPECT_DOUBLE_EQ(device_spec(DeviceType::kK80).mem_bytes, 12.0 * kGiB);
+}
+
+TEST(DeviceSpec, V100IsFourTimesP100) {
+  // §5.1.2: "V100 GPUs are 4x as fast as P100 GPUs" for ResNet-50-class
+  // work. Our effective-FLOPs calibration encodes exactly that ratio.
+  const double v = device_spec(DeviceType::kV100).effective_flops();
+  const double p = device_spec(DeviceType::kP100).effective_flops();
+  EXPECT_NEAR(v / p, 4.0, 0.2);
+}
+
+TEST(DeviceSpec, P100IsRoughlyFourTimesK80) {
+  const double p = device_spec(DeviceType::kP100).effective_flops();
+  const double k = device_spec(DeviceType::kK80).effective_flops();
+  EXPECT_NEAR(p / k, 4.0, 0.3);
+}
+
+TEST(DeviceSpec, Rtx2080TiBetweenP100AndV100) {
+  const double v = device_spec(DeviceType::kV100).effective_flops();
+  const double p = device_spec(DeviceType::kP100).effective_flops();
+  const double r = device_spec(DeviceType::kRtx2080Ti).effective_flops();
+  EXPECT_GT(r, p);
+  EXPECT_LT(r, v);
+}
+
+TEST(DeviceSpec, UsableMemoryBelowCapacity) {
+  for (auto t : {DeviceType::kV100, DeviceType::kP100, DeviceType::kK80,
+                 DeviceType::kRtx2080Ti}) {
+    const DeviceSpec& s = device_spec(t);
+    EXPECT_LT(s.usable_mem_bytes(), s.mem_bytes);
+    EXPECT_GT(s.usable_mem_bytes(), 0.9 * s.mem_bytes * 0.9);
+  }
+}
+
+TEST(MakeDevices, IdsSequential) {
+  const auto d = make_devices(DeviceType::kV100, 3, 10);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].id, 10);
+  EXPECT_EQ(d[2].id, 12);
+  EXPECT_EQ(d[1].type, DeviceType::kV100);
+}
+
+TEST(MakeHeterogeneous, ContiguousIdsAcrossGroups) {
+  const auto d = make_heterogeneous({{DeviceType::kV100, 2}, {DeviceType::kP100, 3}});
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0].type, DeviceType::kV100);
+  EXPECT_EQ(d[2].type, DeviceType::kP100);
+  EXPECT_EQ(d[4].id, 4);
+}
+
+TEST(MakeDevices, NegativeCountThrows) {
+  EXPECT_THROW(make_devices(DeviceType::kV100, -1), VfError);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,160 @@
+// Cross-module integration: full training runs reach calibrated targets,
+// the TF* baseline degrades, heterogeneous training preserves accuracy,
+// and scheduler-driven resizes leave convergence untouched end to end.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/trainer.h"
+#include "profiler/profiler.h"
+#include "sched/simulator.h"
+#include "sched/wfs.h"
+#include "solver/solver.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf {
+namespace {
+
+EngineConfig cfg_with_seed(std::uint64_t seed) {
+  EngineConfig cfg;
+  cfg.seed = seed;
+  cfg.enforce_memory = false;
+  return cfg;
+}
+
+TEST(EndToEnd, GlueTaskReachesPaperTargetBand) {
+  // qnli-sim at reference batch 64 should land near the paper's 90.9%.
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe recipe = make_recipe("qnli-sim");
+  VirtualFlowEngine eng(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                        model_profile("bert-base"), make_devices(DeviceType::kV100, 2),
+                        VnMapping::even(8, 2, recipe.global_batch), cfg_with_seed(42));
+  const TrainResult res = train(eng, *task.val, recipe.epochs);
+  EXPECT_GT(res.final_accuracy, task.target_accuracy - 0.02);
+  EXPECT_LT(res.final_accuracy, task.target_accuracy + 0.03);
+}
+
+TEST(EndToEnd, HeterogeneousSolverConfigTrainsToSameAccuracyAsHomogeneous) {
+  // Solve a 1 V100 + 1 P100 split for rte-sim's batch and verify training
+  // under the solver's uneven mapping matches the homogeneous result
+  // (same seed, same VN count => same examples; BN sees per-VN batches,
+  // so require near-equality of final accuracy).
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe r1 = make_recipe("qnli-sim");
+  TrainRecipe r2 = make_recipe("qnli-sim");
+
+  // Homogeneous: 8 VNs of 8 on one V100.
+  VirtualFlowEngine homog(model, *r1.optimizer, *r1.schedule, *task.train,
+                          model_profile("bert-base"),
+                          make_devices(DeviceType::kV100, 1),
+                          VnMapping::even(8, 1, 64), cfg_with_seed(42));
+  // Heterogeneous with the same 8-example VN granularity: 6 VNs on the
+  // V100, 2 on the P100 — same slices, so bit-exact equality is expected.
+  auto hetero_devices =
+      make_heterogeneous({{DeviceType::kV100, 1}, {DeviceType::kP100, 1}});
+  VirtualFlowEngine hetero(model, *r2.optimizer, *r2.schedule, *task.train,
+                           model_profile("bert-base"), hetero_devices,
+                           VnMapping::uneven({{8, 8, 8, 8, 8, 8}, {8, 8}}),
+                           cfg_with_seed(42));
+  for (int i = 0; i < 40; ++i) {
+    homog.train_step();
+    hetero.train_step();
+  }
+  EXPECT_TRUE(homog.parameters().equals(hetero.parameters()));
+  EXPECT_DOUBLE_EQ(homog.evaluate(*task.val), hetero.evaluate(*task.val));
+}
+
+TEST(EndToEnd, SolverPredictionCloseToEngineSimulation) {
+  // Fig 14's claim at integration level: solver-predicted step time within
+  // ~10% of the engine's simulated step time for a heterogeneous config.
+  const ModelProfile& m = model_profile("resnet50");
+  std::map<DeviceType, OfflineProfile> profiles;
+  profiles.emplace(DeviceType::kV100, profile_workload(DeviceType::kV100, m));
+  profiles.emplace(DeviceType::kP100, profile_workload(DeviceType::kP100, m));
+  HeterogeneousSolver solver(m, std::move(profiles));
+  const auto sol = solver.solve({{DeviceType::kV100, 1}, {DeviceType::kP100, 1}}, 2048);
+  ASSERT_TRUE(sol.has_value());
+
+  // Build the engine mapping from the solver's assignment.
+  std::vector<std::vector<std::int64_t>> per_device;
+  std::vector<std::pair<DeviceType, std::int64_t>> groups;
+  for (const auto& a : sol->assignment) {
+    groups.push_back({a.type, a.gpus});
+    for (std::int64_t g = 0; g < a.gpus; ++g)
+      per_device.push_back(std::vector<std::int64_t>(
+          static_cast<std::size_t>(a.vns_per_gpu), a.per_vn_batch));
+  }
+  ProxyTask task = make_task("imagenet-sim", 42);
+  Sequential model = make_proxy_model("imagenet-sim", 42);
+  TrainRecipe recipe = make_recipe_with_batch("imagenet-sim", 2048);
+  VirtualFlowEngine eng(model, *recipe.optimizer, *recipe.schedule, *task.train, m,
+                        make_heterogeneous(groups), VnMapping::uneven(per_device),
+                        cfg_with_seed(42));
+  eng.train_step();  // warm (first step pays graph optimization)
+  const double actual = eng.train_step().step_time_s;
+  EXPECT_NEAR(sol->predicted_step_time_s, actual, 0.10 * actual);
+}
+
+TEST(EndToEnd, WfsResizeScheduleReplaysWithoutAccuracyLoss) {
+  // Drive a real training run with the allocation timeline produced by
+  // the WFS scheduler (Fig 10c's experiment): accuracies must match the
+  // uninterrupted run exactly.
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe r1 = make_recipe("cola-sim");
+  TrainRecipe r2 = make_recipe("cola-sim");
+
+  VirtualFlowEngine steady(model, *r1.optimizer, *r1.schedule, *task.train,
+                           model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, 4),
+                           VnMapping::even(8, 4, 64), cfg_with_seed(42));
+  VirtualFlowEngine elastic(model, *r2.optimizer, *r2.schedule, *task.train,
+                            model_profile("bert-base"),
+                            make_devices(DeviceType::kV100, 4),
+                            VnMapping::even(8, 4, 64), cfg_with_seed(42));
+
+  std::vector<ReconfigEvent> events;
+  for (const auto& [step, devices] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{{20, 2}, {50, 1}, {90, 8}}) {
+    ReconfigEvent ev;
+    ev.at_step = step;
+    ev.devices = make_devices(DeviceType::kV100, devices);
+    events.push_back(ev);
+  }
+  const TrainResult a = train(steady, *task.val, 1);
+  const TrainResult b = train(elastic, *task.val, 1, events);
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+TEST(EndToEnd, SimulatedClockRewardsElasticity) {
+  // A downsized-then-upsized run takes longer in simulated time than a
+  // fixed large allocation but much less than running at the small
+  // allocation throughout — the Fig 4 trade-off.
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+
+  auto run = [&](std::int64_t devices, bool dip) {
+    TrainRecipe r = make_recipe("qnli-sim");
+    VirtualFlowEngine eng(model, *r.optimizer, *r.schedule, *task.train,
+                          model_profile("bert-base"),
+                          make_devices(DeviceType::kV100, devices),
+                          VnMapping::even(8, devices, 64), cfg_with_seed(42));
+    for (int i = 0; i < 30; ++i) {
+      if (dip && i == 10) eng.resize(make_devices(DeviceType::kV100, 1));
+      if (dip && i == 20) eng.resize(make_devices(DeviceType::kV100, 8));
+      eng.train_step();
+    }
+    return eng.sim_time_s();
+  };
+  const double fast = run(8, false);
+  const double dipped = run(8, true);
+  const double slow = run(1, false);
+  EXPECT_GT(dipped, fast);
+  EXPECT_LT(dipped, slow);
+}
+
+}  // namespace
+}  // namespace vf

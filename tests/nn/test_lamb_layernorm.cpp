@@ -1,0 +1,170 @@
+// LAMB optimizer and LayerNorm: behaviour + gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+// ------------------------------------------------------------------ LAMB
+
+struct Rig {
+  Sequential model;
+  Rig() {
+    CounterRng rng(1, 0);
+    model.add(std::make_unique<Dense>(1, 1, rng));
+    w() = 1.0F;
+    b() = 0.0F;
+  }
+  float& w() { return model.params()[0]->at(0); }
+  float& b() { return model.params()[1]->at(0); }
+  void set_grads(float gw, float gb) {
+    model.grads()[0]->at(0) = gw;
+    model.grads()[1]->at(0) = gb;
+  }
+};
+
+TEST(Lamb, TrustRatioScalesUpdateToWeightNorm) {
+  // For a single scalar with |w| = 1, the first LAMB step has magnitude
+  // ~lr * |w| regardless of gradient scale (the layer-wise adaptivity).
+  Rig big, small;
+  Lamb opt_a(0.9F, 0.999F, 1e-6F, 0.0F);
+  Lamb opt_b(0.9F, 0.999F, 1e-6F, 0.0F);
+  big.set_grads(100.0F, 0.0F);
+  small.set_grads(0.01F, 0.0F);
+  opt_a.apply(big.model, 0.1F);
+  opt_b.apply(small.model, 0.1F);
+  EXPECT_NEAR(big.w(), 1.0F - 0.1F, 1e-3F);
+  EXPECT_NEAR(small.w(), 1.0F - 0.1F, 1e-3F);
+}
+
+TEST(Lamb, ConvergesOnQuadratic) {
+  Rig r;
+  Lamb opt(0.9F, 0.999F, 1e-6F, 0.0F);
+  for (int i = 0; i < 3000; ++i) {
+    r.set_grads(2.0F * (r.w() - 3.0F), 0.0F);
+    opt.apply(r.model, 0.01F);
+  }
+  EXPECT_NEAR(r.w(), 3.0F, 0.1F);
+}
+
+TEST(Lamb, SlotsAndCounterRoundTrip) {
+  Rig r;
+  Lamb opt;
+  r.set_grads(1.0F, 1.0F);
+  opt.apply(r.model, 0.01F);
+  opt.apply(r.model, 0.01F);
+  EXPECT_EQ(opt.slots().size(), 4u);  // m and v per tensor
+  EXPECT_EQ(opt.counter(), 2);
+  opt.set_counter(7);
+  EXPECT_EQ(opt.counter(), 7);
+}
+
+TEST(Lamb, CloneCarriesState) {
+  Rig r;
+  Lamb opt;
+  r.set_grads(1.0F, 0.5F);
+  opt.apply(r.model, 0.01F);
+  auto c = opt.clone();
+  EXPECT_EQ(c->counter(), 1);
+  EXPECT_EQ(c->slots().size(), opt.slots().size());
+}
+
+TEST(Lamb, InvalidHyperparametersThrow) {
+  EXPECT_THROW(Lamb(1.0F), VfError);
+  EXPECT_THROW(Lamb(0.9F, 0.999F, 1e-6F, -1.0F), VfError);
+}
+
+// -------------------------------------------------------------- LayerNorm
+
+ExecContext train_ctx() {
+  ExecContext ctx;
+  ctx.seed = 42;
+  ctx.training = true;
+  return ctx;
+}
+
+TEST(LayerNorm, NormalizesEachRow) {
+  LayerNorm ln(4);
+  Tensor x = Tensor::from_values({2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = ln.forward(x, train_ctx());
+  for (std::int64_t i = 0; i < 2; ++i) {
+    float mean = 0.0F, var = 0.0F;
+    for (std::int64_t j = 0; j < 4; ++j) mean += y.at(i, j);
+    mean /= 4.0F;
+    for (std::int64_t j = 0; j < 4; ++j) var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 4.0F;
+    EXPECT_NEAR(mean, 0.0F, 1e-5F);
+    EXPECT_NEAR(var, 1.0F, 1e-2F);
+  }
+}
+
+TEST(LayerNorm, IndependentOfBatchComposition) {
+  // The property that makes LayerNorm models trivially mapping-invariant:
+  // each row's output is independent of the other rows.
+  LayerNorm ln(3);
+  Tensor two = Tensor::from_values({2, 3}, {1, 2, 3, -5, 0, 5});
+  Tensor one = Tensor::from_values({1, 3}, {1, 2, 3});
+  Tensor y2 = ln.forward(two, train_ctx());
+  Tensor y1 = ln.forward(one, train_ctx());
+  for (std::int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(y2.at(0, j), y1.at(0, j));
+}
+
+TEST(LayerNorm, GradCheck) {
+  CounterRng rng(5, 0);
+  LayerNorm ln(5);
+  // Non-trivial gamma/beta.
+  for (std::int64_t j = 0; j < 5; ++j) {
+    ln.params()[0]->at(j) = 0.7F + 0.2F * static_cast<float>(j);
+    ln.params()[1]->at(j) = -0.1F * static_cast<float>(j);
+  }
+  Tensor x = Tensor::randn({4, 5}, rng);
+  Tensor y = ln.forward(x, train_ctx());
+  Tensor g = Tensor::randn(y.shape(), rng);
+  ln.zero_grad();
+  Tensor gx = ln.backward(g);
+
+  auto loss_at = [&](LayerNorm& layer, const Tensor& xin) {
+    Tensor out = layer.forward(xin, train_ctx());
+    double l = 0.0;
+    for (std::int64_t i = 0; i < out.size(); ++i)
+      l += static_cast<double>(g.at(i)) * out.at(i);
+    return l;
+  };
+  const float eps = 1e-2F;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp.at(i) += eps;
+    xm.at(i) -= eps;
+    EXPECT_NEAR(gx.at(i), (loss_at(ln, xp) - loss_at(ln, xm)) / (2 * eps), 2e-2)
+        << "input grad " << i;
+  }
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::int64_t i = 0; i < 5; ++i) {
+      const float orig = ln.params()[p]->at(i);
+      ln.params()[p]->at(i) = orig + eps;
+      const double lp = loss_at(ln, x);
+      ln.params()[p]->at(i) = orig - eps;
+      const double lm = loss_at(ln, x);
+      ln.params()[p]->at(i) = orig;
+      EXPECT_NEAR(ln.grads()[p]->at(i), (lp - lm) / (2 * eps), 2e-2)
+          << "param " << p << " grad " << i;
+    }
+  }
+}
+
+TEST(LayerNorm, CloneAndDims) {
+  LayerNorm ln(7);
+  EXPECT_EQ(ln.dim(), 7);
+  auto c = ln.clone();
+  EXPECT_EQ(c->name(), "layer_norm");
+  EXPECT_THROW(LayerNorm(0), VfError);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,210 @@
+// Behavioural tests for individual layers (shapes, modes, determinism).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+ExecContext make_ctx(bool training, std::int64_t step = 0, std::int32_t vn = 0,
+                     VnState* state = nullptr) {
+  ExecContext ctx;
+  ctx.seed = 42;
+  ctx.step = step;
+  ctx.vn_id = vn;
+  ctx.training = training;
+  ctx.state = state;
+  return ctx;
+}
+
+TEST(Dense, ForwardShapeAndBias) {
+  CounterRng rng(1, 0);
+  Dense d(3, 2, rng);
+  // Zero the weights: output should equal the bias.
+  d.params()[0]->fill(0.0F);
+  d.params()[1]->at(0) = 1.5F;
+  d.params()[1]->at(1) = -2.0F;
+  Tensor x = Tensor::full({4, 3}, 1.0F);
+  Tensor y = d.forward(x, make_ctx(true));
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{4, 2}));
+  EXPECT_EQ(y.at(2, 0), 1.5F);
+  EXPECT_EQ(y.at(3, 1), -2.0F);
+}
+
+TEST(Dense, ParamCount) {
+  CounterRng rng(2, 0);
+  Dense d(10, 7, rng);
+  EXPECT_EQ(d.param_count(), 10 * 7 + 7);
+}
+
+TEST(Dense, GradAccumulatesAcrossBackwards) {
+  CounterRng rng(3, 0);
+  Dense d(2, 2, rng);
+  Tensor x = Tensor::full({1, 2}, 1.0F);
+  Tensor g = Tensor::full({1, 2}, 1.0F);
+  d.forward(x, make_ctx(true));
+  d.backward(g);
+  const float once = d.grads()[0]->at(0);
+  d.forward(x, make_ctx(true));
+  d.backward(g);
+  EXPECT_FLOAT_EQ(d.grads()[0]->at(0), 2.0F * once);
+  d.zero_grad();
+  EXPECT_EQ(d.grads()[0]->at(0), 0.0F);
+}
+
+TEST(Dense, InputShapeMismatchThrows) {
+  CounterRng rng(4, 0);
+  Dense d(3, 2, rng);
+  Tensor x({2, 4});
+  EXPECT_THROW(d.forward(x, make_ctx(true)), VfError);
+}
+
+TEST(Relu, ClampsNegatives) {
+  Relu r;
+  Tensor x = Tensor::from_values({1, 4}, {-1, 0, 2, -3});
+  Tensor y = r.forward(x, make_ctx(true));
+  EXPECT_EQ(y.at(0, 0), 0.0F);
+  EXPECT_EQ(y.at(0, 2), 2.0F);
+}
+
+TEST(Relu, BackwardMasksBySign) {
+  Relu r;
+  Tensor x = Tensor::from_values({1, 3}, {-1, 2, 0});
+  r.forward(x, make_ctx(true));
+  Tensor g = Tensor::full({1, 3}, 5.0F);
+  Tensor gx = r.backward(g);
+  EXPECT_EQ(gx.at(0, 0), 0.0F);
+  EXPECT_EQ(gx.at(0, 1), 5.0F);
+  EXPECT_EQ(gx.at(0, 2), 0.0F);  // derivative at 0 defined as 0
+}
+
+TEST(Tanh, Saturates) {
+  Tanh t;
+  Tensor x = Tensor::from_values({1, 2}, {100.0F, -100.0F});
+  Tensor y = t.forward(x, make_ctx(true));
+  EXPECT_NEAR(y.at(0, 0), 1.0F, 1e-6F);
+  EXPECT_NEAR(y.at(0, 1), -1.0F, 1e-6F);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout d(0.5F);
+  d.set_layer_index(1);
+  Tensor x = Tensor::full({2, 4}, 3.0F);
+  Tensor y = d.forward(x, make_ctx(false));
+  EXPECT_TRUE(y.equals(x));
+}
+
+TEST(Dropout, ZeroRateIsIdentity) {
+  Dropout d(0.0F);
+  d.set_layer_index(1);
+  Tensor x = Tensor::full({2, 4}, 3.0F);
+  EXPECT_TRUE(d.forward(x, make_ctx(true)).equals(x));
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(1.0F), VfError);
+  EXPECT_THROW(Dropout(-0.1F), VfError);
+}
+
+TEST(Dropout, MaskDeterministicInContext) {
+  Dropout a(0.5F), b(0.5F);
+  a.set_layer_index(3);
+  b.set_layer_index(3);
+  CounterRng rng(5, 0);
+  Tensor x = Tensor::randn({4, 8}, rng);
+  Tensor ya = a.forward(x, make_ctx(true, 7, 2));
+  Tensor yb = b.forward(x, make_ctx(true, 7, 2));
+  EXPECT_TRUE(ya.equals(yb));
+}
+
+TEST(Dropout, MaskVariesWithStepVnAndLayer) {
+  Dropout d(0.5F);
+  d.set_layer_index(3);
+  Tensor x = Tensor::full({1, 64}, 1.0F);
+  Tensor base = d.forward(x, make_ctx(true, 7, 2));
+  EXPECT_FALSE(d.forward(x, make_ctx(true, 8, 2)).equals(base)) << "step must vary mask";
+  EXPECT_FALSE(d.forward(x, make_ctx(true, 7, 3)).equals(base)) << "vn must vary mask";
+  Dropout other(0.5F);
+  other.set_layer_index(4);
+  EXPECT_FALSE(other.forward(x, make_ctx(true, 7, 2)).equals(base))
+      << "layer index must vary mask";
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation) {
+  Dropout d(0.25F);
+  d.set_layer_index(1);
+  Tensor x = Tensor::full({100, 100}, 1.0F);
+  Tensor y = d.forward(x, make_ctx(true));
+  EXPECT_NEAR(y.mean(), 1.0F, 0.02F);
+}
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+  BatchNorm1d bn(2);
+  bn.set_layer_index(0);
+  VnState state;
+  Tensor x = Tensor::from_values({4, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  Tensor y = bn.forward(x, make_ctx(true, 0, 0, &state));
+  // Column means ~0, variance ~1 after normalization (gamma=1, beta=0).
+  float mean0 = 0.0F, var0 = 0.0F;
+  for (std::int64_t i = 0; i < 4; ++i) mean0 += y.at(i, 0);
+  mean0 /= 4.0F;
+  for (std::int64_t i = 0; i < 4; ++i) var0 += (y.at(i, 0) - mean0) * (y.at(i, 0) - mean0);
+  var0 /= 4.0F;
+  EXPECT_NEAR(mean0, 0.0F, 1e-5F);
+  EXPECT_NEAR(var0, 1.0F, 1e-3F);
+}
+
+TEST(BatchNorm, UpdatesMovingStatsInVnState) {
+  BatchNorm1d bn(1);
+  bn.set_layer_index(5);
+  VnState state;
+  Tensor x = Tensor::full({4, 1}, 10.0F);
+  bn.forward(x, make_ctx(true, 0, 0, &state));
+  ASSERT_TRUE(state.has(bn.mean_key()));
+  // momentum 0.9: mean = 0.9*0 + 0.1*10 = 1.
+  EXPECT_NEAR(state.get(bn.mean_key()).at(0), 1.0F, 1e-5F);
+}
+
+TEST(BatchNorm, EvalUsesMovingStats) {
+  BatchNorm1d bn(1);
+  bn.set_layer_index(5);
+  VnState state;
+  state.put(bn.mean_key(), Tensor::full({1}, 4.0F));
+  state.put(bn.var_key(), Tensor::full({1}, 1.0F));
+  Tensor x = Tensor::full({2, 1}, 5.0F);
+  Tensor y = bn.forward(x, make_ctx(false, 0, 0, &state));
+  EXPECT_NEAR(y.at(0, 0), 1.0F, 1e-3F);  // (5-4)/sqrt(1+eps)
+}
+
+TEST(BatchNorm, EvalWithoutStateFallsBackToIdentityStats) {
+  // The "reset stateful kernels" failure mode: mean 0 / var 1.
+  BatchNorm1d bn(1);
+  bn.set_layer_index(5);
+  Tensor x = Tensor::full({2, 1}, 3.0F);
+  Tensor y = bn.forward(x, make_ctx(false, 0, 0, nullptr));
+  EXPECT_NEAR(y.at(0, 0), 3.0F, 1e-3F);
+}
+
+TEST(BatchNorm, DistinctLayersUseDistinctKeys) {
+  BatchNorm1d a(1), b(1);
+  a.set_layer_index(1);
+  b.set_layer_index(2);
+  EXPECT_NE(a.mean_key(), b.mean_key());
+  EXPECT_NE(a.var_key(), b.var_key());
+}
+
+TEST(Layers, CloneIsDeep) {
+  CounterRng rng(6, 0);
+  Dense d(2, 2, rng);
+  auto c = d.clone();
+  d.params()[0]->fill(9.0F);
+  auto* cd = dynamic_cast<Dense*>(c.get());
+  ASSERT_NE(cd, nullptr);
+  EXPECT_NE(cd->params()[0]->at(0), 9.0F);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "nn/schedule.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+TEST(ConstantLr, AlwaysSame) {
+  ConstantLr s(0.1F);
+  EXPECT_FLOAT_EQ(s.lr(0), 0.1F);
+  EXPECT_FLOAT_EQ(s.lr(100000), 0.1F);
+  EXPECT_THROW(ConstantLr(0.0F), VfError);
+}
+
+TEST(WarmupStepDecay, LinearWarmup) {
+  WarmupStepDecayLr s(1.0F, 10, {}, 0.1F);
+  EXPECT_FLOAT_EQ(s.lr(0), 0.1F);   // (0+1)/10
+  EXPECT_FLOAT_EQ(s.lr(4), 0.5F);
+  EXPECT_FLOAT_EQ(s.lr(9), 1.0F);
+  EXPECT_FLOAT_EQ(s.lr(10), 1.0F);
+}
+
+TEST(WarmupStepDecay, DecaysAtMilestones) {
+  WarmupStepDecayLr s(1.0F, 0, {100, 200}, 0.1F);
+  EXPECT_FLOAT_EQ(s.lr(50), 1.0F);
+  EXPECT_FLOAT_EQ(s.lr(100), 0.1F);
+  EXPECT_FLOAT_EQ(s.lr(150), 0.1F);
+  EXPECT_NEAR(s.lr(200), 0.01F, 1e-7F);
+}
+
+TEST(WarmupStepDecay, MilestonesMustIncrease) {
+  EXPECT_THROW(WarmupStepDecayLr(1.0F, 0, {200, 100}, 0.1F), VfError);
+}
+
+TEST(WarmupStepDecay, HardwareIndependence) {
+  // The schedule is a pure function of the step: two instances agree at
+  // every step regardless of construction order or call history.
+  WarmupStepDecayLr a(2.0F, 5, {50}, 0.5F);
+  WarmupStepDecayLr b(2.0F, 5, {50}, 0.5F);
+  a.lr(7);
+  for (std::int64_t s = 0; s < 100; s += 13) EXPECT_FLOAT_EQ(a.lr(s), b.lr(s));
+}
+
+TEST(CosineLr, EndpointsAndMidpoint) {
+  CosineLr s(1.0F, 100, 0.0F);
+  EXPECT_NEAR(s.lr(0), 1.0F, 1e-6F);
+  EXPECT_NEAR(s.lr(50), 0.5F, 1e-6F);
+  EXPECT_NEAR(s.lr(100), 0.0F, 1e-6F);
+  EXPECT_NEAR(s.lr(150), 0.0F, 1e-6F);  // clamped past the end
+}
+
+TEST(CosineLr, RespectsFloor) {
+  CosineLr s(1.0F, 10, 0.2F);
+  EXPECT_NEAR(s.lr(10), 0.2F, 1e-6F);
+  EXPECT_THROW(CosineLr(1.0F, 10, 2.0F), VfError);
+  EXPECT_THROW(CosineLr(1.0F, 0), VfError);
+}
+
+TEST(Schedules, CloneBehavesIdentically) {
+  WarmupStepDecayLr s(1.0F, 10, {30}, 0.1F);
+  auto c = s.clone();
+  for (std::int64_t i = 0; i < 50; ++i) EXPECT_FLOAT_EQ(s.lr(i), c->lr(i));
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,120 @@
+// Gavel-LAS rounds and the heterogeneous-allocation extension (§6.5.2).
+#include <gtest/gtest.h>
+
+#include "sched/gavel.h"
+#include "util/common.h"
+#include "util/stats.h"
+#include "workloads/profiles.h"
+
+namespace vf {
+namespace {
+
+JobSpec job(std::int64_t id, double arrival, std::int64_t steps, std::int64_t demand) {
+  JobSpec j;
+  j.id = id;
+  j.arrival_s = arrival;
+  j.priority = 1.0;
+  j.workload = "resnet50";
+  j.profile = model_profile("resnet50");
+  j.global_batch = 2048;
+  j.total_steps = steps;
+  j.demand_gpus = demand;
+  return j;
+}
+
+ClusterInventory paper_cluster() {
+  // §6.5.2: 4 V100 + 8 P100 + 16 K80.
+  ClusterInventory c;
+  c.per_type[DeviceType::kV100] = 4;
+  c.per_type[DeviceType::kP100] = 8;
+  c.per_type[DeviceType::kK80] = 16;
+  return c;
+}
+
+TEST(Gavel, SingleJobGetsBestType) {
+  GavelScheduler gavel({});
+  auto res = simulate(paper_cluster(), {job(0, 0.0, 600, 4)}, gavel);
+  ASSERT_FALSE(res.jobs[0].timeline.empty());
+  const Allocation& a = res.jobs[0].timeline[0].alloc;
+  EXPECT_FALSE(a.heterogeneous());
+  EXPECT_EQ(a.per_type.count(DeviceType::kV100), 1u) << "should pick the fastest type";
+}
+
+TEST(Gavel, HomogeneousModeNeverMixesTypes) {
+  GavelScheduler gavel({});
+  const std::vector<JobSpec> trace = {job(0, 0.0, 400, 4), job(1, 10.0, 400, 8),
+                                      job(2, 20.0, 400, 4)};
+  auto res = simulate(paper_cluster(), trace, gavel);
+  for (const JobState& j : res.jobs)
+    for (const AllocSegment& s : j.timeline)
+      EXPECT_FALSE(s.alloc.heterogeneous());
+}
+
+TEST(Gavel, HeterogeneousModeUsesLeftoverTypes) {
+  GavelOptions opt;
+  opt.heterogeneous_allocations = true;
+  GavelScheduler gavel(opt);
+  // One lone job: with +HT it can take V100s plus leftover P100s.
+  auto res = simulate(paper_cluster(), {job(0, 0.0, 1000, 4)}, gavel);
+  bool saw_hetero = false;
+  for (const AllocSegment& s : res.jobs[0].timeline)
+    saw_hetero |= s.alloc.heterogeneous();
+  EXPECT_TRUE(saw_hetero);
+}
+
+TEST(Gavel, HtImprovesJctAtLowLoad) {
+  // Fig 15's low-arrival-rate regime: few jobs, leftover GPUs -> +HT wins.
+  const std::vector<JobSpec> trace = {job(0, 0.0, 1200, 4), job(1, 100.0, 1200, 4)};
+  GavelScheduler plain({});
+  GavelOptions ho;
+  ho.heterogeneous_allocations = true;
+  GavelScheduler ht(ho);
+  const auto a = simulate(paper_cluster(), trace, plain);
+  const auto b = simulate(paper_cluster(), trace, ht);
+  EXPECT_LT(mean(b.jcts()), mean(a.jcts()));
+}
+
+TEST(Gavel, RoundBoundariesQuantizeChanges) {
+  GavelOptions opt;
+  opt.round_s = 360.0;
+  GavelScheduler gavel(opt);
+  const std::vector<JobSpec> trace = {job(0, 0.0, 2000, 4), job(1, 30.0, 2000, 4)};
+  auto res = simulate(paper_cluster(), trace, gavel);
+  // Job 1 arrives mid-round; its start should wait for the next boundary
+  // (360 s), not happen at the 30 s arrival.
+  EXPECT_NEAR(res.jobs[1].first_start_s, 360.0, 1.0);
+}
+
+TEST(Gavel, LasSharesOverTime) {
+  // Two identical jobs, cluster big enough for one at full demand: LAS
+  // alternates or splits; both must finish within a similar span.
+  ClusterInventory small;
+  small.per_type[DeviceType::kV100] = 4;
+  GavelScheduler gavel({});
+  const std::vector<JobSpec> trace = {job(0, 0.0, 1500, 4), job(1, 0.0, 1500, 4)};
+  auto res = simulate(small, trace, gavel);
+  const double jct0 = res.jobs[0].completion_s - res.jobs[0].spec.arrival_s;
+  const double jct1 = res.jobs[1].completion_s - res.jobs[1].spec.arrival_s;
+  EXPECT_LT(std::abs(jct0 - jct1) / std::max(jct0, jct1), 0.5);
+}
+
+TEST(Gavel, RestartPenaltyConfigured) {
+  GavelOptions opt;
+  opt.restart_penalty_s = 30.0;
+  GavelScheduler g(opt);
+  EXPECT_DOUBLE_EQ(g.resize_penalty_s(), 30.0);
+  EXPECT_DOUBLE_EQ(g.round_interval_s(), 360.0);
+  EXPECT_EQ(g.name(), "gavel");
+  GavelOptions h;
+  h.heterogeneous_allocations = true;
+  EXPECT_EQ(GavelScheduler(h).name(), "gavel+ht");
+}
+
+TEST(Gavel, InvalidRoundThrows) {
+  GavelOptions opt;
+  opt.round_s = 0.0;
+  EXPECT_THROW(GavelScheduler{opt}, VfError);
+}
+
+}  // namespace
+}  // namespace vf

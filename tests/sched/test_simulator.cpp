@@ -1,0 +1,139 @@
+// Event-driven cluster simulator: conservation laws and timing identities.
+#include <gtest/gtest.h>
+
+#include "sched/simulator.h"
+#include "sched/wfs.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+
+namespace vf {
+namespace {
+
+JobSpec basic_job(std::int64_t id, double arrival, std::int64_t steps,
+                  std::int64_t demand, double priority = 1.0) {
+  JobSpec j;
+  j.id = id;
+  j.arrival_s = arrival;
+  j.priority = priority;
+  j.workload = "resnet56";
+  j.profile = model_profile("resnet56");
+  j.global_batch = 128;
+  j.total_steps = steps;
+  j.demand_gpus = demand;
+  return j;
+}
+
+ClusterInventory v100s(std::int64_t n) {
+  ClusterInventory c;
+  c.per_type[DeviceType::kV100] = n;
+  return c;
+}
+
+TEST(Simulator, SingleJobRunsToCompletion) {
+  PriorityScheduler policy;
+  const auto res = simulate(v100s(4), {basic_job(0, 0.0, 500, 2)}, policy);
+  ASSERT_EQ(res.jobs.size(), 1u);
+  const JobState& j = res.jobs[0];
+  EXPECT_TRUE(j.finished());
+  EXPECT_DOUBLE_EQ(j.first_start_s, 0.0);
+  // Completion = steps x step_time at 2 GPUs.
+  const double expect = 500.0 * allocation_step_time_s(j.spec.profile, 128,
+                                                       Allocation::of(DeviceType::kV100, 2));
+  EXPECT_NEAR(j.completion_s, expect, 1e-6);
+  EXPECT_NEAR(res.makespan_s, expect, 1e-6);
+}
+
+TEST(Simulator, TimelineCoversRunDuration) {
+  PriorityScheduler policy;
+  const auto res = simulate(v100s(2), {basic_job(0, 10.0, 200, 2)}, policy);
+  const JobState& j = res.jobs[0];
+  ASSERT_EQ(j.timeline.size(), 1u);
+  EXPECT_DOUBLE_EQ(j.timeline[0].t0, 10.0);
+  EXPECT_DOUBLE_EQ(j.timeline[0].t1, j.completion_s);
+  EXPECT_EQ(j.timeline[0].alloc.total(), 2);
+}
+
+TEST(Simulator, QueuedJobWaitsForFreeGpus) {
+  PriorityScheduler policy;
+  auto res = simulate(v100s(2),
+                      {basic_job(0, 0.0, 300, 2), basic_job(1, 1.0, 300, 2)}, policy);
+  const JobState& j0 = res.jobs[0];
+  const JobState& j1 = res.jobs[1];
+  EXPECT_NEAR(j1.first_start_s, j0.completion_s, 1e-6);
+  EXPECT_GT(j1.first_start_s - j1.spec.arrival_s, 0.0);  // queueing delay
+}
+
+TEST(Simulator, UtilizationBetweenZeroAndOne) {
+  PriorityScheduler policy;
+  const auto res = simulate(
+      v100s(4), {basic_job(0, 0.0, 200, 2), basic_job(1, 5.0, 200, 4)}, policy);
+  EXPECT_GT(res.avg_utilization, 0.0);
+  EXPECT_LE(res.avg_utilization, 1.0 + 1e-9);
+}
+
+TEST(Simulator, JctAndQueueingDelayVectors) {
+  PriorityScheduler policy;
+  const auto res = simulate(v100s(2),
+                            {basic_job(0, 0.0, 100, 2), basic_job(1, 0.0, 100, 2)},
+                            policy);
+  EXPECT_EQ(res.jcts().size(), 2u);
+  EXPECT_EQ(res.queueing_delays().size(), 2u);
+  for (double d : res.queueing_delays()) EXPECT_GE(d, -1e-9);
+  for (double j : res.jcts()) EXPECT_GT(j, 0.0);
+}
+
+TEST(Simulator, ElasticResizePausesJob) {
+  // With WFS, a second arrival forces a resize of the first job; the
+  // resize costs ~1 s of paused progress. Jobs must be long enough to
+  // still be running at the second arrival.
+  ElasticWfsScheduler policy;
+  auto res = simulate(v100s(4),
+                      {basic_job(0, 0.0, 20000, 4), basic_job(1, 5.0, 20000, 4)},
+                      policy);
+  EXPECT_GE(res.jobs[0].resizes, 1);
+  EXPECT_TRUE(res.jobs[0].finished());
+  EXPECT_TRUE(res.jobs[1].finished());
+}
+
+TEST(Simulator, AttainedServiceAccumulates) {
+  PriorityScheduler policy;
+  const auto res = simulate(v100s(2), {basic_job(0, 0.0, 100, 2)}, policy);
+  EXPECT_GT(res.jobs[0].attained_service, 0.0);
+}
+
+TEST(Simulator, ValidationErrors) {
+  PriorityScheduler policy;
+  EXPECT_THROW(simulate(v100s(0), {basic_job(0, 0.0, 100, 1)}, policy), VfError);
+  EXPECT_THROW(simulate(v100s(2), {}, policy), VfError);
+  EXPECT_THROW(simulate(v100s(2), {basic_job(0, 0.0, 0, 1)}, policy), VfError);
+}
+
+TEST(Simulator, OvercommittingPolicyRejected) {
+  struct Greedy : Scheduler {
+    std::map<std::int64_t, Allocation> schedule(const ClusterInventory&,
+                                                const std::vector<const JobState*>& jobs,
+                                                double) override {
+      std::map<std::int64_t, Allocation> out;
+      for (const JobState* j : jobs)
+        out[j->spec.id] = Allocation::of(DeviceType::kV100, 100);
+      return out;
+    }
+    std::string name() const override { return "greedy"; }
+  } policy;
+  EXPECT_THROW(simulate(v100s(2), {basic_job(0, 0.0, 10, 1)}, policy), VfError);
+}
+
+TEST(Simulator, StalledPolicyDetected) {
+  struct Lazy : Scheduler {
+    std::map<std::int64_t, Allocation> schedule(const ClusterInventory&,
+                                                const std::vector<const JobState*>&,
+                                                double) override {
+      return {};  // never allocates anything
+    }
+    std::string name() const override { return "lazy"; }
+  } policy;
+  EXPECT_THROW(simulate(v100s(2), {basic_job(0, 0.0, 10, 1)}, policy), VfError);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,96 @@
+// Allocation throughput estimation shared by all schedulers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/throughput.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+
+namespace vf {
+namespace {
+
+const ModelProfile& resnet() { return model_profile("resnet50"); }
+
+TEST(Allocation, TotalsAndDescribe) {
+  Allocation a = Allocation::of(DeviceType::kV100, 2);
+  a.per_type[DeviceType::kP100] = 3;
+  EXPECT_EQ(a.total(), 5);
+  EXPECT_TRUE(a.heterogeneous());
+  EXPECT_EQ(a.describe(), "2xV100+3xP100");
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(Allocation{}.empty());
+  EXPECT_EQ(Allocation{}.describe(), "(none)");
+}
+
+TEST(Allocation, OfZeroIsEmpty) {
+  EXPECT_TRUE(Allocation::of(DeviceType::kV100, 0).empty());
+}
+
+TEST(AllocationThroughput, EmptyAllocationIsZero) {
+  EXPECT_DOUBLE_EQ(allocation_throughput(resnet(), 1024, Allocation{}), 0.0);
+  EXPECT_TRUE(std::isinf(allocation_step_time_s(resnet(), 1024, Allocation{})));
+}
+
+TEST(AllocationThroughput, MoreGpusFaster) {
+  const double one = allocation_throughput(resnet(), 2048, Allocation::of(DeviceType::kV100, 1));
+  const double four = allocation_throughput(resnet(), 2048, Allocation::of(DeviceType::kV100, 4));
+  EXPECT_GT(four, 2.5 * one);
+  EXPECT_LT(four, 4.5 * one);
+}
+
+TEST(AllocationThroughput, V100BeatsP100) {
+  const double v = allocation_throughput(resnet(), 2048, Allocation::of(DeviceType::kV100, 2));
+  const double p = allocation_throughput(resnet(), 2048, Allocation::of(DeviceType::kP100, 2));
+  EXPECT_NEAR(v / p, 4.0, 0.6);
+}
+
+TEST(AllocationThroughput, HeterogeneousAddsCapacity) {
+  // The Fig 16 example: adding leftover P100s to a K80 job helps.
+  Allocation k80only = Allocation::of(DeviceType::kK80, 16);
+  Allocation mixed = k80only;
+  mixed.per_type[DeviceType::kP100] = 5;
+  const double base = allocation_throughput(resnet(), 8192, k80only);
+  const double more = allocation_throughput(resnet(), 8192, mixed);
+  // Paper Fig 16 reports +33.7% for this shape; our cost model scales
+  // closer to the additive ideal (5 P100 ~ 20 K80-equivalents), so the
+  // gain is larger. Direction and boundedness are what we assert.
+  EXPECT_GT(more, base * 1.15);
+  EXPECT_LT(more, base * 2.5);
+}
+
+TEST(AllocationThroughput, HeterogeneousBalancedNotBottlenecked) {
+  // 1 V100 + 4 P100 have equal aggregate speed halves; the mixed
+  // allocation should land near the sum, not at the slower type's pace.
+  Allocation mixed = Allocation::of(DeviceType::kV100, 1);
+  mixed.per_type[DeviceType::kP100] = 4;
+  const double v1 = allocation_throughput(resnet(), 4096, Allocation::of(DeviceType::kV100, 1));
+  const double got = allocation_throughput(resnet(), 4096, mixed);
+  EXPECT_GT(got, 1.5 * v1);
+}
+
+TEST(AllocationThroughput, LargeGlobalBatchFoldsIntoVns) {
+  // 8192 on one V100 (frontier 256) requires 32 VNs; must not throw.
+  const double t = allocation_step_time_s(resnet(), 8192, Allocation::of(DeviceType::kV100, 1));
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(ReferenceThroughput, PositiveAndStable) {
+  const double r = reference_throughput(resnet(), 2048);
+  EXPECT_GT(r, 0.0);
+  EXPECT_DOUBLE_EQ(r, reference_throughput(resnet(), 2048));
+}
+
+TEST(AllocationThroughput, CommOverheadGrowsWithWorld) {
+  // Fixed total capacity, more participants -> more sync time.
+  const double two = allocation_step_time_s(resnet(), 4096, Allocation::of(DeviceType::kV100, 2));
+  LinkSpec slow;
+  slow.bandwidth_bytes = 1e8;  // 100 MB/s: comm-dominated
+  const double two_slow =
+      allocation_step_time_s(resnet(), 4096, Allocation::of(DeviceType::kV100, 2), slow);
+  EXPECT_GT(two_slow, two);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/trace.h"
+#include "util/common.h"
+#include "util/stats.h"
+
+namespace vf {
+namespace {
+
+TEST(Table3Mix, ContainsPaperWorkloads) {
+  const auto& mix = table3_mix();
+  ASSERT_EQ(mix.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& e : mix) names.insert(e.workload);
+  EXPECT_TRUE(names.count("resnet56"));
+  EXPECT_TRUE(names.count("resnet50"));
+  EXPECT_TRUE(names.count("bert-base"));
+  EXPECT_TRUE(names.count("transformer"));
+}
+
+TEST(Table3Mix, BatchOptionsMatchPaper) {
+  for (const auto& e : table3_mix()) {
+    if (e.workload == "resnet56")
+      EXPECT_EQ(e.batch_sizes, (std::vector<std::int64_t>{64, 128}));
+    if (e.workload == "transformer")
+      EXPECT_EQ(e.batch_sizes.back(), 65536);
+  }
+}
+
+TEST(PoissonTrace, DeterministicForSeed) {
+  TraceOptions opt;
+  opt.seed = 7;
+  const auto a = poisson_trace(opt);
+  const auto b = poisson_trace(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(a[i].global_batch, b[i].global_batch);
+  }
+}
+
+TEST(PoissonTrace, ArrivalsIncreaseAndMatchRate) {
+  TraceOptions opt;
+  opt.num_jobs = 200;
+  opt.jobs_per_hour = 12.0;
+  const auto t = poisson_trace(opt);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_GT(t[i].arrival_s, t[i - 1].arrival_s);
+  // Mean interarrival ~ 300 s.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < t.size(); ++i)
+    gaps.push_back(t[i].arrival_s - t[i - 1].arrival_s);
+  EXPECT_NEAR(mean(gaps), 300.0, 60.0);
+}
+
+TEST(PoissonTrace, PrioritiesFromPaperSet) {
+  TraceOptions opt;
+  opt.num_jobs = 100;
+  std::set<double> prios;
+  for (const auto& j : poisson_trace(opt)) prios.insert(j.priority);
+  for (double p : prios) EXPECT_TRUE(p == 1.0 || p == 5.0 || p == 10.0);
+  EXPECT_GE(prios.size(), 2u);
+}
+
+TEST(PoissonTrace, BatchesComeFromWorkloadOptions) {
+  TraceOptions opt;
+  opt.num_jobs = 100;
+  for (const auto& j : poisson_trace(opt)) {
+    bool found = false;
+    for (const auto& e : table3_mix()) {
+      if (e.workload != j.workload) continue;
+      for (auto b : e.batch_sizes) found |= (b == j.global_batch);
+    }
+    EXPECT_TRUE(found) << j.workload << " batch " << j.global_batch;
+  }
+}
+
+TEST(PoissonTrace, StepsScaleApplies) {
+  TraceOptions big;
+  big.seed = 9;
+  TraceOptions small = big;
+  small.steps_scale = 0.1;
+  const auto a = poisson_trace(big);
+  const auto b = poisson_trace(small);
+  double ra = 0, rb = 0;
+  for (const auto& j : a) ra += static_cast<double>(j.total_steps);
+  for (const auto& j : b) rb += static_cast<double>(j.total_steps);
+  EXPECT_LT(rb, ra * 0.2);
+}
+
+TEST(PoissonTrace, SeedChangesTrace) {
+  TraceOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(poisson_trace(a)[0].arrival_s, poisson_trace(b)[0].arrival_s);
+}
+
+TEST(PoissonTrace, Validation) {
+  TraceOptions bad;
+  bad.num_jobs = 0;
+  EXPECT_THROW(poisson_trace(bad), VfError);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,185 @@
+// Heterogeneous solver (§5.1.2): objective correctness against brute
+// force, the homogeneous fallback, and the paper's Fig 7 uneven-beats-even
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/solver.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+
+namespace vf {
+namespace {
+
+HeterogeneousSolver make_solver(const std::string& workload = "resnet50") {
+  const ModelProfile& m = model_profile(workload);
+  std::map<DeviceType, OfflineProfile> profiles;
+  for (auto t : {DeviceType::kV100, DeviceType::kP100, DeviceType::kK80})
+    profiles.emplace(t, profile_workload(t, m));
+  return HeterogeneousSolver(m, std::move(profiles));
+}
+
+TEST(Solver, ChoosesFewestVnsThatFit) {
+  const auto s = make_solver();
+  // V100 frontier for resnet50 is 256: per-GPU batch 2048 needs 8 VNs.
+  EXPECT_EQ(s.choose_vns(DeviceType::kV100, 2048), 8);
+  EXPECT_EQ(s.choose_vns(DeviceType::kV100, 256), 1);
+  EXPECT_EQ(s.choose_vns(DeviceType::kV100, 128), 1);
+  // 3072 = 2^10 * 3: smallest divisor v with 3072/v <= 256 is 12.
+  EXPECT_EQ(s.choose_vns(DeviceType::kV100, 3072), 12);
+}
+
+TEST(Solver, SatisfiesBatchConstraint) {
+  const auto s = make_solver();
+  const auto r = s.solve({{DeviceType::kV100, 2}, {DeviceType::kP100, 2}}, 8192);
+  ASSERT_TRUE(r.has_value());
+  std::int64_t covered = 0;
+  for (const auto& a : r->assignment) covered += a.gpus * a.per_gpu_batch;
+  EXPECT_EQ(covered, 8192);
+}
+
+TEST(Solver, UnevenBeatsEvenOnMixedCluster) {
+  // Fig 7 (right): on 2 V100 + 2 P100 at B=8192, the even 2048:2048 split
+  // is bottlenecked on the P100s; the solver's uneven split (3072:1024)
+  // is much faster.
+  const auto s = make_solver();
+  const auto all = s.solve_all({{DeviceType::kV100, 2}, {DeviceType::kP100, 2}}, 8192);
+  ASSERT_FALSE(all.empty());
+
+  double even_time = -1.0, best_hetero = -1.0;
+  for (const auto& r : all) {
+    if (!r.heterogeneous) continue;
+    if (best_hetero < 0.0) best_hetero = r.predicted_step_time_s;  // sorted
+    bool is_even = r.assignment.size() == 2 &&
+                   r.assignment[0].per_gpu_batch == r.assignment[1].per_gpu_batch;
+    if (is_even && even_time < 0.0) even_time = r.predicted_step_time_s;
+  }
+  ASSERT_GT(even_time, 0.0);
+  ASSERT_GT(best_hetero, 0.0);
+  EXPECT_LT(best_hetero, 0.7 * even_time);  // paper: ~44% shorter
+}
+
+TEST(Solver, BestConfigMatchesBruteForceObjective) {
+  // Independent brute force over the same grid must not beat the solver.
+  const auto s = make_solver();
+  const std::vector<GpuGroup> inv = {{DeviceType::kV100, 1}, {DeviceType::kP100, 2}};
+  const std::int64_t B = 2048;
+  const auto best = s.solve_all(inv, B);
+  ASSERT_FALSE(best.empty());
+
+  double brute = 1e18;
+  for (const std::int64_t bv : pow2_like_batches(B)) {
+    for (std::int64_t use_v : {0, 1}) {
+      const std::int64_t covered_v = use_v * bv;
+      if (covered_v > B) continue;
+      const std::int64_t rem = B - covered_v;
+      // P100 share: 2 GPUs, equal per-GPU batch from the grid (or unused).
+      if (rem == 0 && use_v) {
+        std::vector<TypeAssignment> a = {
+            {DeviceType::kV100, 1, bv, s.choose_vns(DeviceType::kV100, bv),
+             bv / std::max<std::int64_t>(1, s.choose_vns(DeviceType::kV100, bv))}};
+        if (a[0].vns_per_gpu > 0) brute = std::min(brute, s.predict_step_time(a));
+        continue;
+      }
+      if (rem % 2 != 0) continue;
+      const std::int64_t bp = rem / 2;
+      const auto grid = pow2_like_batches(B);
+      if (std::find(grid.begin(), grid.end(), bp) == grid.end()) continue;
+      const std::int64_t vv = use_v ? s.choose_vns(DeviceType::kV100, bv) : 1;
+      const std::int64_t vp = s.choose_vns(DeviceType::kP100, bp);
+      if (vp == 0 || (use_v && vv == 0)) continue;
+      std::vector<TypeAssignment> a;
+      if (use_v) a.push_back({DeviceType::kV100, 1, bv, vv, bv / vv});
+      a.push_back({DeviceType::kP100, 2, bp, vp, bp / vp});
+      brute = std::min(brute, s.predict_step_time(a));
+    }
+  }
+  EXPECT_LE(best.front().predicted_step_time_s, brute + 1e-9);
+}
+
+TEST(Solver, FallsBackToHomogeneousWhenMixingDoesNotHelp) {
+  // H1-style case: 1 V100 + 1 K80 — the K80 is ~16x slower, so any split
+  // granting it a pow-2-like share slows the job; expect a V100-only
+  // recommendation (§5.1.2's fallback).
+  const ModelProfile& m = model_profile("resnet50");
+  std::map<DeviceType, OfflineProfile> profiles;
+  profiles.emplace(DeviceType::kV100, profile_workload(DeviceType::kV100, m));
+  profiles.emplace(DeviceType::kK80, profile_workload(DeviceType::kK80, m));
+  HeterogeneousSolver s(m, std::move(profiles));
+  const auto r = s.solve({{DeviceType::kV100, 1}, {DeviceType::kK80, 1}}, 1024);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->heterogeneous);
+  EXPECT_EQ(r->assignment[0].type, DeviceType::kV100);
+}
+
+TEST(Solver, PrefersHeterogeneousWhenItWins) {
+  // H3-style case: 2 V100 + 8 P100 (P100 pool = V100 pool in aggregate
+  // compute) — mixing should clearly beat either pool alone.
+  const auto s = make_solver();
+  const auto r = s.solve({{DeviceType::kV100, 2}, {DeviceType::kP100, 8}}, 8192);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->heterogeneous);
+
+  const auto v_only = s.solve({{DeviceType::kV100, 2}}, 8192);
+  ASSERT_TRUE(v_only.has_value());
+  EXPECT_GT(r->predicted_throughput, 1.3 * v_only->predicted_throughput);
+}
+
+TEST(Solver, BalancedSplitFollowsFourToOneSpeedRatio) {
+  const auto s = make_solver();
+  const auto r = s.solve({{DeviceType::kV100, 2}, {DeviceType::kP100, 8}}, 8192);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->heterogeneous);
+  std::int64_t bv = 0, bp = 0;
+  for (const auto& a : r->assignment) {
+    if (a.type == DeviceType::kV100) bv = a.per_gpu_batch;
+    if (a.type == DeviceType::kP100) bp = a.per_gpu_batch;
+  }
+  // V100s should carry ~4x the per-GPU share of P100s (paper Table 4 H3:
+  // 2048 vs 512).
+  EXPECT_GE(bv, 3 * bp);
+  EXPECT_LE(bv, 6 * bp);
+}
+
+TEST(Solver, PredictThroughputConsistent) {
+  const auto s = make_solver();
+  const auto r = s.solve({{DeviceType::kV100, 2}}, 4096);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->predicted_throughput, 4096.0 / r->predicted_step_time_s, 1e-6);
+}
+
+TEST(Solver, InfeasibleReturnsNullopt) {
+  // Global batch below the smallest pow2-like coverage: e.g. B=1 on a
+  // 2-GPU group can't give both GPUs a positive grid batch, and a single
+  // GPU covers it — so craft a truly infeasible case: B=3 with 2 GPUs
+  // only (2*b=3 has no integer solution; skipping the group covers 0).
+  const ModelProfile& m = model_profile("resnet50");
+  std::map<DeviceType, OfflineProfile> profiles;
+  profiles.emplace(DeviceType::kV100, profile_workload(DeviceType::kV100, m));
+  HeterogeneousSolver s(m, std::move(profiles));
+  EXPECT_FALSE(s.solve({{DeviceType::kV100, 2}}, 3).has_value());
+}
+
+TEST(Solver, UnprofiledTypeRejected) {
+  const ModelProfile& m = model_profile("resnet50");
+  std::map<DeviceType, OfflineProfile> profiles;
+  profiles.emplace(DeviceType::kV100, profile_workload(DeviceType::kV100, m));
+  HeterogeneousSolver s(m, std::move(profiles));
+  EXPECT_THROW(s.profile(DeviceType::kK80), VfError);
+  // Unprofiled groups are simply unusable (skipped), not fatal.
+  const auto r = s.solve({{DeviceType::kV100, 1}, {DeviceType::kK80, 4}}, 1024);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->assignment.size(), 1u);
+}
+
+TEST(Solver, WorkloadMismatchThrows) {
+  const ModelProfile& m = model_profile("resnet50");
+  std::map<DeviceType, OfflineProfile> profiles;
+  profiles.emplace(DeviceType::kV100,
+                   profile_workload(DeviceType::kV100, model_profile("bert-base")));
+  EXPECT_THROW(HeterogeneousSolver(m, std::move(profiles)), VfError);
+}
+
+}  // namespace
+}  // namespace vf

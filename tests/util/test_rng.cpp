@@ -1,0 +1,162 @@
+// Determinism and statistical sanity of the counter-based RNG — the
+// foundation of every reproducibility claim in the library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace vf {
+namespace {
+
+TEST(CounterRng, SameKeySameSequence) {
+  CounterRng a(42, 7);
+  CounterRng b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(CounterRng, DifferentStreamsDiffer) {
+  CounterRng a(42, 1);
+  CounterRng b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, DifferentSeedsDiffer) {
+  CounterRng a(1, 0);
+  CounterRng b(2, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(CounterRng, IndependentInstancesDontInterfere) {
+  // Drawing from one instance must not perturb another with the same key.
+  CounterRng a(9, 3);
+  CounterRng noise(123, 99);
+  for (int i = 0; i < 10; ++i) noise.next_u64();
+  CounterRng b(9, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+    noise.next_u64();
+  }
+}
+
+TEST(CounterRng, DoubleInUnitInterval) {
+  CounterRng r(3, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(CounterRng, DoubleMeanNearHalf) {
+  CounterRng r(4, 0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(CounterRng, NormalMoments) {
+  CounterRng r(5, 0);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(CounterRng, NormalMeanStddev) {
+  CounterRng r(6, 0);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0F, 2.0F);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(CounterRng, NextBelowInRange) {
+  CounterRng r(7, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(CounterRng, NextBelowCoversAllValues) {
+  CounterRng r(8, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(CounterRng, NextBelowRejectsZero) {
+  CounterRng r(9, 0);
+  EXPECT_THROW(r.next_below(0), VfError);
+}
+
+TEST(CounterRng, PermutationIsPermutation) {
+  CounterRng r(10, 0);
+  const auto p = r.permutation(100);
+  std::set<std::int64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(CounterRng, PermutationDeterministic) {
+  CounterRng a(11, 0), b(11, 0);
+  EXPECT_EQ(a.permutation(50), b.permutation(50));
+}
+
+TEST(CounterRng, PermutationNotIdentity) {
+  CounterRng r(12, 0);
+  const auto p = r.permutation(64);
+  std::int64_t fixed = 0;
+  for (std::int64_t i = 0; i < 64; ++i)
+    if (p[static_cast<std::size_t>(i)] == i) ++fixed;
+  EXPECT_LT(fixed, 10);
+}
+
+TEST(CounterRng, PermutationEmptyAndSingle) {
+  CounterRng r(13, 0);
+  EXPECT_TRUE(r.permutation(0).empty());
+  EXPECT_EQ(r.permutation(1), (std::vector<std::int64_t>{0}));
+}
+
+TEST(DeriveSeed, DistinctTagsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t tag = 0; tag < 1000; ++tag) seen.insert(derive_seed(42, tag));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 1));
+}
+
+TEST(Splitmix64, KnownAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = splitmix64(0x1234);
+  const std::uint64_t b = splitmix64(0x1235);
+  const int bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(CounterRng, UniformRange) {
+  CounterRng r(14, 0);
+  for (int i = 0; i < 200; ++i) {
+    const float x = r.uniform(-2.0F, 3.0F);
+    EXPECT_GE(x, -2.0F);
+    EXPECT_LT(x, 3.0F);
+  }
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/common.h"
+#include "util/stats.h"
+
+namespace vf {
+namespace {
+
+TEST(Stats, MeanAndSum) {
+  EXPECT_DOUBLE_EQ(sum({1, 2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+}
+
+TEST(Stats, MeanOfEmptyThrows) { EXPECT_THROW(mean({}), VfError); }
+
+TEST(Stats, Stddev) {
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_THROW(stddev({1.0}), VfError);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(median({30, 10, 20}), 20.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile({}, 0.5), VfError);
+  EXPECT_THROW(percentile({1.0}, 1.5), VfError);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const auto cdf = empirical_cdf({3, 1, 2});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Stats, PctChange) {
+  EXPECT_DOUBLE_EQ(pct_change(100.0, 150.0), 50.0);
+  EXPECT_DOUBLE_EQ(pct_change(200.0, 100.0), -50.0);
+  EXPECT_THROW(pct_change(0.0, 1.0), VfError);
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/common.h"
+#include "util/table.h"
+
+namespace vf {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{1});
+  t.row().cell("b").cell(12.5, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(std::int64_t{2});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), VfError);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), VfError);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), VfError);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(FmtBytes, Units) {
+  EXPECT_EQ(fmt_bytes(512), "512.00 B");
+  EXPECT_EQ(fmt_bytes(1024), "1.00 KB");
+  EXPECT_EQ(fmt_bytes(8.17 * 1024 * 1024 * 1024), "8.17 GB");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table 1");
+  EXPECT_NE(os.str().find("Table 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vf

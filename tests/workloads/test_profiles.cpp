@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "util/common.h"
+#include "workloads/profiles.h"
+
+namespace vf {
+namespace {
+
+TEST(Profiles, CatalogComplete) {
+  for (const auto& name : model_profile_names()) {
+    const ModelProfile& p = model_profile(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_GT(p.param_count, 0);
+    EXPECT_GT(p.flops_per_example, 0.0);
+    EXPECT_GT(p.activation_bytes_per_example, 0.0);
+  }
+  EXPECT_EQ(model_profile_names().size(), 5u);
+}
+
+TEST(Profiles, UnknownNameThrows) { EXPECT_THROW(model_profile("vgg"), VfError); }
+
+TEST(Profiles, Resnet50ParamBytesMatchFig6) {
+  // Fig 6: parameters (102.45 MB, decimal): 25.61M fp32 params x 4 bytes.
+  EXPECT_NEAR(model_profile("resnet50").param_bytes() / 1e6, 102.45, 0.5);
+}
+
+TEST(Profiles, RelativeModelSizes) {
+  EXPECT_GT(model_profile("bert-large").param_count,
+            2 * model_profile("bert-base").param_count);
+  EXPECT_GT(model_profile("bert-base").param_count,
+            model_profile("resnet50").param_count);
+  EXPECT_LT(model_profile("resnet56").param_count, 1'000'000);
+}
+
+TEST(Profiles, TrainFlopsIsThreeTimesForward) {
+  const ModelProfile& p = model_profile("resnet50");
+  EXPECT_DOUBLE_EQ(p.train_flops_per_example(), 3.0 * p.flops_per_example);
+}
+
+TEST(Profiles, BertUpdateCostlierThanResnet) {
+  // LAMB/Adam state makes transformer updates pricier per parameter —
+  // the lever behind Fig 17's throughput gains.
+  EXPECT_GT(model_profile("bert-large").update_cost_factor,
+            model_profile("resnet50").update_cost_factor);
+}
+
+}  // namespace
+}  // namespace vf
