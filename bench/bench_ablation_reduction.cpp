@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     flags.print_help("Ablation: reduction order vs mapping invariance");
     return 0;
   }
-  const std::int64_t steps = flags.get_int("steps", 100);
+  const std::int64_t steps = flags.get_int("steps", 100, 5);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   print_banner(std::cout,

@@ -40,10 +40,12 @@ JobSpec make_job(std::int64_t id, double arrival, double priority,
 
 /// Replays a job's simulated allocation timeline as resize events on a
 /// real proxy-training run and returns the final accuracy.
-double replay_accuracy(const JobState& sim_job, std::uint64_t seed) {
+double replay_accuracy(const JobState& sim_job, std::uint64_t seed,
+                       std::int64_t epochs_override = -1) {
   const std::string& task_name = sim_job.spec.task;
   ProxyTask task = make_task(task_name, seed);
   TrainRecipe recipe = make_recipe(task_name);
+  if (epochs_override > 0) recipe.epochs = epochs_override;
   Sequential model = make_proxy_model(task_name, seed);
 
   EngineConfig cfg;
@@ -143,8 +145,8 @@ int main(int argc, char** argv) {
   const double paper_vf[] = {91.7, 92.6, 90.6};
   const double paper_static[] = {91.2, 92.7, 90.2};
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const double vf_acc = replay_accuracy(vf.jobs[i], seed);
-    const double st_acc = replay_accuracy(fixed.jobs[i], seed);
+    const double vf_acc = replay_accuracy(vf.jobs[i], seed, flags.smoke() ? 1 : -1);
+    const double st_acc = replay_accuracy(fixed.jobs[i], seed, flags.smoke() ? 1 : -1);
     acc.row()
         .cell("job" + std::to_string(i))
         .cell(vf.jobs[i].spec.task)

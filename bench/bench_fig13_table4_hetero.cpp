@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     flags.print_help("Fig 13 + Table 4: heterogeneous training throughput & accuracy");
     return 0;
   }
-  const std::int64_t epochs = flags.get_int("epochs", 30);
+  const std::int64_t epochs = flags.get_int("epochs", 30, 1);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const std::int64_t B = 8192;
 

@@ -25,11 +25,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(frontier));
 
   // TF baseline: batch 4, single VN. VirtualFlow: batch 16 as 4 VNs of 4.
+  const std::int64_t epochs = flags.smoke() ? 1 : -1;
   auto tf = vf::bench::make_setup("rte-sim", "bert-large", 1, 1,
-                                  DeviceType::kRtx2080Ti, seed, 4);
+                                  DeviceType::kRtx2080Ti, seed, 4, epochs);
   const TrainResult tf_res = train(tf.engine, *tf.task.val, tf.recipe.epochs);
   auto vfr = vf::bench::make_setup("rte-sim", "bert-large", 4, 1,
-                                   DeviceType::kRtx2080Ti, seed, 16);
+                                   DeviceType::kRtx2080Ti, seed, 16, epochs);
   const TrainResult vf_res = train(vfr.engine, *vfr.task.val, vfr.recipe.epochs);
 
   Table table({"epoch", "TF batch 4 (val acc)", "VF batch 16 (val acc)"});

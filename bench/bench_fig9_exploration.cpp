@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     for (const std::int64_t b : batches) {
       const std::int64_t vns = std::max<std::int64_t>(1, b / 4);
       auto s = vf::bench::make_setup(task_name, "bert-large", vns, 1,
-                                     DeviceType::kRtx2080Ti, seed, b);
+                                     DeviceType::kRtx2080Ti, seed, b,
+                                     flags.smoke() ? 1 : -1);
       const TrainResult res = train(s.engine, *s.task.val, s.recipe.epochs);
       std::string curve;
       for (std::size_t e = 1; e < res.curve.size(); e += 2) {

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
     flags.print_help("Table 1 + Fig 8: reproducibility across GPU counts/types");
     return 0;
   }
-  const std::int64_t epochs = flags.get_int("epochs", 30);
+  const std::int64_t epochs = flags.get_int("epochs", 30, 1);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   print_banner(std::cout, "Table 1: ResNet-50 (imagenet-sim), global batch 8192");

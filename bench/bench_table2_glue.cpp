@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  const std::int64_t epochs = flags.get_int("epochs", -1);
+  const std::int64_t epochs = flags.get_int("epochs", -1, 1);
 
   const std::vector<std::string> tasks = {"qnli-sim", "sst2-sim", "cola-sim"};
   const std::vector<double> paper_acc = {90.90, 91.97, 82.36};

@@ -7,6 +7,7 @@ namespace vf::bench {
 
 Flags::Flags(int argc, char** argv, const std::map<std::string, std::string>& known)
     : known_(known) {
+  known_.emplace("smoke", "run a tiny workload (used by `ctest -L bench-smoke`)");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -30,6 +31,15 @@ std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
 double Flags::get_double(const std::string& key, double def) const {
   const auto it = values_.find(key);
   return it == values_.end() ? def : std::stod(it->second);
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t def,
+                            std::int64_t smoke_def) const {
+  return get_int(key, smoke() ? smoke_def : def);
+}
+
+double Flags::get_double(const std::string& key, double def, double smoke_def) const {
+  return get_double(key, smoke() ? smoke_def : def);
 }
 
 std::string Flags::get_string(const std::string& key, const std::string& def) const {

@@ -18,7 +18,10 @@
 namespace vf::bench {
 
 /// Minimal --key=value flag parser (unknown keys are rejected so typos in
-/// sweep scripts fail loudly).
+/// sweep scripts fail loudly). Every bench implicitly understands
+/// `--smoke=1`: CTest's `bench-smoke` label runs each binary that way, and
+/// benches shrink their workload via the smoke-default accessors below so
+/// the harness finishes in seconds instead of minutes.
 class Flags {
  public:
   Flags(int argc, char** argv, const std::map<std::string, std::string>& known);
@@ -26,6 +29,15 @@ class Flags {
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
   double get_double(const std::string& key, double def) const;
   std::string get_string(const std::string& key, const std::string& def) const;
+
+  /// True when the binary was invoked with --smoke=1.
+  bool smoke() const { return get_int("smoke", 0) != 0; }
+  /// Like get_int, but the default shrinks to `smoke_def` under --smoke=1.
+  /// An explicit --key=value always wins.
+  std::int64_t get_int(const std::string& key, std::int64_t def,
+                       std::int64_t smoke_def) const;
+  double get_double(const std::string& key, double def, double smoke_def) const;
+
   bool help_requested() const { return help_; }
   void print_help(const std::string& title) const;
 

@@ -22,6 +22,17 @@ VirtualFlowEngine::VirtualFlowEngine(const Sequential& model, const Optimizer& o
   vn_states_.resize(static_cast<std::size_t>(mapping_.total_vns()));
   build_replicas(model, optimizer);
   if (config_.enforce_memory) check_memory();
+  if (config_.num_threads > 0)
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+}
+
+void VirtualFlowEngine::for_each_device(const std::function<void(std::int64_t)>& fn) {
+  const std::int64_t n = mapping_.num_devices();
+  if (pool_) {
+    pool_->parallel_for(n, fn);
+  } else {
+    for (std::int64_t d = 0; d < n; ++d) fn(d);
+  }
 }
 
 void VirtualFlowEngine::build_replicas(const Sequential& proto,
@@ -61,14 +72,18 @@ StepStats VirtualFlowEngine::train_step() {
   const std::int64_t total_vns = mapping_.total_vns();
   const auto slices = mapping_.slices();
 
-  // --- Fig 5 steps 1-3: per-device sequential VN execution. The devices
-  // run concurrently in a real deployment; numerically their work is
-  // independent until the sync barrier, so a sequential host loop computes
-  // the identical result.
+  // --- Fig 5 steps 1-3: per-device sequential VN execution, with devices
+  // running concurrently on the host pool when configured (matching a real
+  // deployment). Device d mutates only its own replica, its VNs' states,
+  // and its VNs' slots of the two result vectors, so the partition is
+  // race-free; the epoch permutation is warmed up front so the batcher is
+  // read-only inside the loop. Scheduling cannot change the result: the
+  // reduction order is fixed by VN id in sync_and_update.
   std::vector<Tensor> vn_grad_sums(static_cast<std::size_t>(total_vns));
   std::vector<double> vn_loss_sums(static_cast<std::size_t>(total_vns), 0.0);
 
-  for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
+  batcher_.prepare_epoch(epoch);
+  for_each_device([&](std::int64_t d) {
     Replica& rep = replicas_[static_cast<std::size_t>(d)];
     for (const std::int32_t vn : mapping_.device_vns(d)) {
       MicroBatch mb = batcher_.micro_batch(epoch, bie, slices, vn);
@@ -87,7 +102,7 @@ StepStats VirtualFlowEngine::train_step() {
       vn_grad_sums[static_cast<std::size_t>(vn)] = rep.model.flatten_grads();
       vn_loss_sums[static_cast<std::size_t>(vn)] = loss.loss_sum;
     }
-  }
+  });
 
   // --- Fig 5 steps 4-5: synchronize and update.
   double loss = 0.0;
@@ -169,10 +184,11 @@ double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sum
   *out_loss = loss_sum / b;
 
   const float lr = schedule_->lr(step_);
-  for (Replica& rep : replicas_) {
+  for_each_device([&](std::int64_t d) {
+    Replica& rep = replicas_[static_cast<std::size_t>(d)];
     rep.model.load_grads(global);
     rep.optimizer->apply(rep.model, lr);
-  }
+  });
 
   if (mapping_.num_devices() <= 1) return 0.0;
   return ring_allreduce_time_s(profile_.param_bytes(),
@@ -318,59 +334,72 @@ VnState average_states(const std::vector<VnState>& states) {
 
 }  // namespace
 
+void VirtualFlowEngine::for_each_eval_chunk(
+    const Dataset& eval, std::int64_t n,
+    const std::function<void(std::int64_t, const Tensor&,
+                             const std::vector<std::int64_t>&)>& fn) {
+  const VnState eval_state = average_states(vn_states_);
+  const std::int64_t n_chunks = ceil_div(n, kEvalChunk);
+  const std::int64_t n_dev = num_replicas();
+
+  for_each_device([&](std::int64_t d) {
+    VnState state = eval_state;
+    Sequential& model = replicas_[static_cast<std::size_t>(d)].model;
+    for (std::int64_t c = d; c < n_chunks; c += n_dev) {
+      const std::int64_t start = c * kEvalChunk;
+      const std::int64_t count = std::min(kEvalChunk, n - start);
+      std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
+      Tensor features;
+      std::vector<std::int64_t> labels;
+      eval.gather(idx, features, labels);
+
+      ExecContext ctx;
+      ctx.seed = config_.seed;
+      ctx.step = step_;
+      ctx.training = false;
+      ctx.state = state.empty() ? nullptr : &state;
+      fn(c, model.forward(features, ctx), labels);
+    }
+  });
+}
+
 double VirtualFlowEngine::evaluate(const Dataset& eval, std::int64_t limit) {
-  VnState eval_state = average_states(vn_states_);
-  Sequential& model = replicas_.at(0).model;
-
   const std::int64_t n = limit < 0 ? eval.size() : std::min(limit, eval.size());
-  std::int64_t correct = 0;
-  constexpr std::int64_t kChunk = 1024;
-  for (std::int64_t start = 0; start < n; start += kChunk) {
-    const std::int64_t count = std::min(kChunk, n - start);
-    std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
-    for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
-    Tensor features;
-    std::vector<std::int64_t> labels;
-    eval.gather(idx, features, labels);
-
-    ExecContext ctx;
-    ctx.seed = config_.seed;
-    ctx.step = step_;
-    ctx.training = false;
-    ctx.state = eval_state.empty() ? nullptr : &eval_state;
-    const Tensor logits = model.forward(features, ctx);
-    const auto preds = logits.row_argmax();
-    for (std::size_t i = 0; i < labels.size(); ++i)
-      if (preds[i] == labels[i]) ++correct;
-  }
   check(n > 0, "evaluate on empty dataset");
+  std::vector<std::int64_t> chunk_correct(
+      static_cast<std::size_t>(ceil_div(n, kEvalChunk)), 0);
+
+  for_each_eval_chunk(eval, n,
+                      [&](std::int64_t c, const Tensor& logits,
+                          const std::vector<std::int64_t>& labels) {
+                        const auto preds = logits.row_argmax();
+                        std::int64_t correct = 0;
+                        for (std::size_t i = 0; i < labels.size(); ++i)
+                          if (preds[i] == labels[i]) ++correct;
+                        chunk_correct[static_cast<std::size_t>(c)] = correct;
+                      });
+
+  std::int64_t correct = 0;
+  for (const std::int64_t c : chunk_correct) correct += c;
   return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 double VirtualFlowEngine::evaluate_loss(const Dataset& eval, std::int64_t limit) {
-  VnState eval_state = average_states(vn_states_);
-  Sequential& model = replicas_.at(0).model;
-
   const std::int64_t n = limit < 0 ? eval.size() : std::min(limit, eval.size());
   check(n > 0, "evaluate_loss on empty dataset");
-  double loss_sum = 0.0;
-  constexpr std::int64_t kChunk = 1024;
-  for (std::int64_t start = 0; start < n; start += kChunk) {
-    const std::int64_t count = std::min(kChunk, n - start);
-    std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
-    for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
-    Tensor features;
-    std::vector<std::int64_t> labels;
-    eval.gather(idx, features, labels);
+  std::vector<double> chunk_loss(static_cast<std::size_t>(ceil_div(n, kEvalChunk)),
+                                 0.0);
 
-    ExecContext ctx;
-    ctx.seed = config_.seed;
-    ctx.step = step_;
-    ctx.training = false;
-    ctx.state = eval_state.empty() ? nullptr : &eval_state;
-    const Tensor logits = model.forward(features, ctx);
-    loss_sum += softmax_cross_entropy(logits, labels).loss_sum;
-  }
+  for_each_eval_chunk(eval, n,
+                      [&](std::int64_t c, const Tensor& logits,
+                          const std::vector<std::int64_t>& labels) {
+                        chunk_loss[static_cast<std::size_t>(c)] =
+                            softmax_cross_entropy(logits, labels).loss_sum;
+                      });
+
+  double loss_sum = 0.0;
+  for (const double l : chunk_loss) loss_sum += l;
   return loss_sum / static_cast<double>(n);
 }
 

@@ -36,6 +36,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/schedule.h"
+#include "util/thread_pool.h"
 
 namespace vf {
 
@@ -62,6 +63,11 @@ struct EngineConfig {
   /// `Resize::seamless` is false to model restart-based baselines [38].
   double restart_penalty_s = 45.0;
   ReductionMode reduction = ReductionMode::kStrictVnOrder;
+  /// Host worker threads running the per-device step loop. 0 = serial
+  /// (the reference path). Any value yields bit-identical results: each
+  /// device writes only its own VNs' gradient sums and the reduction in
+  /// sync_and_update is ordered by VN id, not by completion.
+  std::int64_t num_threads = 0;
 };
 
 /// A point-in-time snapshot of everything a training job needs to resume:
@@ -171,6 +177,22 @@ class VirtualFlowEngine {
   void check_memory() const;
   double sync_and_update(const std::vector<Tensor>& vn_grad_sums,
                          const std::vector<double>& vn_loss_sums, double* out_loss);
+  /// Runs fn(d) for every device, on the pool when configured, serially
+  /// otherwise. fn must only write state owned by device d (its replica,
+  /// its VNs' slots).
+  void for_each_device(const std::function<void(std::int64_t)>& fn);
+  /// Shared harness for evaluate/evaluate_loss: forwards the first `n`
+  /// examples of `eval` in fixed kEvalChunk-sized chunks, chunk c on
+  /// replica (c mod D) with a private copy of the averaged eval state,
+  /// and calls fn(c, logits, labels) per chunk. fn must only write its
+  /// chunk's slot; callers reduce in ascending chunk order, making the
+  /// result bit-identical to a serial single-replica sweep.
+  void for_each_eval_chunk(
+      const Dataset& eval, std::int64_t n,
+      const std::function<void(std::int64_t, const Tensor&,
+                               const std::vector<std::int64_t>&)>& fn);
+
+  static constexpr std::int64_t kEvalChunk = 1024;
 
   ModelProfile profile_;
   std::vector<Device> devices_;
@@ -181,6 +203,7 @@ class VirtualFlowEngine {
 
   std::vector<Replica> replicas_;
   std::vector<VnState> vn_states_;  // indexed by VN id; survives resizes
+  std::unique_ptr<ThreadPool> pool_;  // null when config_.num_threads == 0
 
   std::int64_t step_ = 0;
   double clock_s_ = 0.0;

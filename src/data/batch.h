@@ -41,6 +41,11 @@ class EpochBatcher {
   MicroBatch micro_batch(std::int64_t epoch, std::int64_t batch_in_epoch,
                          const std::vector<BatchSlice>& slices, std::int64_t vn);
 
+  /// Warms the epoch-permutation cache. Call once before pulling this
+  /// epoch's micro-batches from multiple threads: afterwards indices()/
+  /// micro_batch() for that epoch only read shared state.
+  void prepare_epoch(std::int64_t epoch) { ensure_epoch(epoch); }
+
   const Dataset& dataset() const { return dataset_; }
 
  private:

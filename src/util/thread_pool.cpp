@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/common.h"
+
+namespace vf {
+
+ThreadPool::ThreadPool(std::int64_t num_threads) {
+  check(num_threads >= 1, "ThreadPool needs at least one worker, got " +
+                              std::to_string(num_threads));
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (std::int64_t t = 0; t < num_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    check(!stop_, "submit on a stopped ThreadPool");
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+
+  // Shared completion state. Workers pull indices from an atomic counter;
+  // per-index results belong to the caller's data structures, so the only
+  // synchronization needed here is done-counting and exception capture.
+  struct Sync {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::int64_t done = 0;
+    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto sync = std::make_shared<Sync>();
+
+  const std::int64_t tasks = std::min<std::int64_t>(n, size());
+  for (std::int64_t t = 0; t < tasks; ++t) {
+    submit([sync, n, &fn] {
+      std::int64_t finished = 0;
+      std::exception_ptr first;
+      for (;;) {
+        const std::int64_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        // Once any index failed, claim-and-skip the rest: the serial path
+        // stops at the first throw, so the parallel path must not keep
+        // mutating caller state beyond work already in flight.
+        if (!sync->failed.load(std::memory_order_acquire)) {
+          try {
+            fn(i);
+          } catch (...) {
+            if (!first) first = std::current_exception();
+            sync->failed.store(true, std::memory_order_release);
+          }
+        }
+        ++finished;
+      }
+      const std::lock_guard<std::mutex> lock(sync->mu);
+      sync->done += finished;
+      if (first && !sync->error) sync->error = first;
+      sync->cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&sync, n] { return sync->done == n; });
+  if (sync->error) std::rethrow_exception(sync->error);
+}
+
+}  // namespace vf

@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "core/checkpoint.h"
 #include "core/engine.h"
@@ -111,6 +113,45 @@ TEST(Checkpoint, RestoreAcrossProcessBoundaryEquivalent) {
   EXPECT_TRUE(first.parameters().equals(second.parameters()));
 }
 
+/// Field-by-field equality of two snapshots (parameters, optimizer slots
+/// and counter, VN states, progress counters).
+void expect_checkpoints_equal(const Checkpoint& a, const Checkpoint& b) {
+  EXPECT_TRUE(a.parameters.equals(b.parameters));
+  EXPECT_EQ(a.step, b.step);
+  EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s);
+  EXPECT_EQ(a.optimizer_counter, b.optimizer_counter);
+  ASSERT_EQ(a.optimizer_slots.size(), b.optimizer_slots.size());
+  for (std::size_t i = 0; i < a.optimizer_slots.size(); ++i)
+    EXPECT_TRUE(a.optimizer_slots[i].equals(b.optimizer_slots[i]));
+  ASSERT_EQ(a.vn_states.size(), b.vn_states.size());
+  for (std::size_t i = 0; i < a.vn_states.size(); ++i) {
+    ASSERT_EQ(a.vn_states[i].keys(), b.vn_states[i].keys());
+    for (const auto& key : a.vn_states[i].keys())
+      EXPECT_TRUE(a.vn_states[i].get(key).equals(b.vn_states[i].get(key)));
+  }
+}
+
+TEST(Checkpoint, SaveLoadRestoreReproducesCaptureExactly) {
+  // The full file cycle: capture -> save -> load -> restore into a fresh
+  // engine -> capture again. The second capture must equal the first in
+  // every field — the restored engine IS the snapshotted one.
+  ProxyTask task = make_task("qnli-sim", 42);
+  Sequential model = make_proxy_model("qnli-sim", 42);
+  TrainRecipe r1 = make_recipe("qnli-sim");
+  TrainRecipe r2 = make_recipe("qnli-sim");
+
+  auto source = make_engine(task, model, r1);
+  for (int i = 0; i < 9; ++i) source.train_step();
+  const Checkpoint original = source.capture();
+
+  TempPath file("vf_ckpt_capture_cycle.bin");
+  save_checkpoint(original, file.path);
+
+  auto fresh = make_engine(task, model, r2);
+  fresh.restore(load_checkpoint(file.path));
+  expect_checkpoints_equal(fresh.capture(), original);
+}
+
 TEST(Checkpoint, LoadErrors) {
   EXPECT_THROW(load_checkpoint("/nonexistent/path/ckpt.bin"), VfError);
   TempPath file("vf_ckpt_garbage.bin");
@@ -118,6 +159,57 @@ TEST(Checkpoint, LoadErrors) {
     std::ofstream os(file.path, std::ios::binary);
     os << "not a checkpoint";
   }
+  EXPECT_THROW(load_checkpoint(file.path), VfError);
+}
+
+TEST(Checkpoint, TruncatedFileThrowsAtEveryPrefixLength) {
+  // A valid checkpoint cut off at any point — mid-magic, mid-header,
+  // mid-tensor — must throw VfError rather than return partial state.
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe recipe = make_recipe("cola-sim");
+  auto eng = make_engine(task, model, recipe);
+  for (int i = 0; i < 3; ++i) eng.train_step();
+
+  TempPath full("vf_ckpt_full.bin");
+  save_checkpoint(eng.capture(), full.path);
+  std::string bytes;
+  {
+    std::ifstream is(full.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64U);
+
+  // Sample prefix lengths across the whole file, including 0 and size-1.
+  std::vector<std::size_t> cuts = {0, 1, 4, 7, 8, 12, bytes.size() / 2,
+                                   bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    TempPath trunc("vf_ckpt_truncated.bin");
+    {
+      std::ofstream os(trunc.path, std::ios::binary | std::ios::trunc);
+      os.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    EXPECT_THROW(load_checkpoint(trunc.path), VfError)
+        << "prefix of " << cut << " bytes did not throw";
+  }
+}
+
+TEST(Checkpoint, CorruptedMagicRejected) {
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe recipe = make_recipe("cola-sim");
+  auto eng = make_engine(task, model, recipe);
+
+  TempPath file("vf_ckpt_badmagic.bin");
+  save_checkpoint(eng.capture(), file.path);
+  // Flip a bit inside the magic number.
+  std::fstream io(file.path, std::ios::binary | std::ios::in | std::ios::out);
+  char byte = 0;
+  io.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  io.seekp(0);
+  io.write(&byte, 1);
+  io.close();
   EXPECT_THROW(load_checkpoint(file.path), VfError);
 }
 

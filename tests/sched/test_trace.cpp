@@ -22,10 +22,12 @@ TEST(Table3Mix, ContainsPaperWorkloads) {
 
 TEST(Table3Mix, BatchOptionsMatchPaper) {
   for (const auto& e : table3_mix()) {
-    if (e.workload == "resnet56")
+    if (e.workload == "resnet56") {
       EXPECT_EQ(e.batch_sizes, (std::vector<std::int64_t>{64, 128}));
-    if (e.workload == "transformer")
+    }
+    if (e.workload == "transformer") {
       EXPECT_EQ(e.batch_sizes.back(), 65536);
+    }
   }
 }
 

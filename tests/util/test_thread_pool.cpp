@@ -1,0 +1,96 @@
+// vf::ThreadPool: the deterministic-by-partitioning worker pool behind the
+// engine's per-device concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace vf {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(ThreadPool, PerIndexSlotsNeedNoSynchronization) {
+  // The engine's usage pattern: each index writes only its own slot; the
+  // caller reduces in fixed order afterwards.
+  ThreadPool pool(8);
+  constexpr std::int64_t kN = 512;
+  std::vector<std::int64_t> out(kN, 0);
+  pool.parallel_for(kN, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * i; });
+  std::int64_t sum = 0;
+  for (const std::int64_t v : out) sum += v;
+  EXPECT_EQ(sum, (kN - 1) * kN * (2 * kN - 1) / 6);
+}
+
+TEST(ThreadPool, MoreWorkersThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::int64_t> out(3, -1);
+  pool.parallel_for(3, [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = i; });
+  EXPECT_EQ(out, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for(16, [&](std::int64_t) { total++; });
+  EXPECT_EQ(total, 50 * 16);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::int64_t i) {
+                                   if (i == 17) throw VfError("boom");
+                                 }),
+               VfError);
+  // The pool is still usable after an exception (workers did not die).
+  std::atomic<std::int64_t> count{0};
+  pool.parallel_for(10, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ThreadPool, StopsStartingWorkAfterFailure) {
+  // Mirror of the serial loop's stop-at-first-throw: with one worker the
+  // schedule is sequential, so after index 0 throws, no later index may
+  // execute.
+  ThreadPool pool(1);
+  std::atomic<std::int64_t> executed{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::int64_t) {
+                                   executed++;
+                                   throw VfError("first index fails");
+                                 }),
+               VfError);
+  EXPECT_EQ(executed, 1);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), VfError);
+  EXPECT_THROW(ThreadPool(-3), VfError);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+}
+
+}  // namespace
+}  // namespace vf
