@@ -1,0 +1,206 @@
+// Serving harness: replays a seeded open-loop Poisson arrival trace
+// (steady -> burst -> drain) through vf::serve on virtual nodes, and
+// verifies the subsystem's two headline claims:
+//
+//   1. Elasticity closes the loop: the burst drives queue depth over the
+//      high watermark, the server grows the device set with the engine's
+//      seamless resize, and the drain shrinks it back — at least one
+//      queue-depth-triggered resize must occur.
+//   2. Determinism: the full per-request record stream (latency bits,
+//      predictions, resize timeline) is bit-identical across host worker
+//      counts num_threads in {0, 2, 8}.
+//
+// Prints per-worker-count SLO tables (p50/p95/p99, deadline hit rate,
+// rejections) and the resize timeline. Exit 1 when either claim fails.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/bench_util.h"
+
+using namespace vf;
+using namespace vf::serve;
+using vf::bench::Flags;
+
+namespace {
+
+struct BenchParams {
+  std::uint64_t seed = 42;
+  std::string task = "mrpc-sim";
+  std::string profile = "bert-base";
+  std::int64_t vns = 8;
+  std::int64_t devices = 1;
+  std::int64_t max_devices = 8;
+  std::int64_t queue_cap = 512;
+  std::int64_t max_batch = 64;
+  double max_wait_s = 0.01;
+  double deadline_s = 0.5;
+  double steady_rps = 300.0;
+  double burst_rps = 4000.0;
+  double steady_s = 0.5;
+  double burst_s = 2.0;
+  double drain_s = 2.0;
+};
+
+struct ReplayOutcome {
+  std::vector<RequestRecord> records;
+  std::vector<ResizeEvent> resizes;
+  std::vector<BatchEvent> batches;
+  SloSummary summary;
+  double drained_at_s = 0.0;
+};
+
+ReplayOutcome run_replay(const BenchParams& p, std::int64_t workers) {
+  ProxyTask task = make_task(p.task, p.seed);
+  Sequential model = make_proxy_model(p.task, p.seed);
+  TrainRecipe recipe = make_recipe(p.task);
+
+  EngineConfig cfg;
+  cfg.seed = p.seed;
+  cfg.enforce_memory = false;
+  cfg.num_threads = workers;
+  VirtualFlowEngine engine(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                           model_profile(p.profile),
+                           make_devices(DeviceType::kV100, p.devices),
+                           VnMapping::even(p.vns, p.devices, recipe.global_batch), cfg);
+
+  ServerConfig scfg;
+  scfg.queue_capacity = p.queue_cap;
+  scfg.batch = {p.max_batch, p.max_wait_s};
+  scfg.deadline_s = p.deadline_s;
+  scfg.elastic.enabled = true;
+  scfg.elastic.high_watermark = 48;
+  scfg.elastic.low_watermark = 4;
+  scfg.elastic.min_devices = 1;
+  scfg.elastic.max_devices = p.max_devices;
+  scfg.elastic.cooldown_batches = 1;
+
+  Server server(engine, *task.val, scfg);
+  server.replay(phased_poisson_trace(p.seed,
+                                     {{p.steady_rps, p.steady_s},
+                                      {p.burst_rps, p.burst_s},
+                                      {p.steady_rps / 2.0, p.drain_s}},
+                                     task.val->size()));
+
+  ReplayOutcome out;
+  out.records = server.slo().records();
+  out.resizes = server.resizes();
+  out.batches = server.batches();
+  out.summary = server.slo().summary();
+  out.drained_at_s = server.now_s();
+  return out;
+}
+
+bool identical(const ReplayOutcome& a, const ReplayOutcome& b) {
+  if (a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const RequestRecord& x = a.records[i];
+    const RequestRecord& y = b.records[i];
+    // Exact comparisons throughout: the claim is bit-identity.
+    if (x.id != y.id || x.rejected != y.rejected || x.prediction != y.prediction ||
+        x.queue_wait_s != y.queue_wait_s || x.compute_s != y.compute_s ||
+        x.comm_s != y.comm_s || x.finish_s != y.finish_s)
+      return false;
+  }
+  if (a.resizes.size() != b.resizes.size()) return false;
+  for (std::size_t i = 0; i < a.resizes.size(); ++i) {
+    if (a.resizes[i].time_s != b.resizes[i].time_s ||
+        a.resizes[i].from_devices != b.resizes[i].from_devices ||
+        a.resizes[i].to_devices != b.resizes[i].to_devices)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"task", "proxy task serving the requests (default mrpc-sim)"},
+               {"profile", "paper model profile for timing (default bert-base)"},
+               {"vns", "virtual nodes (default 8; also the device ceiling)"},
+               {"devices", "initial device count (default 1)"},
+               {"max-devices", "elastic ceiling (default 8)"},
+               {"queue-cap", "admission queue capacity (default 512)"},
+               {"max-batch", "batch former size trigger (default 64)"},
+               {"max-wait-ms", "batch former timeout trigger (default 10)"},
+               {"deadline-ms", "per-request latency SLO (default 500)"},
+               {"steady-rps", "steady arrival rate (default 300)"},
+               {"burst-rps", "burst arrival rate (default 4000)"},
+               {"burst-s", "burst duration in virtual seconds (default 2)"},
+               {"seed", "trace + model seed (default 42)"}});
+  if (flags.help_requested()) {
+    flags.print_help("Serving on virtual nodes: open-loop replay, SLO percentiles, elasticity");
+    return 0;
+  }
+
+  BenchParams p;
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  p.task = flags.get_string("task", "mrpc-sim");
+  p.profile = flags.get_string("profile", "bert-base");
+  p.vns = flags.get_int("vns", 8);
+  p.devices = flags.get_int("devices", 1);
+  p.max_devices = flags.get_int("max-devices", 8);
+  p.queue_cap = flags.get_int("queue-cap", 512);
+  p.max_batch = flags.get_int("max-batch", 64);
+  p.max_wait_s = flags.get_double("max-wait-ms", 10.0) / 1e3;
+  p.deadline_s = flags.get_double("deadline-ms", 500.0) / 1e3;
+  p.steady_rps = flags.get_double("steady-rps", 300.0);
+  p.burst_rps = flags.get_double("burst-rps", 4000.0);
+  p.burst_s = flags.get_double("burst-s", 2.0, /*smoke_def=*/0.5);
+  p.steady_s = flags.smoke() ? 0.25 : 0.5;
+  p.drain_s = flags.smoke() ? 1.0 : 2.0;
+
+  print_banner(std::cout, "vf::serve — deadline-aware inference on virtual nodes");
+  std::printf("  task=%s profile=%s  trace: %.0f rps -> %.0f rps burst (%.2fs) -> drain\n",
+              p.task.c_str(), p.profile.c_str(), p.steady_rps, p.burst_rps, p.burst_s);
+  std::printf("  start %lld device(s), elastic ceiling %lld, queue cap %lld, "
+              "batch <= %lld or %.0f ms, SLO %.0f ms\n\n",
+              static_cast<long long>(p.devices), static_cast<long long>(p.max_devices),
+              static_cast<long long>(p.queue_cap), static_cast<long long>(p.max_batch),
+              p.max_wait_s * 1e3, p.deadline_s * 1e3);
+
+  const std::vector<std::int64_t> worker_counts = {0, 2, 8};
+  std::vector<ReplayOutcome> outcomes;
+  Table table({"workers", "served", "rejected", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+               "SLO hit", "resizes", "drained (s)"});
+  for (const std::int64_t w : worker_counts) {
+    outcomes.push_back(run_replay(p, w));
+    const ReplayOutcome& o = outcomes.back();
+    table.row()
+        .cell(w == 0 ? std::string("serial") : "pool x" + std::to_string(w))
+        .cell(o.summary.completed)
+        .cell(o.summary.rejected)
+        .cell(o.summary.p50_s * 1e3, 2)
+        .cell(o.summary.p95_s * 1e3, 2)
+        .cell(o.summary.p99_s * 1e3, 2)
+        .cell(o.summary.hit_rate, 3)
+        .cell(static_cast<std::int64_t>(o.resizes.size()))
+        .cell(o.drained_at_s, 3);
+  }
+  table.print(std::cout);
+
+  const ReplayOutcome& ref = outcomes.front();
+  std::printf("\n  resize timeline (queue-depth-triggered, seamless):\n");
+  for (const ResizeEvent& e : ref.resizes) {
+    std::printf("    t=%7.3fs  %lld -> %lld devices  (depth %lld, migration %.4fs)\n",
+                e.time_s, static_cast<long long>(e.from_devices),
+                static_cast<long long>(e.to_devices),
+                static_cast<long long>(e.queue_depth), e.migration_s);
+  }
+
+  bool ok = true;
+  bool grew = false;
+  for (const ResizeEvent& e : ref.resizes) grew |= e.to_devices > e.from_devices;
+  if (!grew) {
+    std::printf("  FAIL: the burst never triggered a queue-depth resize\n");
+    ok = false;
+  }
+  bool exact = true;
+  for (std::size_t i = 1; i < outcomes.size(); ++i) exact &= identical(ref, outcomes[i]);
+  std::printf("\n  queue-depth-triggered growth: %s\n", grew ? "yes" : "NO — BUG");
+  std::printf("  bit-identical records/resizes across workers {0, 2, 8}: %s\n",
+              exact ? "yes" : "NO — BUG");
+  if (!exact) ok = false;
+  return ok ? 0 : 1;
+}

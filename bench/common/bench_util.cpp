@@ -1,9 +1,25 @@
 #include "common/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 namespace vf::bench {
+
+namespace {
+
+/// Usage errors exit cleanly with kUsageErrorExit after a stderr diagnosis
+/// (a thrown VfError would escape main and abort via std::terminate, which
+/// buries the message under stack noise and yields a SIGABRT exit status).
+[[noreturn]] void usage_error(const std::string& msg,
+                              const std::map<std::string, std::string>& known) {
+  std::cerr << "error: " << msg << "\nKnown flags:\n";
+  for (const auto& [key, desc] : known) std::cerr << "  --" << key << "=...  " << desc << "\n";
+  std::cerr << "Run with --help for details.\n";
+  std::exit(kUsageErrorExit);
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv, const std::map<std::string, std::string>& known)
     : known_(known) {
@@ -14,11 +30,11 @@ Flags::Flags(int argc, char** argv, const std::map<std::string, std::string>& kn
       help_ = true;
       continue;
     }
-    check(arg.rfind("--", 0) == 0, "flags look like --key=value, got: " + arg);
+    if (arg.rfind("--", 0) != 0) usage_error("flags look like --key=value, got: " + arg, known_);
     const auto eq = arg.find('=');
-    check(eq != std::string::npos, "missing '=' in flag: " + arg);
+    if (eq == std::string::npos) usage_error("missing '=' in flag: " + arg, known_);
     const std::string key = arg.substr(2, eq - 2);
-    check(known_.count(key) == 1, "unknown flag --" + key);
+    if (known_.count(key) != 1) usage_error("unknown flag --" + key, known_);
     values_[key] = arg.substr(eq + 1);
   }
 }

@@ -17,11 +17,19 @@
 
 namespace vf::bench {
 
-/// Minimal --key=value flag parser (unknown keys are rejected so typos in
-/// sweep scripts fail loudly). Every bench implicitly understands
-/// `--smoke=1`: CTest's `bench-smoke` label runs each binary that way, and
-/// benches shrink their workload via the smoke-default accessors below so
-/// the harness finishes in seconds instead of minutes.
+/// Exit code used for command-line usage errors (unknown or malformed
+/// flags). Distinct from 1, which benches use for failed acceptance checks.
+inline constexpr int kUsageErrorExit = 2;
+
+/// Minimal --key=value flag parser. Unknown or malformed flags are a
+/// usage error: the constructor prints a one-line diagnosis plus the known
+/// flag list to stderr and exits with `kUsageErrorExit` — never an
+/// uncaught-exception abort, and never a silent ignore — so typos in sweep
+/// scripts and CI smoke invocations fail loudly and legibly. Every bench
+/// implicitly understands `--smoke=1`: CTest's `bench-smoke` label runs
+/// each binary that way, and benches shrink their workload via the
+/// smoke-default accessors below so the harness finishes in seconds
+/// instead of minutes.
 class Flags {
  public:
   Flags(int argc, char** argv, const std::map<std::string, std::string>& known);

@@ -29,6 +29,11 @@ double broadcast_time_s(double bytes, std::int64_t world, const LinkSpec& link) 
   return link.latency_s * hops + bytes / link.bandwidth_bytes;
 }
 
+double send_time_s(double bytes, const LinkSpec& link) {
+  check(bytes >= 0, "send bytes must be non-negative");
+  return link.latency_s + bytes / link.bandwidth_bytes;
+}
+
 Tensor weighted_sum(const std::vector<const Tensor*>& bufs,
                     const std::vector<double>& weights) {
   check(!bufs.empty(), "weighted_sum of zero tensors");

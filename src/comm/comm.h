@@ -37,6 +37,12 @@ double ring_allgather_time_s(double bytes, std::int64_t world, const LinkSpec& l
 /// Time for a broadcast of `bytes` from one root to `world - 1` receivers.
 double broadcast_time_s(double bytes, std::int64_t world, const LinkSpec& link);
 
+/// Time for a point-to-point send of `bytes` over one link (α + bytes / β).
+/// The serving path charges this for returning each device's logits slice
+/// to the frontend; devices send over independent links, so the batch-level
+/// cost is the max, not the sum, over devices.
+double send_time_s(double bytes, const LinkSpec& link);
+
 /// Weighted sum of equally-shaped tensors: out = Σ_i weights[i] * bufs[i],
 /// reduced in ascending index order. This is the numerical core of both
 /// homogeneous averaging (uniform weights) and the weighted gradient

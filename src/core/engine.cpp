@@ -340,12 +340,30 @@ void VirtualFlowEngine::for_each_eval_chunk(
                              const std::vector<std::int64_t>&)>& fn) {
   const VnState eval_state = average_states(vn_states_);
   const std::int64_t n_chunks = ceil_div(n, kEvalChunk);
-  const std::int64_t n_dev = num_replicas();
 
-  for_each_device([&](std::int64_t d) {
+  // Eval parallelism is decoupled from the replica count: chunks stripe
+  // over every pool worker, not just one per device, so an eval-heavy
+  // workload on a small mapping still uses the whole host. Worker w within
+  // the replica count borrows replica w's model (distinct objects, one
+  // worker each — no copies, no races); workers beyond it get private deep
+  // copies, made serially up front because copying inside the parallel
+  // region would race with worker w's forward-cache writes on the source
+  // replica. Each worker writes only its own chunks' slots and callers
+  // reduce in ascending chunk order, so the result is bit-identical for
+  // any worker count.
+  const std::int64_t n_dev = num_replicas();
+  const std::int64_t workers =
+      pool_ ? std::min<std::int64_t>(config_.num_threads, n_chunks) : 1;
+  std::vector<Sequential> extra_models;
+  for (std::int64_t w = n_dev; w < workers; ++w)
+    extra_models.push_back(replicas_.front().model);
+
+  const auto worker_body = [&](std::int64_t w) {
     VnState state = eval_state;
-    Sequential& model = replicas_[static_cast<std::size_t>(d)].model;
-    for (std::int64_t c = d; c < n_chunks; c += n_dev) {
+    Sequential& model = w < n_dev
+                            ? replicas_[static_cast<std::size_t>(w)].model
+                            : extra_models[static_cast<std::size_t>(w - n_dev)];
+    for (std::int64_t c = w; c < n_chunks; c += workers) {
       const std::int64_t start = c * kEvalChunk;
       const std::int64_t count = std::min(kEvalChunk, n - start);
       std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
@@ -361,7 +379,80 @@ void VirtualFlowEngine::for_each_eval_chunk(
       ctx.state = state.empty() ? nullptr : &state;
       fn(c, model.forward(features, ctx), labels);
     }
+  };
+
+  if (pool_) {
+    pool_->parallel_for(workers, worker_body);
+  } else {
+    worker_body(0);
+  }
+}
+
+InferStats VirtualFlowEngine::infer(const std::vector<InferSlice>& slices) {
+  check(!slices.empty(), "infer needs at least one slice");
+  std::vector<bool> seen(static_cast<std::size_t>(mapping_.total_vns()), false);
+  for (const InferSlice& s : slices) {
+    check_index(s.vn, mapping_.total_vns(), "virtual node");
+    check(!seen[static_cast<std::size_t>(s.vn)],
+          "infer: virtual node " + std::to_string(s.vn) + " appears twice");
+    seen[static_cast<std::size_t>(s.vn)] = true;
+    check(s.features.rank() == 2 && s.features.rows() > 0,
+          "infer slice features must be a non-empty [count x dim] matrix");
+  }
+
+  // Group slices by hosting device; a device runs its slices sequentially
+  // (same execution shape as training VNs) while devices run concurrently
+  // on the pool. Each slice writes only its own prediction/byte slots, so
+  // scheduling cannot change the result.
+  const std::int64_t n_dev = mapping_.num_devices();
+  std::vector<std::vector<std::size_t>> by_device(static_cast<std::size_t>(n_dev));
+  for (std::size_t i = 0; i < slices.size(); ++i)
+    by_device[static_cast<std::size_t>(mapping_.device_of(slices[i].vn))].push_back(i);
+
+  const VnState eval_state = average_states(vn_states_);
+  std::vector<std::vector<std::int64_t>> slice_preds(slices.size());
+  std::vector<double> slice_out_bytes(slices.size(), 0.0);
+
+  for_each_device([&](std::int64_t d) {
+    if (by_device[static_cast<std::size_t>(d)].empty()) return;
+    VnState state = eval_state;
+    Sequential& model = replicas_[static_cast<std::size_t>(d)].model;
+    for (const std::size_t i : by_device[static_cast<std::size_t>(d)]) {
+      const InferSlice& s = slices[i];
+      ExecContext ctx;
+      ctx.seed = config_.seed;
+      ctx.step = step_;
+      ctx.vn_id = s.vn;
+      ctx.training = false;
+      ctx.state = state.empty() ? nullptr : &state;
+      const Tensor logits = model.forward(s.features, ctx);
+      slice_preds[i] = logits.row_argmax();
+      slice_out_bytes[i] = static_cast<double>(logits.size()) * 4.0;
+    }
   });
+
+  // Simulated timing: barrier at the slowest participating device, plus
+  // the slowest logits return to the frontend. Both are pure functions of
+  // the slice shapes and the mapping — never of host scheduling.
+  InferStats out;
+  for (std::int64_t d = 0; d < n_dev; ++d) {
+    const auto& mine = by_device[static_cast<std::size_t>(d)];
+    if (mine.empty()) continue;
+    std::vector<std::int64_t> batches;
+    double dev_bytes = 0.0;
+    for (const std::size_t i : mine) {
+      batches.push_back(slices[i].features.rows());
+      dev_bytes += slice_out_bytes[i];
+    }
+    const DeviceSpec& spec = devices_[static_cast<std::size_t>(d)].spec();
+    out.compute_s =
+        std::max(out.compute_s, device_infer_time_s(spec, profile_, batches));
+    if (n_dev > 1)
+      out.comm_s = std::max(out.comm_s, send_time_s(dev_bytes, config_.link));
+  }
+  for (const auto& preds : slice_preds)
+    out.predictions.insert(out.predictions.end(), preds.begin(), preds.end());
+  return out;
 }
 
 double VirtualFlowEngine::evaluate(const Dataset& eval, std::int64_t limit) {

@@ -93,6 +93,27 @@ struct StepStats {
   double max_device_mem = 0.0; ///< peak simulated memory over devices
 };
 
+/// One virtual node's share of a forward-only inference batch (the serving
+/// path, src/serve/). `features` is a [count x feature_dim] matrix.
+struct InferSlice {
+  std::int32_t vn = 0;
+  Tensor features;
+};
+
+/// Result of a forward-only pass over a set of inference slices.
+struct InferStats {
+  /// Predicted class per example, concatenated in slice order. Predictions
+  /// are a pure function of (parameters, averaged VN state, inputs) — the
+  /// VN -> device mapping and the host worker count cannot change a bit.
+  std::vector<std::int64_t> predictions;
+  /// Simulated time: barrier at the slowest participating device (its VN
+  /// passes run sequentially, forward-only, no parameter update).
+  double compute_s = 0.0;
+  /// Simulated time to return each device's logits to the serving frontend
+  /// (max over devices; independent links).
+  double comm_s = 0.0;
+};
+
 /// Options controlling a resize (§4.1).
 struct ResizeOptions {
   /// Migrate VN state (batch-norm moving stats) and optimizer slots via
@@ -145,6 +166,15 @@ class VirtualFlowEngine {
 
   /// Mean loss on `eval` without updating anything.
   double evaluate_loss(const Dataset& eval, std::int64_t limit = -1);
+
+  /// Forward-only execution of inference micro-batches on a subset of
+  /// virtual nodes (the serving entry point, src/serve/). Each slice runs
+  /// on the device hosting its VN, with a private copy of the averaged
+  /// eval-time VN state; devices run concurrently on the pool when
+  /// configured. Does NOT advance the engine's simulated clock — callers
+  /// (the serving loop) own their own timeline and consume the returned
+  /// simulated costs. Slices must name distinct, valid VNs.
+  InferStats infer(const std::vector<InferSlice>& slices);
 
   // ---- Introspection (tests, benches) ----
   std::int64_t step() const { return step_; }

@@ -44,6 +44,15 @@ MicroBatch EpochBatcher::micro_batch(std::int64_t epoch, std::int64_t batch_in_e
   return mb;
 }
 
+MicroBatch gather_micro_batch(const Dataset& dataset,
+                              const std::vector<std::int64_t>& indices) {
+  check(!indices.empty(), "gather_micro_batch needs at least one index");
+  for (const std::int64_t i : indices) check_index(i, dataset.size(), "example");
+  MicroBatch mb;
+  dataset.gather(indices, mb.features, mb.labels);
+  return mb;
+}
+
 MicroBatch materialize_all(const Dataset& dataset, std::int64_t limit) {
   const std::int64_t n = limit < 0 ? dataset.size() : std::min(limit, dataset.size());
   std::vector<std::int64_t> idx(static_cast<std::size_t>(n));

@@ -63,4 +63,10 @@ class EpochBatcher {
 /// evaluation passes.
 MicroBatch materialize_all(const Dataset& dataset, std::int64_t limit = -1);
 
+/// Materializes a micro-batch from explicit dataset indices. This is the
+/// serving path (src/serve/): the indices come from request payloads, not
+/// from epoch slices, so no permutation or slice layout is involved.
+MicroBatch gather_micro_batch(const Dataset& dataset,
+                              const std::vector<std::int64_t>& indices);
+
 }  // namespace vf

@@ -41,6 +41,28 @@ double device_step_time_s(const DeviceSpec& spec, const ModelProfile& model,
   return t + update_time_s(spec, model) + spec.step_fixed_s;
 }
 
+double infer_pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                         std::int64_t batch) {
+  check(batch > 0, "batch must be positive");
+  const double b = static_cast<double>(batch);
+  const double util = batch_utilization(model, b);
+  const double compute_s =
+      model.flops_per_example * b / (spec.effective_flops() * util);
+  // Bytes touched forward-only: activations written once, parameters read
+  // once (no backward re-read, no gradient buffer).
+  const double bytes = model.activation_bytes_per_example * b + model.param_bytes();
+  const double memory_s = bytes / spec.mem_bw_bytes;
+  return spec.kernel_launch_s + std::max(compute_s, memory_s);
+}
+
+double device_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                           const std::vector<std::int64_t>& vn_batches) {
+  check(!vn_batches.empty(), "device must run at least one virtual node");
+  double t = 0.0;
+  for (auto b : vn_batches) t += infer_pass_time_s(spec, model, b);
+  return t + spec.step_fixed_s;
+}
+
 double device_throughput(const DeviceSpec& spec, const ModelProfile& model,
                          std::int64_t batch, std::int64_t vns) {
   check(vns > 0, "virtual node count must be positive");

@@ -41,4 +41,17 @@ double device_step_time_s(const DeviceSpec& spec, const ModelProfile& model,
 double device_throughput(const DeviceSpec& spec, const ModelProfile& model,
                          std::int64_t batch, std::int64_t vns);
 
+/// Forward-only (inference) time of one virtual-node pass of `batch`
+/// examples: no backward, no gradient traffic, activations written once and
+/// parameters read once. Used by the serving path (src/serve/) for
+/// per-request latency accounting.
+double infer_pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                         std::int64_t batch);
+
+/// Full forward-only time for one device running its VN batches
+/// sequentially. No parameter update is charged (inference never updates);
+/// the per-step framework overhead is charged once per formed batch.
+double device_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                           const std::vector<std::int64_t>& vn_batches);
+
 }  // namespace vf

@@ -1,0 +1,79 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace vf::serve {
+
+namespace {
+
+// Distinct RNG streams for gaps vs payloads so trace length changes never
+// correlate the two.
+constexpr std::uint64_t kGapStream = 0x5e41'0001;
+constexpr std::uint64_t kPayloadStream = 0x5e41'0002;
+
+double exponential_gap(CounterRng& rng, double rate_rps) {
+  // Inverse-CDF sample; next_double() is in [0, 1) so the log argument is
+  // in (0, 1] and the gap is finite.
+  return -std::log(1.0 - rng.next_double()) / rate_rps;
+}
+
+}  // namespace
+
+std::vector<InferRequest> poisson_trace(std::uint64_t seed, double rate_rps,
+                                        std::int64_t count,
+                                        std::int64_t example_pool) {
+  check(rate_rps > 0.0, "arrival rate must be positive");
+  check(count >= 0, "trace length must be non-negative");
+  check(example_pool > 0, "example pool must be non-empty");
+  CounterRng gaps(seed, kGapStream);
+  CounterRng payloads(seed, kPayloadStream);
+  std::vector<InferRequest> trace;
+  trace.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    t += exponential_gap(gaps, rate_rps);
+    InferRequest r;
+    r.id = i;
+    r.arrival_s = t;
+    r.example_index =
+        static_cast<std::int64_t>(payloads.next_below(static_cast<std::uint64_t>(example_pool)));
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+std::vector<InferRequest> phased_poisson_trace(std::uint64_t seed,
+                                               const std::vector<TracePhase>& phases,
+                                               std::int64_t example_pool) {
+  check(!phases.empty(), "phased trace needs at least one phase");
+  check(example_pool > 0, "example pool must be non-empty");
+  CounterRng gaps(seed, kGapStream);
+  CounterRng payloads(seed, kPayloadStream);
+  std::vector<InferRequest> trace;
+  double phase_start = 0.0;
+  double t = 0.0;
+  std::int64_t id = 0;
+  for (const TracePhase& ph : phases) {
+    check(ph.rate_rps > 0.0, "phase rate must be positive");
+    check(ph.duration_s > 0.0, "phase duration must be positive");
+    const double phase_end = phase_start + ph.duration_s;
+    t = phase_start;
+    while (true) {
+      t += exponential_gap(gaps, ph.rate_rps);
+      if (t >= phase_end) break;
+      InferRequest r;
+      r.id = id++;
+      r.arrival_s = t;
+      r.example_index = static_cast<std::int64_t>(
+          payloads.next_below(static_cast<std::uint64_t>(example_pool)));
+      trace.push_back(r);
+    }
+    phase_start = phase_end;
+  }
+  return trace;
+}
+
+}  // namespace vf::serve

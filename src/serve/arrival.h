@@ -1,0 +1,37 @@
+// Seeded open-loop arrival traces for serving experiments.
+//
+// Open loop means arrivals are independent of service: the trace is fixed
+// up front (Poisson process via CounterRng — inter-arrival gaps are
+// exponential, example payloads uniform over the request pool), so a slow
+// server builds queue depth instead of slowing the workload down. That is
+// both the standard serving-benchmark methodology and what makes replays
+// bit-exact: the trace is a pure function of (seed, rates, pool size).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace vf::serve {
+
+/// One phase of a piecewise-constant-rate Poisson arrival process.
+struct TracePhase {
+  double rate_rps = 100.0;  ///< mean arrival rate, requests per virtual second
+  double duration_s = 1.0;  ///< phase length on the virtual clock
+};
+
+/// Constant-rate Poisson trace of exactly `count` requests starting at
+/// virtual time 0. Payload indices are uniform over [0, example_pool).
+std::vector<InferRequest> poisson_trace(std::uint64_t seed, double rate_rps,
+                                        std::int64_t count,
+                                        std::int64_t example_pool);
+
+/// Piecewise-constant-rate Poisson trace (e.g. steady -> burst -> steady,
+/// the shape that exercises queue-depth-triggered elasticity). Arrivals
+/// falling past the final phase boundary are dropped.
+std::vector<InferRequest> phased_poisson_trace(std::uint64_t seed,
+                                               const std::vector<TracePhase>& phases,
+                                               std::int64_t example_pool);
+
+}  // namespace vf::serve

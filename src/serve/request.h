@@ -1,0 +1,41 @@
+// Inference request/record types for the vf::serve subsystem.
+//
+// Serving reuses the virtual-node decoupling the paper built for training:
+// a request batch is packed onto virtual nodes, and the VN -> device
+// mapping (which may change at any moment via an elastic resize) decides
+// where the forward passes run. Everything here lives on the *virtual*
+// clock: arrival stamps come from a seeded open-loop trace, service times
+// from the analytic cost model, so a serving run is a pure function of
+// (trace, policy, model, mapping) and replays bit-identically.
+#pragma once
+
+#include <cstdint>
+
+namespace vf::serve {
+
+/// One single-example inference request. The payload is an index into the
+/// request pool dataset (src/data/dataset.h generates example features
+/// deterministically on demand), which keeps traces compact and replayable.
+struct InferRequest {
+  std::int64_t id = 0;            ///< trace position; unique per run
+  double arrival_s = 0.0;         ///< arrival stamp on the virtual clock
+  std::int64_t example_index = 0; ///< payload: request-pool example
+};
+
+/// Per-request accounting recorded by the SloTracker once a request leaves
+/// the system (served or rejected at admission).
+struct RequestRecord {
+  std::int64_t id = 0;
+  double arrival_s = 0.0;
+  double queue_wait_s = 0.0;  ///< admission -> batch formation
+  double compute_s = 0.0;     ///< cost-model forward time of its batch
+  double comm_s = 0.0;        ///< logits return of its batch
+  double finish_s = 0.0;      ///< virtual completion stamp
+  std::int64_t prediction = -1;
+  bool rejected = false;      ///< bounced at admission (queue full)
+  bool deadline_met = false;
+
+  double latency_s() const { return finish_s - arrival_s; }
+};
+
+}  // namespace vf::serve

@@ -1,0 +1,45 @@
+#include "serve/request_queue.h"
+
+#include "util/common.h"
+
+namespace vf::serve {
+
+RequestQueue::RequestQueue(std::int64_t capacity) : capacity_(capacity) {
+  check(capacity > 0, "request queue capacity must be positive");
+}
+
+bool RequestQueue::push(const InferRequest& r) {
+  if (size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  check(q_.empty() || q_.back().arrival_s <= r.arrival_s,
+        "requests must be admitted in arrival order");
+  q_.push_back(r);
+  ++admitted_;
+  return true;
+}
+
+std::vector<InferRequest> RequestQueue::pop(std::int64_t n) {
+  check(n >= 0 && n <= size(), "pop count " + std::to_string(n) +
+                                   " exceeds queue depth " + std::to_string(size()));
+  std::vector<InferRequest> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.push_back(q_.front());
+    q_.pop_front();
+  }
+  return out;
+}
+
+const InferRequest& RequestQueue::front() const {
+  check(!q_.empty(), "front() on empty request queue");
+  return q_.front();
+}
+
+const InferRequest& RequestQueue::at(std::int64_t i) const {
+  check_index(i, size(), "queue position");
+  return q_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace vf::serve

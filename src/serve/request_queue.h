@@ -1,0 +1,47 @@
+// Bounded admission queue for inference requests.
+//
+// Backpressure is the admission story: when the queue is at capacity, a
+// new request is rejected immediately (the caller records the rejection)
+// rather than queued into unbounded latency. FIFO order is part of the
+// determinism contract — the BatchFormer only ever takes a prefix, so the
+// batch sequence is a pure function of the arrival trace and the policy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace vf::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::int64_t capacity);
+
+  /// Admits `r` unless the queue is full. Returns false (and counts the
+  /// rejection) when capacity is reached — the backpressure signal.
+  bool push(const InferRequest& r);
+
+  /// Removes and returns the oldest `n` requests (n <= size()).
+  std::vector<InferRequest> pop(std::int64_t n);
+
+  /// Oldest queued request; queue must be non-empty.
+  const InferRequest& front() const;
+  /// Request at queue position `i` (0 = oldest).
+  const InferRequest& at(std::int64_t i) const;
+
+  bool empty() const { return q_.empty(); }
+  std::int64_t size() const { return static_cast<std::int64_t>(q_.size()); }
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t admitted() const { return admitted_; }
+  std::int64_t rejected() const { return rejected_; }
+
+ private:
+  std::int64_t capacity_;
+  std::deque<InferRequest> q_;
+  std::int64_t admitted_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace vf::serve

@@ -1,0 +1,162 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "data/batch.h"
+#include "util/common.h"
+
+namespace vf::serve {
+
+Server::Server(VirtualFlowEngine& engine, const Dataset& request_pool,
+               ServerConfig config)
+    : engine_(engine),
+      request_pool_(request_pool),
+      config_(config),
+      queue_(config.queue_capacity),
+      former_(config.batch),
+      tracker_(config.deadline_s) {
+  if (config_.elastic.enabled) {
+    const ElasticPolicy& e = config_.elastic;
+    check(e.min_devices >= 1, "elastic min_devices must be >= 1");
+    check(e.max_devices >= e.min_devices, "elastic max_devices < min_devices");
+    check(e.max_devices <= engine_.mapping().total_vns(),
+          "elastic max_devices (" + std::to_string(e.max_devices) +
+              ") exceeds the virtual-node count (" +
+              std::to_string(engine_.mapping().total_vns()) +
+              "); devices beyond the VN count would idle");
+    check(e.high_watermark > e.low_watermark,
+          "elastic watermarks must satisfy high > low (hysteresis)");
+    check(e.cooldown_batches >= 0, "elastic cooldown must be non-negative");
+  }
+}
+
+void Server::replay(const std::vector<InferRequest>& trace) {
+  check(!replayed_, "a Server replays exactly one trace");
+  replayed_ = true;
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    check(trace[i - 1].arrival_s <= trace[i].arrival_s,
+          "trace must be sorted by arrival time");
+
+  std::size_t next_arrival = 0;
+  // Admits every arrival up to the current virtual time, in trace order.
+  // Rejections (queue full) happen at the request's own arrival stamp.
+  const auto admit_up_to_clock = [&]() {
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival_s <= clock_) {
+      const InferRequest& r = trace[next_arrival];
+      if (!queue_.push(r)) tracker_.record_rejection(r, r.arrival_s);
+      ++next_arrival;
+    }
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  while (true) {
+    admit_up_to_clock();
+
+    const std::int64_t ready = former_.ready_count(queue_, clock_);
+    if (ready == 0) {
+      // Nothing to form yet: jump to the next event — the oldest queued
+      // request's timeout or the next arrival, whichever is earlier.
+      double next_t = kInf;
+      if (!queue_.empty()) next_t = former_.timeout_deadline_s(queue_);
+      if (next_arrival < trace.size())
+        next_t = std::min(next_t, trace[next_arrival].arrival_s);
+      if (next_t == kInf) break;  // queue drained, trace exhausted
+      clock_ = std::max(clock_, next_t);
+      continue;
+    }
+
+    execute_batch(std::min(ready, engine_.mapping().global_batch()));
+    // The batch advanced the clock; admit everything that arrived during
+    // its service window so the resize decision sees the true depth (a
+    // burst's pressure registers the batch it builds up in, not one
+    // batch later).
+    admit_up_to_clock();
+    batches_.back().queue_depth_after = queue_.size();
+    maybe_resize();
+  }
+}
+
+void Server::execute_batch(std::int64_t take) {
+  const double start = clock_;
+  const std::vector<InferRequest> batch = queue_.pop(take);
+  const std::vector<VnPack> packs = former_.pack(take, engine_.mapping());
+
+  // Packs take FIFO positions contiguously in ascending VN order, so the
+  // engine's slice-ordered prediction vector lines up with batch position.
+  std::vector<InferSlice> slices;
+  slices.reserve(packs.size());
+  for (const VnPack& p : packs) {
+    std::vector<std::int64_t> idx;
+    idx.reserve(p.positions.size());
+    for (const std::int64_t pos : p.positions)
+      idx.push_back(batch[static_cast<std::size_t>(pos)].example_index);
+    InferSlice s;
+    s.vn = p.vn;
+    s.features = gather_micro_batch(request_pool_, idx).features;
+    slices.push_back(std::move(s));
+  }
+
+  const InferStats stats = engine_.infer(slices);
+  const double finish = start + stats.compute_s + stats.comm_s;
+
+  for (std::int64_t p = 0; p < take; ++p) {
+    const InferRequest& r = batch[static_cast<std::size_t>(p)];
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.arrival_s = r.arrival_s;
+    rec.queue_wait_s = start - r.arrival_s;
+    rec.compute_s = stats.compute_s;
+    rec.comm_s = stats.comm_s;
+    rec.finish_s = finish;
+    rec.prediction = stats.predictions[static_cast<std::size_t>(p)];
+    tracker_.record_completion(std::move(rec));
+  }
+
+  clock_ = finish;
+  ++batches_since_resize_;
+  BatchEvent ev;
+  ev.start_s = start;
+  ev.finish_s = finish;
+  ev.size = take;
+  ev.devices = static_cast<std::int64_t>(engine_.devices().size());
+  // queue_depth_after is finalized by replay() once the arrivals that
+  // landed during this batch's service window are admitted.
+  ev.queue_depth_after = queue_.size();
+  batches_.push_back(ev);
+}
+
+void Server::maybe_resize() {
+  const ElasticPolicy& e = config_.elastic;
+  if (!e.enabled) return;
+  if (batches_since_resize_ < e.cooldown_batches) return;
+
+  const std::int64_t depth = queue_.size();
+  const auto cur = static_cast<std::int64_t>(engine_.devices().size());
+  std::int64_t target = cur;
+  if (depth >= e.high_watermark && cur < e.max_devices) {
+    target = std::min(cur * 2, e.max_devices);
+  } else if (depth <= e.low_watermark && cur > e.min_devices) {
+    target = std::max(cur / 2, e.min_devices);
+  }
+  if (target == cur) return;
+
+  // The engine charges the seamless all-gather migration to its own
+  // simulated clock; serving requests queue behind it on ours.
+  const double before = engine_.sim_time_s();
+  engine_.resize(make_devices(e.device, target));
+  const double migration = engine_.sim_time_s() - before;
+  clock_ += migration;
+
+  ResizeEvent ev;
+  ev.time_s = clock_;
+  ev.from_devices = cur;
+  ev.to_devices = target;
+  ev.queue_depth = depth;
+  ev.migration_s = migration;
+  resizes_.push_back(ev);
+  batches_since_resize_ = 0;
+}
+
+}  // namespace vf::serve

@@ -1,0 +1,111 @@
+// vf::serve::Server — deadline-aware inference serving on virtual nodes.
+//
+// Pipeline (one virtual-clock event loop):
+//
+//   arrival trace ──> RequestQueue ──> BatchFormer ──> engine.infer ──> SloTracker
+//        (open loop)   (bounded,        (size-or-        (forward-only     (p50/p95/p99,
+//                       backpressure)    timeout pack)     on VNs)           deadlines)
+//
+// plus the elasticity loop the paper built for training: when queue depth
+// crosses hysteresis watermarks the server calls the engine's seamless
+// resize(), growing or shrinking the device set under the *same* virtual
+// nodes — serving capacity per batch (the global batch) never changes,
+// only how fast a batch drains.
+//
+// Determinism contract: a replay is a pure function of (trace, policies,
+// engine construction). Arrival stamps come from the seeded trace, service
+// times from the analytic cost model, batch boundaries from the FIFO
+// prefix policy, and predictions from slot-ordered forward passes — host
+// worker count (EngineConfig::num_threads) can change wall-clock speed but
+// not one bit of the records. bench_serving and tests/serve/ verify this
+// across num_threads in {0, 2, 8}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "device/spec.h"
+#include "serve/batch_former.h"
+#include "serve/request_queue.h"
+#include "serve/slo_tracker.h"
+
+namespace vf::serve {
+
+/// Queue-depth-triggered elasticity with hysteresis: grow (double the
+/// device count) when depth reaches `high_watermark`, shrink (halve) when
+/// depth falls to `low_watermark`, never within `cooldown_batches` formed
+/// batches of the previous resize. high > low keeps the loop from
+/// oscillating on a steady queue.
+struct ElasticPolicy {
+  bool enabled = true;
+  std::int64_t high_watermark = 64;
+  std::int64_t low_watermark = 4;
+  std::int64_t min_devices = 1;
+  std::int64_t max_devices = 8;  ///< must not exceed the mapping's VN count
+  DeviceType device = DeviceType::kV100;
+  std::int64_t cooldown_batches = 4;
+};
+
+struct ServerConfig {
+  std::int64_t queue_capacity = 1024;
+  BatchPolicy batch;
+  double deadline_s = 0.5;  ///< per-request latency SLO
+  ElasticPolicy elastic;
+};
+
+/// One elastic reconfiguration taken during a replay.
+struct ResizeEvent {
+  double time_s = 0.0;  ///< virtual time after the migration completed
+  std::int64_t from_devices = 0;
+  std::int64_t to_devices = 0;
+  std::int64_t queue_depth = 0;   ///< depth that triggered the decision
+  double migration_s = 0.0;       ///< seamless all-gather cost charged
+};
+
+/// One formed batch executed during a replay.
+struct BatchEvent {
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  std::int64_t size = 0;
+  std::int64_t devices = 0;          ///< device count that served it
+  std::int64_t queue_depth_after = 0;
+};
+
+class Server {
+ public:
+  /// `engine` supplies the model replicas, mapping, and resize machinery;
+  /// `request_pool` generates request payload features on demand. Both
+  /// must outlive the server.
+  Server(VirtualFlowEngine& engine, const Dataset& request_pool, ServerConfig config);
+
+  /// Replays an open-loop arrival trace (ascending arrival order) to
+  /// completion, draining the queue. One replay per Server.
+  void replay(const std::vector<InferRequest>& trace);
+
+  double now_s() const { return clock_; }
+  const SloTracker& slo() const { return tracker_; }
+  const RequestQueue& queue() const { return queue_; }
+  const std::vector<ResizeEvent>& resizes() const { return resizes_; }
+  const std::vector<BatchEvent>& batches() const { return batches_; }
+
+ private:
+  void execute_batch(std::int64_t take);
+  void maybe_resize();
+
+  VirtualFlowEngine& engine_;
+  const Dataset& request_pool_;
+  ServerConfig config_;
+  RequestQueue queue_;
+  BatchFormer former_;
+  SloTracker tracker_;
+
+  double clock_ = 0.0;
+  std::int64_t batches_since_resize_ = 0;
+  bool replayed_ = false;
+  std::vector<ResizeEvent> resizes_;
+  std::vector<BatchEvent> batches_;
+};
+
+}  // namespace vf::serve

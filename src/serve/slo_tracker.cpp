@@ -1,0 +1,69 @@
+#include "serve/slo_tracker.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/stats.h"
+
+namespace vf::serve {
+
+SloTracker::SloTracker(double deadline_s) : deadline_s_(deadline_s) {
+  check(deadline_s > 0.0, "SLO deadline must be positive");
+}
+
+void SloTracker::record_completion(RequestRecord r) {
+  check(!r.rejected, "use record_rejection for rejected requests");
+  check(r.finish_s >= r.arrival_s, "completion before arrival");
+  r.deadline_met = r.latency_s() <= deadline_s_;
+  if (!r.deadline_met) ++deadline_misses_;
+  ++completed_;
+  records_.push_back(std::move(r));
+}
+
+void SloTracker::record_rejection(const InferRequest& r, double now_s) {
+  RequestRecord rec;
+  rec.id = r.id;
+  rec.arrival_s = r.arrival_s;
+  rec.finish_s = now_s;
+  rec.rejected = true;
+  rec.deadline_met = false;
+  ++rejected_;
+  records_.push_back(std::move(rec));
+}
+
+std::int64_t SloTracker::completed() const { return completed_; }
+std::int64_t SloTracker::rejected() const { return rejected_; }
+
+namespace {
+std::vector<double> completed_latencies(const std::vector<RequestRecord>& records) {
+  std::vector<double> xs;
+  xs.reserve(records.size());
+  for (const RequestRecord& r : records)
+    if (!r.rejected) xs.push_back(r.latency_s());
+  return xs;
+}
+}  // namespace
+
+double SloTracker::latency_percentile_s(double p) const {
+  return percentile(completed_latencies(records_), p);
+}
+
+SloSummary SloTracker::summary() const {
+  SloSummary s;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.deadline_misses = deadline_misses_;
+  const std::vector<double> xs = completed_latencies(records_);
+  if (!xs.empty()) {
+    s.p50_s = percentile(xs, 0.50);
+    s.p95_s = percentile(xs, 0.95);
+    s.p99_s = percentile(xs, 0.99);
+    s.mean_s = mean(xs);
+    s.max_s = max_of(xs);
+    s.hit_rate = static_cast<double>(completed_ - deadline_misses_) /
+                 static_cast<double>(completed_);
+  }
+  return s;
+}
+
+}  // namespace vf::serve

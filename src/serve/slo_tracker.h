@@ -1,0 +1,66 @@
+// SloTracker: per-request latency accounting and SLO percentiles.
+//
+// Latency decomposes exactly the way the serving loop spends virtual time:
+// queue wait (admission -> batch formation) + cost-model compute + result
+// comm. Percentiles use util/stats (linear interpolation between order
+// statistics) over completed requests only; rejected requests are counted
+// separately — a rejection is an SLO event of its own, not an infinite
+// latency sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace vf::serve {
+
+/// Aggregate serving quality over one replay.
+struct SloSummary {
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t deadline_misses = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+  /// Fraction of *admitted* requests that met the deadline.
+  double hit_rate = 0.0;
+};
+
+class SloTracker {
+ public:
+  /// `deadline_s` is the per-request latency SLO (arrival -> completion).
+  explicit SloTracker(double deadline_s);
+
+  double deadline_s() const { return deadline_s_; }
+
+  /// Records a served request; stamps `deadline_met` from the tracker's SLO.
+  void record_completion(RequestRecord r);
+
+  /// Records an admission-time rejection (queue full) at time `now_s`.
+  void record_rejection(const InferRequest& r, double now_s);
+
+  std::int64_t completed() const;
+  std::int64_t rejected() const;
+
+  /// Latency percentile over completed requests, p in [0, 1].
+  double latency_percentile_s(double p) const;
+
+  SloSummary summary() const;
+
+  /// Every record in completion/rejection order — the bit-exactness
+  /// witness the determinism tests and bench_serving compare across
+  /// worker counts.
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+ private:
+  double deadline_s_;
+  std::vector<RequestRecord> records_;
+  std::int64_t completed_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t deadline_misses_ = 0;
+};
+
+}  // namespace vf::serve

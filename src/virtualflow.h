@@ -54,6 +54,14 @@
 #include "profiler/profiler.h"
 #include "solver/solver.h"
 
+// Deadline-aware inference serving on virtual nodes.
+#include "serve/arrival.h"
+#include "serve/batch_former.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+#include "serve/slo_tracker.h"
+
 // Cluster scheduling.
 #include "sched/gavel.h"
 #include "sched/job.h"

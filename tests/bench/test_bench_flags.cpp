@@ -1,0 +1,62 @@
+// bench_util Flags: unknown or malformed flags must fail loudly — a clear
+// stderr diagnosis and exit code kUsageErrorExit (2) — never a silent
+// ignore and never an uncaught-exception SIGABRT. Every bench's smoke
+// reliability rides on this: a typoed flag in a sweep script or CI line
+// must kill the run legibly instead of benchmarking the wrong config.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bench_util.h"
+
+namespace vf::bench {
+namespace {
+
+Flags make_flags(std::vector<const char*> args,
+                 const std::map<std::string, std::string>& known = {
+                     {"steps", "steps"}, {"rate", "rate"}}) {
+  args.insert(args.begin(), "bench");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()), known);
+}
+
+TEST(BenchFlags, ParsesKnownFlags) {
+  const Flags f = make_flags({"--steps=7", "--rate=2.5"});
+  EXPECT_EQ(f.get_int("steps", 0), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 2.5);
+  EXPECT_FALSE(f.smoke());
+  EXPECT_FALSE(f.help_requested());
+}
+
+TEST(BenchFlags, SmokeIsAlwaysKnownAndShrinksDefaults) {
+  const Flags f = make_flags({"--smoke=1"});
+  EXPECT_TRUE(f.smoke());
+  EXPECT_EQ(f.get_int("steps", 100, 3), 3);
+  const Flags full = make_flags({});
+  EXPECT_EQ(full.get_int("steps", 100, 3), 100);
+}
+
+TEST(BenchFlagsDeathTest, UnknownFlagExitsTwoWithClearError) {
+  EXPECT_EXIT(make_flags({"--stpes=7"}), ::testing::ExitedWithCode(kUsageErrorExit),
+              "unknown flag --stpes");
+}
+
+TEST(BenchFlagsDeathTest, MissingEqualsExitsTwo) {
+  EXPECT_EXIT(make_flags({"--steps"}), ::testing::ExitedWithCode(kUsageErrorExit),
+              "missing '='");
+}
+
+TEST(BenchFlagsDeathTest, NonFlagArgumentExitsTwo) {
+  EXPECT_EXIT(make_flags({"steps=7"}), ::testing::ExitedWithCode(kUsageErrorExit),
+              "flags look like --key=value");
+}
+
+TEST(BenchFlagsDeathTest, ErrorListsKnownFlags) {
+  // The diagnosis includes the known-flag list (matched per line: the
+  // death-test regex does not span newlines).
+  EXPECT_EXIT(make_flags({"--bogus=1"}), ::testing::ExitedWithCode(kUsageErrorExit),
+              "--steps=");
+}
+
+}  // namespace
+}  // namespace vf::bench

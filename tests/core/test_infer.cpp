@@ -1,0 +1,151 @@
+// VirtualFlowEngine::infer — the forward-only serving entry point.
+//
+// Contracts under test: predictions are a pure function of (parameters,
+// averaged VN state, inputs) — invariant to the VN -> device mapping, to
+// how examples are sliced across VNs, and to the host worker count; the
+// simulated compute cost reflects the mapping (more devices -> faster
+// batch) without ever feeding back into the math.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "data/batch.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+struct Rig {
+  ProxyTask task;
+  Sequential model;
+  TrainRecipe recipe;
+};
+
+Rig make_rig() {
+  return Rig{make_task("mrpc-sim", kSeed), make_proxy_model("mrpc-sim", kSeed),
+             make_recipe("mrpc-sim")};
+}
+
+VirtualFlowEngine make_engine(Rig& rig, std::int64_t vns, std::int64_t devices,
+                              std::int64_t workers) {
+  EngineConfig cfg;
+  cfg.seed = kSeed;
+  cfg.enforce_memory = false;
+  cfg.num_threads = workers;
+  return VirtualFlowEngine(rig.model, *rig.recipe.optimizer, *rig.recipe.schedule,
+                           *rig.task.train, model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, devices),
+                           VnMapping::even(vns, devices, rig.recipe.global_batch), cfg);
+}
+
+/// First `n` validation examples sliced evenly over `n_slices` VNs.
+std::vector<InferSlice> make_slices(const Dataset& val, std::int64_t n,
+                                    std::int64_t n_slices) {
+  std::vector<InferSlice> slices;
+  const std::int64_t per = n / n_slices;
+  for (std::int64_t s = 0; s < n_slices; ++s) {
+    std::vector<std::int64_t> idx;
+    for (std::int64_t k = s * per; k < (s + 1) * per; ++k) idx.push_back(k);
+    InferSlice slice;
+    slice.vn = static_cast<std::int32_t>(s);
+    slice.features = gather_micro_batch(val, idx).features;
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+TEST(Infer, MappingInvariantPredictions) {
+  Rig rig = make_rig();
+  // Train a few steps so parameters and batch-norm state are non-trivial.
+  VirtualFlowEngine e1 = make_engine(rig, 8, 1, 0);
+  VirtualFlowEngine e4 = make_engine(rig, 8, 4, 0);
+  for (int i = 0; i < 3; ++i) {
+    e1.train_step();
+    e4.train_step();
+  }
+
+  const auto slices = make_slices(*rig.task.val, 64, 8);
+  const InferStats r1 = e1.infer(slices);
+  const InferStats r4 = e4.infer(slices);
+  ASSERT_EQ(r1.predictions.size(), 64u);
+  EXPECT_EQ(r1.predictions, r4.predictions)
+      << "predictions must not depend on the VN -> device mapping";
+  EXPECT_LT(r4.compute_s, r1.compute_s)
+      << "4 devices drain the same slices faster than 1";
+  EXPECT_EQ(r1.comm_s, 0.0) << "single device: no logits return hop";
+  EXPECT_GT(r4.comm_s, 0.0);
+}
+
+TEST(Infer, SliceLayoutInvariantPredictions) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 8, 2, 0);
+  for (int i = 0; i < 3; ++i) engine.train_step();
+
+  const InferStats wide = engine.infer(make_slices(*rig.task.val, 64, 8));
+  const InferStats narrow = engine.infer(make_slices(*rig.task.val, 64, 2));
+  EXPECT_EQ(wide.predictions, narrow.predictions)
+      << "how examples are split across VNs must not change any prediction";
+}
+
+TEST(Infer, WorkerCountInvariant) {
+  Rig rig = make_rig();
+  VirtualFlowEngine serial = make_engine(rig, 8, 4, 0);
+  VirtualFlowEngine pooled = make_engine(rig, 8, 4, 8);
+  const auto slices = make_slices(*rig.task.val, 64, 8);
+  const InferStats a = serial.infer(slices);
+  const InferStats b = pooled.infer(slices);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.compute_s, b.compute_s);
+  EXPECT_EQ(a.comm_s, b.comm_s);
+}
+
+TEST(Infer, SurvivesResize) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 8, 4, 0);
+  const auto slices = make_slices(*rig.task.val, 64, 8);
+  const InferStats before = engine.infer(slices);
+  engine.resize(make_devices(DeviceType::kV100, 1));
+  const InferStats after = engine.infer(slices);
+  EXPECT_EQ(before.predictions, after.predictions)
+      << "elastic resize must not change inference results";
+  EXPECT_GT(after.compute_s, before.compute_s);
+}
+
+TEST(Infer, ValidatesSlices) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 4, 2, 0);
+  EXPECT_THROW(engine.infer({}), VfError);
+
+  auto dup = make_slices(*rig.task.val, 16, 2);
+  dup[1].vn = dup[0].vn;
+  EXPECT_THROW(engine.infer(dup), VfError);
+
+  auto bad_vn = make_slices(*rig.task.val, 16, 2);
+  bad_vn[0].vn = 99;
+  EXPECT_THROW(engine.infer(bad_vn), VfError);
+
+  InferSlice empty;
+  empty.vn = 0;
+  EXPECT_THROW(engine.infer({empty}), VfError);
+}
+
+TEST(Infer, DoesNotAdvanceClockOrTraining) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 8, 2, 0);
+  engine.train_step();
+  const double t = engine.sim_time_s();
+  const std::int64_t step = engine.step();
+  const Tensor params = engine.parameters();
+  engine.infer(make_slices(*rig.task.val, 32, 4));
+  EXPECT_EQ(engine.sim_time_s(), t) << "serving owns its own timeline";
+  EXPECT_EQ(engine.step(), step);
+  EXPECT_TRUE(engine.parameters().equals(params)) << "forward-only: no updates";
+}
+
+}  // namespace
+}  // namespace vf

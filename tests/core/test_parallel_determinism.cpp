@@ -142,6 +142,16 @@ TEST(ParallelDeterminism, UnevenMappingBitIdenticalUnderPool) {
   EXPECT_TRUE(serial.parameters().equals(pooled.parameters()));
 }
 
+TEST(ParallelDeterminism, EvalStripingDecoupledFromReplicaCount) {
+  // Eval-only parallelism is no longer capped by the device count: a
+  // 1-device mapping with 8 pool workers stripes eval chunks over all 8
+  // (workers past the replica count run private model copies) and must
+  // still match the serial reference bit for bit.
+  const RunResult serial = run(8, 1, /*workers=*/0);
+  const RunResult pooled = run(8, 1, /*workers=*/8);
+  expect_identical(serial, pooled);
+}
+
 TEST(ParallelDeterminism, PoolSurvivesResize) {
   // Elastic resize with a live pool: the device count changes under the
   // pool's feet and the trajectory still matches the serial engine.

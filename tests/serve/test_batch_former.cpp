@@ -1,0 +1,133 @@
+// BatchFormer: the size-or-timeout policy and the purity property.
+//
+// The headline property: the formed batch sequence is a pure function of
+// (arrival trace, policy) — replaying the same trace through full servers
+// whose engines run 0, 2, and 8 pool workers yields identical batch
+// boundaries, start times, and memberships. Host scheduling must not be
+// able to move a single request between batches.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/arrival.h"
+#include "serve/batch_former.h"
+#include "serve/server.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf::serve {
+namespace {
+
+InferRequest req(std::int64_t id, double t) {
+  InferRequest r;
+  r.id = id;
+  r.arrival_s = t;
+  r.example_index = id % 16;
+  return r;
+}
+
+TEST(BatchFormer, SizeTriggerFiresAtMaxBatch) {
+  BatchFormer former({/*max_batch=*/3, /*max_wait_s=*/10.0});
+  RequestQueue q(16);
+  q.push(req(0, 0.0));
+  q.push(req(1, 0.1));
+  EXPECT_EQ(former.ready_count(q, 0.1), 0) << "below max_batch, within wait";
+  q.push(req(2, 0.2));
+  EXPECT_EQ(former.ready_count(q, 0.2), 3) << "max_batch reached";
+  q.push(req(3, 0.3));
+  EXPECT_EQ(former.ready_count(q, 0.3), 3) << "a batch never exceeds max_batch";
+}
+
+TEST(BatchFormer, TimeoutTriggerFlushesPartialBatch) {
+  BatchFormer former({/*max_batch=*/8, /*max_wait_s=*/0.5});
+  RequestQueue q(16);
+  q.push(req(0, 1.0));
+  q.push(req(1, 1.2));
+  EXPECT_EQ(former.ready_count(q, 1.49), 0);
+  EXPECT_DOUBLE_EQ(former.timeout_deadline_s(q), 1.5);
+  EXPECT_EQ(former.ready_count(q, 1.5), 2) << "oldest timed out: flush all queued";
+}
+
+TEST(BatchFormer, PackAssignsFifoPrefixAscendingVnOrder) {
+  BatchFormer former({32, 0.1});
+  // 4 VNs x 8 examples each; a 21-request batch fills VN0, VN1, then 5 on VN2.
+  const VnMapping m = VnMapping::even(4, 2, 32);
+  const auto packs = former.pack(21, m);
+  ASSERT_EQ(packs.size(), 3u);
+  EXPECT_EQ(packs[0].vn, 0);
+  EXPECT_EQ(packs[1].vn, 1);
+  EXPECT_EQ(packs[2].vn, 2);
+  EXPECT_EQ(packs[0].positions, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(packs[1].positions, (std::vector<std::int64_t>{8, 9, 10, 11, 12, 13, 14, 15}));
+  EXPECT_EQ(packs[2].positions, (std::vector<std::int64_t>{16, 17, 18, 19, 20}));
+}
+
+TEST(BatchFormer, PackRejectsOverCapacityAndEmpty) {
+  BatchFormer former({64, 0.1});
+  const VnMapping m = VnMapping::even(2, 1, 16);
+  EXPECT_THROW(former.pack(17, m), VfError);
+  EXPECT_THROW(former.pack(0, m), VfError);
+  EXPECT_THROW(BatchFormer({0, 0.1}), VfError);
+  EXPECT_THROW(BatchFormer({4, -1.0}), VfError);
+}
+
+// ---- Purity property: batches are a function of the trace, not the host.
+
+struct ReplayShape {
+  std::vector<BatchEvent> batches;
+  std::vector<std::int64_t> record_ids;  // completion order
+};
+
+ReplayShape run_replay(std::int64_t workers) {
+  const std::uint64_t seed = 7;
+  ProxyTask task = make_task("mrpc-sim", seed);
+  Sequential model = make_proxy_model("mrpc-sim", seed);
+  TrainRecipe recipe = make_recipe("mrpc-sim");
+  EngineConfig cfg;
+  cfg.seed = seed;
+  cfg.enforce_memory = false;
+  cfg.num_threads = workers;
+  VirtualFlowEngine engine(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                           model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, 2),
+                           VnMapping::even(4, 2, recipe.global_batch), cfg);
+
+  ServerConfig scfg;
+  scfg.queue_capacity = 64;
+  scfg.batch = {/*max_batch=*/16, /*max_wait_s=*/0.02};
+  scfg.deadline_s = 0.5;
+  scfg.elastic.enabled = true;
+  scfg.elastic.high_watermark = 24;
+  scfg.elastic.low_watermark = 2;
+  scfg.elastic.max_devices = 4;
+  scfg.elastic.cooldown_batches = 2;
+
+  Server server(engine, *task.val, scfg);
+  server.replay(poisson_trace(seed, /*rate_rps=*/400.0, /*count=*/300,
+                              task.val->size()));
+
+  ReplayShape shape;
+  shape.batches = server.batches();
+  for (const RequestRecord& r : server.slo().records()) shape.record_ids.push_back(r.id);
+  return shape;
+}
+
+TEST(BatchFormer, BatchSequencePureFunctionOfTraceAcrossWorkerCounts) {
+  const ReplayShape serial = run_replay(0);
+  ASSERT_FALSE(serial.batches.empty());
+  for (const std::int64_t workers : {2LL, 8LL}) {
+    const ReplayShape pooled = run_replay(workers);
+    ASSERT_EQ(serial.batches.size(), pooled.batches.size()) << workers << " workers";
+    for (std::size_t b = 0; b < serial.batches.size(); ++b) {
+      EXPECT_EQ(serial.batches[b].size, pooled.batches[b].size) << "batch " << b;
+      EXPECT_EQ(serial.batches[b].start_s, pooled.batches[b].start_s) << "batch " << b;
+      EXPECT_EQ(serial.batches[b].finish_s, pooled.batches[b].finish_s) << "batch " << b;
+      EXPECT_EQ(serial.batches[b].devices, pooled.batches[b].devices) << "batch " << b;
+    }
+    EXPECT_EQ(serial.record_ids, pooled.record_ids) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace vf::serve

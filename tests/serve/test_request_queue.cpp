@@ -1,0 +1,69 @@
+// RequestQueue: bounded FIFO admission with backpressure.
+#include <gtest/gtest.h>
+
+#include "serve/request_queue.h"
+#include "util/common.h"
+
+namespace vf::serve {
+namespace {
+
+InferRequest req(std::int64_t id, double t) {
+  InferRequest r;
+  r.id = id;
+  r.arrival_s = t;
+  r.example_index = id;
+  return r;
+}
+
+TEST(RequestQueue, FifoOrderAndCounts) {
+  RequestQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.push(req(0, 0.0)));
+  EXPECT_TRUE(q.push(req(1, 0.5)));
+  EXPECT_TRUE(q.push(req(2, 0.5)));
+  EXPECT_EQ(q.size(), 3);
+  EXPECT_EQ(q.front().id, 0);
+  EXPECT_EQ(q.at(2).id, 2);
+
+  const auto popped = q.pop(2);
+  ASSERT_EQ(popped.size(), 2u);
+  EXPECT_EQ(popped[0].id, 0);
+  EXPECT_EQ(popped[1].id, 1);
+  EXPECT_EQ(q.size(), 1);
+  EXPECT_EQ(q.admitted(), 3);
+  EXPECT_EQ(q.rejected(), 0);
+}
+
+TEST(RequestQueue, BackpressureRejectsAtCapacity) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.push(req(0, 0.0)));
+  EXPECT_TRUE(q.push(req(1, 1.0)));
+  // Full: the next admissions bounce without disturbing queued requests.
+  EXPECT_FALSE(q.push(req(2, 2.0)));
+  EXPECT_FALSE(q.push(req(3, 3.0)));
+  EXPECT_EQ(q.size(), 2);
+  EXPECT_EQ(q.admitted(), 2);
+  EXPECT_EQ(q.rejected(), 2);
+  // Draining reopens admission.
+  q.pop(1);
+  EXPECT_TRUE(q.push(req(4, 4.0)));
+  EXPECT_EQ(q.rejected(), 2);
+  EXPECT_EQ(q.front().id, 1);
+}
+
+TEST(RequestQueue, RejectsOutOfOrderAdmission) {
+  RequestQueue q(4);
+  EXPECT_TRUE(q.push(req(0, 1.0)));
+  EXPECT_THROW(q.push(req(1, 0.5)), VfError);
+}
+
+TEST(RequestQueue, GuardsInvalidUse) {
+  EXPECT_THROW(RequestQueue(0), VfError);
+  RequestQueue q(2);
+  EXPECT_THROW(q.front(), VfError);
+  EXPECT_THROW(q.pop(1), VfError);
+  EXPECT_THROW(q.at(0), VfError);
+}
+
+}  // namespace
+}  // namespace vf::serve

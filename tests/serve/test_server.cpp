@@ -1,0 +1,210 @@
+// Server end-to-end: seeded open-loop replay through the full pipeline
+// (queue -> former -> infer -> SLO), elasticity under queue pressure, and
+// the bit-exactness contract across host worker counts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/arrival.h"
+#include "serve/server.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf::serve {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+struct Rig {
+  ProxyTask task;
+  Sequential model;
+  TrainRecipe recipe;
+};
+
+Rig make_rig() {
+  return Rig{make_task("mrpc-sim", kSeed), make_proxy_model("mrpc-sim", kSeed),
+             make_recipe("mrpc-sim")};
+}
+
+VirtualFlowEngine make_engine(Rig& rig, std::int64_t devices, std::int64_t workers,
+                              std::int64_t vns = 8) {
+  EngineConfig cfg;
+  cfg.seed = kSeed;
+  cfg.enforce_memory = false;
+  cfg.num_threads = workers;
+  return VirtualFlowEngine(rig.model, *rig.recipe.optimizer, *rig.recipe.schedule,
+                           *rig.task.train, model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, devices),
+                           VnMapping::even(vns, devices, rig.recipe.global_batch), cfg);
+}
+
+ServerConfig burst_config() {
+  ServerConfig cfg;
+  cfg.queue_capacity = 512;
+  cfg.batch = {/*max_batch=*/64, /*max_wait_s=*/0.01};
+  cfg.deadline_s = 0.5;
+  cfg.elastic.enabled = true;
+  cfg.elastic.high_watermark = 48;
+  cfg.elastic.low_watermark = 4;
+  cfg.elastic.min_devices = 1;
+  cfg.elastic.max_devices = 8;
+  cfg.elastic.cooldown_batches = 1;
+  return cfg;
+}
+
+/// steady -> burst -> steady: the burst outruns one device, builds queue
+/// depth past the high watermark, and the tail drains it back down.
+std::vector<InferRequest> burst_trace(const Dataset& pool) {
+  return phased_poisson_trace(
+      kSeed,
+      {{/*rate_rps=*/300.0, /*duration_s=*/0.5},
+       {/*rate_rps=*/4000.0, /*duration_s=*/1.0},
+       {/*rate_rps=*/150.0, /*duration_s=*/2.0}},
+      pool.size());
+}
+
+TEST(Server, ReplayServesEveryAdmittedRequest) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, /*workers=*/0);
+  Server server(engine, *rig.task.val, burst_config());
+  const auto trace = burst_trace(*rig.task.val);
+  ASSERT_GT(trace.size(), 100u);
+  server.replay(trace);
+
+  const SloTracker& slo = server.slo();
+  EXPECT_EQ(slo.completed() + slo.rejected(), static_cast<std::int64_t>(trace.size()));
+  EXPECT_TRUE(server.queue().empty()) << "replay must drain the queue";
+  ASSERT_GT(slo.completed(), 0);
+  for (const RequestRecord& r : slo.records()) {
+    if (r.rejected) continue;
+    EXPECT_GE(r.queue_wait_s, 0.0) << "request " << r.id;
+    EXPECT_GT(r.compute_s, 0.0) << "request " << r.id;
+    EXPECT_GE(r.latency_s(), r.compute_s) << "request " << r.id;
+    EXPECT_GE(r.prediction, 0) << "request " << r.id;
+  }
+}
+
+TEST(Server, QueueDepthTriggersGrowthThenDrainShrinks) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, /*workers=*/0);
+  Server server(engine, *rig.task.val, burst_config());
+  server.replay(burst_trace(*rig.task.val));
+
+  const auto& resizes = server.resizes();
+  ASSERT_GE(resizes.size(), 2u) << "burst must trigger growth and drain must shrink";
+  EXPECT_GT(resizes.front().to_devices, resizes.front().from_devices)
+      << "first resize grows under queue pressure";
+  EXPECT_GE(resizes.front().queue_depth, burst_config().elastic.high_watermark);
+  bool shrank = false;
+  for (const ResizeEvent& e : resizes) {
+    EXPECT_GT(e.migration_s, 0.0) << "seamless resize still costs an all-gather";
+    if (e.to_devices < e.from_devices) shrank = true;
+  }
+  EXPECT_TRUE(shrank) << "post-burst drain must shrink back";
+  EXPECT_EQ(static_cast<std::int64_t>(engine.devices().size()),
+            burst_config().elastic.min_devices)
+      << "fully drained server ends at min_devices";
+}
+
+TEST(Server, SloSummaryIsCoherent) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, 0);
+  Server server(engine, *rig.task.val, burst_config());
+  server.replay(burst_trace(*rig.task.val));
+
+  const SloSummary s = server.slo().summary();
+  EXPECT_GT(s.completed, 0);
+  EXPECT_LE(s.p50_s, s.p95_s);
+  EXPECT_LE(s.p95_s, s.p99_s);
+  EXPECT_LE(s.p99_s, s.max_s);
+  EXPECT_GT(s.p50_s, 0.0);
+  EXPECT_GE(s.hit_rate, 0.0);
+  EXPECT_LE(s.hit_rate, 1.0);
+  EXPECT_EQ(server.slo().latency_percentile_s(0.5), s.p50_s);
+}
+
+TEST(Server, TinyQueueExercisesBackpressure) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, 0);
+  ServerConfig cfg = burst_config();
+  cfg.queue_capacity = 8;
+  cfg.elastic.enabled = false;
+  Server server(engine, *rig.task.val, cfg);
+  const auto trace = burst_trace(*rig.task.val);
+  server.replay(trace);
+
+  const SloTracker& slo = server.slo();
+  EXPECT_GT(slo.rejected(), 0) << "burst into an 8-deep queue must bounce requests";
+  EXPECT_EQ(slo.completed() + slo.rejected(), static_cast<std::int64_t>(trace.size()));
+  EXPECT_EQ(slo.rejected(), server.queue().rejected());
+  EXPECT_TRUE(server.resizes().empty()) << "elasticity disabled";
+}
+
+// ---- The acceptance-criteria property: bit-identical across num_threads.
+
+struct ReplayResult {
+  std::vector<RequestRecord> records;
+  std::vector<ResizeEvent> resizes;
+  SloSummary summary;
+};
+
+ReplayResult run_replay(std::int64_t workers) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, workers);
+  Server server(engine, *rig.task.val, burst_config());
+  server.replay(burst_trace(*rig.task.val));
+  return ReplayResult{server.slo().records(), server.resizes(),
+                      server.slo().summary()};
+}
+
+TEST(Server, ReplayBitIdenticalAcrossWorkerCounts) {
+  const ReplayResult serial = run_replay(0);
+  ASSERT_FALSE(serial.records.empty());
+  ASSERT_FALSE(serial.resizes.empty());
+  for (const std::int64_t workers : {2, 8}) {
+    const ReplayResult pooled = run_replay(workers);
+    ASSERT_EQ(serial.records.size(), pooled.records.size()) << workers << "w";
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      const RequestRecord& a = serial.records[i];
+      const RequestRecord& b = pooled.records[i];
+      EXPECT_EQ(a.id, b.id) << i;
+      EXPECT_EQ(a.rejected, b.rejected) << i;
+      EXPECT_EQ(a.prediction, b.prediction) << i;
+      // EXPECT_EQ on doubles is exact — bit-identical, not approximately.
+      EXPECT_EQ(a.queue_wait_s, b.queue_wait_s) << i;
+      EXPECT_EQ(a.compute_s, b.compute_s) << i;
+      EXPECT_EQ(a.comm_s, b.comm_s) << i;
+      EXPECT_EQ(a.finish_s, b.finish_s) << i;
+    }
+    ASSERT_EQ(serial.resizes.size(), pooled.resizes.size()) << workers << "w";
+    for (std::size_t i = 0; i < serial.resizes.size(); ++i) {
+      EXPECT_EQ(serial.resizes[i].time_s, pooled.resizes[i].time_s) << i;
+      EXPECT_EQ(serial.resizes[i].to_devices, pooled.resizes[i].to_devices) << i;
+    }
+    EXPECT_EQ(serial.summary.p99_s, pooled.summary.p99_s);
+  }
+}
+
+TEST(Server, ValidatesElasticPolicy) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, 0, /*vns=*/4);
+  ServerConfig cfg = burst_config();
+  cfg.elastic.max_devices = 8;  // > 4 VNs: extra devices could never serve
+  EXPECT_THROW(Server(engine, *rig.task.val, cfg), VfError);
+  cfg.elastic.max_devices = 4;
+  cfg.elastic.high_watermark = cfg.elastic.low_watermark;  // no hysteresis band
+  EXPECT_THROW(Server(engine, *rig.task.val, cfg), VfError);
+}
+
+TEST(Server, ReplayIsOneShot) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, 0);
+  Server server(engine, *rig.task.val, burst_config());
+  server.replay(poisson_trace(kSeed, 100.0, 10, rig.task.val->size()));
+  EXPECT_THROW(server.replay(poisson_trace(kSeed, 100.0, 10, rig.task.val->size())),
+               VfError);
+}
+
+}  // namespace
+}  // namespace vf::serve
