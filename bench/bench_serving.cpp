@@ -1,6 +1,6 @@
 // Serving harness: replays a seeded open-loop Poisson arrival trace
 // (steady -> burst -> drain) through vf::serve on virtual nodes, and
-// verifies the subsystem's two headline claims:
+// verifies the subsystem's headline claims:
 //
 //   1. Elasticity closes the loop: the burst drives queue depth over the
 //      high watermark, the server grows the device set with the engine's
@@ -8,10 +8,17 @@
 //      queue-depth-triggered resize must occur.
 //   2. Determinism: the full per-request record stream (latency bits,
 //      predictions, resize timeline) is bit-identical across host worker
-//      counts num_threads in {0, 2, 8}.
+//      counts num_threads in {0, 2, 8} — in whichever batching mode
+//      --continuous selects.
+//   3. Continuous batching pays off: admitting arrivals into in-flight
+//      per-VN slots (--continuous=1) yields lower mean queue wait than
+//      draining at batch boundaries (--continuous=0) on the same
+//      high-load trace. The A/B table prints the p95/p99 queue-wait
+//      reduction.
 //
 // Prints per-worker-count SLO tables (p50/p95/p99, deadline hit rate,
-// rejections) and the resize timeline. Exit 1 when either claim fails.
+// rejections), the resize timeline, and the batch-vs-continuous A/B
+// queue-wait table. Exit 1 when any claim fails.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -40,6 +47,7 @@ struct BenchParams {
   double steady_s = 0.5;
   double burst_s = 2.0;
   double drain_s = 2.0;
+  bool continuous = false;
 };
 
 struct ReplayOutcome {
@@ -68,6 +76,7 @@ ReplayOutcome run_replay(const BenchParams& p, std::int64_t workers) {
   scfg.queue_capacity = p.queue_cap;
   scfg.batch = {p.max_batch, p.max_wait_s};
   scfg.deadline_s = p.deadline_s;
+  scfg.continuous = p.continuous;
   scfg.elastic.enabled = true;
   scfg.elastic.high_watermark = 48;
   scfg.elastic.low_watermark = 4;
@@ -98,8 +107,9 @@ bool identical(const ReplayOutcome& a, const ReplayOutcome& b) {
     const RequestRecord& y = b.records[i];
     // Exact comparisons throughout: the claim is bit-identity.
     if (x.id != y.id || x.rejected != y.rejected || x.prediction != y.prediction ||
-        x.queue_wait_s != y.queue_wait_s || x.compute_s != y.compute_s ||
-        x.comm_s != y.comm_s || x.finish_s != y.finish_s)
+        x.dispatch_s != y.dispatch_s || x.queue_wait_s != y.queue_wait_s ||
+        x.compute_s != y.compute_s || x.comm_s != y.comm_s ||
+        x.finish_s != y.finish_s)
       return false;
   }
   if (a.resizes.size() != b.resizes.size()) return false;
@@ -128,9 +138,12 @@ int main(int argc, char** argv) {
                {"steady-rps", "steady arrival rate (default 300)"},
                {"burst-rps", "burst arrival rate (default 4000)"},
                {"burst-s", "burst duration in virtual seconds (default 2)"},
+               {"continuous", "1 = continuous (in-flight) batching, 0 = "
+                              "batch-boundary (default 0)"},
                {"seed", "trace + model seed (default 42)"}});
   if (flags.help_requested()) {
-    flags.print_help("Serving on virtual nodes: open-loop replay, SLO percentiles, elasticity");
+    flags.print_help("Serving on virtual nodes: open-loop replay, SLO percentiles, "
+                     "elasticity, batch vs continuous A/B");
     return 0;
   }
 
@@ -150,10 +163,13 @@ int main(int argc, char** argv) {
   p.burst_s = flags.get_double("burst-s", 2.0, /*smoke_def=*/0.5);
   p.steady_s = flags.smoke() ? 0.25 : 0.5;
   p.drain_s = flags.smoke() ? 1.0 : 2.0;
+  p.continuous = flags.get_int("continuous", 0) != 0;
 
   print_banner(std::cout, "vf::serve — deadline-aware inference on virtual nodes");
-  std::printf("  task=%s profile=%s  trace: %.0f rps -> %.0f rps burst (%.2fs) -> drain\n",
-              p.task.c_str(), p.profile.c_str(), p.steady_rps, p.burst_rps, p.burst_s);
+  std::printf("  task=%s profile=%s mode=%s  trace: %.0f rps -> %.0f rps burst (%.2fs) -> drain\n",
+              p.task.c_str(), p.profile.c_str(),
+              p.continuous ? "continuous" : "batch-boundary", p.steady_rps,
+              p.burst_rps, p.burst_s);
   std::printf("  start %lld device(s), elastic ceiling %lld, queue cap %lld, "
               "batch <= %lld or %.0f ms, SLO %.0f ms\n\n",
               static_cast<long long>(p.devices), static_cast<long long>(p.max_devices),
@@ -189,18 +205,65 @@ int main(int argc, char** argv) {
                 static_cast<long long>(e.queue_depth), e.migration_s);
   }
 
+  // A/B: the selected mode (already replayed) against the other one,
+  // serial engine, identical trace — the queue-wait reduction continuous
+  // batching buys at high load.
+  BenchParams flipped = p;
+  flipped.continuous = !p.continuous;
+  const ReplayOutcome other = run_replay(flipped, /*workers=*/0);
+  const SloSummary& cont = p.continuous ? ref.summary : other.summary;
+  const SloSummary& batch = p.continuous ? other.summary : ref.summary;
+  std::printf("\n  batch-boundary vs continuous batching (same trace, serial engine):\n");
+  Table ab({"mode", "served", "mean wait (ms)", "p95 wait (ms)", "p99 wait (ms)",
+            "mean in-flight (ms)", "p99 latency (ms)"});
+  ab.row()
+      .cell(std::string("batch"))
+      .cell(batch.completed)
+      .cell(batch.mean_queue_wait_s * 1e3, 2)
+      .cell(batch.p95_queue_wait_s * 1e3, 2)
+      .cell(batch.p99_queue_wait_s * 1e3, 2)
+      .cell(batch.mean_inflight_s * 1e3, 2)
+      .cell(batch.p99_s * 1e3, 2);
+  ab.row()
+      .cell(std::string("continuous"))
+      .cell(cont.completed)
+      .cell(cont.mean_queue_wait_s * 1e3, 2)
+      .cell(cont.p95_queue_wait_s * 1e3, 2)
+      .cell(cont.p99_queue_wait_s * 1e3, 2)
+      .cell(cont.mean_inflight_s * 1e3, 2)
+      .cell(cont.p99_s * 1e3, 2);
+  ab.print(std::cout);
+  if (batch.p95_queue_wait_s > 0.0 && batch.p99_queue_wait_s > 0.0) {
+    std::printf("  queue-wait reduction: mean %.1f%%  p95 %.1f%%  p99 %.1f%%\n",
+                -pct_change(batch.mean_queue_wait_s, cont.mean_queue_wait_s),
+                -pct_change(batch.p95_queue_wait_s, cont.p95_queue_wait_s),
+                -pct_change(batch.p99_queue_wait_s, cont.p99_queue_wait_s));
+  }
+
+  // The growth and queue-wait claims are calibrated against the default
+  // high-load trace; an exploratory sweep with overridden workload knobs
+  // (e.g. a trickle of arrivals, where both modes dispatch every slice on
+  // timeout and the means tie) reports them informationally instead of
+  // failing. Determinism is enforced unconditionally.
+  bool custom_load = false;
+  for (const char* knob :
+       {"task", "profile", "vns", "devices", "max-devices", "queue-cap",
+        "max-batch", "max-wait-ms", "steady-rps", "burst-rps", "burst-s", "seed"})
+    custom_load |= flags.overridden(knob);
+
   bool ok = true;
   bool grew = false;
   for (const ResizeEvent& e : ref.resizes) grew |= e.to_devices > e.from_devices;
-  if (!grew) {
-    std::printf("  FAIL: the burst never triggered a queue-depth resize\n");
-    ok = false;
-  }
   bool exact = true;
   for (std::size_t i = 1; i < outcomes.size(); ++i) exact &= identical(ref, outcomes[i]);
-  std::printf("\n  queue-depth-triggered growth: %s\n", grew ? "yes" : "NO — BUG");
+  const bool wait_reduced = cont.mean_queue_wait_s < batch.mean_queue_wait_s;
+  const char* miss = custom_load ? "no (informational: custom workload)" : "NO — BUG";
+  std::printf("\n  queue-depth-triggered growth: %s\n", grew ? "yes" : miss);
   std::printf("  bit-identical records/resizes across workers {0, 2, 8}: %s\n",
               exact ? "yes" : "NO — BUG");
+  std::printf("  continuous mean queue wait below batch-boundary: %s\n",
+              wait_reduced ? "yes" : miss);
   if (!exact) ok = false;
+  if (!custom_load && (!grew || !wait_reduced)) ok = false;
   return ok ? 0 : 1;
 }

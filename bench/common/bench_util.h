@@ -40,6 +40,11 @@ class Flags {
 
   /// True when the binary was invoked with --smoke=1.
   bool smoke() const { return get_int("smoke", 0) != 0; }
+  /// True when `key` was explicitly passed on the command line (as opposed
+  /// to falling back to its default). Lets a bench distinguish its
+  /// calibrated default workload (where acceptance claims are enforced)
+  /// from an exploratory sweep (where they are informational).
+  bool overridden(const std::string& key) const { return values_.count(key) > 0; }
   /// Like get_int, but the default shrinks to `smoke_def` under --smoke=1.
   /// An explicit --key=value always wins.
   std::int64_t get_int(const std::string& key, std::int64_t def,

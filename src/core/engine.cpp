@@ -433,18 +433,28 @@ InferStats VirtualFlowEngine::infer(const std::vector<InferSlice>& slices) {
 
   // Simulated timing: barrier at the slowest participating device, plus
   // the slowest logits return to the frontend. Both are pure functions of
-  // the slice shapes and the mapping — never of host scheduling.
+  // the slice shapes and the mapping — never of host scheduling. Alongside
+  // the batch barrier, each slice is also priced as an independent dispatch
+  // (slice_infer_time_s) so a continuous-batching caller can free per-VN
+  // slots at per-slice completion times.
   InferStats out;
+  out.slice_costs.resize(slices.size());
   for (std::int64_t d = 0; d < n_dev; ++d) {
     const auto& mine = by_device[static_cast<std::size_t>(d)];
     if (mine.empty()) continue;
     std::vector<std::int64_t> batches;
     double dev_bytes = 0.0;
+    const DeviceSpec& spec = devices_[static_cast<std::size_t>(d)].spec();
     for (const std::size_t i : mine) {
       batches.push_back(slices[i].features.rows());
       dev_bytes += slice_out_bytes[i];
+      SliceCost& c = out.slice_costs[i];
+      c.vn = slices[i].vn;
+      c.device = d;
+      c.pass_s = infer_pass_time_s(spec, profile_, slices[i].features.rows());
+      c.overhead_s = spec.step_fixed_s;
+      if (n_dev > 1) c.comm_s = send_time_s(slice_out_bytes[i], config_.link);
     }
-    const DeviceSpec& spec = devices_[static_cast<std::size_t>(d)].spec();
     out.compute_s =
         std::max(out.compute_s, device_infer_time_s(spec, profile_, batches));
     if (n_dev > 1)

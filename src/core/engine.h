@@ -100,6 +100,24 @@ struct InferSlice {
   Tensor features;
 };
 
+/// Simulated cost of one inference slice, priced as an independently
+/// dispatched unit — what a continuous-batching scheduler needs to free
+/// the slice's VN slot the moment *it* finishes, instead of waiting for
+/// the whole batch's barrier. The pass time and the per-dispatch framework
+/// overhead are split out so the scheduler can apply warm/cold pricing: a
+/// slice dispatched onto an already-busy device pipelines behind the
+/// running pass and amortizes the overhead away; a cold dispatch pays it
+/// in full (cold_total_s() == slice_infer_time_s of the cost model).
+struct SliceCost {
+  std::int32_t vn = 0;
+  std::int64_t device = 0;  ///< device hosting the VN under the current mapping
+  double pass_s = 0.0;      ///< forward time of this slice alone on its device
+  double overhead_s = 0.0;  ///< per-dispatch framework overhead (cold price)
+  double comm_s = 0.0;      ///< this slice's logits return to the frontend
+
+  double cold_total_s() const { return pass_s + overhead_s; }
+};
+
 /// Result of a forward-only pass over a set of inference slices.
 struct InferStats {
   /// Predicted class per example, concatenated in slice order. Predictions
@@ -112,6 +130,10 @@ struct InferStats {
   /// Simulated time to return each device's logits to the serving frontend
   /// (max over devices; independent links).
   double comm_s = 0.0;
+  /// Per-slice costs aligned with the input slice order. compute_s/comm_s
+  /// above price the slices co-scheduled as one batch (overhead amortized
+  /// per device); each SliceCost prices its slice dispatched alone.
+  std::vector<SliceCost> slice_costs;
 };
 
 /// Options controlling a resize (§4.1).

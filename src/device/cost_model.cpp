@@ -63,6 +63,11 @@ double device_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
   return t + spec.step_fixed_s;
 }
 
+double slice_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                          std::int64_t batch) {
+  return infer_pass_time_s(spec, model, batch) + spec.step_fixed_s;
+}
+
 double device_throughput(const DeviceSpec& spec, const ModelProfile& model,
                          std::int64_t batch, std::int64_t vns) {
   check(vns > 0, "virtual node count must be positive");

@@ -54,4 +54,18 @@ double infer_pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
 double device_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
                            const std::vector<std::int64_t>& vn_batches);
 
+/// Forward-only time of ONE independently dispatched slice onto an IDLE
+/// device: the cold-dispatch price of continuous batching's scheduling
+/// unit (src/serve/). Unlike device_infer_time_s, which amortizes the
+/// per-dispatch framework overhead across every VN of a co-scheduled
+/// batch, a cold continuously batched slice pays the full overhead.
+/// A warm dispatch — the slice pipelines behind a pass already running on
+/// its device — amortizes the overhead away and costs just
+/// infer_pass_time_s; the serving scheduler picks the price from the
+/// device's virtual-clock state. Invariant:
+///   device_infer_time_s(batches) <= Σ_b slice_infer_time_s(b)
+/// with equality only for single-slice batches.
+double slice_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                          std::int64_t batch);
+
 }  // namespace vf

@@ -27,15 +27,20 @@ struct InferRequest {
 struct RequestRecord {
   std::int64_t id = 0;
   double arrival_s = 0.0;
-  double queue_wait_s = 0.0;  ///< admission -> batch formation
-  double compute_s = 0.0;     ///< cost-model forward time of its batch
-  double comm_s = 0.0;        ///< logits return of its batch
+  double dispatch_s = 0.0;    ///< left the queue: batch execution start, or
+                              ///< admission into an in-flight VN slot
+  double queue_wait_s = 0.0;  ///< arrival -> dispatch (= dispatch_s - arrival_s)
+  double compute_s = 0.0;     ///< cost-model forward time of its batch/slice
+  double comm_s = 0.0;        ///< logits return of its batch/slice
   double finish_s = 0.0;      ///< virtual completion stamp
   std::int64_t prediction = -1;
   bool rejected = false;      ///< bounced at admission (queue full)
   bool deadline_met = false;
 
   double latency_s() const { return finish_s - arrival_s; }
+  /// Time spent inside the system after leaving the queue (in a forming
+  /// batch's execution or an in-flight slot): latency minus queue wait.
+  double inflight_s() const { return finish_s - dispatch_s; }
 };
 
 }  // namespace vf::serve

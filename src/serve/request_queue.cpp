@@ -8,9 +8,15 @@ RequestQueue::RequestQueue(std::int64_t capacity) : capacity_(capacity) {
   check(capacity > 0, "request queue capacity must be positive");
 }
 
+void RequestQueue::set_reject_observer(
+    std::function<void(const InferRequest&)> observer) {
+  reject_observer_ = std::move(observer);
+}
+
 bool RequestQueue::push(const InferRequest& r) {
   if (size() >= capacity_) {
     ++rejected_;
+    if (reject_observer_) reject_observer_(r);
     return false;
   }
   check(q_.empty() || q_.back().arrival_s <= r.arrival_s,

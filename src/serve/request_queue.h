@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "serve/request.h"
@@ -19,8 +20,16 @@ class RequestQueue {
  public:
   explicit RequestQueue(std::int64_t capacity);
 
+  /// Called with each request the queue drops at admission, before push()
+  /// returns false. The Server wires this to SloTracker::record_rejection
+  /// so drop accounting lives at the backpressure point itself — every
+  /// replay path (batch-boundary or continuous) gets the dropped request's
+  /// id recorded without re-implementing it.
+  void set_reject_observer(std::function<void(const InferRequest&)> observer);
+
   /// Admits `r` unless the queue is full. Returns false (and counts the
-  /// rejection) when capacity is reached — the backpressure signal.
+  /// rejection, notifying the reject observer) when capacity is reached —
+  /// the backpressure signal.
   bool push(const InferRequest& r);
 
   /// Removes and returns the oldest `n` requests (n <= size()).
@@ -40,6 +49,7 @@ class RequestQueue {
  private:
   std::int64_t capacity_;
   std::deque<InferRequest> q_;
+  std::function<void(const InferRequest&)> reject_observer_;
   std::int64_t admitted_ = 0;
   std::int64_t rejected_ = 0;
 };

@@ -8,6 +8,10 @@
 
 namespace vf::serve {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
 Server::Server(VirtualFlowEngine& engine, const Dataset& request_pool,
                ServerConfig config)
     : engine_(engine),
@@ -16,6 +20,11 @@ Server::Server(VirtualFlowEngine& engine, const Dataset& request_pool,
       queue_(config.queue_capacity),
       former_(config.batch),
       tracker_(config.deadline_s) {
+  // Backpressure accounting lives at the backpressure point: the queue
+  // reports every dropped request (with its id) straight to the tracker,
+  // so both replay modes share one drop-accounting path.
+  queue_.set_reject_observer(
+      [this](const InferRequest& r) { tracker_.record_rejection(r, r.arrival_s); });
   if (config_.elastic.enabled) {
     const ElasticPolicy& e = config_.elastic;
     check(e.min_devices >= 1, "elastic min_devices must be >= 1");
@@ -37,20 +46,25 @@ void Server::replay(const std::vector<InferRequest>& trace) {
   for (std::size_t i = 1; i < trace.size(); ++i)
     check(trace[i - 1].arrival_s <= trace[i].arrival_s,
           "trace must be sorted by arrival time");
+  if (config_.continuous) {
+    replay_continuous(trace);
+  } else {
+    replay_batch_boundary(trace);
+  }
+}
 
+void Server::replay_batch_boundary(const std::vector<InferRequest>& trace) {
   std::size_t next_arrival = 0;
   // Admits every arrival up to the current virtual time, in trace order.
   // Rejections (queue full) happen at the request's own arrival stamp.
   const auto admit_up_to_clock = [&]() {
     while (next_arrival < trace.size() &&
            trace[next_arrival].arrival_s <= clock_) {
-      const InferRequest& r = trace[next_arrival];
-      if (!queue_.push(r)) tracker_.record_rejection(r, r.arrival_s);
+      queue_.push(trace[next_arrival]);
       ++next_arrival;
     }
   };
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
   while (true) {
     admit_up_to_clock();
 
@@ -75,6 +89,153 @@ void Server::replay(const std::vector<InferRequest>& trace) {
     admit_up_to_clock();
     batches_.back().queue_depth_after = queue_.size();
     maybe_resize();
+  }
+}
+
+void Server::replay_continuous(const std::vector<InferRequest>& trace) {
+  SlotLedger ledger(engine_.mapping().total_vns());
+  // Per-device serialization: a device runs its slices one after another
+  // (the same execution shape as training VNs), so a slice dispatched to a
+  // busy device starts when the device frees up. Indexed by device id
+  // under the current mapping; rebuilt after every resize.
+  std::vector<double> device_free(engine_.devices().size(), 0.0);
+  std::size_t next_arrival = 0;
+
+  const auto admit_up_to_clock = [&]() {
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival_s <= clock_) {
+      queue_.push(trace[next_arrival]);
+      ++next_arrival;
+    }
+  };
+
+  // Completion transition: free every slot due at the current clock in
+  // (done_s, VN id) order, recording its requests' completions.
+  const auto complete_due = [&]() {
+    for (const std::int32_t vn : ledger.due(clock_)) {
+      const Slot done = ledger.complete(vn);
+      for (std::size_t i = 0; i < done.requests.size(); ++i) {
+        const InferRequest& r = done.requests[i];
+        RequestRecord rec;
+        rec.id = r.id;
+        rec.arrival_s = r.arrival_s;
+        rec.dispatch_s = done.dispatch_s;
+        rec.queue_wait_s = done.dispatch_s - r.arrival_s;
+        rec.compute_s = done.compute_s;
+        rec.comm_s = done.comm_s;
+        rec.finish_s = done.done_s;
+        rec.prediction = done.predictions[i];
+        tracker_.record_completion(std::move(rec));
+      }
+      ++work_since_resize_;
+      BatchEvent ev;
+      ev.start_s = done.dispatch_s;
+      ev.finish_s = done.done_s;
+      ev.size = static_cast<std::int64_t>(done.requests.size());
+      // The device count that dispatched the slice — a slice can span a
+      // seamless resize, and it ran on the mapping it was launched under.
+      ev.devices = done.devices;
+      ev.queue_depth_after = queue_.size();
+      ev.vn = vn;
+      batches_.push_back(ev);
+    }
+  };
+
+  // Resize decisions use the same hysteresis as batch mode, and the
+  // resize itself is as seamless as the paper's: in-flight slices keep
+  // the completion times the old mapping scheduled for them (compute is
+  // never interrupted), while the migration charge lands on the clock and
+  // so on every *subsequent* dispatch — the new device set starts clean
+  // once the all-gather is done.
+  const auto resize_if_needed = [&]() {
+    const ElasticPolicy& e = config_.elastic;
+    if (!e.enabled) return;
+    if (work_since_resize_ < e.cooldown_batches) return;
+    const std::int64_t depth = queue_.size();
+    const auto cur = static_cast<std::int64_t>(engine_.devices().size());
+    std::int64_t target = cur;
+    if (depth >= e.high_watermark && cur < e.max_devices) {
+      target = std::min(cur * 2, e.max_devices);
+    } else if (depth + ledger.inflight_requests() <= e.low_watermark &&
+               cur > e.min_devices) {
+      // Shrink on *system* load, not queue depth alone: mid-burst the
+      // queue empties the instant a full in-flight batch is admitted into
+      // slots, and shrinking on that illusion of idleness would bounce the
+      // device set (shrink -> queue re-fills -> grow) under steady
+      // pressure — a blind spot batch-boundary mode never has, because at
+      // its decision points nothing is in flight.
+      target = std::max(cur / 2, e.min_devices);
+    }
+    if (target == cur) return;
+    perform_resize(target, depth);
+    device_free.assign(engine_.devices().size(), clock_);
+    // Arrivals that landed during the migration window queue behind it.
+    admit_up_to_clock();
+  };
+
+  // Admit transition: fill free slots (lowest VN id first) from the FIFO
+  // prefix whenever a full slice is waiting or the oldest request has
+  // timed out — size-or-timeout at slice granularity.
+  const auto try_dispatch = [&]() {
+    while (!queue_.empty()) {
+      const std::int32_t vn = ledger.lowest_free();
+      if (vn < 0) break;
+      const std::int64_t cap = engine_.mapping().vn_batch(vn);
+      const bool full_slice = queue_.size() >= cap;
+      const bool timed_out =
+          clock_ >= queue_.front().arrival_s + config_.batch.max_wait_s;
+      if (!full_slice && !timed_out) break;
+
+      Slot slot;
+      slot.requests = queue_.pop(std::min(cap, queue_.size()));
+      std::vector<std::int64_t> idx;
+      idx.reserve(slot.requests.size());
+      for (const InferRequest& r : slot.requests) idx.push_back(r.example_index);
+      InferSlice slice;
+      slice.vn = vn;
+      slice.features = gather_micro_batch(request_pool_, idx).features;
+      InferStats stats = engine_.infer({slice});
+      const SliceCost& cost = stats.slice_costs.front();
+
+      // Warm/cold dispatch pricing: a slice landing on a device that is
+      // still mid-pass pipelines behind it — the framework's dispatch
+      // overhead hides under the running pass and only the forward time is
+      // charged. A cold dispatch (idle device) pays the full overhead.
+      // Both prices are pure functions of virtual-clock state.
+      const auto dev = static_cast<std::size_t>(cost.device);
+      const bool warm = device_free[dev] > clock_;
+      const double compute = cost.pass_s + (warm ? 0.0 : cost.overhead_s);
+      const double start = std::max(clock_, device_free[dev]);
+      slot.dispatch_s = clock_;
+      slot.devices = static_cast<std::int64_t>(engine_.devices().size());
+      slot.compute_s = compute;
+      slot.comm_s = cost.comm_s;
+      slot.done_s = start + compute + cost.comm_s;
+      // The device is busy for the forward pass; the logits return rides
+      // the link while the device moves on to its next slice.
+      device_free[dev] = start + compute;
+      slot.predictions = std::move(stats.predictions);
+      ledger.admit(vn, std::move(slot));
+    }
+  };
+
+  while (true) {
+    admit_up_to_clock();
+    complete_due();
+    resize_if_needed();
+    try_dispatch();
+
+    // Next event: earliest in-flight completion, next arrival, or — when a
+    // partial slice is waiting on a free slot — the oldest request's
+    // timeout.
+    double next_t = ledger.earliest_done_s();
+    if (next_arrival < trace.size())
+      next_t = std::min(next_t, trace[next_arrival].arrival_s);
+    if (!queue_.empty() && ledger.lowest_free() >= 0)
+      next_t = std::min(next_t,
+                        queue_.front().arrival_s + config_.batch.max_wait_s);
+    if (next_t == kInf) break;  // ledger idle, queue drained, trace exhausted
+    clock_ = std::max(clock_, next_t);
   }
 }
 
@@ -106,6 +267,7 @@ void Server::execute_batch(std::int64_t take) {
     RequestRecord rec;
     rec.id = r.id;
     rec.arrival_s = r.arrival_s;
+    rec.dispatch_s = start;
     rec.queue_wait_s = start - r.arrival_s;
     rec.compute_s = stats.compute_s;
     rec.comm_s = stats.comm_s;
@@ -115,7 +277,7 @@ void Server::execute_batch(std::int64_t take) {
   }
 
   clock_ = finish;
-  ++batches_since_resize_;
+  ++work_since_resize_;
   BatchEvent ev;
   ev.start_s = start;
   ev.finish_s = finish;
@@ -130,7 +292,7 @@ void Server::execute_batch(std::int64_t take) {
 void Server::maybe_resize() {
   const ElasticPolicy& e = config_.elastic;
   if (!e.enabled) return;
-  if (batches_since_resize_ < e.cooldown_batches) return;
+  if (work_since_resize_ < e.cooldown_batches) return;
 
   const std::int64_t depth = queue_.size();
   const auto cur = static_cast<std::int64_t>(engine_.devices().size());
@@ -141,11 +303,15 @@ void Server::maybe_resize() {
     target = std::max(cur / 2, e.min_devices);
   }
   if (target == cur) return;
+  perform_resize(target, depth);
+}
 
+void Server::perform_resize(std::int64_t target, std::int64_t depth) {
   // The engine charges the seamless all-gather migration to its own
   // simulated clock; serving requests queue behind it on ours.
+  const auto cur = static_cast<std::int64_t>(engine_.devices().size());
   const double before = engine_.sim_time_s();
-  engine_.resize(make_devices(e.device, target));
+  engine_.resize(make_devices(config_.elastic.device, target));
   const double migration = engine_.sim_time_s() - before;
   clock_ += migration;
 
@@ -156,7 +322,7 @@ void Server::maybe_resize() {
   ev.queue_depth = depth;
   ev.migration_s = migration;
   resizes_.push_back(ev);
-  batches_since_resize_ = 0;
+  work_since_resize_ = 0;
 }
 
 }  // namespace vf::serve

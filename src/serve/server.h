@@ -2,23 +2,38 @@
 //
 // Pipeline (one virtual-clock event loop):
 //
-//   arrival trace ──> RequestQueue ──> BatchFormer ──> engine.infer ──> SloTracker
-//        (open loop)   (bounded,        (size-or-        (forward-only     (p50/p95/p99,
-//                       backpressure)    timeout pack)     on VNs)           deadlines)
+//   arrival trace ──> RequestQueue ──> batching ──> engine.infer ──> SloTracker
+//        (open loop)   (bounded,        (two modes,    (forward-only     (p50/p95/p99,
+//                       backpressure)    below)          on VNs)           deadlines)
+//
+// Two batching modes, selected by ServerConfig::continuous:
+//
+//   * Batch-boundary (BatchFormer): the classic size-or-timeout policy —
+//     a batch forms, every slice runs, every request in it finishes at
+//     the batch barrier, and only then is the queue drained again.
+//   * Continuous (SlotLedger): every virtual node is an independent slot.
+//     A slice is admitted the moment a slot is free (FIFO prefix, lowest
+//     VN id first), runs to its *own* completion time from the per-slice
+//     cost model, and frees the slot — newly arrived requests flow into
+//     the partially-formed in-flight batch instead of waiting for the
+//     next full drain, which is what cuts queue wait at high load.
 //
 // plus the elasticity loop the paper built for training: when queue depth
 // crosses hysteresis watermarks the server calls the engine's seamless
 // resize(), growing or shrinking the device set under the *same* virtual
-// nodes — serving capacity per batch (the global batch) never changes,
-// only how fast a batch drains.
+// nodes. In continuous mode the resize is as seamless as the paper's:
+// in-flight slices keep the completion times the old mapping scheduled
+// (compute is never interrupted), and the migration charge delays only
+// subsequent dispatches.
 //
 // Determinism contract: a replay is a pure function of (trace, policies,
 // engine construction). Arrival stamps come from the seeded trace, service
-// times from the analytic cost model, batch boundaries from the FIFO
-// prefix policy, and predictions from slot-ordered forward passes — host
-// worker count (EngineConfig::num_threads) can change wall-clock speed but
-// not one bit of the records. bench_serving and tests/serve/ verify this
-// across num_threads in {0, 2, 8}.
+// times from the analytic cost model, batch/slice boundaries from the FIFO
+// prefix policy (admission FIFO by request id, slots claimed in ascending
+// VN-id order, completions processed in (time, VN id) order) — host worker
+// count (EngineConfig::num_threads) can change wall-clock speed but not
+// one bit of the records. bench_serving and tests/serve/ verify this
+// across num_threads in {0, 2, 8} for both modes.
 #pragma once
 
 #include <cstdint>
@@ -30,14 +45,16 @@
 #include "serve/batch_former.h"
 #include "serve/request_queue.h"
 #include "serve/slo_tracker.h"
+#include "serve/slot_ledger.h"
 
 namespace vf::serve {
 
 /// Queue-depth-triggered elasticity with hysteresis: grow (double the
 /// device count) when depth reaches `high_watermark`, shrink (halve) when
-/// depth falls to `low_watermark`, never within `cooldown_batches` formed
-/// batches of the previous resize. high > low keeps the loop from
-/// oscillating on a steady queue.
+/// depth falls to `low_watermark`, never within `cooldown_batches` units
+/// of work (formed batches, or completed slices in continuous mode) of the
+/// previous resize. high > low keeps the loop from oscillating on a
+/// steady queue.
 struct ElasticPolicy {
   bool enabled = true;
   std::int64_t high_watermark = 64;
@@ -53,6 +70,15 @@ struct ServerConfig {
   BatchPolicy batch;
   double deadline_s = 0.5;  ///< per-request latency SLO
   ElasticPolicy elastic;
+  /// Continuous (in-flight) batching: per-VN slots freed as slices finish,
+  /// arrivals admitted into the partially-formed in-flight batch. False
+  /// keeps the drain-at-batch-boundary BatchFormer. In continuous mode a
+  /// slice dispatches onto a free VN when a full slice's worth of requests
+  /// (the VN's mapping batch share) is queued or the oldest request has
+  /// waited `batch.max_wait_s` — the same size-or-timeout policy applied
+  /// at slice granularity; `batch.max_batch` is a batch-boundary knob and
+  /// is not consulted.
+  bool continuous = false;
 };
 
 /// One elastic reconfiguration taken during a replay.
@@ -64,13 +90,15 @@ struct ResizeEvent {
   double migration_s = 0.0;       ///< seamless all-gather cost charged
 };
 
-/// One formed batch executed during a replay.
+/// One unit of executed work during a replay: a formed batch in
+/// batch-boundary mode, or a single VN slice in continuous mode.
 struct BatchEvent {
   double start_s = 0.0;
   double finish_s = 0.0;
   std::int64_t size = 0;
   std::int64_t devices = 0;          ///< device count that served it
   std::int64_t queue_depth_after = 0;
+  std::int32_t vn = -1;  ///< slice's virtual node (continuous mode); -1 = batch
 };
 
 class Server {
@@ -79,6 +107,12 @@ class Server {
   /// `request_pool` generates request payload features on demand. Both
   /// must outlive the server.
   Server(VirtualFlowEngine& engine, const Dataset& request_pool, ServerConfig config);
+
+  /// Non-copyable, non-movable: the queue's reject observer holds a
+  /// back-pointer to this server's tracker, which a copy or move would
+  /// leave dangling at the original address.
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
 
   /// Replays an open-loop arrival trace (ascending arrival order) to
   /// completion, draining the queue. One replay per Server.
@@ -91,8 +125,14 @@ class Server {
   const std::vector<BatchEvent>& batches() const { return batches_; }
 
  private:
+  void replay_batch_boundary(const std::vector<InferRequest>& trace);
+  void replay_continuous(const std::vector<InferRequest>& trace);
   void execute_batch(std::int64_t take);
   void maybe_resize();
+  /// Executes a decided resize to `target` devices: seamless migration on
+  /// the engine, clock charge, event record, cooldown reset. `depth` is
+  /// the queue depth that triggered the decision.
+  void perform_resize(std::int64_t target, std::int64_t depth);
 
   VirtualFlowEngine& engine_;
   const Dataset& request_pool_;
@@ -102,7 +142,8 @@ class Server {
   SloTracker tracker_;
 
   double clock_ = 0.0;
-  std::int64_t batches_since_resize_ = 0;
+  /// Work units (batches or slices) since the last resize; cooldown gate.
+  std::int64_t work_since_resize_ = 0;
   bool replayed_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;

@@ -14,6 +14,8 @@ SloTracker::SloTracker(double deadline_s) : deadline_s_(deadline_s) {
 void SloTracker::record_completion(RequestRecord r) {
   check(!r.rejected, "use record_rejection for rejected requests");
   check(r.finish_s >= r.arrival_s, "completion before arrival");
+  check(r.dispatch_s >= r.arrival_s && r.dispatch_s <= r.finish_s,
+        "dispatch stamp must lie between arrival and completion");
   r.deadline_met = r.latency_s() <= deadline_s_;
   if (!r.deadline_met) ++deadline_misses_;
   ++completed_;
@@ -35,17 +37,36 @@ std::int64_t SloTracker::completed() const { return completed_; }
 std::int64_t SloTracker::rejected() const { return rejected_; }
 
 namespace {
-std::vector<double> completed_latencies(const std::vector<RequestRecord>& records) {
+/// Projects `metric` over every completed (non-rejected) record.
+template <typename Metric>
+std::vector<double> completed_samples(const std::vector<RequestRecord>& records,
+                                      Metric metric) {
   std::vector<double> xs;
   xs.reserve(records.size());
   for (const RequestRecord& r : records)
-    if (!r.rejected) xs.push_back(r.latency_s());
+    if (!r.rejected) xs.push_back(metric(r));
   return xs;
+}
+
+/// Percentile with serving edge-case semantics: an empty sample set has no
+/// latency (0.0, never a throw/NaN); util/stats handles one sample and
+/// all-identical samples exactly (any percentile is the common value).
+double safe_percentile(const std::vector<double>& xs, double p) {
+  return xs.empty() ? 0.0 : percentile(xs, p);
 }
 }  // namespace
 
 double SloTracker::latency_percentile_s(double p) const {
-  return percentile(completed_latencies(records_), p);
+  return safe_percentile(
+      completed_samples(records_, [](const RequestRecord& r) { return r.latency_s(); }),
+      p);
+}
+
+double SloTracker::queue_wait_percentile_s(double p) const {
+  return safe_percentile(
+      completed_samples(records_,
+                        [](const RequestRecord& r) { return r.queue_wait_s; }),
+      p);
 }
 
 SloSummary SloTracker::summary() const {
@@ -53,7 +74,8 @@ SloSummary SloTracker::summary() const {
   s.completed = completed_;
   s.rejected = rejected_;
   s.deadline_misses = deadline_misses_;
-  const std::vector<double> xs = completed_latencies(records_);
+  const std::vector<double> xs = completed_samples(
+      records_, [](const RequestRecord& r) { return r.latency_s(); });
   if (!xs.empty()) {
     s.p50_s = percentile(xs, 0.50);
     s.p95_s = percentile(xs, 0.95);
@@ -62,6 +84,14 @@ SloSummary SloTracker::summary() const {
     s.max_s = max_of(xs);
     s.hit_rate = static_cast<double>(completed_ - deadline_misses_) /
                  static_cast<double>(completed_);
+    const std::vector<double> waits = completed_samples(
+        records_, [](const RequestRecord& r) { return r.queue_wait_s; });
+    const std::vector<double> inflight = completed_samples(
+        records_, [](const RequestRecord& r) { return r.inflight_s(); });
+    s.mean_queue_wait_s = mean(waits);
+    s.p95_queue_wait_s = percentile(waits, 0.95);
+    s.p99_queue_wait_s = percentile(waits, 0.99);
+    s.mean_inflight_s = mean(inflight);
   }
   return s;
 }

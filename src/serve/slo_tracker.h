@@ -15,7 +15,10 @@
 
 namespace vf::serve {
 
-/// Aggregate serving quality over one replay.
+/// Aggregate serving quality over one replay. All fields are well-defined
+/// for any sample count — with zero completions the percentiles, means,
+/// and rates are exactly 0.0 (never NaN); with one sample every percentile
+/// equals that sample.
 struct SloSummary {
   std::int64_t completed = 0;
   std::int64_t rejected = 0;
@@ -27,6 +30,13 @@ struct SloSummary {
   double max_s = 0.0;
   /// Fraction of *admitted* requests that met the deadline.
   double hit_rate = 0.0;
+  // Latency decomposition: latency = queue wait (arrival -> dispatch) +
+  // in-flight time (dispatch -> completion). Continuous batching exists to
+  // shrink the first term; the A/B bench compares exactly these.
+  double mean_queue_wait_s = 0.0;
+  double p95_queue_wait_s = 0.0;
+  double p99_queue_wait_s = 0.0;
+  double mean_inflight_s = 0.0;
 };
 
 class SloTracker {
@@ -45,8 +55,14 @@ class SloTracker {
   std::int64_t completed() const;
   std::int64_t rejected() const;
 
-  /// Latency percentile over completed requests, p in [0, 1].
+  /// Latency percentile over completed requests, p in [0, 1]. Returns 0.0
+  /// when nothing has completed (an empty replay has no latency, not an
+  /// undefined one); a single sample is every percentile of itself.
   double latency_percentile_s(double p) const;
+
+  /// Queue-wait percentile over completed requests; same edge-case
+  /// semantics as latency_percentile_s.
+  double queue_wait_percentile_s(double p) const;
 
   SloSummary summary() const;
 

@@ -1,0 +1,84 @@
+// SlotLedger: per-virtual-node slot accounting for continuous batching.
+//
+// Where the batch-boundary BatchFormer drains a FIFO prefix all at once,
+// continuous batching treats every virtual node as an independent slot: a
+// slice of requests is admitted into a free slot the moment one exists,
+// runs to its own completion time, and frees the slot for the next slice
+// — arrivals join the partially-formed in-flight batch instead of waiting
+// for the next full drain.
+//
+// Determinism contract (same as the rest of vf::serve): every transition
+// is driven by the virtual clock and resolved in a fixed order — admission
+// takes the FIFO queue prefix (ascending request id by construction),
+// free slots are claimed in ascending VN-id order, and due completions
+// are processed in (completion time, VN id) order. Host threads never
+// enter the picture; the in-flight schedule is a pure function of
+// (trace, policy, cost model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace vf::serve {
+
+/// One in-flight slice occupying a virtual-node slot.
+struct Slot {
+  bool busy = false;
+  double dispatch_s = 0.0;  ///< when the slice was admitted into the slot
+  double done_s = 0.0;      ///< scheduled completion on the virtual clock
+  std::int64_t devices = 0; ///< device count of the mapping that dispatched it
+  double compute_s = 0.0;   ///< cost-model forward time of the slice
+  double comm_s = 0.0;      ///< logits-return time of the slice
+  std::vector<InferRequest> requests;  ///< FIFO order within the slice
+  std::vector<std::int64_t> predictions;  ///< one per request, same order
+};
+
+class SlotLedger {
+ public:
+  /// One slot per virtual node. The VN count is stable across elastic
+  /// resizes (resize remaps VNs onto devices, never changes them), so a
+  /// ledger survives any number of reconfigurations.
+  explicit SlotLedger(std::int64_t total_vns);
+
+  std::int64_t total_slots() const { return static_cast<std::int64_t>(slots_.size()); }
+  std::int64_t busy_count() const { return busy_; }
+  bool all_free() const { return busy_ == 0; }
+  /// Requests currently in flight across all busy slots. The elasticity
+  /// loop adds this to the queue depth when deciding to *shrink*: a queue
+  /// can be momentarily empty while a full in-flight batch is mid-pass,
+  /// and shrinking on that illusion of idleness makes the device set
+  /// oscillate under load.
+  std::int64_t inflight_requests() const { return inflight_; }
+
+  /// Lowest-id free slot, or -1 when every slot is in flight. Claiming
+  /// the lowest VN id first is part of the determinism contract.
+  std::int32_t lowest_free() const;
+
+  /// Earliest scheduled completion over busy slots; +infinity when idle.
+  double earliest_done_s() const;
+
+  /// Admit transition: occupy slot `vn` with a slice dispatched at
+  /// `slot.dispatch_s` and completing at `slot.done_s`. The slot must be
+  /// free, hold at least one request, and respect dispatch_s <= done_s.
+  void admit(std::int32_t vn, Slot slot);
+
+  /// VN ids of every slot due at or before `now_s`, in (done_s, VN id)
+  /// order — the canonical completion-processing order.
+  std::vector<std::int32_t> due(double now_s) const;
+
+  /// Complete transition: free slot `vn` (which must be busy) and return
+  /// the slice it held.
+  Slot complete(std::int32_t vn);
+
+  /// Read-only view of slot `vn` (busy or free).
+  const Slot& slot(std::int32_t vn) const;
+
+ private:
+  std::vector<Slot> slots_;
+  std::int64_t busy_ = 0;
+  std::int64_t inflight_ = 0;
+};
+
+}  // namespace vf::serve

@@ -61,6 +61,7 @@
 #include "serve/request_queue.h"
 #include "serve/server.h"
 #include "serve/slo_tracker.h"
+#include "serve/slot_ledger.h"
 
 // Cluster scheduling.
 #include "sched/gavel.h"

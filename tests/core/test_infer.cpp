@@ -134,6 +134,38 @@ TEST(Infer, ValidatesSlices) {
   EXPECT_THROW(engine.infer({empty}), VfError);
 }
 
+TEST(Infer, SliceCostsPriceEachSliceIndependently) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 8, 4, 0);
+  const auto slices = make_slices(*rig.task.val, 64, 8);
+  const InferStats stats = engine.infer(slices);
+
+  ASSERT_EQ(stats.slice_costs.size(), slices.size());
+  const DeviceSpec& spec = engine.devices()[0].spec();
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const SliceCost& c = stats.slice_costs[i];
+    EXPECT_EQ(c.vn, slices[i].vn) << "aligned with input slice order";
+    EXPECT_EQ(c.device, engine.mapping().device_of(slices[i].vn));
+    EXPECT_DOUBLE_EQ(
+        c.pass_s, infer_pass_time_s(spec, engine.profile(), slices[i].features.rows()));
+    EXPECT_DOUBLE_EQ(c.overhead_s, spec.step_fixed_s);
+    EXPECT_DOUBLE_EQ(c.cold_total_s(),
+                     slice_infer_time_s(spec, engine.profile(),
+                                        slices[i].features.rows()));
+    EXPECT_GT(c.comm_s, 0.0) << "multi-device: logits return over the link";
+    EXPECT_LT(c.comm_s, stats.comm_s + 1e-12)
+        << "one slice's return never exceeds the device-level max";
+  }
+
+  // Single device: no frontend hop, per-slice or batch-level.
+  VirtualFlowEngine one = make_engine(rig, 8, 1, 0);
+  const InferStats solo = one.infer(make_slices(*rig.task.val, 64, 8));
+  for (const SliceCost& c : solo.slice_costs) {
+    EXPECT_EQ(c.comm_s, 0.0);
+    EXPECT_EQ(c.device, 0);
+  }
+}
+
 TEST(Infer, DoesNotAdvanceClockOrTraining) {
   Rig rig = make_rig();
   VirtualFlowEngine engine = make_engine(rig, 8, 2, 0);

@@ -102,6 +102,33 @@ TEST(CostModel, InvalidInputsThrow) {
   const ModelProfile& m = model_profile("resnet50");
   EXPECT_THROW(pass_time_s(v100(), m, 0), VfError);
   EXPECT_THROW(device_step_time_s(v100(), m, {}), VfError);
+  EXPECT_THROW(slice_infer_time_s(v100(), m, 0), VfError);
+}
+
+TEST(SliceInferTime, ColdDispatchPaysPassPlusFixedOverhead) {
+  const ModelProfile& m = model_profile("bert-base");
+  for (const std::int64_t b : {1, 4, 32}) {
+    EXPECT_DOUBLE_EQ(slice_infer_time_s(v100(), m, b),
+                     infer_pass_time_s(v100(), m, b) + v100().step_fixed_s)
+        << "batch " << b;
+  }
+}
+
+TEST(SliceInferTime, BatchDispatchAmortizesWhatSlicesPaySolo) {
+  // device_infer_time_s charges the framework overhead once for a batch of
+  // co-scheduled VN slices; dispatching the same slices one by one (cold)
+  // pays it per slice. The gap is exactly (V - 1) x step_fixed.
+  const ModelProfile& m = model_profile("bert-base");
+  const std::vector<std::int64_t> batches = {8, 8, 8, 8};
+  double solo = 0.0;
+  for (const std::int64_t b : batches) solo += slice_infer_time_s(v100(), m, b);
+  const double together = device_infer_time_s(v100(), m, batches);
+  EXPECT_LT(together, solo);
+  EXPECT_NEAR(solo - together,
+              static_cast<double>(batches.size() - 1) * v100().step_fixed_s, 1e-12);
+  // Single-slice batches are the equality case.
+  EXPECT_DOUBLE_EQ(device_infer_time_s(v100(), m, {8}),
+                   slice_infer_time_s(v100(), m, 8));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "serve/request_queue.h"
+#include "serve/slo_tracker.h"
 #include "util/common.h"
 
 namespace vf::serve {
@@ -49,6 +50,36 @@ TEST(RequestQueue, BackpressureRejectsAtCapacity) {
   EXPECT_TRUE(q.push(req(4, 4.0)));
   EXPECT_EQ(q.rejected(), 2);
   EXPECT_EQ(q.front().id, 1);
+}
+
+// Regression: a dropped request must reach the SloTracker *with its id* —
+// drop accounting is wired at the queue itself (the backpressure point),
+// so it survives batching-policy rewrites instead of depending on each
+// replay loop remembering to record rejections.
+TEST(RequestQueue, RejectObserverReceivesEveryDroppedRequest) {
+  RequestQueue q(2);
+  SloTracker tracker(0.5);
+  q.set_reject_observer(
+      [&](const InferRequest& r) { tracker.record_rejection(r, r.arrival_s); });
+
+  EXPECT_TRUE(q.push(req(0, 0.0)));
+  EXPECT_TRUE(q.push(req(1, 1.0)));
+  EXPECT_FALSE(q.push(req(42, 2.0)));
+  EXPECT_FALSE(q.push(req(43, 3.0)));
+
+  EXPECT_EQ(tracker.rejected(), 2);
+  ASSERT_EQ(tracker.records().size(), 2u);
+  EXPECT_EQ(tracker.records()[0].id, 42) << "the dropped request's own id";
+  EXPECT_TRUE(tracker.records()[0].rejected);
+  EXPECT_EQ(tracker.records()[0].arrival_s, 2.0);
+  EXPECT_EQ(tracker.records()[1].id, 43);
+  EXPECT_EQ(q.rejected(), tracker.rejected())
+      << "queue counter and tracker accounting must agree";
+
+  // Admitted pushes never notify the observer.
+  q.pop(1);
+  EXPECT_TRUE(q.push(req(44, 4.0)));
+  EXPECT_EQ(tracker.rejected(), 2);
 }
 
 TEST(RequestQueue, RejectsOutOfOrderAdmission) {

@@ -186,6 +186,120 @@ TEST(Server, ReplayBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+// ---- Continuous (in-flight) batching.
+
+TEST(Server, ContinuousReplayServesEveryAdmittedRequest) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, /*workers=*/0);
+  ServerConfig cfg = burst_config();
+  cfg.continuous = true;
+  Server server(engine, *rig.task.val, cfg);
+  const auto trace = burst_trace(*rig.task.val);
+  server.replay(trace);
+
+  const SloTracker& slo = server.slo();
+  EXPECT_EQ(slo.completed() + slo.rejected(), static_cast<std::int64_t>(trace.size()));
+  EXPECT_TRUE(server.queue().empty()) << "replay must drain the queue";
+  ASSERT_GT(slo.completed(), 0);
+  const std::int64_t max_slice = engine.mapping().vn_batch(0);
+  for (const RequestRecord& r : slo.records()) {
+    if (r.rejected) continue;
+    EXPECT_GE(r.queue_wait_s, 0.0) << "request " << r.id;
+    EXPECT_GT(r.compute_s, 0.0) << "request " << r.id;
+    // finish - dispatch re-derives compute through additions on the
+    // virtual clock; allow one ulp-scale slack.
+    EXPECT_GE(r.inflight_s(), r.compute_s - 1e-12) << "request " << r.id;
+    EXPECT_GE(r.prediction, 0) << "request " << r.id;
+  }
+  for (const BatchEvent& b : server.batches()) {
+    EXPECT_GE(b.vn, 0) << "continuous work units are per-VN slices";
+    EXPECT_LT(b.vn, engine.mapping().total_vns());
+    EXPECT_LE(b.size, max_slice) << "a slice never exceeds its VN's batch share";
+    EXPECT_GT(b.finish_s, b.start_s);
+  }
+}
+
+TEST(Server, ContinuousBurstTriggersElasticGrowth) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, /*workers=*/0);
+  ServerConfig cfg = burst_config();
+  cfg.continuous = true;
+  Server server(engine, *rig.task.val, cfg);
+  server.replay(burst_trace(*rig.task.val));
+
+  const auto& resizes = server.resizes();
+  ASSERT_GE(resizes.size(), 2u);
+  EXPECT_GT(resizes.front().to_devices, resizes.front().from_devices)
+      << "first resize grows under queue pressure";
+  EXPECT_GE(resizes.front().queue_depth, burst_config().elastic.high_watermark);
+  bool shrank = false;
+  for (const ResizeEvent& e : resizes) {
+    EXPECT_GT(e.migration_s, 0.0) << "seamless resize still costs an all-gather";
+    if (e.to_devices < e.from_devices) shrank = true;
+  }
+  EXPECT_TRUE(shrank) << "post-burst drain must shrink back";
+}
+
+TEST(Server, ContinuousCutsQueueWaitUnderBurst) {
+  const auto run_mode = [](bool continuous) {
+    Rig rig = make_rig();
+    VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, /*workers=*/0);
+    ServerConfig cfg = burst_config();
+    cfg.continuous = continuous;
+    Server server(engine, *rig.task.val, cfg);
+    server.replay(burst_trace(*rig.task.val));
+    return server.slo().summary();
+  };
+  const SloSummary batch = run_mode(false);
+  const SloSummary cont = run_mode(true);
+  ASSERT_GT(batch.completed, 0);
+  ASSERT_GT(cont.completed, 0);
+  EXPECT_LT(cont.mean_queue_wait_s, batch.mean_queue_wait_s)
+      << "admitting arrivals into in-flight slots must cut mean queue wait";
+  EXPECT_NEAR(cont.mean_queue_wait_s + cont.mean_inflight_s, cont.mean_s, 1e-9)
+      << "latency decomposes into queue wait + in-flight time";
+}
+
+ReplayResult run_continuous_replay(std::int64_t workers) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, workers);
+  ServerConfig cfg = burst_config();
+  cfg.continuous = true;
+  Server server(engine, *rig.task.val, cfg);
+  server.replay(burst_trace(*rig.task.val));
+  return ReplayResult{server.slo().records(), server.resizes(),
+                      server.slo().summary()};
+}
+
+TEST(Server, ContinuousReplayBitIdenticalAcrossWorkerCounts) {
+  const ReplayResult serial = run_continuous_replay(0);
+  ASSERT_FALSE(serial.records.empty());
+  ASSERT_FALSE(serial.resizes.empty());
+  for (const std::int64_t workers : {2, 8}) {
+    const ReplayResult pooled = run_continuous_replay(workers);
+    ASSERT_EQ(serial.records.size(), pooled.records.size()) << workers << "w";
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      const RequestRecord& a = serial.records[i];
+      const RequestRecord& b = pooled.records[i];
+      EXPECT_EQ(a.id, b.id) << i;
+      EXPECT_EQ(a.rejected, b.rejected) << i;
+      EXPECT_EQ(a.prediction, b.prediction) << i;
+      // EXPECT_EQ on doubles is exact — bit-identical, not approximately.
+      EXPECT_EQ(a.dispatch_s, b.dispatch_s) << i;
+      EXPECT_EQ(a.queue_wait_s, b.queue_wait_s) << i;
+      EXPECT_EQ(a.compute_s, b.compute_s) << i;
+      EXPECT_EQ(a.comm_s, b.comm_s) << i;
+      EXPECT_EQ(a.finish_s, b.finish_s) << i;
+    }
+    ASSERT_EQ(serial.resizes.size(), pooled.resizes.size()) << workers << "w";
+    for (std::size_t i = 0; i < serial.resizes.size(); ++i) {
+      EXPECT_EQ(serial.resizes[i].time_s, pooled.resizes[i].time_s) << i;
+      EXPECT_EQ(serial.resizes[i].to_devices, pooled.resizes[i].to_devices) << i;
+    }
+    EXPECT_EQ(serial.summary.p99_s, pooled.summary.p99_s);
+  }
+}
+
 TEST(Server, ValidatesElasticPolicy) {
   Rig rig = make_rig();
   VirtualFlowEngine engine = make_engine(rig, 1, 0, /*vns=*/4);

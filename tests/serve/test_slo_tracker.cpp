@@ -1,0 +1,117 @@
+// SloTracker edge cases and the queue-wait / in-flight latency breakdown.
+//
+// Percentiles must be well-defined for ANY sample count: an empty replay
+// reports exact zeros (never NaN, never an out-of-range index), a single
+// sample is every percentile of itself, and all-identical latencies make
+// every percentile that common value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serve/slo_tracker.h"
+#include "util/common.h"
+
+namespace vf::serve {
+namespace {
+
+RequestRecord completed(std::int64_t id, double arrival_s, double dispatch_s,
+                        double finish_s) {
+  RequestRecord r;
+  r.id = id;
+  r.arrival_s = arrival_s;
+  r.dispatch_s = dispatch_s;
+  r.queue_wait_s = dispatch_s - arrival_s;
+  r.finish_s = finish_s;
+  r.prediction = 0;
+  return r;
+}
+
+TEST(SloTracker, ZeroSamplesAreWellDefined) {
+  SloTracker t(0.5);
+  EXPECT_EQ(t.completed(), 0);
+  EXPECT_EQ(t.latency_percentile_s(0.5), 0.0);
+  EXPECT_EQ(t.latency_percentile_s(0.99), 0.0);
+  EXPECT_EQ(t.queue_wait_percentile_s(0.95), 0.0);
+
+  const SloSummary s = t.summary();
+  EXPECT_EQ(s.completed, 0);
+  EXPECT_EQ(s.p50_s, 0.0);
+  EXPECT_EQ(s.p95_s, 0.0);
+  EXPECT_EQ(s.p99_s, 0.0);
+  EXPECT_EQ(s.mean_s, 0.0);
+  EXPECT_EQ(s.hit_rate, 0.0);
+  EXPECT_EQ(s.mean_queue_wait_s, 0.0);
+  EXPECT_FALSE(std::isnan(s.p99_queue_wait_s));
+}
+
+TEST(SloTracker, RejectionsAloneStillHaveNoLatencySamples) {
+  SloTracker t(0.5);
+  InferRequest r;
+  r.id = 7;
+  r.arrival_s = 1.0;
+  t.record_rejection(r, 1.0);
+  EXPECT_EQ(t.rejected(), 1);
+  EXPECT_EQ(t.completed(), 0);
+  // A rejection is its own SLO event, never a latency sample.
+  EXPECT_EQ(t.latency_percentile_s(0.99), 0.0);
+  const SloSummary s = t.summary();
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.p99_s, 0.0);
+  EXPECT_FALSE(std::isnan(s.hit_rate));
+}
+
+TEST(SloTracker, OneSampleIsEveryPercentile) {
+  SloTracker t(0.75);
+  // Dyadic stamps: 0.25/0.5 are exact in binary, so every comparison here
+  // can be exact equality.
+  t.record_completion(completed(0, 1.0, 1.25, 1.5));
+  for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(t.latency_percentile_s(p), 0.5) << "p=" << p;
+    EXPECT_DOUBLE_EQ(t.queue_wait_percentile_s(p), 0.25) << "p=" << p;
+  }
+  const SloSummary s = t.summary();
+  EXPECT_DOUBLE_EQ(s.p50_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.p99_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.max_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_queue_wait_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.mean_inflight_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.hit_rate, 1.0);
+}
+
+TEST(SloTracker, AllIdenticalLatenciesCollapseEveryPercentile) {
+  SloTracker t(1.0);
+  for (std::int64_t i = 0; i < 10; ++i)
+    t.record_completion(completed(i, static_cast<double>(i),
+                                  static_cast<double>(i) + 0.25,
+                                  static_cast<double>(i) + 0.5));
+  const SloSummary s = t.summary();
+  EXPECT_DOUBLE_EQ(s.p50_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.p95_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.p99_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.max_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.p95_queue_wait_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.p99_queue_wait_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.mean_inflight_s, 0.25);
+}
+
+TEST(SloTracker, QueueWaitPlusInflightIsLatency) {
+  SloTracker t(10.0);
+  t.record_completion(completed(0, 0.0, 2.0, 5.0));
+  t.record_completion(completed(1, 1.0, 2.0, 7.0));
+  const SloSummary s = t.summary();
+  EXPECT_DOUBLE_EQ(s.mean_queue_wait_s + s.mean_inflight_s, s.mean_s)
+      << "the decomposition must be exact, not approximate";
+}
+
+TEST(SloTracker, ValidatesDispatchStamp) {
+  SloTracker t(0.5);
+  RequestRecord before_arrival = completed(0, 1.0, 0.5, 2.0);
+  before_arrival.queue_wait_s = 0.0;
+  EXPECT_THROW(t.record_completion(before_arrival), VfError);
+  RequestRecord after_finish = completed(1, 1.0, 3.0, 2.0);
+  EXPECT_THROW(t.record_completion(after_finish), VfError);
+}
+
+}  // namespace
+}  // namespace vf::serve

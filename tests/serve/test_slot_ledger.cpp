@@ -1,0 +1,100 @@
+// SlotLedger: admit/complete transitions and the deterministic orderings
+// continuous batching leans on — free slots claimed in ascending VN-id
+// order, due completions processed in (done time, VN id) order.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "serve/slot_ledger.h"
+#include "util/common.h"
+
+namespace vf::serve {
+namespace {
+
+Slot slice(double dispatch_s, double done_s, std::initializer_list<std::int64_t> ids) {
+  Slot s;
+  s.dispatch_s = dispatch_s;
+  s.done_s = done_s;
+  for (const std::int64_t id : ids) {
+    InferRequest r;
+    r.id = id;
+    r.arrival_s = dispatch_s;
+    s.requests.push_back(r);
+    s.predictions.push_back(0);
+  }
+  return s;
+}
+
+TEST(SlotLedger, AdmitCompleteLifecycle) {
+  SlotLedger ledger(3);
+  EXPECT_EQ(ledger.total_slots(), 3);
+  EXPECT_TRUE(ledger.all_free());
+  EXPECT_EQ(ledger.lowest_free(), 0);
+  EXPECT_EQ(ledger.earliest_done_s(), std::numeric_limits<double>::infinity());
+
+  ledger.admit(0, slice(1.0, 2.0, {10, 11}));
+  EXPECT_FALSE(ledger.all_free());
+  EXPECT_EQ(ledger.busy_count(), 1);
+  EXPECT_EQ(ledger.inflight_requests(), 2)
+      << "in-flight load counts requests, not slots";
+  EXPECT_EQ(ledger.lowest_free(), 1) << "slot 0 busy: next free is VN 1";
+  EXPECT_DOUBLE_EQ(ledger.earliest_done_s(), 2.0);
+  EXPECT_TRUE(ledger.slot(0).busy);
+  EXPECT_FALSE(ledger.slot(1).busy);
+
+  const Slot done = ledger.complete(0);
+  EXPECT_TRUE(ledger.all_free());
+  EXPECT_EQ(ledger.inflight_requests(), 0);
+  ASSERT_EQ(done.requests.size(), 2u);
+  EXPECT_EQ(done.requests[0].id, 10);
+  EXPECT_EQ(done.requests[1].id, 11);
+  EXPECT_EQ(ledger.lowest_free(), 0) << "completed slot is reusable";
+}
+
+TEST(SlotLedger, LowestFreeClaimsAscendingVnOrder) {
+  SlotLedger ledger(4);
+  ledger.admit(0, slice(0.0, 1.0, {0}));
+  ledger.admit(1, slice(0.0, 1.0, {1}));
+  ledger.admit(2, slice(0.0, 1.0, {2}));
+  EXPECT_EQ(ledger.lowest_free(), 3);
+  ledger.complete(1);
+  EXPECT_EQ(ledger.lowest_free(), 1) << "freed VN 1 outranks free VN 3";
+  ledger.admit(3, slice(0.0, 2.0, {3}));
+  ledger.admit(1, slice(0.0, 2.0, {4}));
+  EXPECT_EQ(ledger.lowest_free(), -1) << "every slot in flight";
+}
+
+TEST(SlotLedger, DueOrdersByDoneTimeThenVnId) {
+  SlotLedger ledger(4);
+  ledger.admit(0, slice(0.0, 3.0, {0}));
+  ledger.admit(1, slice(0.0, 1.0, {1}));
+  ledger.admit(2, slice(0.0, 2.0, {2}));
+  ledger.admit(3, slice(0.0, 1.0, {3}));  // ties VN 1 on done time
+
+  EXPECT_TRUE(ledger.due(0.5).empty());
+  EXPECT_EQ(ledger.due(1.0), (std::vector<std::int32_t>{1, 3}))
+      << "equal done times break ties by VN id";
+  EXPECT_EQ(ledger.due(2.5), (std::vector<std::int32_t>{1, 3, 2}));
+  EXPECT_EQ(ledger.due(10.0), (std::vector<std::int32_t>{1, 3, 2, 0}));
+
+  ledger.complete(1);
+  ledger.complete(3);
+  EXPECT_EQ(ledger.due(2.5), (std::vector<std::int32_t>{2}));
+  EXPECT_DOUBLE_EQ(ledger.earliest_done_s(), 2.0);
+}
+
+TEST(SlotLedger, GuardsInvalidTransitions) {
+  EXPECT_THROW(SlotLedger(0), VfError);
+  SlotLedger ledger(2);
+  EXPECT_THROW(ledger.complete(0), VfError) << "complete on free slot";
+  EXPECT_THROW(ledger.admit(5, slice(0.0, 1.0, {0})), VfError) << "bad VN";
+  EXPECT_THROW(ledger.admit(0, Slot{}), VfError) << "empty slice";
+  EXPECT_THROW(ledger.admit(0, slice(2.0, 1.0, {0})), VfError)
+      << "completes before dispatch";
+  ledger.admit(0, slice(0.0, 1.0, {0}));
+  EXPECT_THROW(ledger.admit(0, slice(0.0, 1.0, {1})), VfError) << "slot busy";
+}
+
+}  // namespace
+}  // namespace vf::serve
