@@ -257,6 +257,27 @@ int main(int argc, char** argv) {
   bool exact = true;
   for (std::size_t i = 1; i < outcomes.size(); ++i) exact &= identical(ref, outcomes[i]);
   const bool wait_reduced = cont.mean_queue_wait_s < batch.mean_queue_wait_s;
+
+  const std::string json = flags.json_path();
+  if (!json.empty()) {
+    vf::bench::JsonReport report("bench_serving");
+    const auto add_mode = [&report](const char* mode, const SloSummary& s) {
+      const std::string base = std::string("serving.") + mode + ".";
+      report.add(base + "served", static_cast<double>(s.completed), "requests");
+      report.add(base + "rejected", static_cast<double>(s.rejected), "requests");
+      report.add(base + "mean_queue_wait_ms", s.mean_queue_wait_s * 1e3, "ms");
+      report.add(base + "p95_queue_wait_ms", s.p95_queue_wait_s * 1e3, "ms");
+      report.add(base + "p99_queue_wait_ms", s.p99_queue_wait_s * 1e3, "ms");
+      report.add(base + "p50_latency_ms", s.p50_s * 1e3, "ms");
+      report.add(base + "p95_latency_ms", s.p95_s * 1e3, "ms");
+      report.add(base + "p99_latency_ms", s.p99_s * 1e3, "ms");
+      report.add(base + "slo_hit_rate", s.hit_rate, "fraction");
+    };
+    add_mode("batch", batch);
+    add_mode("continuous", cont);
+    report.add("serving.resizes", static_cast<double>(ref.resizes.size()), "events");
+    if (!report.save(json)) ok = false;
+  }
   const char* miss = custom_load ? "no (informational: custom workload)" : "NO — BUG";
   std::printf("\n  queue-depth-triggered growth: %s\n", grew ? "yes" : miss);
   std::printf("  bit-identical records/resizes across workers {0, 2, 8}: %s\n",

@@ -29,7 +29,10 @@ inline constexpr int kUsageErrorExit = 2;
 /// implicitly understands `--smoke=1`: CTest's `bench-smoke` label runs
 /// each binary that way, and benches shrink their workload via the
 /// smoke-default accessors below so the harness finishes in seconds
-/// instead of minutes.
+/// instead of minutes. `--json=<path>` is likewise parsed everywhere,
+/// but only benches that build a JsonReport write the file (today:
+/// bench_hotpath, bench_serving) — adopt it when adding records to the
+/// perf trajectory.
 class Flags {
  public:
   Flags(int argc, char** argv, const std::map<std::string, std::string>& known);
@@ -40,6 +43,8 @@ class Flags {
 
   /// True when the binary was invoked with --smoke=1.
   bool smoke() const { return get_int("smoke", 0) != 0; }
+  /// Path passed via --json=<path>, empty when absent.
+  std::string json_path() const { return get_string("json", ""); }
   /// True when `key` was explicitly passed on the command line (as opposed
   /// to falling back to its default). Lets a bench distinguish its
   /// calibrated default workload (where acceptance claims are enforced)
@@ -79,5 +84,37 @@ EngineSetup make_setup(const std::string& task_name, const std::string& profile_
 /// Prints "name: measured vs paper (delta)" comparison lines.
 void print_claim(const std::string& name, double measured, double paper,
                  const std::string& unit = "");
+
+/// Machine-readable benchmark output: a flat list of name/value/unit
+/// records serialized as JSON. This is the repo's perf trajectory format
+/// (`BENCH_*.json`): every record is one measured scalar, names are
+/// dotted paths ("e2e.speedup", "kernel.matmul.1024x32x64.blocked"), and
+/// the CI perf-smoke job uploads the files as artifacts so regressions
+/// are diffable across commits.
+///
+/// Shape:
+///   { "bench": "<name>", "results": [
+///       {"name": "...", "value": 1.23, "unit": "GFLOP/s"}, ... ] }
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& name, double value, const std::string& unit);
+
+  /// Serializes to `path`. Returns false (after a stderr diagnosis) on an
+  /// IO failure so benches can turn it into a nonzero exit.
+  bool save(const std::string& path) const;
+
+  std::size_t size() const { return recs_.size(); }
+
+ private:
+  struct Rec {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string bench_;
+  std::vector<Rec> recs_;
+};
 
 }  // namespace vf::bench

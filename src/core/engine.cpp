@@ -6,6 +6,12 @@
 
 namespace vf {
 
+namespace {
+// Engine-level workspace tags (negative: layer tags are >= 0).
+constexpr std::int32_t kTagLogits = -1;    // forward output per VN
+constexpr std::int32_t kTagTopGrad = -2;   // model-input gradient (discarded)
+}  // namespace
+
 VirtualFlowEngine::VirtualFlowEngine(const Sequential& model, const Optimizer& optimizer,
                                      const LrSchedule& schedule, const Dataset& train,
                                      ModelProfile profile, std::vector<Device> devices,
@@ -20,10 +26,27 @@ VirtualFlowEngine::VirtualFlowEngine(const Sequential& model, const Optimizer& o
         "mapping device count (" + std::to_string(mapping_.num_devices()) +
             ") must match cluster size (" + std::to_string(devices_.size()) + ")");
   vn_states_.resize(static_cast<std::size_t>(mapping_.total_vns()));
+  resize_vn_scratch();
   build_replicas(model, optimizer);
   if (config_.enforce_memory) check_memory();
   if (config_.num_threads > 0)
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+}
+
+void VirtualFlowEngine::resize_vn_scratch() {
+  const auto n = static_cast<std::size_t>(mapping_.total_vns());
+  ws_.ensure_vns(mapping_.total_vns());
+  vn_mb_.resize(n);
+  vn_idx_.resize(n);
+  vn_loss_.resize(n);
+  vn_grad_sums_.resize(n);
+  vn_loss_sums_.assign(n, 0.0);
+}
+
+std::int64_t VirtualFlowEngine::workspace_allocs() const {
+  std::int64_t total = ws_.heap_allocs();
+  for (const Workspace& w : eval_ws_) total += w.heap_allocs();
+  return total;
 }
 
 void VirtualFlowEngine::for_each_device(const std::function<void(std::int64_t)>& fn) {
@@ -69,44 +92,47 @@ StepStats VirtualFlowEngine::train_step() {
   const std::int64_t bpe = batcher_.batches_per_epoch();
   const std::int64_t epoch = step_ / bpe;
   const std::int64_t bie = step_ % bpe;
-  const std::int64_t total_vns = mapping_.total_vns();
   const auto slices = mapping_.slices();
 
   // --- Fig 5 steps 1-3: per-device sequential VN execution, with devices
   // running concurrently on the host pool when configured (matching a real
   // deployment). Device d mutates only its own replica, its VNs' states,
-  // and its VNs' slots of the two result vectors, so the partition is
-  // race-free; the epoch permutation is warmed up front so the batcher is
-  // read-only inside the loop. Scheduling cannot change the result: the
-  // reduction order is fixed by VN id in sync_and_update.
-  std::vector<Tensor> vn_grad_sums(static_cast<std::size_t>(total_vns));
-  std::vector<double> vn_loss_sums(static_cast<std::size_t>(total_vns), 0.0);
-
+  // and its VNs' slots of the scratch vectors/workspace, so the partition
+  // is race-free; the epoch permutation is warmed up front so the batcher
+  // is read-only inside the loop. Scheduling cannot change the result: the
+  // reduction order is fixed by VN id in sync_and_update. Every buffer the
+  // pass needs lives in a per-VN slot reused across steps — a warmed-up
+  // step performs zero tensor heap allocations.
   batcher_.prepare_epoch(epoch);
   for_each_device([&](std::int64_t d) {
     Replica& rep = replicas_[static_cast<std::size_t>(d)];
     for (const std::int32_t vn : mapping_.device_vns(d)) {
-      MicroBatch mb = batcher_.micro_batch(epoch, bie, slices, vn);
+      const auto v = static_cast<std::size_t>(vn);
+      MicroBatch& mb = vn_mb_[v];
+      batcher_.micro_batch_into(epoch, bie, slices, vn, mb, vn_idx_[v]);
       ExecContext ctx;
       ctx.seed = config_.seed;
       ctx.step = step_;
       ctx.vn_id = vn;
       ctx.training = true;
-      ctx.state = &vn_states_[static_cast<std::size_t>(vn)];
+      ctx.state = &vn_states_[v];
+      ctx.ws = &ws_;
 
       rep.model.zero_grad();
-      Tensor logits = rep.model.forward(mb.features, ctx);
-      LossResult loss = softmax_cross_entropy(logits, mb.labels);
-      rep.model.backward(loss.grad_logits);
+      Tensor& logits = ws_.acquire(vn, kTagLogits);
+      rep.model.forward_into(mb.features, logits, ctx);
+      LossResult& loss = vn_loss_[v];
+      softmax_cross_entropy_into(logits, mb.labels, loss);
+      rep.model.backward_into(loss.grad_logits, ws_.acquire(vn, kTagTopGrad));
 
-      vn_grad_sums[static_cast<std::size_t>(vn)] = rep.model.flatten_grads();
-      vn_loss_sums[static_cast<std::size_t>(vn)] = loss.loss_sum;
+      rep.model.flatten_grads_into(vn_grad_sums_[v]);
+      vn_loss_sums_[v] = loss.loss_sum;
     }
   });
 
   // --- Fig 5 steps 4-5: synchronize and update.
   double loss = 0.0;
-  const double comm_s = sync_and_update(vn_grad_sums, vn_loss_sums, &loss);
+  const double comm_s = sync_and_update(vn_grad_sums_, vn_loss_sums_, &loss);
 
   // --- Simulated timing: barrier at the slowest device, plus all-reduce.
   double compute_s = 0.0;
@@ -147,7 +173,9 @@ double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sum
   double loss_sum = 0.0;
   for (const double l : vn_loss_sums) loss_sum += l;
 
-  Tensor global;
+  // `global_grad_` and `device_sums_` are member scratch: the copy
+  // assignments below recycle their buffers, so steady-state reduction
+  // allocates nothing. The addition orders are unchanged.
   if (config_.reduction == ReductionMode::kStrictVnOrder) {
     // Ascending VN-id reduction of per-VN gradient *sums*, then one
     // division by the global batch. Mathematically this equals the
@@ -155,17 +183,17 @@ double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sum
     // sum_d (B_d / B) * mean_d(g) = sum_all(g) / B — and, because the
     // order is fixed by VN id, the result is bit-identical under any
     // VN -> device mapping.
-    global = vn_grad_sums.at(0);
+    global_grad_ = vn_grad_sums.at(0);
     for (std::size_t vn = 1; vn < vn_grad_sums.size(); ++vn)
-      global.add_(vn_grad_sums[vn]);
+      global_grad_.add_(vn_grad_sums[vn]);
   } else {
     // Hierarchical mode (ablation): each device folds its own VNs into
     // its gradient buffer, then buffers combine in device-rank order —
     // the shape of a real ring all-reduce. Same expectation, but the
     // addition order now depends on placement.
-    std::vector<Tensor> device_sums;
+    device_sums_.resize(static_cast<std::size_t>(mapping_.num_devices()));
     for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
-      Tensor buf;
+      Tensor& buf = device_sums_[static_cast<std::size_t>(d)];
       bool first = true;
       for (const std::int32_t vn : mapping_.device_vns(d)) {
         if (first) {
@@ -175,18 +203,18 @@ double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sum
           buf.add_(vn_grad_sums[static_cast<std::size_t>(vn)]);
         }
       }
-      device_sums.push_back(std::move(buf));
     }
-    global = std::move(device_sums.front());
-    for (std::size_t d = 1; d < device_sums.size(); ++d) global.add_(device_sums[d]);
+    global_grad_ = device_sums_.front();
+    for (std::size_t d = 1; d < device_sums_.size(); ++d)
+      global_grad_.add_(device_sums_[d]);
   }
-  global.scale_(static_cast<float>(1.0 / b));
+  global_grad_.scale_(static_cast<float>(1.0 / b));
   *out_loss = loss_sum / b;
 
   const float lr = schedule_->lr(step_);
   for_each_device([&](std::int64_t d) {
     Replica& rep = replicas_[static_cast<std::size_t>(d)];
-    rep.model.load_grads(global);
+    rep.model.load_grads(global_grad_);
     rep.optimizer->apply(rep.model, lr);
   });
 
@@ -249,6 +277,7 @@ void VirtualFlowEngine::reconfigure(std::vector<Device> new_devices,
 
   devices_ = std::move(new_devices);
   mapping_ = std::move(new_mapping);
+  resize_vn_scratch();
   build_replicas(proto, *opt_proto);
   if (config_.enforce_memory) check_memory();
 }
@@ -357,19 +386,27 @@ void VirtualFlowEngine::for_each_eval_chunk(
   std::vector<Sequential> extra_models;
   for (std::int64_t w = n_dev; w < workers; ++w)
     extra_models.push_back(replicas_.front().model);
+  // One private arena per worker (persisted across eval calls): chunks of
+  // one worker reuse the same gather/forward buffers, and workers never
+  // share a slot — the eval twin of the per-VN confinement in train_step.
+  if (static_cast<std::int64_t>(eval_ws_.size()) < workers)
+    eval_ws_.resize(static_cast<std::size_t>(workers));
+  for (Workspace& w : eval_ws_) w.ensure_vns(1);
 
   const auto worker_body = [&](std::int64_t w) {
     VnState state = eval_state;
     Sequential& model = w < n_dev
                             ? replicas_[static_cast<std::size_t>(w)].model
                             : extra_models[static_cast<std::size_t>(w - n_dev)];
+    Workspace& wws = eval_ws_[static_cast<std::size_t>(w)];
+    std::vector<std::int64_t> idx;
+    Tensor features;
+    std::vector<std::int64_t> labels;
     for (std::int64_t c = w; c < n_chunks; c += workers) {
       const std::int64_t start = c * kEvalChunk;
       const std::int64_t count = std::min(kEvalChunk, n - start);
-      std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
+      idx.resize(static_cast<std::size_t>(count));
       for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
-      Tensor features;
-      std::vector<std::int64_t> labels;
       eval.gather(idx, features, labels);
 
       ExecContext ctx;
@@ -377,7 +414,10 @@ void VirtualFlowEngine::for_each_eval_chunk(
       ctx.step = step_;
       ctx.training = false;
       ctx.state = state.empty() ? nullptr : &state;
-      fn(c, model.forward(features, ctx), labels);
+      ctx.ws = &wws;
+      Tensor& logits = wws.acquire(0, kTagLogits);
+      model.forward_into(features, logits, ctx);
+      fn(c, logits, labels);
     }
   };
 
@@ -425,7 +465,11 @@ InferStats VirtualFlowEngine::infer(const std::vector<InferSlice>& slices) {
       ctx.vn_id = s.vn;
       ctx.training = false;
       ctx.state = state.empty() ? nullptr : &state;
-      const Tensor logits = model.forward(s.features, ctx);
+      // Slices name distinct VNs, so the per-VN slots of the training
+      // workspace are free for serving reuse (and race-free on the pool).
+      ctx.ws = &ws_;
+      Tensor& logits = ws_.acquire(s.vn, kTagLogits);
+      model.forward_into(s.features, logits, ctx);
       slice_preds[i] = logits.row_argmax();
       slice_out_bytes[i] = static_cast<double>(logits.size()) * 4.0;
     }

@@ -36,6 +36,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/schedule.h"
+#include "tensor/workspace.h"
 #include "util/thread_pool.h"
 
 namespace vf {
@@ -217,6 +218,10 @@ class VirtualFlowEngine {
   MemoryBreakdown device_memory(std::int64_t d) const;
   /// Whether device d uses the shared gradient buffer (V_d > 1).
   bool uses_grad_buffer(std::int64_t d) const;
+  /// Heap allocations observed across the engine's workspaces so far.
+  /// After warm-up a steady-state train_step must not move this (the
+  /// zero-allocation contract; see tests/core/test_zero_alloc.cpp).
+  std::int64_t workspace_allocs() const;
 
  private:
   struct Replica {
@@ -227,6 +232,8 @@ class VirtualFlowEngine {
 
   void build_replicas(const Sequential& proto, const Optimizer& opt_proto);
   void check_memory() const;
+  /// (Re)sizes the per-VN hot-path scratch to the current mapping.
+  void resize_vn_scratch();
   double sync_and_update(const std::vector<Tensor>& vn_grad_sums,
                          const std::vector<double>& vn_loss_sums, double* out_loss);
   /// Runs fn(d) for every device, on the pool when configured, serially
@@ -256,6 +263,20 @@ class VirtualFlowEngine {
   std::vector<Replica> replicas_;
   std::vector<VnState> vn_states_;  // indexed by VN id; survives resizes
   std::unique_ptr<ThreadPool> pool_;  // null when config_.num_threads == 0
+
+  // ---- Reusable hot-path scratch (zero tensor allocations once warm).
+  // Everything is keyed by VN id, so under any mapping and worker count
+  // the worker driving device d touches exactly its VNs' slots — the same
+  // confinement argument that makes the gradient slots race-free.
+  Workspace ws_;                                    // activations, kernel temps
+  std::vector<MicroBatch> vn_mb_;                   // micro-batch buffers
+  std::vector<std::vector<std::int64_t>> vn_idx_;   // gather index scratch
+  std::vector<LossResult> vn_loss_;                 // loss + grad_logits slots
+  std::vector<Tensor> vn_grad_sums_;                // flattened gradient sums
+  std::vector<double> vn_loss_sums_;
+  Tensor global_grad_;                              // reduction scratch
+  std::vector<Tensor> device_sums_;                 // hierarchical-mode scratch
+  std::vector<Workspace> eval_ws_;                  // per-eval-worker arenas
 
   std::int64_t step_ = 0;
   double clock_s_ = 0.0;

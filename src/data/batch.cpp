@@ -17,10 +17,9 @@ void EpochBatcher::ensure_epoch(std::int64_t epoch) {
   cached_epoch_ = epoch;
 }
 
-std::vector<std::int64_t> EpochBatcher::indices(std::int64_t epoch,
-                                                std::int64_t batch_in_epoch,
-                                                const std::vector<BatchSlice>& slices,
-                                                std::int64_t vn) {
+void EpochBatcher::indices_into(std::int64_t epoch, std::int64_t batch_in_epoch,
+                                const std::vector<BatchSlice>& slices,
+                                std::int64_t vn, std::vector<std::int64_t>& out) {
   check_index(batch_in_epoch, n_batches_, "batch in epoch");
   check_index(vn, static_cast<std::int64_t>(slices.size()), "virtual node");
   ensure_epoch(epoch);
@@ -29,27 +28,51 @@ std::vector<std::int64_t> EpochBatcher::indices(std::int64_t epoch,
   const std::int64_t base = batch_in_epoch * global_batch_ + slice.begin;
   check(base + slice.count <= dataset_.size(), "batch slice exceeds dataset");
 
-  std::vector<std::int64_t> out(static_cast<std::size_t>(slice.count));
+  out.resize(static_cast<std::size_t>(slice.count));
   for (std::int64_t k = 0; k < slice.count; ++k)
     out[static_cast<std::size_t>(k)] = perm_[static_cast<std::size_t>(base + k)];
+}
+
+std::vector<std::int64_t> EpochBatcher::indices(std::int64_t epoch,
+                                                std::int64_t batch_in_epoch,
+                                                const std::vector<BatchSlice>& slices,
+                                                std::int64_t vn) {
+  std::vector<std::int64_t> out;
+  indices_into(epoch, batch_in_epoch, slices, vn, out);
   return out;
+}
+
+void EpochBatcher::micro_batch_into(std::int64_t epoch, std::int64_t batch_in_epoch,
+                                    const std::vector<BatchSlice>& slices,
+                                    std::int64_t vn, MicroBatch& mb,
+                                    std::vector<std::int64_t>& idx_scratch) {
+  indices_into(epoch, batch_in_epoch, slices, vn, idx_scratch);
+  dataset_.gather(idx_scratch, mb.features, mb.labels);
 }
 
 MicroBatch EpochBatcher::micro_batch(std::int64_t epoch, std::int64_t batch_in_epoch,
                                      const std::vector<BatchSlice>& slices,
                                      std::int64_t vn) {
-  const auto idx = indices(epoch, batch_in_epoch, slices, vn);
+  // The by-value form still materializes straight into the returned
+  // buffers (reserve happens inside gather; the return is a move).
   MicroBatch mb;
-  dataset_.gather(idx, mb.features, mb.labels);
+  std::vector<std::int64_t> idx;
+  micro_batch_into(epoch, batch_in_epoch, slices, vn, mb, idx);
   return mb;
+}
+
+void gather_micro_batch_into(const Dataset& dataset,
+                             const std::vector<std::int64_t>& indices,
+                             MicroBatch& out) {
+  check(!indices.empty(), "gather_micro_batch needs at least one index");
+  for (const std::int64_t i : indices) check_index(i, dataset.size(), "example");
+  dataset.gather(indices, out.features, out.labels);
 }
 
 MicroBatch gather_micro_batch(const Dataset& dataset,
                               const std::vector<std::int64_t>& indices) {
-  check(!indices.empty(), "gather_micro_batch needs at least one index");
-  for (const std::int64_t i : indices) check_index(i, dataset.size(), "example");
   MicroBatch mb;
-  dataset.gather(indices, mb.features, mb.labels);
+  gather_micro_batch_into(dataset, indices, mb);
   return mb;
 }
 

@@ -37,9 +37,22 @@ class EpochBatcher {
                                     const std::vector<BatchSlice>& slices,
                                     std::int64_t vn);
 
+  /// indices() into a reusable caller-owned vector (hot-path form).
+  void indices_into(std::int64_t epoch, std::int64_t batch_in_epoch,
+                    const std::vector<BatchSlice>& slices, std::int64_t vn,
+                    std::vector<std::int64_t>& out);
+
   /// Materialized micro-batch for VN `vn`.
   MicroBatch micro_batch(std::int64_t epoch, std::int64_t batch_in_epoch,
                          const std::vector<BatchSlice>& slices, std::int64_t vn);
+
+  /// micro_batch() into reusable caller-owned buffers: `mb`'s feature
+  /// matrix and label vector are reshaped in place and `idx_scratch`
+  /// holds the index list — the engine keeps one (mb, scratch) pair per
+  /// VN, making steady-state batch materialization allocation-free.
+  void micro_batch_into(std::int64_t epoch, std::int64_t batch_in_epoch,
+                        const std::vector<BatchSlice>& slices, std::int64_t vn,
+                        MicroBatch& mb, std::vector<std::int64_t>& idx_scratch);
 
   /// Warms the epoch-permutation cache. Call once before pulling this
   /// epoch's micro-batches from multiple threads: afterwards indices()/
@@ -68,5 +81,12 @@ MicroBatch materialize_all(const Dataset& dataset, std::int64_t limit = -1);
 /// from epoch slices, so no permutation or slice layout is involved.
 MicroBatch gather_micro_batch(const Dataset& dataset,
                               const std::vector<std::int64_t>& indices);
+
+/// gather_micro_batch() into a reusable caller-owned MicroBatch (the
+/// serving path keeps per-slot scratch so repeated dispatches reuse
+/// buffers instead of reallocating).
+void gather_micro_batch_into(const Dataset& dataset,
+                             const std::vector<std::int64_t>& indices,
+                             MicroBatch& out);
 
 }  // namespace vf

@@ -1,23 +1,33 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/common.h"
 
 namespace vf {
 
+std::int64_t Dataset::example_into(std::int64_t i, std::span<float> out_features) const {
+  const Example ex = example(i);
+  check(static_cast<std::int64_t>(ex.features.size()) == feature_dim() &&
+            ex.features.size() == out_features.size(),
+        "dataset example feature dim mismatch");
+  std::copy(ex.features.begin(), ex.features.end(), out_features.begin());
+  return ex.label;
+}
+
 void Dataset::gather(const std::vector<std::int64_t>& indices, Tensor& features,
                      std::vector<std::int64_t>& labels) const {
   const auto n = static_cast<std::int64_t>(indices.size());
-  features = Tensor({n, feature_dim()});
-  labels.assign(static_cast<std::size_t>(n), 0);
-  for (std::int64_t r = 0; r < n; ++r) {
-    const Example ex = example(indices[static_cast<std::size_t>(r)]);
-    check(static_cast<std::int64_t>(ex.features.size()) == feature_dim(),
-          "dataset example feature dim mismatch");
-    for (std::int64_t j = 0; j < feature_dim(); ++j)
-      features.at(r, j) = ex.features[static_cast<std::size_t>(j)];
-    labels[static_cast<std::size_t>(r)] = ex.label;
+  const std::int64_t d = feature_dim();
+  // Reshape in place: a warm caller-owned pair makes the gather
+  // allocation-free, and rows are generated straight into the matrix.
+  features.ensure_shape({n, d});
+  labels.resize(static_cast<std::size_t>(n));
+  float* row = features.data().data();
+  for (std::int64_t r = 0; r < n; ++r, row += d) {
+    labels[static_cast<std::size_t>(r)] = example_into(
+        indices[static_cast<std::size_t>(r)], std::span<float>(row, static_cast<std::size_t>(d)));
   }
 }
 
@@ -52,16 +62,24 @@ GaussianMixtureDataset::GaussianMixtureDataset(std::string name, std::uint64_t s
   }
 }
 
-Example GaussianMixtureDataset::example(std::int64_t i) const {
+std::int64_t GaussianMixtureDataset::example_into(std::int64_t i,
+                                                  std::span<float> out) const {
   check_index(i, n_, "dataset example");
+  check(static_cast<std::int64_t>(out.size()) == dim_, "feature buffer size mismatch");
   CounterRng rng(seed_, 0xE1A000ULL + static_cast<std::uint64_t>(i + index_offset_));
-  Example ex;
-  ex.label = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(classes_)));
-  const auto& center = centers_[static_cast<std::size_t>(ex.label)];
-  ex.features.resize(static_cast<std::size_t>(dim_));
+  const auto label =
+      static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(classes_)));
+  const auto& center = centers_[static_cast<std::size_t>(label)];
   for (std::int64_t j = 0; j < dim_; ++j)
-    ex.features[static_cast<std::size_t>(j)] =
+    out[static_cast<std::size_t>(j)] =
         center[static_cast<std::size_t>(j)] + noise_ * rng.normal();
+  return label;
+}
+
+Example GaussianMixtureDataset::example(std::int64_t i) const {
+  Example ex;
+  ex.features.resize(static_cast<std::size_t>(dim_));
+  ex.label = example_into(i, ex.features);
   return ex;
 }
 
@@ -90,38 +108,53 @@ TeacherDataset::TeacherDataset(std::string name, std::uint64_t seed, std::int64_
   for (auto& v : w2_) v = rng.normal(0.0F, s2);
 }
 
-Example TeacherDataset::example(std::int64_t i) const {
+std::int64_t TeacherDataset::example_into(std::int64_t i, std::span<float> out) const {
   check_index(i, n_, "dataset example");
+  check(static_cast<std::int64_t>(out.size()) == dim_, "feature buffer size mismatch");
   CounterRng rng(seed_, 0x7E0000ULL + static_cast<std::uint64_t>(i + index_offset_));
-  Example ex;
-  ex.features.resize(static_cast<std::size_t>(dim_));
-  for (auto& v : ex.features) v = rng.normal();
+  for (float& v : out) v = rng.normal();
 
-  // Teacher forward pass: relu(x @ w1) @ w2, label = argmax.
-  std::vector<float> h(static_cast<std::size_t>(hidden_), 0.0F);
+  // Teacher forward pass: relu(x @ w1) @ w2, label = argmax. The hidden
+  // activations live on the stack for the (catalog-wide) small teachers so
+  // the per-row gather stays allocation-free.
+  constexpr std::int64_t kStackHidden = 64;
+  float h_stack[kStackHidden];
+  std::vector<float> h_heap;
+  float* h = h_stack;
+  if (hidden_ > kStackHidden) {
+    h_heap.resize(static_cast<std::size_t>(hidden_));
+    h = h_heap.data();
+  }
   for (std::int64_t k = 0; k < hidden_; ++k) {
     float acc = 0.0F;
     for (std::int64_t j = 0; j < dim_; ++j)
-      acc += ex.features[static_cast<std::size_t>(j)] *
+      acc += out[static_cast<std::size_t>(j)] *
              w1_[static_cast<std::size_t>(j * hidden_ + k)];
-    h[static_cast<std::size_t>(k)] = acc > 0.0F ? acc : 0.0F;
+    h[k] = acc > 0.0F ? acc : 0.0F;
   }
   std::int64_t best = 0;
   float best_v = -1e30F;
   for (std::int64_t c = 0; c < classes_; ++c) {
     float acc = 0.0F;
     for (std::int64_t k = 0; k < hidden_; ++k)
-      acc += h[static_cast<std::size_t>(k)] * w2_[static_cast<std::size_t>(k * classes_ + c)];
+      acc += h[k] * w2_[static_cast<std::size_t>(k * classes_ + c)];
     if (acc > best_v) {
       best_v = acc;
       best = c;
     }
   }
-  ex.label = best;
+  std::int64_t label = best;
 
   if (label_noise_ > 0.0F && rng.next_double() < label_noise_) {
-    ex.label = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(classes_)));
+    label = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(classes_)));
   }
+  return label;
+}
+
+Example TeacherDataset::example(std::int64_t i) const {
+  Example ex;
+  ex.features.resize(static_cast<std::size_t>(dim_));
+  ex.label = example_into(i, ex.features);
   return ex;
 }
 
@@ -134,16 +167,23 @@ SpiralsDataset::SpiralsDataset(std::string name, std::uint64_t seed, std::int64_
   check(noise >= 0.0F, "noise must be non-negative");
 }
 
-Example SpiralsDataset::example(std::int64_t i) const {
+std::int64_t SpiralsDataset::example_into(std::int64_t i, std::span<float> out) const {
   check_index(i, n_, "dataset example");
+  check(out.size() == 2, "feature buffer size mismatch");
   CounterRng rng(seed_, 0x59124ULL + static_cast<std::uint64_t>(i));
-  Example ex;
-  ex.label = static_cast<std::int64_t>(i % 2);
+  const auto label = static_cast<std::int64_t>(i % 2);
   const float t = 0.25F + 3.5F * static_cast<float>(rng.next_double());  // angle parameter
   const float r = t / 4.0F;
-  const float phase = ex.label == 0 ? 0.0F : 3.14159265F;
-  ex.features = {r * std::cos(t * 3.0F + phase) + noise_ * rng.normal(),
-                 r * std::sin(t * 3.0F + phase) + noise_ * rng.normal()};
+  const float phase = label == 0 ? 0.0F : 3.14159265F;
+  out[0] = r * std::cos(t * 3.0F + phase) + noise_ * rng.normal();
+  out[1] = r * std::sin(t * 3.0F + phase) + noise_ * rng.normal();
+  return label;
+}
+
+Example SpiralsDataset::example(std::int64_t i) const {
+  Example ex;
+  ex.features.resize(2);
+  ex.label = example_into(i, ex.features);
   return ex;
 }
 

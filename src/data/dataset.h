@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,17 @@ class Dataset {
   /// Deterministically generates example `i` (0 <= i < size()).
   virtual Example example(std::int64_t i) const = 0;
 
-  /// Materializes examples [start, start+count) into a feature matrix and
-  /// label vector. `indices` maps batch position -> dataset index.
+  /// Writes example `i`'s features into `out_features` (exactly
+  /// feature_dim() floats) and returns its label. The hot-path form of
+  /// example(): the per-VN gather loop calls it once per row without
+  /// materializing an Example. The default wraps example(); concrete
+  /// datasets override it to generate in place.
+  virtual std::int64_t example_into(std::int64_t i, std::span<float> out_features) const;
+
+  /// Materializes examples into a feature matrix and label vector.
+  /// `indices` maps batch position -> dataset index. Both outputs are
+  /// reshaped in place and reuse their buffers — a warm caller-owned pair
+  /// makes repeated gathers allocation-free.
   void gather(const std::vector<std::int64_t>& indices, Tensor& features,
               std::vector<std::int64_t>& labels) const;
 };
@@ -61,6 +71,7 @@ class GaussianMixtureDataset : public Dataset {
   std::int64_t num_classes() const override { return classes_; }
   std::string name() const override { return name_; }
   Example example(std::int64_t i) const override;
+  std::int64_t example_into(std::int64_t i, std::span<float> out_features) const override;
 
  private:
   std::string name_;
@@ -89,6 +100,7 @@ class TeacherDataset : public Dataset {
   std::int64_t num_classes() const override { return classes_; }
   std::string name() const override { return name_; }
   Example example(std::int64_t i) const override;
+  std::int64_t example_into(std::int64_t i, std::span<float> out_features) const override;
 
  private:
   std::string name_;
@@ -112,6 +124,7 @@ class SpiralsDataset : public Dataset {
   std::int64_t num_classes() const override { return 2; }
   std::string name() const override { return name_; }
   Example example(std::int64_t i) const override;
+  std::int64_t example_into(std::int64_t i, std::span<float> out_features) const override;
 
  private:
   std::string name_;

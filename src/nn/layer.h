@@ -4,6 +4,12 @@
 // keyed by (experiment seed, layer index, step, virtual-node id), never by
 // call order, so that the same logical computation yields bit-identical
 // results regardless of which device executes it.
+//
+// The primitive operations are the `_into` forms: they write the result
+// into a caller-owned tensor, which the engine draws from a per-VN
+// Workspace so a warmed-up training step performs zero tensor heap
+// allocations. The by-value forward()/backward() are thin convenience
+// wrappers used by tests and examples.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 
 #include "nn/state.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace vf {
 
@@ -25,11 +32,14 @@ struct ExecContext {
   std::int32_t vn_id = 0;     ///< virtual node id executing this pass
   bool training = true;       ///< training vs inference mode
   VnState* state = nullptr;   ///< per-VN stateful-kernel storage (may be null)
+  /// Reusable scratch arena, keyed by vn_id (may be null: layers fall back
+  /// to private member scratch, still allocation-free after warm-up).
+  Workspace* ws = nullptr;
 };
 
 /// Base class for all layers. A layer caches whatever it needs during
-/// forward() so that the next backward() can produce input gradients and
-/// accumulate parameter gradients.
+/// forward_into() so that the next backward_into() can produce input
+/// gradients and accumulate parameter gradients.
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -38,11 +48,22 @@ class Layer {
   Layer(const Layer&) = default;
   Layer& operator=(const Layer&) = default;
 
-  virtual Tensor forward(const Tensor& x, const ExecContext& ctx) = 0;
+  /// Computes the layer output into `y` (reshaped via ensure_shape and
+  /// fully overwritten). `y` must not alias `x`.
+  virtual void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) = 0;
 
-  /// Consumes d(loss)/d(output), returns d(loss)/d(input), and adds
-  /// parameter gradients into the tensors returned by grads().
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Consumes d(loss)/d(output), writes d(loss)/d(input) into `grad_in`
+  /// (must not alias `grad_out`), and adds parameter gradients into the
+  /// tensors returned by grads(). Must follow a training-mode
+  /// forward_into() on the same instance: backward reuses that forward's
+  /// caches AND its workspace (stashed at training-forward time — the
+  /// workspace must still be alive; eval-mode forwards in between are
+  /// fine, they neither cache nor re-stash).
+  virtual void backward_into(const Tensor& grad_out, Tensor& grad_in) = 0;
+
+  /// Convenience by-value wrappers over the `_into` primitives.
+  Tensor forward(const Tensor& x, const ExecContext& ctx);
+  Tensor backward(const Tensor& grad_out);
 
   /// Trainable parameters (paired 1:1 with grads()).
   virtual std::vector<Tensor*> params() { return {}; }
@@ -67,6 +88,15 @@ class Layer {
   std::int32_t layer_index() const { return layer_index_; }
 
  protected:
+  /// Workspace tag for this layer's scratch slot `purpose` (0..3). Tag
+  /// ranges are disjoint because layer indices are unique across a model
+  /// tree — with ONE exception: a composite wrapper shares its index with
+  /// the subtree it wraps (ResidualBlock and its inner Sequential), so
+  /// wrappers must not use ws tags of their own. Re-keying them apart is
+  /// not an option: layer_index feeds dropout streams and batch-norm
+  /// state keys, so it is frozen by the bit-compatibility contract.
+  std::int32_t ws_tag(std::int32_t purpose) const { return (layer_index_ + 1) * 4 + purpose; }
+
   std::int32_t layer_index_ = -1;
 };
 

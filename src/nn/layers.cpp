@@ -6,6 +6,18 @@
 
 namespace vf {
 
+Tensor Layer::forward(const Tensor& x, const ExecContext& ctx) {
+  Tensor y;
+  forward_into(x, y, ctx);
+  return y;
+}
+
+Tensor Layer::backward(const Tensor& grad_out) {
+  Tensor gx;
+  backward_into(grad_out, gx);
+  return gx;
+}
+
 void Layer::zero_grad() {
   for (Tensor* g : grads()) g->fill(0.0F);
 }
@@ -27,59 +39,84 @@ Dense::Dense(std::int64_t in_dim, std::int64_t out_dim, CounterRng& rng)
   check(in_dim > 0 && out_dim > 0, "Dense dimensions must be positive");
 }
 
-Tensor Dense::forward(const Tensor& x, const ExecContext& ctx) {
+void Dense::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
   check(x.rank() == 2 && x.cols() == w_.rows(), "Dense: input shape mismatch");
-  if (ctx.training) cached_input_ = x;
-  Tensor y = x.matmul(w_);
-  for (std::int64_t i = 0; i < y.rows(); ++i)
-    for (std::int64_t j = 0; j < y.cols(); ++j) y.at(i, j) += b_.at(j);
-  return y;
+  // The backward stash tracks the *training* forward it serves (eval
+  // forwards between a training forward and its backward — the engine's
+  // eval stripes borrow training replicas — must not redirect backward's
+  // scratch into another arena).
+  if (ctx.training) {
+    cached_input_ = x;
+    bw_ws_ = ctx.ws;
+    bw_vn_ = ctx.vn_id;
+  }
+  x.matmul_into(w_, y);
+  const std::int64_t n = y.rows(), d = y.cols();
+  const float* b = b_.data().data();
+  float* yp = y.data().data();
+  for (std::int64_t i = 0; i < n; ++i, yp += d)
+    for (std::int64_t j = 0; j < d; ++j) yp[j] += b[j];
 }
 
-Tensor Dense::backward(const Tensor& grad_out) {
+void Dense::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   check(!cached_input_.empty(), "Dense::backward before forward");
-  dw_.add_(cached_input_.matmul_transpose_lhs(grad_out));
-  db_.add_(grad_out.column_sums());
-  return grad_out.matmul_transpose_rhs(w_);
+  // Parameter gradients are formed in a zero-based temporary and then
+  // added, so accumulation across multiple backwards (gradient
+  // accumulation, pipelining) keeps the historical addition order.
+  Tensor& dw_tmp = bw_ws_ != nullptr ? bw_ws_->acquire(bw_vn_, ws_tag(0)) : dw_tmp_;
+  Tensor& db_tmp = bw_ws_ != nullptr ? bw_ws_->acquire(bw_vn_, ws_tag(1)) : db_tmp_;
+  cached_input_.matmul_transpose_lhs_into(grad_out, dw_tmp);
+  dw_.add_(dw_tmp);
+  grad_out.column_sums_into(db_tmp);
+  db_.add_(db_tmp);
+  grad_out.matmul_transpose_rhs_into(w_, grad_in);
 }
 
 // ----------------------------------------------------------------- Relu
 
-Tensor Relu::forward(const Tensor& x, const ExecContext& ctx) {
+void Relu::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
+  check(&y != &x, "Relu: y must not alias x");
   if (ctx.training) cached_input_ = x;
-  Tensor y = x;
-  for (float& v : y.data())
-    if (v < 0.0F) v = 0.0F;
-  return y;
+  y.ensure_shape(x.shape());
+  const float* in = x.data().data();
+  float* out = y.data().data();
+  const std::size_t n = x.data().size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] < 0.0F ? 0.0F : in[i];
 }
 
-Tensor Relu::backward(const Tensor& grad_out) {
+void Relu::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   check(!cached_input_.empty(), "Relu::backward before forward");
   check_same_shape(grad_out, cached_input_, "Relu::backward");
-  Tensor gx = grad_out;
-  auto in = cached_input_.data();
-  auto g = gx.data();
-  for (std::size_t i = 0; i < g.size(); ++i)
-    if (in[i] <= 0.0F) g[i] = 0.0F;
-  return gx;
+  check(&grad_in != &grad_out, "Relu: grad_in must not alias grad_out");
+  grad_in.ensure_shape(grad_out.shape());
+  const float* in = cached_input_.data().data();
+  const float* g = grad_out.data().data();
+  float* gx = grad_in.data().data();
+  const std::size_t n = grad_out.data().size();
+  for (std::size_t i = 0; i < n; ++i) gx[i] = in[i] <= 0.0F ? 0.0F : g[i];
 }
 
 // ----------------------------------------------------------------- Tanh
 
-Tensor Tanh::forward(const Tensor& x, const ExecContext& ctx) {
-  Tensor y = x;
-  for (float& v : y.data()) v = std::tanh(v);
+void Tanh::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
+  check(&y != &x, "Tanh: y must not alias x");
+  y.ensure_shape(x.shape());
+  const float* in = x.data().data();
+  float* out = y.data().data();
+  const std::size_t n = x.data().size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::tanh(in[i]);
   if (ctx.training) cached_output_ = y;
-  return y;
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
+void Tanh::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   check(!cached_output_.empty(), "Tanh::backward before forward");
-  Tensor gx = grad_out;
-  auto out = cached_output_.data();
-  auto g = gx.data();
-  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0F - out[i] * out[i];
-  return gx;
+  check(&grad_in != &grad_out, "Tanh: grad_in must not alias grad_out");
+  grad_in.ensure_shape(grad_out.shape());
+  const float* out = cached_output_.data().data();
+  const float* g = grad_out.data().data();
+  float* gx = grad_in.data().data();
+  const std::size_t n = grad_out.data().size();
+  for (std::size_t i = 0; i < n; ++i) gx[i] = g[i] * (1.0F - out[i] * out[i]);
 }
 
 // -------------------------------------------------------------- Dropout
@@ -88,25 +125,33 @@ Dropout::Dropout(float rate) : rate_(rate) {
   check(rate >= 0.0F && rate < 1.0F, "dropout rate must be in [0, 1)");
 }
 
-Tensor Dropout::forward(const Tensor& x, const ExecContext& ctx) {
-  if (!ctx.training || rate_ == 0.0F) return x;
+void Dropout::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
+  check(&y != &x, "Dropout: y must not alias x");
+  if (!ctx.training || rate_ == 0.0F) {
+    y = x;
+    return;
+  }
   // Mask stream keyed purely by logical identifiers -> mapping-invariant.
   const std::uint64_t stream =
       derive_seed(static_cast<std::uint64_t>(layer_index_) + 1,
                   (static_cast<std::uint64_t>(ctx.step) << 20) ^
                       static_cast<std::uint64_t>(ctx.vn_id));
   CounterRng rng(ctx.seed, stream);
-  cached_mask_ = Tensor(x.shape());
+  cached_mask_.ensure_shape(x.shape());
   const float keep = 1.0F - rate_;
-  auto m = cached_mask_.data();
-  for (std::size_t i = 0; i < m.size(); ++i)
+  float* m = cached_mask_.data().data();
+  const std::size_t n = cached_mask_.data().size();
+  for (std::size_t i = 0; i < n; ++i)
     m[i] = rng.next_double() < keep ? 1.0F / keep : 0.0F;
-  return x.mul(cached_mask_);
+  x.mul_into(cached_mask_, y);
 }
 
-Tensor Dropout::backward(const Tensor& grad_out) {
-  if (cached_mask_.empty()) return grad_out;  // eval mode or rate 0
-  return grad_out.mul(cached_mask_);
+void Dropout::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  if (cached_mask_.empty()) {  // eval mode or rate 0
+    grad_in = grad_out;
+    return;
+  }
+  grad_out.mul_into(cached_mask_, grad_in);
 }
 
 // ---------------------------------------------------------- BatchNorm1d
@@ -121,109 +166,144 @@ BatchNorm1d::BatchNorm1d(std::int64_t dim, float momentum, float eps)
   check(dim > 0, "BatchNorm1d dim must be positive");
   check(momentum > 0.0F && momentum < 1.0F, "BatchNorm1d momentum must be in (0, 1)");
   gamma_.fill(1.0F);
+  set_layer_index(layer_index_);  // derive keys for the default index too
 }
 
-std::string BatchNorm1d::mean_key() const {
-  return "bn" + std::to_string(layer_index_) + "/moving_mean";
-}
-std::string BatchNorm1d::var_key() const {
-  return "bn" + std::to_string(layer_index_) + "/moving_var";
+void BatchNorm1d::set_layer_index(std::int32_t idx) {
+  layer_index_ = idx;
+  const std::string base = "bn" + std::to_string(layer_index_);
+  mean_key_ = base + "/moving_mean";
+  var_key_ = base + "/moving_var";
+  var_init_key_ = var_key_ + "/init";
 }
 
-Tensor BatchNorm1d::forward(const Tensor& x, const ExecContext& ctx) {
+void BatchNorm1d::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
+  check(&y != &x, "BatchNorm1d: y must not alias x");
   const std::int64_t n = x.rows(), d = x.cols();
   check(d == dim(), "BatchNorm1d: feature dim mismatch");
 
-  std::vector<float> mean(static_cast<std::size_t>(d), 0.0F);
-  std::vector<float> var(static_cast<std::size_t>(d), 0.0F);
+  mean_scratch_.assign(static_cast<std::size_t>(d), 0.0F);
+  var_scratch_.assign(static_cast<std::size_t>(d), 0.0F);
+  float* mean = mean_scratch_.data();
+  float* var = var_scratch_.data();
+  const float* xp = x.data().data();
 
   if (ctx.training) {
     check(n > 0, "BatchNorm1d training forward needs a non-empty batch");
-    for (std::int64_t j = 0; j < d; ++j) {
-      float m = 0.0F;
-      for (std::int64_t i = 0; i < n; ++i) m += x.at(i, j);
-      m /= static_cast<float>(n);
-      float v = 0.0F;
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float c = x.at(i, j) - m;
-        v += c * c;
+    // Row-major two-pass moments; each column still accumulates over rows
+    // in ascending order, so the sums match the per-column loops bit for
+    // bit.
+    const float* p = xp;
+    for (std::int64_t i = 0; i < n; ++i, p += d)
+      for (std::int64_t j = 0; j < d; ++j) mean[j] += p[j];
+    for (std::int64_t j = 0; j < d; ++j) mean[j] /= static_cast<float>(n);
+    p = xp;
+    for (std::int64_t i = 0; i < n; ++i, p += d) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        const float c = p[j] - mean[j];
+        var[j] += c * c;
       }
-      v /= static_cast<float>(n);
-      mean[static_cast<std::size_t>(j)] = m;
-      var[static_cast<std::size_t>(j)] = v;
     }
+    for (std::int64_t j = 0; j < d; ++j) var[j] /= static_cast<float>(n);
     if (ctx.state != nullptr) {
       // Moving stats live in the *virtual node's* state, initialized to
       // mean 0 / var 1 on first touch.
-      Tensor& mm = ctx.state->slot(mean_key(), {d});
-      Tensor& mv = ctx.state->slot(var_key(), {d});
-      if (!ctx.state->has(var_key() + "/init")) {
+      Tensor& mm = ctx.state->slot(mean_key_, {d});
+      Tensor& mv = ctx.state->slot(var_key_, {d});
+      if (!ctx.state->has(var_init_key_)) {
         mv.fill(1.0F);
-        ctx.state->slot(var_key() + "/init", {1}).fill(1.0F);
+        ctx.state->slot(var_init_key_, {1}).fill(1.0F);
       }
+      float* mmp = mm.data().data();
+      float* mvp = mv.data().data();
       for (std::int64_t j = 0; j < d; ++j) {
-        mm.at(j) = momentum_ * mm.at(j) + (1.0F - momentum_) * mean[static_cast<std::size_t>(j)];
-        mv.at(j) = momentum_ * mv.at(j) + (1.0F - momentum_) * var[static_cast<std::size_t>(j)];
+        mmp[j] = momentum_ * mmp[j] + (1.0F - momentum_) * mean[j];
+        mvp[j] = momentum_ * mvp[j] + (1.0F - momentum_) * var[j];
       }
     }
   } else {
     // Inference: use the VN's moving statistics (mean 0 / var 1 if absent,
     // which models the "reset state" failure mode of unmigrated workers).
     for (std::int64_t j = 0; j < d; ++j) {
-      mean[static_cast<std::size_t>(j)] = 0.0F;
-      var[static_cast<std::size_t>(j)] = 1.0F;
+      mean[j] = 0.0F;
+      var[j] = 1.0F;
     }
-    if (ctx.state != nullptr && ctx.state->has(mean_key())) {
-      const Tensor& mm = ctx.state->get(mean_key());
-      const Tensor& mv = ctx.state->get(var_key());
+    if (ctx.state != nullptr && ctx.state->has(mean_key_)) {
+      const Tensor& mm = ctx.state->get(mean_key_);
+      const Tensor& mv = ctx.state->get(var_key_);
+      const float* mmp = mm.data().data();
+      const float* mvp = mv.data().data();
       for (std::int64_t j = 0; j < d; ++j) {
-        mean[static_cast<std::size_t>(j)] = mm.at(j);
-        var[static_cast<std::size_t>(j)] = mv.at(j);
+        mean[j] = mmp[j];
+        var[j] = mvp[j];
       }
     }
   }
 
-  Tensor y({n, d});
+  y.ensure_shape({n, d});
   cached_inv_std_.assign(static_cast<std::size_t>(d), 0.0F);
   for (std::int64_t j = 0; j < d; ++j)
-    cached_inv_std_[static_cast<std::size_t>(j)] =
-        1.0F / std::sqrt(var[static_cast<std::size_t>(j)] + eps_);
-  if (ctx.training) cached_xhat_ = Tensor({n, d});
-  for (std::int64_t i = 0; i < n; ++i) {
+    cached_inv_std_[static_cast<std::size_t>(j)] = 1.0F / std::sqrt(var[j] + eps_);
+  const float* inv_std = cached_inv_std_.data();
+  if (ctx.training) cached_xhat_.ensure_shape({n, d});
+  const float* gp = gamma_.data().data();
+  const float* bp = beta_.data().data();
+  float* yp = y.data().data();
+  float* xh = ctx.training ? cached_xhat_.data().data() : nullptr;
+  const float* p = xp;
+  for (std::int64_t i = 0; i < n; ++i, p += d, yp += d) {
     for (std::int64_t j = 0; j < d; ++j) {
-      const float xhat = (x.at(i, j) - mean[static_cast<std::size_t>(j)]) *
-                         cached_inv_std_[static_cast<std::size_t>(j)];
-      if (ctx.training) cached_xhat_.at(i, j) = xhat;
-      y.at(i, j) = gamma_.at(j) * xhat + beta_.at(j);
+      const float xhat = (p[j] - mean[j]) * inv_std[j];
+      if (xh != nullptr) xh[i * d + j] = xhat;
+      yp[j] = gp[j] * xhat + bp[j];
     }
   }
-  return y;
 }
 
-Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+void BatchNorm1d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   check(!cached_xhat_.empty(), "BatchNorm1d::backward before training forward");
   const std::int64_t n = grad_out.rows(), d = grad_out.cols();
   check_same_shape(grad_out, cached_xhat_, "BatchNorm1d::backward");
+  check(&grad_in != &grad_out, "BatchNorm1d: grad_in must not alias grad_out");
 
-  Tensor gx({n, d});
-  for (std::int64_t j = 0; j < d; ++j) {
-    float sum_g = 0.0F, sum_gx = 0.0F;
-    for (std::int64_t i = 0; i < n; ++i) {
-      sum_g += grad_out.at(i, j);
-      sum_gx += grad_out.at(i, j) * cached_xhat_.at(i, j);
-    }
-    dbeta_.at(j) += sum_g;
-    dgamma_.at(j) += sum_gx;
-    const float inv_std = cached_inv_std_[static_cast<std::size_t>(j)];
-    const float g = gamma_.at(j);
-    const float inv_n = 1.0F / static_cast<float>(n);
-    for (std::int64_t i = 0; i < n; ++i) {
-      gx.at(i, j) = g * inv_std *
-                    (grad_out.at(i, j) - inv_n * sum_g -
-                     cached_xhat_.at(i, j) * inv_n * sum_gx);
+  grad_in.ensure_shape({n, d});
+  // Per-column sums, accumulated row-major (ascending row order per
+  // column, as the per-column loops did). mean/var scratch is dead after
+  // forward, so reuse it for the two sum vectors.
+  mean_scratch_.assign(static_cast<std::size_t>(d), 0.0F);
+  var_scratch_.assign(static_cast<std::size_t>(d), 0.0F);
+  float* sum_g = mean_scratch_.data();
+  float* sum_gx = var_scratch_.data();
+  const float* g = grad_out.data().data();
+  const float* xh = cached_xhat_.data().data();
+  {
+    const float* gr = g;
+    const float* xr = xh;
+    for (std::int64_t i = 0; i < n; ++i, gr += d, xr += d) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        sum_g[j] += gr[j];
+        sum_gx[j] += gr[j] * xr[j];
+      }
     }
   }
-  return gx;
+  float* dbp = dbeta_.data().data();
+  float* dgp = dgamma_.data().data();
+  for (std::int64_t j = 0; j < d; ++j) {
+    dbp[j] += sum_g[j];
+    dgp[j] += sum_gx[j];
+  }
+  const float* inv_std = cached_inv_std_.data();
+  const float* gp = gamma_.data().data();
+  const float inv_n = 1.0F / static_cast<float>(n);
+  float* gx = grad_in.data().data();
+  const float* gr = g;
+  const float* xr = xh;
+  for (std::int64_t i = 0; i < n; ++i, gr += d, xr += d, gx += d) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      gx[j] = gp[j] * inv_std[j] *
+              (gr[j] - inv_n * sum_g[j] - xr[j] * inv_n * sum_gx[j]);
+    }
+  }
 }
 
 // ------------------------------------------------------------ LayerNorm
@@ -238,59 +318,69 @@ LayerNorm::LayerNorm(std::int64_t dim, float eps)
   gamma_.fill(1.0F);
 }
 
-Tensor LayerNorm::forward(const Tensor& x, const ExecContext& ctx) {
+void LayerNorm::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
+  check(&y != &x, "LayerNorm: y must not alias x");
   const std::int64_t n = x.rows(), d = x.cols();
   check(d == dim(), "LayerNorm: feature dim mismatch");
-  Tensor y({n, d});
+  y.ensure_shape({n, d});
   if (ctx.training) {
-    cached_xhat_ = Tensor({n, d});
+    cached_xhat_.ensure_shape({n, d});
     cached_inv_std_.assign(static_cast<std::size_t>(n), 0.0F);
   }
-  for (std::int64_t i = 0; i < n; ++i) {
+  const float* gp = gamma_.data().data();
+  const float* bp = beta_.data().data();
+  const float* p = x.data().data();
+  float* yp = y.data().data();
+  float* xh = ctx.training ? cached_xhat_.data().data() : nullptr;
+  for (std::int64_t i = 0; i < n; ++i, p += d, yp += d) {
     float mean = 0.0F;
-    for (std::int64_t j = 0; j < d; ++j) mean += x.at(i, j);
+    for (std::int64_t j = 0; j < d; ++j) mean += p[j];
     mean /= static_cast<float>(d);
     float var = 0.0F;
     for (std::int64_t j = 0; j < d; ++j) {
-      const float c = x.at(i, j) - mean;
+      const float c = p[j] - mean;
       var += c * c;
     }
     var /= static_cast<float>(d);
     const float inv_std = 1.0F / std::sqrt(var + eps_);
     if (ctx.training) cached_inv_std_[static_cast<std::size_t>(i)] = inv_std;
     for (std::int64_t j = 0; j < d; ++j) {
-      const float xhat = (x.at(i, j) - mean) * inv_std;
-      if (ctx.training) cached_xhat_.at(i, j) = xhat;
-      y.at(i, j) = gamma_.at(j) * xhat + beta_.at(j);
+      const float xhat = (p[j] - mean) * inv_std;
+      if (xh != nullptr) xh[i * d + j] = xhat;
+      yp[j] = gp[j] * xhat + bp[j];
     }
   }
-  return y;
 }
 
-Tensor LayerNorm::backward(const Tensor& grad_out) {
+void LayerNorm::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   check(!cached_xhat_.empty(), "LayerNorm::backward before training forward");
   const std::int64_t n = grad_out.rows(), d = grad_out.cols();
   check_same_shape(grad_out, cached_xhat_, "LayerNorm::backward");
+  check(&grad_in != &grad_out, "LayerNorm: grad_in must not alias grad_out");
 
-  Tensor gx({n, d});
+  grad_in.ensure_shape({n, d});
   const float inv_d = 1.0F / static_cast<float>(d);
-  for (std::int64_t i = 0; i < n; ++i) {
+  const float* gp = gamma_.data().data();
+  float* dgp = dgamma_.data().data();
+  float* dbp = dbeta_.data().data();
+  const float* gr = grad_out.data().data();
+  const float* xr = cached_xhat_.data().data();
+  float* gx = grad_in.data().data();
+  for (std::int64_t i = 0; i < n; ++i, gr += d, xr += d, gx += d) {
     float sum_g = 0.0F, sum_gx = 0.0F;
     for (std::int64_t j = 0; j < d; ++j) {
-      const float gy = grad_out.at(i, j) * gamma_.at(j);
+      const float gy = gr[j] * gp[j];
       sum_g += gy;
-      sum_gx += gy * cached_xhat_.at(i, j);
+      sum_gx += gy * xr[j];
     }
     const float inv_std = cached_inv_std_[static_cast<std::size_t>(i)];
     for (std::int64_t j = 0; j < d; ++j) {
-      const float gy = grad_out.at(i, j) * gamma_.at(j);
-      gx.at(i, j) = inv_std * (gy - inv_d * sum_g -
-                               cached_xhat_.at(i, j) * inv_d * sum_gx);
-      dgamma_.at(j) += grad_out.at(i, j) * cached_xhat_.at(i, j);
-      dbeta_.at(j) += grad_out.at(i, j);
+      const float gy = gr[j] * gp[j];
+      gx[j] = inv_std * (gy - inv_d * sum_g - xr[j] * inv_d * sum_gx);
+      dgp[j] += gr[j] * xr[j];
+      dbp[j] += gr[j];
     }
   }
-  return gx;
 }
 
 }  // namespace vf

@@ -1,4 +1,4 @@
-// Concrete layers: Dense, ReLU, Tanh, Dropout, BatchNorm1d.
+// Concrete layers: Dense, ReLU, Tanh, Dropout, BatchNorm1d, LayerNorm.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +16,8 @@ class Dense : public Layer {
   /// Weights use scaled-Gaussian (He-style) init keyed by `rng`.
   Dense(std::int64_t in_dim, std::int64_t out_dim, CounterRng& rng);
 
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<const Tensor*> params() const override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
@@ -30,13 +30,18 @@ class Dense : public Layer {
  private:
   Tensor w_, b_, dw_, db_;
   Tensor cached_input_;
+  // Workspace stash from the last forward (gradient temporaries live
+  // there); the member tensors are the ws-less fallback.
+  Workspace* bw_ws_ = nullptr;
+  std::int32_t bw_vn_ = 0;
+  Tensor dw_tmp_, db_tmp_;
 };
 
 /// Rectified linear unit.
 class Relu : public Layer {
  public:
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(*this); }
   std::string name() const override { return "relu"; }
 
@@ -47,8 +52,8 @@ class Relu : public Layer {
 /// Hyperbolic tangent activation.
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(*this); }
   std::string name() const override { return "tanh"; }
 
@@ -63,8 +68,8 @@ class Dropout : public Layer {
  public:
   explicit Dropout(float rate);
 
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Dropout>(*this); }
   std::string name() const override { return "dropout"; }
 
@@ -86,26 +91,30 @@ class BatchNorm1d : public Layer {
  public:
   explicit BatchNorm1d(std::int64_t dim, float momentum = 0.9F, float eps = 1e-5F);
 
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
   std::vector<const Tensor*> params() const override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
   std::unique_ptr<Layer> clone() const override { return std::make_unique<BatchNorm1d>(*this); }
   std::string name() const override { return "batch_norm"; }
+  void set_layer_index(std::int32_t idx) override;
 
   /// VnState keys used by this layer instance.
-  std::string mean_key() const;
-  std::string var_key() const;
+  const std::string& mean_key() const { return mean_key_; }
+  const std::string& var_key() const { return var_key_; }
 
   std::int64_t dim() const { return gamma_.size(); }
 
  private:
   float momentum_, eps_;
   Tensor gamma_, beta_, dgamma_, dbeta_;
-  // Backward-pass caches.
+  // VnState keys, derived from the layer index once (hot-path strings).
+  std::string mean_key_, var_key_, var_init_key_;
+  // Backward-pass caches and per-forward scratch (reused across steps).
   Tensor cached_xhat_;
   std::vector<float> cached_inv_std_;
+  std::vector<float> mean_scratch_, var_scratch_;
 };
 
 /// Layer normalization over the feature dimension (per example).
@@ -118,8 +127,8 @@ class LayerNorm : public Layer {
  public:
   explicit LayerNorm(std::int64_t dim, float eps = 1e-5F);
 
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
   std::vector<const Tensor*> params() const override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }

@@ -25,6 +25,13 @@ struct LossResult {
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  const std::vector<std::int64_t>& labels);
 
+/// Allocation-free form: scalars are reset and `out.grad_logits` is
+/// reshaped in place (reusing its buffer), so a per-VN LossResult slot can
+/// be recycled step after step. Identical arithmetic to the by-value form.
+void softmax_cross_entropy_into(const Tensor& logits,
+                                const std::vector<std::int64_t>& labels,
+                                LossResult& out);
+
 /// Forward-only evaluation convenience: accuracy of logits vs labels.
 double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
 

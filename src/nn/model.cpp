@@ -36,16 +36,54 @@ void Sequential::set_layer_index(std::int32_t idx) {
   }
 }
 
-Tensor Sequential::forward(const Tensor& x, const ExecContext& ctx) {
-  Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h, ctx);
-  return h;
+Tensor& Sequential::pass_buf(Workspace* ws, std::int32_t vn, std::int32_t which) {
+  if (ws != nullptr) return ws->acquire(vn, ws_tag(which));
+  return scratch_[static_cast<std::size_t>(which)];
 }
 
-Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-  return g;
+void Sequential::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
+  check(&y != &x, "Sequential: y must not alias x");
+  // Stash the backward arena only for training forwards, so backward
+  // always draws scratch from the arena of the forward whose caches it
+  // consumes (eval forwards may interleave with a different workspace).
+  if (ctx.training) {
+    bw_ws_ = ctx.ws;
+    bw_vn_ = ctx.vn_id;
+  }
+  const std::size_t n = layers_.size();
+  if (n == 0) {
+    y = x;
+    return;
+  }
+  // Intermediates alternate between two reusable buffers; each layer reads
+  // one and writes the other (layers never alias input and output), and
+  // the last layer writes straight into the caller's tensor.
+  const Tensor* cur = &x;
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor& dst = (i + 1 == n)
+                      ? y
+                      : pass_buf(ctx.ws, ctx.vn_id, static_cast<std::int32_t>(i & 1));
+    layers_[i]->forward_into(*cur, dst, ctx);
+    cur = &dst;
+  }
+}
+
+void Sequential::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  check(&grad_in != &grad_out, "Sequential: grad_in must not alias grad_out");
+  const std::size_t n = layers_.size();
+  if (n == 0) {
+    grad_in = grad_out;
+    return;
+  }
+  const Tensor* cur = &grad_out;
+  for (std::size_t done = 0; done < n; ++done) {
+    const std::size_t idx = n - 1 - done;
+    Tensor& dst = (idx == 0)
+                      ? grad_in
+                      : pass_buf(bw_ws_, bw_vn_, static_cast<std::int32_t>(2 + (done & 1)));
+    layers_[idx]->backward_into(*cur, dst);
+    cur = &dst;
+  }
 }
 
 std::vector<Tensor*> Sequential::params() {
@@ -101,16 +139,22 @@ void Sequential::unflatten_params(const Tensor& flat) {
 }
 
 Tensor Sequential::flatten_grads() const {
+  Tensor flat;
+  flatten_grads_into(flat);
+  return flat;
+}
+
+void Sequential::flatten_grads_into(Tensor& flat) const {
   auto* self = const_cast<Sequential*>(this);
+  const auto grads = self->grads();
   std::int64_t total = 0;
-  for (Tensor* g : self->grads()) total += g->size();
-  Tensor flat({total});
+  for (Tensor* g : grads) total += g->size();
+  flat.ensure_shape({total});
   std::int64_t off = 0;
-  for (Tensor* g : self->grads()) {
+  for (Tensor* g : grads) {
     std::copy(g->data().begin(), g->data().end(), flat.data().begin() + off);
     off += g->size();
   }
-  return flat;
 }
 
 void Sequential::load_grads(const Tensor& flat) {
@@ -141,15 +185,15 @@ void ResidualBlock::set_layer_index(std::int32_t idx) {
   inner_.set_layer_index(idx);
 }
 
-Tensor ResidualBlock::forward(const Tensor& x, const ExecContext& ctx) {
-  Tensor y = inner_.forward(x, ctx);
+void ResidualBlock::forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) {
+  inner_.forward_into(x, y, ctx);
   check_same_shape(x, y, "ResidualBlock (inner must preserve shape)");
-  return y.add_(x);
+  y.add_(x);
 }
 
-Tensor ResidualBlock::backward(const Tensor& grad_out) {
-  Tensor g = inner_.backward(grad_out);
-  return g.add_(grad_out);
+void ResidualBlock::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  inner_.backward_into(grad_out, grad_in);
+  grad_in.add_(grad_out);
 }
 
 std::unique_ptr<Layer> ResidualBlock::clone() const {

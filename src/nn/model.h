@@ -26,8 +26,11 @@ class Sequential : public Layer {
   /// Appends a layer; assigns its stable layer index.
   Sequential& add(std::unique_ptr<Layer> layer);
 
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  /// Runs the stack through reusable ping-pong buffers (drawn from
+  /// ctx.ws when present, private member scratch otherwise); only the
+  /// final layer writes `y`. Zero tensor allocations once warm.
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Tensor*> params() override;
   std::vector<const Tensor*> params() const override;
   std::vector<Tensor*> grads() override;
@@ -46,16 +49,29 @@ class Sequential : public Layer {
   Tensor flatten_params() const;
   /// Loads parameters back from a flat vector produced by flatten_params().
   void unflatten_params(const Tensor& flat);
-  /// Same for accumulated gradients.
+  /// Same for accumulated gradients. The `_into` form reuses `flat`'s
+  /// buffer (the engine's per-VN gradient-sum slots).
   Tensor flatten_grads() const;
+  void flatten_grads_into(Tensor& flat) const;
   void load_grads(const Tensor& flat);
 
   /// Structural description, e.g. "dense(64x128)-relu-bn-dense(128x16)".
   std::string describe() const;
 
  private:
+  /// Ping-pong buffer `which` (0/1 forward, 2/3 backward) for the pass
+  /// intermediates: a per-VN workspace slot when `ws` is set, else the
+  /// member fallback.
+  Tensor& pass_buf(Workspace* ws, std::int32_t vn, std::int32_t which);
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::int32_t next_index_ = 0;
+  // Workspace stash from the last forward (backward_into has no ctx).
+  Workspace* bw_ws_ = nullptr;
+  std::int32_t bw_vn_ = 0;
+  // Fallback scratch for ws-less callers (tests, examples). Not copied by
+  // the copy operations — scratch contents are never meaningful.
+  Tensor scratch_[4];
 };
 
 /// Residual wrapper: y = x + inner(x). Input and output dims must agree.
@@ -63,8 +79,8 @@ class ResidualBlock : public Layer {
  public:
   explicit ResidualBlock(Sequential inner);
 
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, const ExecContext& ctx) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Tensor*> params() override { return inner_.params(); }
   std::vector<const Tensor*> params() const override { return inner_.params(); }
   std::vector<Tensor*> grads() override { return inner_.grads(); }

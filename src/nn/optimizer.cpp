@@ -38,11 +38,12 @@ void Sgd::apply(Sequential& model, float lr) {
 
   if (momentum_ == 0.0F) {
     for (std::size_t i = 0; i < params.size(); ++i) {
-      Tensor& p = *params[i];
-      const Tensor& g = *grads[i];
-      for (std::int64_t k = 0; k < p.size(); ++k) {
-        const float gk = g.at(k) + weight_decay_ * p.at(k);
-        p.at(k) -= lr * gk;
+      float* p = params[i]->data().data();
+      const float* g = grads[i]->data().data();
+      const std::int64_t n = params[i]->size();
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float gk = g[k] + weight_decay_ * p[k];
+        p[k] -= lr * gk;
       }
     }
     return;
@@ -50,13 +51,14 @@ void Sgd::apply(Sequential& model, float lr) {
 
   ensure_slots(model, 1);
   for (std::size_t i = 0; i < params.size(); ++i) {
-    Tensor& p = *params[i];
-    const Tensor& g = *grads[i];
-    Tensor& v = slots_[i];
-    for (std::int64_t k = 0; k < p.size(); ++k) {
-      const float gk = g.at(k) + weight_decay_ * p.at(k);
-      v.at(k) = momentum_ * v.at(k) + gk;
-      p.at(k) -= lr * v.at(k);
+    float* p = params[i]->data().data();
+    const float* g = grads[i]->data().data();
+    float* v = slots_[i].data().data();
+    const std::int64_t n = params[i]->size();
+    for (std::int64_t k = 0; k < n; ++k) {
+      const float gk = g[k] + weight_decay_ * p[k];
+      v[k] = momentum_ * v[k] + gk;
+      p[k] -= lr * v[k];
     }
   }
 }
@@ -81,23 +83,25 @@ void Lamb::apply(Sequential& model, float lr) {
   const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
 
   for (std::size_t i = 0; i < params.size(); ++i) {
-    Tensor& p = *params[i];
-    const Tensor& g = *grads[i];
-    Tensor& m = slots_[i];
-    Tensor& v = slots_[params.size() + i];
+    float* p = params[i]->data().data();
+    const float* g = grads[i]->data().data();
+    float* m = slots_[i].data().data();
+    float* v = slots_[params.size() + i].data().data();
+    const std::int64_t n = params[i]->size();
 
     // Adam moments, then the LAMB per-tensor trust ratio: scale the update
     // so its norm is proportional to the parameter norm.
     double w_norm2 = 0.0, u_norm2 = 0.0;
-    std::vector<float> update(static_cast<std::size_t>(p.size()));
-    for (std::int64_t k = 0; k < p.size(); ++k) {
-      m.at(k) = beta1_ * m.at(k) + (1.0F - beta1_) * g.at(k);
-      v.at(k) = beta2_ * v.at(k) + (1.0F - beta2_) * g.at(k) * g.at(k);
-      const float mhat = m.at(k) / bc1;
-      const float vhat = v.at(k) / bc2;
-      const float u = mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * p.at(k);
-      update[static_cast<std::size_t>(k)] = u;
-      w_norm2 += static_cast<double>(p.at(k)) * p.at(k);
+    update_.resize(static_cast<std::size_t>(n));
+    float* update = update_.data();
+    for (std::int64_t k = 0; k < n; ++k) {
+      m[k] = beta1_ * m[k] + (1.0F - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0F - beta2_) * g[k] * g[k];
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      const float u = mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * p[k];
+      update[k] = u;
+      w_norm2 += static_cast<double>(p[k]) * p[k];
       u_norm2 += static_cast<double>(u) * u;
     }
     const double w_norm = std::sqrt(w_norm2);
@@ -106,8 +110,7 @@ void Lamb::apply(Sequential& model, float lr) {
     const float trust = (w_norm > 0.0 && u_norm > 0.0)
                             ? static_cast<float>(w_norm / u_norm)
                             : 1.0F;
-    for (std::int64_t k = 0; k < p.size(); ++k)
-      p.at(k) -= lr * trust * update[static_cast<std::size_t>(k)];
+    for (std::int64_t k = 0; k < n; ++k) p[k] -= lr * trust * update[k];
   }
 }
 
@@ -130,17 +133,18 @@ void Adam::apply(Sequential& model, float lr) {
   const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
 
   for (std::size_t i = 0; i < params.size(); ++i) {
-    Tensor& p = *params[i];
-    const Tensor& g = *grads[i];
-    Tensor& m = slots_[i];
-    Tensor& v = slots_[params.size() + i];
-    for (std::int64_t k = 0; k < p.size(); ++k) {
-      const float gk = g.at(k) + weight_decay_ * p.at(k);
-      m.at(k) = beta1_ * m.at(k) + (1.0F - beta1_) * gk;
-      v.at(k) = beta2_ * v.at(k) + (1.0F - beta2_) * gk * gk;
-      const float mhat = m.at(k) / bc1;
-      const float vhat = v.at(k) / bc2;
-      p.at(k) -= lr * mhat / (std::sqrt(vhat) + eps_);
+    float* p = params[i]->data().data();
+    const float* g = grads[i]->data().data();
+    float* m = slots_[i].data().data();
+    float* v = slots_[params.size() + i].data().data();
+    const std::int64_t n = params[i]->size();
+    for (std::int64_t k = 0; k < n; ++k) {
+      const float gk = g[k] + weight_decay_ * p[k];
+      m[k] = beta1_ * m[k] + (1.0F - beta1_) * gk;
+      v[k] = beta2_ * v[k] + (1.0F - beta2_) * gk * gk;
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      p[k] -= lr * mhat / (std::sqrt(vhat) + eps_);
     }
   }
 }

@@ -80,6 +80,9 @@ class Lamb : public Optimizer {
  private:
   float beta1_, beta2_, eps_, weight_decay_;
   std::int64_t t_ = 0;
+  /// Per-apply update scratch, reused across steps (hot-path allocation
+  /// discipline; the trust ratio needs the whole update before scaling).
+  std::vector<float> update_;
 };
 
 /// Adam (Kingma & Ba) with bias correction.

@@ -188,13 +188,14 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
 
       Slot slot;
       slot.requests = queue_.pop(std::min(cap, queue_.size()));
-      std::vector<std::int64_t> idx;
-      idx.reserve(slot.requests.size());
-      for (const InferRequest& r : slot.requests) idx.push_back(r.example_index);
-      InferSlice slice;
+      idx_scratch_.clear();
+      idx_scratch_.reserve(slot.requests.size());
+      for (const InferRequest& r : slot.requests) idx_scratch_.push_back(r.example_index);
+      slices_scratch_.resize(1);
+      InferSlice& slice = slices_scratch_.front();
       slice.vn = vn;
-      slice.features = gather_micro_batch(request_pool_, idx).features;
-      InferStats stats = engine_.infer({slice});
+      request_pool_.gather(idx_scratch_, slice.features, labels_scratch_);
+      InferStats stats = engine_.infer(slices_scratch_);
       const SliceCost& cost = stats.slice_costs.front();
 
       // Warm/cold dispatch pricing: a slice landing on a device that is
@@ -246,20 +247,21 @@ void Server::execute_batch(std::int64_t take) {
 
   // Packs take FIFO positions contiguously in ascending VN order, so the
   // engine's slice-ordered prediction vector lines up with batch position.
-  std::vector<InferSlice> slices;
-  slices.reserve(packs.size());
-  for (const VnPack& p : packs) {
-    std::vector<std::int64_t> idx;
-    idx.reserve(p.positions.size());
+  // The slice vector and each slice's feature matrix are member scratch,
+  // reused batch after batch.
+  slices_scratch_.resize(packs.size());
+  for (std::size_t pi = 0; pi < packs.size(); ++pi) {
+    const VnPack& p = packs[pi];
+    idx_scratch_.clear();
+    idx_scratch_.reserve(p.positions.size());
     for (const std::int64_t pos : p.positions)
-      idx.push_back(batch[static_cast<std::size_t>(pos)].example_index);
-    InferSlice s;
+      idx_scratch_.push_back(batch[static_cast<std::size_t>(pos)].example_index);
+    InferSlice& s = slices_scratch_[pi];
     s.vn = p.vn;
-    s.features = gather_micro_batch(request_pool_, idx).features;
-    slices.push_back(std::move(s));
+    request_pool_.gather(idx_scratch_, s.features, labels_scratch_);
   }
 
-  const InferStats stats = engine_.infer(slices);
+  const InferStats stats = engine_.infer(slices_scratch_);
   const double finish = start + stats.compute_s + stats.comm_s;
 
   for (std::int64_t p = 0; p < take; ++p) {

@@ -147,6 +147,17 @@ class Server {
   bool replayed_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
+
+  // Reusable dispatch scratch: the gather index list, the (discarded)
+  // request-pool labels, and the slice vector handed to engine.infer.
+  // Feature matrices keep their buffers across dispatches, so the
+  // server-side half of a dispatch reallocates nothing once warm (the
+  // engine's forward pass reuses its per-VN workspace likewise, but
+  // infer() itself still builds per-call result vectors — serving is not
+  // under the training loop's zero-allocation contract).
+  std::vector<std::int64_t> idx_scratch_;
+  std::vector<std::int64_t> labels_scratch_;
+  std::vector<InferSlice> slices_scratch_;
 };
 
 }  // namespace vf::serve

@@ -1,0 +1,165 @@
+#include "tensor/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "tensor/kernels_blocked.h"
+#include "util/common.h"
+
+namespace vf {
+
+namespace {
+
+KernelMode mode_from_env() {
+  const char* env = std::getenv("VF_KERNELS");
+  if (env == nullptr) return KernelMode::kBlocked;
+  const std::string v(env);
+  if (v == "reference") return KernelMode::kReference;
+  if (v == "blocked" || v.empty()) return KernelMode::kBlocked;
+  throw VfError("VF_KERNELS must be 'reference' or 'blocked', got: " + v);
+}
+
+bool reuse_from_env() {
+  const char* env = std::getenv("VF_WORKSPACE_REUSE");
+  if (env == nullptr) return true;
+  const std::string v(env);
+  if (v == "0") return false;
+  if (v == "1" || v.empty()) return true;
+  throw VfError("VF_WORKSPACE_REUSE must be '0' or '1', got: " + v);
+}
+
+std::atomic<KernelMode>& mode_flag() {
+  static std::atomic<KernelMode> flag{mode_from_env()};
+  return flag;
+}
+
+std::atomic<bool>& reuse_flag() {
+  static std::atomic<bool> flag{reuse_from_env()};
+  return flag;
+}
+
+}  // namespace
+
+const char* kernel_mode_name(KernelMode mode) {
+  return mode == KernelMode::kReference ? "reference" : "blocked";
+}
+
+KernelMode TensorConfig::kernel_mode() {
+  return mode_flag().load(std::memory_order_relaxed);
+}
+void TensorConfig::set_kernel_mode(KernelMode mode) {
+  mode_flag().store(mode, std::memory_order_relaxed);
+}
+bool TensorConfig::workspace_reuse() {
+  return reuse_flag().load(std::memory_order_relaxed);
+}
+void TensorConfig::set_workspace_reuse(bool reuse) {
+  reuse_flag().store(reuse, std::memory_order_relaxed);
+}
+
+namespace kernels {
+
+namespace {
+
+// ------------------------------------------------------------- reference
+//
+// These are the original Tensor loops, verbatim: they define the
+// accumulation order the blocked versions must reproduce bit for bit.
+
+void matmul_reference(const float* a, const float* b, float* out,
+                      std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m * n; ++i) out[i] = 0.0F;
+  // i-k-j loop order keeps the inner loop contiguous in both rhs and out.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* o_row = out + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0F) continue;
+      const float* b_row = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) o_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void matmul_tl_reference(const float* a, const float* b, float* out,
+                         std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m * n; ++i) out[i] = 0.0F;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a + kk * m;
+    const float* b_row = b + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0F) continue;
+      float* o_row = out + i * n;
+      for (std::int64_t j = 0; j < n; ++j) o_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void matmul_tr_reference(const float* a, const float* b, float* out,
+                         std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0F;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      out[i * n + j] = acc;
+    }
+  }
+}
+
+void transpose_reference(const float* in, float* out, std::int64_t rows,
+                         std::int64_t cols) {
+  for (std::int64_t i = 0; i < rows; ++i)
+    for (std::int64_t j = 0; j < cols; ++j) out[j * rows + i] = in[i * cols + j];
+}
+
+}  // namespace
+
+// The blocked implementations live in kernels_blocked.cpp (compiled -O3;
+// see CMakeLists). Dispatch is the only coupling.
+
+void matmul(const float* a, const float* b, float* out, std::int64_t m,
+            std::int64_t k, std::int64_t n, KernelMode mode) {
+  if (mode == KernelMode::kBlocked) {
+    detail::matmul_blocked(a, b, out, m, k, n);
+  } else {
+    matmul_reference(a, b, out, m, k, n);
+  }
+}
+
+void matmul_transpose_lhs(const float* a, const float* b, float* out,
+                          std::int64_t m, std::int64_t k, std::int64_t n,
+                          KernelMode mode) {
+  if (mode == KernelMode::kBlocked) {
+    detail::matmul_tl_blocked(a, b, out, m, k, n);
+  } else {
+    matmul_tl_reference(a, b, out, m, k, n);
+  }
+}
+
+void matmul_transpose_rhs(const float* a, const float* b, float* out,
+                          std::int64_t m, std::int64_t k, std::int64_t n,
+                          KernelMode mode) {
+  if (mode == KernelMode::kBlocked) {
+    detail::matmul_tr_blocked(a, b, out, m, k, n);
+  } else {
+    matmul_tr_reference(a, b, out, m, k, n);
+  }
+}
+
+void transpose(const float* in, float* out, std::int64_t rows,
+               std::int64_t cols, KernelMode mode) {
+  if (mode == KernelMode::kBlocked) {
+    detail::transpose_blocked(in, out, rows, cols);
+  } else {
+    transpose_reference(in, out, rows, cols);
+  }
+}
+
+}  // namespace kernels
+
+}  // namespace vf

@@ -1,0 +1,92 @@
+// Dense-kernel layer: the matmul/transpose inner loops behind Tensor.
+//
+// VirtualFlow replays many virtual nodes serially on each physical device,
+// so per-slice compute time is multiplied by the VN:device ratio — these
+// loops ARE the system's throughput. Two implementations are provided for
+// every kernel and are selectable at runtime:
+//
+//   * kReference — the original order-stable loops, kept as the executable
+//     specification.
+//   * kBlocked   — cache-blocked (i/j-tiled), unroll-by-4 versions.
+//
+// Bit-exactness contract: both modes produce bit-identical outputs on all
+// finite inputs. The blocked kernels tile ONLY over the i/j (output)
+// dimensions and never reorder, split, or vectorize the k-accumulation of
+// a single output element: each out[i, j] is built by the exact
+// float-addition chain the reference performs, term by term in ascending
+// k. Two implementation liberties are taken, neither observable on finite
+// data:
+//
+//   * The reference's zero-lhs skip is dropped (branchless inner loops).
+//     A skipped term contributes a*b = +/-0, and adding a signed zero to
+//     a running sum that started at +0 can never change its bits — the
+//     modes diverge only in the 0 * inf / 0 * NaN corner.
+//   * The transpose-variant kernels transpose the transposed operand into
+//     scratch first and reuse the one blocked core; the multiplication
+//     terms and their order per output element are unchanged.
+//
+// This is what lets the entire training/serving bit-reproducibility story
+// (mapping invariance, worker invariance) survive a kernel swap, and it is
+// what tests/tensor/test_kernels.cpp asserts shape by shape.
+#pragma once
+
+#include <cstdint>
+
+namespace vf {
+
+/// Which implementation the tensor ops dispatch to.
+enum class KernelMode : std::uint8_t {
+  kReference,  ///< original order-stable loops (executable specification)
+  kBlocked,    ///< i/j-tiled, unroll-by-4; bit-identical to kReference
+};
+
+/// Short name for logs/benches: "reference" or "blocked".
+const char* kernel_mode_name(KernelMode mode);
+
+/// Process-wide tensor-runtime configuration. Defaults come from the
+/// environment on first use and can be overridden programmatically (the
+/// benches A/B both knobs):
+///
+///   VF_KERNELS=reference|blocked   kernel implementation (default blocked)
+///   VF_WORKSPACE_REUSE=0|1         workspace buffer reuse (default 1; 0 is
+///                                  the allocate-per-use baseline)
+///
+/// Neither knob can change a single bit of any computed result — kernels
+/// are bit-identical by contract and workspaces only recycle storage — so
+/// flipping them mid-run is safe; they trade speed only.
+struct TensorConfig {
+  static KernelMode kernel_mode();
+  static void set_kernel_mode(KernelMode mode);
+  static bool workspace_reuse();
+  static void set_workspace_reuse(bool reuse);
+};
+
+namespace kernels {
+
+// All kernels take row-major dense buffers. Output buffers must not alias
+// inputs. Shapes follow the Tensor-level ops:
+//
+//   matmul:               out[m x n]  = a[m x k] @ b[k x n]
+//   matmul_transpose_lhs: out[m x n]  = a[k x m]^T @ b[k x n]
+//   matmul_transpose_rhs: out[m x n]  = a[m x k] @ b[n x k]^T
+//   transpose:            out[c x r]  = in[r x c]^T
+//
+// Each overwrites `out` entirely (no accumulation into prior contents).
+
+void matmul(const float* a, const float* b, float* out, std::int64_t m,
+            std::int64_t k, std::int64_t n, KernelMode mode);
+
+void matmul_transpose_lhs(const float* a, const float* b, float* out,
+                          std::int64_t m, std::int64_t k, std::int64_t n,
+                          KernelMode mode);
+
+void matmul_transpose_rhs(const float* a, const float* b, float* out,
+                          std::int64_t m, std::int64_t k, std::int64_t n,
+                          KernelMode mode);
+
+void transpose(const float* in, float* out, std::int64_t rows,
+               std::int64_t cols, KernelMode mode);
+
+}  // namespace kernels
+
+}  // namespace vf

@@ -1,0 +1,133 @@
+// Blocked kernel implementations — the hot half of tensor/kernels.h.
+//
+// One core implements all three matrix products. Tiling partitions the
+// OUTPUT space: each out[i, j] is touched by exactly one (i-tile, j-tile)
+// pair, inside which its k loop runs 0..k-1 in order — the per-element
+// float-addition chain matches the reference kernels on all finite inputs
+// (the reference's zero-skip only adds/removes +/-0 terms; see kernels.h).
+//
+// The inner loop is register-blocked over k by 4: out[i, j] stays in a
+// register across four *sequential* += operations (k order preserved, no
+// accumulator splitting), quartering the output-row load/store traffic
+// that otherwise bounds the saxpy form. The j loop is the vectorization
+// axis — independent output elements, safe at any SIMD width, which is
+// why this file is built -O3: the optimizer widens the j lanes but can
+// never touch an accumulation chain (no fast-math anywhere).
+//
+// The transpose-operand variants (tl/tr) transpose the transposed operand
+// into per-thread scratch and reuse the core: the multiplication terms
+// and their per-element order are unchanged, and the core's contiguous
+// b-row access replaces the strided walks that made the naive forms
+// latency-bound.
+#include "tensor/kernels_blocked.h"
+
+#include <vector>
+
+namespace vf::kernels::detail {
+
+namespace {
+
+// Tile sizes (floats, not bytes). The j tile keeps the rhs panel and the
+// output row segment L1-resident while the k loop streams over them; the
+// i tile keeps a batch of output rows hot. Both only partition the output
+// space — k is never tiled, preserving each element's accumulation order.
+constexpr std::int64_t kTileI = 32;
+constexpr std::int64_t kTileJ = 128;
+// Square tile for the blocked transpose: 32x32 floats = two 4 KiB pages.
+constexpr std::int64_t kTileT = 32;
+
+/// Reusable per-thread transpose scratch for the tl/tr mappings. Not a
+/// Tensor on purpose: kernel-internal, invisible to the workspace audit,
+/// and stable after warm-up.
+std::vector<float>& transpose_scratch() {
+  thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+void matmul_core(const float* __restrict a, const float* __restrict b,
+                 float* __restrict out, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  for (std::int64_t ii = 0; ii < m; ii += kTileI) {
+    const std::int64_t ie = ii + kTileI < m ? ii + kTileI : m;
+    for (std::int64_t jj = 0; jj < n; jj += kTileJ) {
+      const std::int64_t je = jj + kTileJ < n ? jj + kTileJ : n;
+      for (std::int64_t i = ii; i < ie; ++i) {
+        const float* __restrict a_row = a + i * k;
+        float* __restrict o_row = out + i * n;
+        for (std::int64_t j = jj; j < je; ++j) o_row[j] = 0.0F;
+        std::int64_t kk = 0;
+        for (; kk + 4 <= k; kk += 4) {
+          const float a0 = a_row[kk], a1 = a_row[kk + 1];
+          const float a2 = a_row[kk + 2], a3 = a_row[kk + 3];
+          const float* __restrict b0 = b + kk * n;
+          const float* __restrict b1 = b0 + n;
+          const float* __restrict b2 = b1 + n;
+          const float* __restrict b3 = b2 + n;
+          for (std::int64_t j = jj; j < je; ++j) {
+            float o = o_row[j];
+            o += a0 * b0[j];
+            o += a1 * b1[j];
+            o += a2 * b2[j];
+            o += a3 * b3[j];
+            o_row[j] = o;
+          }
+        }
+        for (; kk < k; ++kk) {
+          const float av = a_row[kk];
+          const float* __restrict b_row = b + kk * n;
+          for (std::int64_t j = jj; j < je; ++j) o_row[j] += av * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void transpose_blocked(const float* in, float* out, std::int64_t rows,
+                       std::int64_t cols) {
+  // Square tiles keep both the row-major reads and the strided writes
+  // within a few cache lines at a time (pure data movement: any visit
+  // order is trivially bit-identical to the reference).
+  const float* __restrict inp = in;
+  float* __restrict outp = out;
+  for (std::int64_t ii = 0; ii < rows; ii += kTileT) {
+    const std::int64_t ie = ii + kTileT < rows ? ii + kTileT : rows;
+    for (std::int64_t jj = 0; jj < cols; jj += kTileT) {
+      const std::int64_t je = jj + kTileT < cols ? jj + kTileT : cols;
+      for (std::int64_t i = ii; i < ie; ++i) {
+        const float* __restrict in_row = inp + i * cols;
+        for (std::int64_t j = jj; j < je; ++j) outp[j * rows + i] = in_row[j];
+      }
+    }
+  }
+}
+
+void matmul_blocked(const float* a, const float* b, float* out, std::int64_t m,
+                    std::int64_t k, std::int64_t n) {
+  matmul_core(a, b, out, m, k, n);
+}
+
+void matmul_tl_blocked(const float* a, const float* b, float* out,
+                       std::int64_t m, std::int64_t k, std::int64_t n) {
+  // out = a^T @ b with a stored [k x m]: transpose a into row-major
+  // [m x k] scratch and run the core. Element (i, j) still sums
+  // a[kk, i] * b[kk, j] for kk ascending — the identical chain.
+  std::vector<float>& scratch = transpose_scratch();
+  scratch.resize(static_cast<std::size_t>(m * k));
+  transpose_blocked(a, scratch.data(), k, m);
+  matmul_core(scratch.data(), b, out, m, k, n);
+}
+
+void matmul_tr_blocked(const float* a, const float* b, float* out,
+                       std::int64_t m, std::int64_t k, std::int64_t n) {
+  // out = a @ b^T with b stored [n x k]: transpose b into row-major
+  // [k x n] scratch and run the core. Element (i, j) still sums
+  // a[i, kk] * b[j, kk] for kk ascending — the identical chain.
+  std::vector<float>& scratch = transpose_scratch();
+  scratch.resize(static_cast<std::size_t>(k * n));
+  transpose_blocked(b, scratch.data(), n, k);
+  matmul_core(a, scratch.data(), out, m, k, n);
+}
+
+}  // namespace vf::kernels::detail

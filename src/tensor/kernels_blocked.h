@@ -1,0 +1,19 @@
+// Internal: blocked kernel entry points (implementation in
+// kernels_blocked.cpp, which the build compiles at -O3 — the kernel TU is
+// the system's innermost loop). Public dispatch lives in kernels.h.
+#pragma once
+
+#include <cstdint>
+
+namespace vf::kernels::detail {
+
+void matmul_blocked(const float* a, const float* b, float* out, std::int64_t m,
+                    std::int64_t k, std::int64_t n);
+void matmul_tl_blocked(const float* a, const float* b, float* out, std::int64_t m,
+                       std::int64_t k, std::int64_t n);
+void matmul_tr_blocked(const float* a, const float* b, float* out, std::int64_t m,
+                       std::int64_t k, std::int64_t n);
+void transpose_blocked(const float* in, float* out, std::int64_t rows,
+                       std::int64_t cols);
+
+}  // namespace vf::kernels::detail

@@ -1,13 +1,22 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/common.h"
 
 namespace vf {
 
 namespace {
+
+std::atomic<std::int64_t> g_tensor_allocs{0};
+
+/// Records one tensor heap-buffer allocation (growth). Relaxed: the
+/// counter is a diagnostic total, not a synchronization point.
+inline void note_alloc() { g_tensor_allocs.fetch_add(1, std::memory_order_relaxed); }
+
 std::int64_t shape_product(const std::vector<std::int64_t>& shape) {
   std::int64_t n = 1;
   for (auto d : shape) {
@@ -16,11 +25,48 @@ std::int64_t shape_product(const std::vector<std::int64_t>& shape) {
   }
   return n;
 }
+
+std::int64_t shape_product(std::span<const std::int64_t> shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    check(d >= 0, "tensor dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+
+/// _into ops fully overwrite `out`, so aliasing an input would corrupt the
+/// computation silently; catch it loudly instead.
+void check_no_alias(const Tensor& out, const Tensor& in, const char* op) {
+  check(out.data().data() != in.data().data() || out.data().empty(),
+        std::string(op) + ": out must not alias an input tensor");
+}
+
 }  // namespace
+
+std::int64_t tensor_alloc_count() {
+  return g_tensor_allocs.load(std::memory_order_relaxed);
+}
 
 Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
   check(shape_.size() <= 4, "tensor rank must be <= 4");
-  data_.assign(static_cast<std::size_t>(shape_product(shape_)), 0.0F);
+  const auto n = static_cast<std::size_t>(shape_product(shape_));
+  if (n > 0) note_alloc();
+  data_.assign(n, 0.0F);
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_), data_(other.data_) {
+  if (!data_.empty()) note_alloc();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  // vector copy-assignment recycles the existing buffer when it is large
+  // enough; only a genuine growth counts as an allocation.
+  if (other.data_.size() > data_.capacity()) note_alloc();
+  shape_ = other.shape_;
+  data_ = other.data_;
+  return *this;
 }
 
 Tensor Tensor::zeros(std::initializer_list<std::int64_t> shape) {
@@ -46,6 +92,19 @@ Tensor Tensor::randn(std::vector<std::int64_t> shape, CounterRng& rng, float std
   Tensor t(std::move(shape));
   for (float& v : t.data_) v = rng.normal(0.0F, stddev);
   return t;
+}
+
+Tensor& Tensor::ensure_shape(std::span<const std::int64_t> shape) {
+  check(shape.size() <= 4, "tensor rank must be <= 4");
+  const auto n = static_cast<std::size_t>(shape_product(shape));
+  if (n > data_.capacity()) note_alloc();
+  shape_.assign(shape.begin(), shape.end());
+  data_.resize(n);
+  return *this;
+}
+
+Tensor& Tensor::ensure_shape(std::initializer_list<std::int64_t> shape) {
+  return ensure_shape(std::span<const std::int64_t>(shape.begin(), shape.size()));
 }
 
 std::int64_t Tensor::dim(std::int64_t i) const {
@@ -133,66 +192,91 @@ Tensor Tensor::sub(const Tensor& other) const { return Tensor(*this).sub_(other)
 Tensor Tensor::mul(const Tensor& other) const { return Tensor(*this).mul_(other); }
 Tensor Tensor::scaled(float s) const { return Tensor(*this).scale_(s); }
 
-Tensor Tensor::matmul(const Tensor& rhs) const {
+void Tensor::add_into(const Tensor& other, Tensor& out) const {
+  check_same_shape(*this, other, "add_into");
+  check_no_alias(out, *this, "add_into");
+  check_no_alias(out, other, "add_into");
+  out.ensure_shape(shape_);
+  const float* a = data_.data();
+  const float* b = other.data_.data();
+  float* o = out.data_.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) o[i] = a[i] + b[i];
+}
+
+void Tensor::mul_into(const Tensor& other, Tensor& out) const {
+  check_same_shape(*this, other, "mul_into");
+  check_no_alias(out, *this, "mul_into");
+  check_no_alias(out, other, "mul_into");
+  out.ensure_shape(shape_);
+  const float* a = data_.data();
+  const float* b = other.data_.data();
+  float* o = out.data_.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) o[i] = a[i] * b[i];
+}
+
+void Tensor::matmul_into(const Tensor& rhs, Tensor& out) const {
   check(rank() == 2 && rhs.rank() == 2, "matmul requires rank-2 tensors");
   check(cols() == rhs.rows(), "matmul: inner dimensions disagree (" + shape_str() + " @ " +
                                   rhs.shape_str() + ")");
+  check_no_alias(out, *this, "matmul_into");
+  check_no_alias(out, rhs, "matmul_into");
   const std::int64_t m = rows(), k = cols(), n = rhs.cols();
-  Tensor out({m, n});
-  // i-k-j loop order keeps the inner loop contiguous in both rhs and out.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = &data_[static_cast<std::size_t>(i * k)];
-    float* o_row = &out.data_[static_cast<std::size_t>(i * n)];
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float a = a_row[kk];
-      if (a == 0.0F) continue;
-      const float* b_row = &rhs.data_[static_cast<std::size_t>(kk * n)];
-      for (std::int64_t j = 0; j < n; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  out.ensure_shape({m, n});
+  kernels::matmul(data_.data(), rhs.data_.data(), out.data_.data(), m, k, n,
+                  TensorConfig::kernel_mode());
+}
+
+Tensor Tensor::matmul(const Tensor& rhs) const {
+  Tensor out;
+  matmul_into(rhs, out);
   return out;
+}
+
+void Tensor::matmul_transpose_lhs_into(const Tensor& rhs, Tensor& out) const {
+  check(rank() == 2 && rhs.rank() == 2, "matmul_transpose_lhs requires rank-2 tensors");
+  check(rows() == rhs.rows(), "matmul_transpose_lhs: row counts disagree");
+  check_no_alias(out, *this, "matmul_transpose_lhs_into");
+  check_no_alias(out, rhs, "matmul_transpose_lhs_into");
+  const std::int64_t k = rows(), m = cols(), n = rhs.cols();
+  out.ensure_shape({m, n});
+  kernels::matmul_transpose_lhs(data_.data(), rhs.data_.data(), out.data_.data(), m,
+                                k, n, TensorConfig::kernel_mode());
 }
 
 Tensor Tensor::matmul_transpose_lhs(const Tensor& rhs) const {
-  check(rank() == 2 && rhs.rank() == 2, "matmul_transpose_lhs requires rank-2 tensors");
-  check(rows() == rhs.rows(), "matmul_transpose_lhs: row counts disagree");
-  const std::int64_t k = rows(), m = cols(), n = rhs.cols();
-  Tensor out({m, n});
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* a_row = &data_[static_cast<std::size_t>(kk * m)];
-    const float* b_row = &rhs.data()[static_cast<std::size_t>(kk * n)];
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float a = a_row[i];
-      if (a == 0.0F) continue;
-      float* o_row = &out.data_[static_cast<std::size_t>(i * n)];
-      for (std::int64_t j = 0; j < n; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  Tensor out;
+  matmul_transpose_lhs_into(rhs, out);
   return out;
+}
+
+void Tensor::matmul_transpose_rhs_into(const Tensor& rhs, Tensor& out) const {
+  check(rank() == 2 && rhs.rank() == 2, "matmul_transpose_rhs requires rank-2 tensors");
+  check(cols() == rhs.cols(), "matmul_transpose_rhs: column counts disagree");
+  check_no_alias(out, *this, "matmul_transpose_rhs_into");
+  check_no_alias(out, rhs, "matmul_transpose_rhs_into");
+  const std::int64_t m = rows(), k = cols(), n = rhs.rows();
+  out.ensure_shape({m, n});
+  kernels::matmul_transpose_rhs(data_.data(), rhs.data_.data(), out.data_.data(), m,
+                                k, n, TensorConfig::kernel_mode());
 }
 
 Tensor Tensor::matmul_transpose_rhs(const Tensor& rhs) const {
-  check(rank() == 2 && rhs.rank() == 2, "matmul_transpose_rhs requires rank-2 tensors");
-  check(cols() == rhs.cols(), "matmul_transpose_rhs: column counts disagree");
-  const std::int64_t m = rows(), k = cols(), n = rhs.rows();
-  Tensor out({m, n});
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = &data_[static_cast<std::size_t>(i * k)];
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* b_row = &rhs.data()[static_cast<std::size_t>(j * k)];
-      float acc = 0.0F;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-      out.data_[static_cast<std::size_t>(i * n + j)] = acc;
-    }
-  }
+  Tensor out;
+  matmul_transpose_rhs_into(rhs, out);
   return out;
 }
 
+void Tensor::transpose_into(Tensor& out) const {
+  check(rank() == 2, "transpose_into requires a rank-2 tensor");
+  check_no_alias(out, *this, "transpose_into");
+  out.ensure_shape({cols(), rows()});
+  kernels::transpose(data_.data(), out.data_.data(), rows(), cols(),
+                     TensorConfig::kernel_mode());
+}
+
 Tensor Tensor::transposed() const {
-  check(rank() == 2, "transposed requires a rank-2 tensor");
-  Tensor out({cols(), rows()});
-  for (std::int64_t i = 0; i < rows(); ++i)
-    for (std::int64_t j = 0; j < cols(); ++j) out.at(j, i) = at(i, j);
+  Tensor out;
+  transpose_into(out);
   return out;
 }
 
@@ -219,23 +303,38 @@ float Tensor::squared_norm() const {
   return s;
 }
 
-Tensor Tensor::column_sums() const {
+void Tensor::column_sums_into(Tensor& out) const {
   check(rank() == 2, "column_sums requires a rank-2 tensor");
-  Tensor out({cols()});
-  for (std::int64_t i = 0; i < rows(); ++i)
-    for (std::int64_t j = 0; j < cols(); ++j) out.at(j) += at(i, j);
+  check_no_alias(out, *this, "column_sums_into");
+  const std::int64_t r = rows(), c = cols();
+  out.ensure_shape({c});
+  float* o = out.data_.data();
+  for (std::int64_t j = 0; j < c; ++j) o[j] = 0.0F;
+  // Single row-major pass; per column the accumulation runs over rows in
+  // ascending order, exactly as the nested at() loops did.
+  const float* p = data_.data();
+  for (std::int64_t i = 0; i < r; ++i, p += c)
+    for (std::int64_t j = 0; j < c; ++j) o[j] += p[j];
+}
+
+Tensor Tensor::column_sums() const {
+  Tensor out;
+  column_sums_into(out);
   return out;
 }
 
 std::vector<std::int64_t> Tensor::row_argmax() const {
   check(rank() == 2, "row_argmax requires a rank-2 tensor");
-  std::vector<std::int64_t> out(static_cast<std::size_t>(rows()));
-  for (std::int64_t i = 0; i < rows(); ++i) {
+  const std::int64_t r = rows(), c = cols();
+  check(c > 0 || r == 0, "row_argmax requires at least one column");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(r));
+  const float* p = data_.data();
+  for (std::int64_t i = 0; i < r; ++i, p += c) {
     std::int64_t best = 0;
-    float best_v = at(i, 0);
-    for (std::int64_t j = 1; j < cols(); ++j) {
-      if (at(i, j) > best_v) {
-        best_v = at(i, j);
+    float best_v = p[0];
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (p[j] > best_v) {
+        best_v = p[j];
         best = j;
       }
     }

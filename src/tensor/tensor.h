@@ -3,8 +3,17 @@
 // VirtualFlow's convergence experiments run real SGD, so this is a real
 // (if deliberately small) tensor library: row-major dense storage, the
 // elementwise/matmul/reduction ops the nn layers need, and nothing more.
-// Determinism matters more than speed here — every op is sequential and
-// order-stable so that training trajectories are bit-reproducible.
+// Determinism comes first — every op is sequential and order-stable so
+// that training trajectories are bit-reproducible — but the hot-path ops
+// (matmul family, transpose) dispatch to the kernel layer in
+// tensor/kernels.h, whose blocked implementations are bit-identical to
+// the reference loops by construction.
+//
+// Allocation discipline: the `_into` variants write into caller-owned
+// tensors via ensure_shape(), which recycles the existing heap buffer
+// whenever capacity allows. Every buffer growth is counted in a global
+// allocation counter (tensor_alloc_count()) so tests can assert that a
+// warmed-up training step performs zero tensor heap allocations.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,11 @@
 
 namespace vf {
 
+/// Total tensor heap-buffer allocations (growths) performed by this
+/// process so far. Monotone; read it before/after a region to count the
+/// allocations inside. Thread-safe (relaxed atomic).
+std::int64_t tensor_alloc_count();
+
 /// Row-major dense float tensor with up to rank-4 shapes (rank 1 and 2 are
 /// what the layers use; higher ranks exist for completeness).
 class Tensor {
@@ -25,6 +39,11 @@ class Tensor {
 
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(std::vector<std::int64_t> shape);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
 
   /// Convenience rank-1 / rank-2 constructors.
   static Tensor zeros(std::initializer_list<std::int64_t> shape);
@@ -39,6 +58,14 @@ class Tensor {
   std::int64_t dim(std::int64_t i) const;
   std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
   bool empty() const { return data_.empty(); }
+  /// Heap-buffer capacity in floats (allocation-reuse introspection).
+  std::size_t buffer_capacity() const { return data_.capacity(); }
+
+  /// Reshapes to `shape`, reusing the existing heap buffer when capacity
+  /// allows (the workspace-reuse fast path). Element contents are
+  /// unspecified afterwards — callers overwrite. Never shrinks capacity.
+  Tensor& ensure_shape(std::span<const std::int64_t> shape);
+  Tensor& ensure_shape(std::initializer_list<std::int64_t> shape);
 
   std::span<float> data() { return data_; }
   std::span<const float> data() const { return data_; }
@@ -74,6 +101,17 @@ class Tensor {
   Tensor matmul_transpose_lhs(const Tensor& rhs) const;
   /// this @ rhs^T for rank-2 tensors.
   Tensor matmul_transpose_rhs(const Tensor& rhs) const;
+
+  // ---- Out-parameter variants (allocation-free once `out` is warm) ----
+  // `out` is reshaped with ensure_shape() and fully overwritten; it must
+  // not alias this tensor or the operand.
+  void matmul_into(const Tensor& rhs, Tensor& out) const;
+  void matmul_transpose_lhs_into(const Tensor& rhs, Tensor& out) const;
+  void matmul_transpose_rhs_into(const Tensor& rhs, Tensor& out) const;
+  void add_into(const Tensor& other, Tensor& out) const;
+  void mul_into(const Tensor& other, Tensor& out) const;
+  void transpose_into(Tensor& out) const;
+  void column_sums_into(Tensor& out) const;
 
   Tensor transposed() const;
 

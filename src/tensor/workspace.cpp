@@ -1,0 +1,55 @@
+#include "tensor/workspace.h"
+
+#include "tensor/kernels.h"
+#include "util/common.h"
+
+namespace vf {
+
+void Workspace::ensure_vns(std::int64_t num_vns) {
+  check(num_vns >= 0, "workspace VN count must be non-negative");
+  if (static_cast<std::int64_t>(vns_.size()) < num_vns)
+    vns_.resize(static_cast<std::size_t>(num_vns));
+}
+
+void Workspace::audit(const Slot& s) const {
+  const std::size_t cap = s.t.buffer_capacity();
+  if (cap != s.audited_capacity) {
+    // Capacity only ever moves on (re)allocation; charge one per change.
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    s.audited_capacity = cap;
+  }
+}
+
+Tensor& Workspace::acquire(std::int32_t vn, std::int32_t tag) {
+  check_index(vn, num_vns(), "workspace virtual node");
+  Slot& s = vns_[static_cast<std::size_t>(vn)][tag];
+  audit(s);
+  if (!TensorConfig::workspace_reuse()) {
+    // Allocate-per-use baseline: drop the buffer so the caller's
+    // ensure_shape pays a fresh heap allocation, like the pre-workspace
+    // code did for every intermediate.
+    s.t = Tensor();
+    s.audited_capacity = 0;
+  }
+  return s.t;
+}
+
+Tensor& Workspace::acquire(std::int32_t vn, std::int32_t tag,
+                           std::initializer_list<std::int64_t> shape) {
+  Tensor& t = acquire(vn, tag);
+  t.ensure_shape(shape);
+  return t;
+}
+
+std::int64_t Workspace::heap_allocs() const {
+  for (const auto& slots : vns_)
+    for (const auto& kv : slots) audit(kv.second);
+  return allocs_;
+}
+
+void Workspace::clear() {
+  vns_.clear();
+  allocs_ = 0;
+}
+
+}  // namespace vf

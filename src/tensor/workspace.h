@@ -1,0 +1,98 @@
+// vf::Workspace — a reusable tensor arena for the training/serving hot path.
+//
+// The engine replays each device's virtual nodes serially, and every pass
+// needs the same set of intermediates (activations, loss gradients, weight-
+// gradient temporaries, flattened gradient sums) with the same shapes step
+// after step. Allocating them fresh each time dominated steady-state cost;
+// the workspace instead hands out named slots whose tensors keep their heap
+// buffers across steps.
+//
+// Keying: slots are addressed by (virtual-node id, tag). Keying by the
+// *logical* VN id — not by device or worker — is what keeps the arena out
+// of the bit-exactness story entirely: under any mapping and any pool
+// worker count, the worker running device d touches exactly the slots of
+// d's VNs and nobody else's, so there are no races and no scheduling-
+// dependent buffer contents. (Two workers may concurrently create slots
+// for *different* VNs; each VN's slot map is an independent object, so
+// that is safe. A single VN is always driven by one worker at a time.)
+//
+// The A/B baseline: when TensorConfig::workspace_reuse() is false (env
+// VF_WORKSPACE_REUSE=0), every acquisition drops the slot's buffer first,
+// faithfully reproducing the allocate-per-intermediate behaviour the
+// workspace replaced — bench_hotpath uses this as the "before" arm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vf {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  explicit Workspace(std::int64_t num_vns) { ensure_vns(num_vns); }
+
+  // Movable (the engine is movable), not copyable: two workspaces sharing
+  // a history would double-count the audit. The atomic counter needs the
+  // moves spelled out.
+  Workspace(Workspace&& other) noexcept
+      : vns_(std::move(other.vns_)),
+        allocs_(other.allocs_.load(std::memory_order_relaxed)) {}
+  Workspace& operator=(Workspace&& other) noexcept {
+    vns_ = std::move(other.vns_);
+    allocs_.store(other.allocs_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Grows the per-VN slot table to at least `num_vns` entries. NOT
+  /// thread-safe — call from single-threaded setup (engine construction /
+  /// reconfiguration), never inside a parallel region.
+  void ensure_vns(std::int64_t num_vns);
+
+  std::int64_t num_vns() const { return static_cast<std::int64_t>(vns_.size()); }
+
+  /// The reusable tensor in slot (vn, tag), created empty on first use.
+  /// The caller reshapes (ensure_shape) and overwrites it; contents from
+  /// the previous acquisition are stale, never meaningful.
+  Tensor& acquire(std::int32_t vn, std::int32_t tag);
+
+  /// acquire() + ensure_shape in one call, for fixed-shape scratch.
+  Tensor& acquire(std::int32_t vn, std::int32_t tag,
+                  std::initializer_list<std::int64_t> shape);
+
+  /// Heap-buffer allocations observed across this workspace's slots so
+  /// far (audited by capacity changes at acquisition time and on this
+  /// call). After warm-up this must stop moving — the zero-allocation
+  /// steady-state test asserts exactly that.
+  std::int64_t heap_allocs() const;
+
+  /// Drops every slot (buffers included).
+  void clear();
+
+ private:
+  struct Slot {
+    Tensor t;
+    mutable std::size_t audited_capacity = 0;
+  };
+
+  /// Re-audits one slot's capacity, charging any growth since last look.
+  void audit(const Slot& s) const;
+
+  // One independent slot map per VN: concurrent first-use insertions for
+  // different VNs touch different maps. std::map keeps node addresses
+  // stable, so Tensor& references survive later insertions. The audit
+  // total is atomic because workers acquiring *different* VNs' slots
+  // charge it concurrently (relaxed: it is a diagnostic counter, read
+  // from quiescent contexts only).
+  std::vector<std::map<std::int32_t, Slot>> vns_;
+  mutable std::atomic<std::int64_t> allocs_{0};
+};
+
+}  // namespace vf

@@ -11,6 +11,7 @@
 
 #include "core/engine.h"
 #include "nn/state.h"
+#include "tensor/kernels.h"
 #include "util/common.h"
 #include "workloads/profiles.h"
 #include "workloads/tasks.h"
@@ -140,6 +141,32 @@ TEST(ParallelDeterminism, UnevenMappingBitIdenticalUnderPool) {
     EXPECT_EQ(a.loss, b.loss) << "step " << i;
   }
   EXPECT_TRUE(serial.parameters().equals(pooled.parameters()));
+}
+
+TEST(ParallelDeterminism, KernelModeAndWorkspacePolicyCannotChangeBits) {
+  // The kernel layer's contract composed with the pool's: reference vs
+  // blocked kernels, buffer reuse vs allocate-per-use, serial vs pooled —
+  // every combination must land on the same bits (tensor/kernels.h).
+  const KernelMode saved_mode = TensorConfig::kernel_mode();
+  const bool saved_reuse = TensorConfig::workspace_reuse();
+
+  TensorConfig::set_kernel_mode(KernelMode::kReference);
+  TensorConfig::set_workspace_reuse(true);
+  const RunResult reference = run(8, 4, 0);
+
+  TensorConfig::set_kernel_mode(KernelMode::kBlocked);
+  const RunResult blocked = run(8, 4, 0);
+  const RunResult blocked_pooled = run(8, 4, 8);
+
+  TensorConfig::set_workspace_reuse(false);
+  const RunResult blocked_churn = run(8, 4, 2);
+
+  TensorConfig::set_kernel_mode(saved_mode);
+  TensorConfig::set_workspace_reuse(saved_reuse);
+
+  expect_identical(reference, blocked);
+  expect_identical(blocked, blocked_pooled);
+  expect_identical(blocked, blocked_churn);
 }
 
 TEST(ParallelDeterminism, EvalStripingDecoupledFromReplicaCount) {

@@ -7,6 +7,7 @@
 
 #include "serve/arrival.h"
 #include "serve/server.h"
+#include "tensor/kernels.h"
 #include "util/common.h"
 #include "workloads/profiles.h"
 #include "workloads/tasks.h"
@@ -298,6 +299,36 @@ TEST(Server, ContinuousReplayBitIdenticalAcrossWorkerCounts) {
     }
     EXPECT_EQ(serial.summary.p99_s, pooled.summary.p99_s);
   }
+}
+
+TEST(Server, ReplayBitIdenticalAcrossKernelModes) {
+  // The kernel layer cannot move a prediction, a latency bit, or a resize
+  // decision — in either batching mode. (Replays run under reference and
+  // blocked kernels; records are compared exactly.)
+  const KernelMode saved = TensorConfig::kernel_mode();
+  const auto compare = [](const ReplayResult& a, const ReplayResult& b) {
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      EXPECT_EQ(a.records[i].id, b.records[i].id) << i;
+      EXPECT_EQ(a.records[i].prediction, b.records[i].prediction) << i;
+      EXPECT_EQ(a.records[i].queue_wait_s, b.records[i].queue_wait_s) << i;
+      EXPECT_EQ(a.records[i].finish_s, b.records[i].finish_s) << i;
+    }
+    ASSERT_EQ(a.resizes.size(), b.resizes.size());
+    EXPECT_EQ(a.summary.p99_s, b.summary.p99_s);
+  };
+
+  TensorConfig::set_kernel_mode(KernelMode::kReference);
+  const ReplayResult batch_ref = run_replay(0);
+  const ReplayResult cont_ref = run_continuous_replay(0);
+  TensorConfig::set_kernel_mode(KernelMode::kBlocked);
+  const ReplayResult batch_blk = run_replay(2);
+  const ReplayResult cont_blk = run_continuous_replay(2);
+  TensorConfig::set_kernel_mode(saved);
+
+  ASSERT_FALSE(batch_ref.records.empty());
+  compare(batch_ref, batch_blk);
+  compare(cont_ref, cont_blk);
 }
 
 TEST(Server, ValidatesElasticPolicy) {

@@ -1,0 +1,91 @@
+// vf::Workspace: per-VN slot reuse, the allocation audit, and the
+// allocate-per-use baseline mode.
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.h"
+#include "tensor/workspace.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+struct ConfigGuard {
+  KernelMode mode = TensorConfig::kernel_mode();
+  bool reuse = TensorConfig::workspace_reuse();
+  ~ConfigGuard() {
+    TensorConfig::set_kernel_mode(mode);
+    TensorConfig::set_workspace_reuse(reuse);
+  }
+};
+
+TEST(Workspace, SlotsAreStableAndKeyedByVnAndTag) {
+  Workspace ws(3);
+  Tensor& a = ws.acquire(0, 7, {4, 4});
+  a.fill(1.0F);
+  Tensor& b = ws.acquire(1, 7, {4, 4});
+  b.fill(2.0F);
+  Tensor& c = ws.acquire(0, 8, {2});
+  c.fill(3.0F);
+
+  // Same key returns the same tensor object with contents intact (stale
+  // but stable between acquisitions).
+  EXPECT_EQ(&ws.acquire(0, 7), &a);
+  EXPECT_EQ(ws.acquire(0, 7).at(0), 1.0F);
+  EXPECT_EQ(ws.acquire(1, 7).at(0), 2.0F);
+  EXPECT_EQ(ws.acquire(0, 8).at(0), 3.0F);
+}
+
+TEST(Workspace, OutOfRangeVnThrows) {
+  Workspace ws(2);
+  EXPECT_THROW(ws.acquire(2, 0), VfError);
+  EXPECT_THROW(ws.acquire(-1, 0), VfError);
+  ws.ensure_vns(5);
+  EXPECT_NO_THROW(ws.acquire(4, 0));
+}
+
+TEST(Workspace, AuditCountsGrowthOnceThenGoesQuiet) {
+  ConfigGuard guard;
+  TensorConfig::set_workspace_reuse(true);
+  Workspace ws(1);
+  EXPECT_EQ(ws.heap_allocs(), 0);
+
+  ws.acquire(0, 1, {64, 64});
+  EXPECT_EQ(ws.heap_allocs(), 1);
+
+  // Steady state: same shape, or any shape within capacity — no charge.
+  for (int i = 0; i < 10; ++i) ws.acquire(0, 1, {64, 64});
+  ws.acquire(0, 1, {8, 8});
+  EXPECT_EQ(ws.heap_allocs(), 1);
+
+  // Genuine growth is charged again.
+  ws.acquire(0, 1, {128, 128});
+  EXPECT_EQ(ws.heap_allocs(), 2);
+}
+
+TEST(Workspace, NoReuseModeReallocatesEveryAcquisition) {
+  ConfigGuard guard;
+  TensorConfig::set_workspace_reuse(false);
+  Workspace ws(1);
+  const std::int64_t t0 = tensor_alloc_count();
+  for (int i = 0; i < 5; ++i) ws.acquire(0, 1, {16, 16});
+  // Every acquisition dropped the buffer and re-allocated: 5 tensor heap
+  // allocations, faithfully reproducing the pre-workspace churn.
+  EXPECT_EQ(tensor_alloc_count() - t0, 5);
+
+  TensorConfig::set_workspace_reuse(true);
+  ws.acquire(0, 1, {16, 16});  // warm
+  const std::int64_t t1 = tensor_alloc_count();
+  for (int i = 0; i < 5; ++i) ws.acquire(0, 1, {16, 16});
+  EXPECT_EQ(tensor_alloc_count() - t1, 0);
+}
+
+TEST(Workspace, ClearDropsEverything) {
+  Workspace ws(2);
+  ws.acquire(1, 3, {8});
+  ws.clear();
+  EXPECT_EQ(ws.num_vns(), 0);
+  EXPECT_EQ(ws.heap_allocs(), 0);
+}
+
+}  // namespace
+}  // namespace vf
