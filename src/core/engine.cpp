@@ -35,12 +35,22 @@ VirtualFlowEngine::VirtualFlowEngine(const Sequential& model, const Optimizer& o
 
 void VirtualFlowEngine::resize_vn_scratch() {
   const auto n = static_cast<std::size_t>(mapping_.total_vns());
+  // Evict before growing: a reconfigure onto fewer VNs must not leave the
+  // departed VNs' workspace slots (or their infer scratch) pinning
+  // buffers behind the new mapping's back.
+  ws_.shrink_vns(mapping_.total_vns());
   ws_.ensure_vns(mapping_.total_vns());
+  // Shrinking these vectors destroys the departed VNs' elements, freeing
+  // their tensor buffers (the vector shells they leave behind are bytes).
   vn_mb_.resize(n);
   vn_idx_.resize(n);
   vn_loss_.resize(n);
   vn_grad_sums_.resize(n);
   vn_loss_sums_.assign(n, 0.0);
+  vn_infer_preds_.resize(n);
+  vn_infer_bytes_.assign(n, 0.0);
+  infer_seen_.assign(n, false);
+  eval_state_dirty_ = true;
 }
 
 std::int64_t VirtualFlowEngine::workspace_allocs() const {
@@ -104,6 +114,7 @@ StepStats VirtualFlowEngine::train_step() {
   // pass needs lives in a per-VN slot reused across steps — a warmed-up
   // step performs zero tensor heap allocations.
   batcher_.prepare_epoch(epoch);
+  ws_.begin_region();  // new ownership region: worker -> VN may have moved
   for_each_device([&](std::int64_t d) {
     Replica& rep = replicas_[static_cast<std::size_t>(d)];
     for (const std::int32_t vn : mapping_.device_vns(d)) {
@@ -139,8 +150,12 @@ StepStats VirtualFlowEngine::train_step() {
   double max_mem = 0.0;
   for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
     const DeviceSpec& spec = devices_[static_cast<std::size_t>(d)].spec();
-    compute_s = std::max(
-        compute_s, device_step_time_s(spec, profile_, mapping_.device_batches(d)));
+    // A device hosting zero VNs this phase idles: it spends no compute
+    // and cannot be the step's barrier (its replica memory still counts).
+    if (!mapping_.device_vns(d).empty()) {
+      compute_s = std::max(
+          compute_s, device_step_time_s(spec, profile_, mapping_.device_batches(d)));
+    }
     max_mem = std::max(max_mem, device_memory(d).total());
   }
   double step_time = compute_s + comm_s;
@@ -153,6 +168,7 @@ StepStats VirtualFlowEngine::train_step() {
 
   clock_s_ += step_time;
   ++step_;
+  eval_state_dirty_ = true;  // the step moved batch-norm moving stats
 
   StepStats s;
   s.step = step_;
@@ -191,6 +207,11 @@ double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sum
     // its gradient buffer, then buffers combine in device-rank order —
     // the shape of a real ring all-reduce. Same expectation, but the
     // addition order now depends on placement.
+    //
+    // Devices hosting zero VNs (legal under skewed mappings) contribute
+    // nothing and are skipped outright: their buffer was never written
+    // this step, so folding it in would read a default-constructed — or,
+    // after a skewed reconfigure, a stale previous-mapping — gradient sum.
     device_sums_.resize(static_cast<std::size_t>(mapping_.num_devices()));
     for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
       Tensor& buf = device_sums_[static_cast<std::size_t>(d)];
@@ -204,9 +225,17 @@ double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sum
         }
       }
     }
-    global_grad_ = device_sums_.front();
-    for (std::size_t d = 1; d < device_sums_.size(); ++d)
-      global_grad_.add_(device_sums_[d]);
+    bool first_device = true;
+    for (std::int64_t d = 0; d < mapping_.num_devices(); ++d) {
+      if (mapping_.device_vns(d).empty()) continue;
+      if (first_device) {
+        global_grad_ = device_sums_[static_cast<std::size_t>(d)];
+        first_device = false;
+      } else {
+        global_grad_.add_(device_sums_[static_cast<std::size_t>(d)]);
+      }
+    }
+    check(!first_device, "reduction saw no virtual nodes");  // validate() forbids this
   }
   global_grad_.scale_(static_cast<float>(1.0 / b));
   *out_loss = loss_sum / b;
@@ -318,6 +347,7 @@ void VirtualFlowEngine::restore(const Checkpoint& snapshot) {
   vn_states_ = snapshot.vn_states;
   step_ = snapshot.step;
   clock_s_ = snapshot.sim_time_s;
+  eval_state_dirty_ = true;
 }
 
 const Sequential& VirtualFlowEngine::replica_model(std::int64_t d) const {
@@ -363,11 +393,23 @@ VnState average_states(const std::vector<VnState>& states) {
 
 }  // namespace
 
+VnState& VirtualFlowEngine::shared_eval_state() {
+  if (eval_state_dirty_) {
+    eval_state_cache_ = average_states(vn_states_);
+    eval_state_dirty_ = false;
+  }
+  return eval_state_cache_;
+}
+
 void VirtualFlowEngine::for_each_eval_chunk(
     const Dataset& eval, std::int64_t n,
     const std::function<void(std::int64_t, const Tensor&,
                              const std::vector<std::int64_t>&)>& fn) {
-  const VnState eval_state = average_states(vn_states_);
+  // One shared averaged state for every worker: eval-mode forwards only
+  // ever read it (batch-norm consumes the moving stats), so the workers
+  // need no private copies — concurrent reads are race-free.
+  VnState& eval_state = shared_eval_state();
+  VnState* const eval_state_ptr = eval_state.empty() ? nullptr : &eval_state;
   const std::int64_t n_chunks = ceil_div(n, kEvalChunk);
 
   // Eval parallelism is decoupled from the replica count: chunks stripe
@@ -391,10 +433,14 @@ void VirtualFlowEngine::for_each_eval_chunk(
   // share a slot — the eval twin of the per-VN confinement in train_step.
   if (static_cast<std::int64_t>(eval_ws_.size()) < workers)
     eval_ws_.resize(static_cast<std::size_t>(workers));
-  for (Workspace& w : eval_ws_) w.ensure_vns(1);
+  for (Workspace& w : eval_ws_) {
+    w.ensure_vns(1);
+    // Each arena belongs to one worker index, but the pool thread running
+    // that index changes call to call — open a fresh ownership region.
+    w.begin_region();
+  }
 
   const auto worker_body = [&](std::int64_t w) {
-    VnState state = eval_state;
     Sequential& model = w < n_dev
                             ? replicas_[static_cast<std::size_t>(w)].model
                             : extra_models[static_cast<std::size_t>(w - n_dev)];
@@ -413,7 +459,7 @@ void VirtualFlowEngine::for_each_eval_chunk(
       ctx.seed = config_.seed;
       ctx.step = step_;
       ctx.training = false;
-      ctx.state = state.empty() ? nullptr : &state;
+      ctx.state = eval_state_ptr;
       ctx.ws = &wws;
       Tensor& logits = wws.acquire(0, kTagLogits);
       model.forward_into(features, logits, ctx);
@@ -430,48 +476,53 @@ void VirtualFlowEngine::for_each_eval_chunk(
 
 InferStats VirtualFlowEngine::infer(const std::vector<InferSlice>& slices) {
   check(!slices.empty(), "infer needs at least one slice");
-  std::vector<bool> seen(static_cast<std::size_t>(mapping_.total_vns()), false);
+  infer_seen_.assign(static_cast<std::size_t>(mapping_.total_vns()), false);
   for (const InferSlice& s : slices) {
     check_index(s.vn, mapping_.total_vns(), "virtual node");
-    check(!seen[static_cast<std::size_t>(s.vn)],
+    check(!infer_seen_[static_cast<std::size_t>(s.vn)],
           "infer: virtual node " + std::to_string(s.vn) + " appears twice");
-    seen[static_cast<std::size_t>(s.vn)] = true;
+    infer_seen_[static_cast<std::size_t>(s.vn)] = true;
     check(s.features.rank() == 2 && s.features.rows() > 0,
           "infer slice features must be a non-empty [count x dim] matrix");
   }
 
   // Group slices by hosting device; a device runs its slices sequentially
   // (same execution shape as training VNs) while devices run concurrently
-  // on the pool. Each slice writes only its own prediction/byte slots, so
-  // scheduling cannot change the result.
+  // on the pool. Each slice writes only its own VN's prediction/byte
+  // slots, so scheduling cannot change the result. All the loop's scratch
+  // — grouping lists, per-VN prediction vectors, the averaged eval state —
+  // is engine-member storage keyed by VN: a serving loop issuing thousands
+  // of dispatches reuses it call after call instead of reallocating.
   const std::int64_t n_dev = mapping_.num_devices();
-  std::vector<std::vector<std::size_t>> by_device(static_cast<std::size_t>(n_dev));
+  infer_by_device_.resize(static_cast<std::size_t>(n_dev));
+  for (auto& list : infer_by_device_) list.clear();
   for (std::size_t i = 0; i < slices.size(); ++i)
-    by_device[static_cast<std::size_t>(mapping_.device_of(slices[i].vn))].push_back(i);
+    infer_by_device_[static_cast<std::size_t>(mapping_.device_of(slices[i].vn))]
+        .push_back(i);
 
-  const VnState eval_state = average_states(vn_states_);
-  std::vector<std::vector<std::int64_t>> slice_preds(slices.size());
-  std::vector<double> slice_out_bytes(slices.size(), 0.0);
+  VnState& eval_state = shared_eval_state();  // read-only under training=false
+  VnState* const eval_state_ptr = eval_state.empty() ? nullptr : &eval_state;
 
+  ws_.begin_region();  // worker -> device assignment may differ per call
   for_each_device([&](std::int64_t d) {
-    if (by_device[static_cast<std::size_t>(d)].empty()) return;
-    VnState state = eval_state;
+    if (infer_by_device_[static_cast<std::size_t>(d)].empty()) return;
     Sequential& model = replicas_[static_cast<std::size_t>(d)].model;
-    for (const std::size_t i : by_device[static_cast<std::size_t>(d)]) {
+    for (const std::size_t i : infer_by_device_[static_cast<std::size_t>(d)]) {
       const InferSlice& s = slices[i];
+      const auto v = static_cast<std::size_t>(s.vn);
       ExecContext ctx;
       ctx.seed = config_.seed;
       ctx.step = step_;
       ctx.vn_id = s.vn;
       ctx.training = false;
-      ctx.state = state.empty() ? nullptr : &state;
+      ctx.state = eval_state_ptr;
       // Slices name distinct VNs, so the per-VN slots of the training
       // workspace are free for serving reuse (and race-free on the pool).
       ctx.ws = &ws_;
       Tensor& logits = ws_.acquire(s.vn, kTagLogits);
       model.forward_into(s.features, logits, ctx);
-      slice_preds[i] = logits.row_argmax();
-      slice_out_bytes[i] = static_cast<double>(logits.size()) * 4.0;
+      logits.row_argmax_into(vn_infer_preds_[v]);
+      vn_infer_bytes_[v] = static_cast<double>(logits.size()) * 4.0;
     }
   });
 
@@ -484,28 +535,31 @@ InferStats VirtualFlowEngine::infer(const std::vector<InferSlice>& slices) {
   InferStats out;
   out.slice_costs.resize(slices.size());
   for (std::int64_t d = 0; d < n_dev; ++d) {
-    const auto& mine = by_device[static_cast<std::size_t>(d)];
+    const auto& mine = infer_by_device_[static_cast<std::size_t>(d)];
     if (mine.empty()) continue;
     std::vector<std::int64_t> batches;
     double dev_bytes = 0.0;
     const DeviceSpec& spec = devices_[static_cast<std::size_t>(d)].spec();
     for (const std::size_t i : mine) {
+      const auto v = static_cast<std::size_t>(slices[i].vn);
       batches.push_back(slices[i].features.rows());
-      dev_bytes += slice_out_bytes[i];
+      dev_bytes += vn_infer_bytes_[v];
       SliceCost& c = out.slice_costs[i];
       c.vn = slices[i].vn;
       c.device = d;
       c.pass_s = infer_pass_time_s(spec, profile_, slices[i].features.rows());
       c.overhead_s = spec.step_fixed_s;
-      if (n_dev > 1) c.comm_s = send_time_s(slice_out_bytes[i], config_.link);
+      if (n_dev > 1) c.comm_s = send_time_s(vn_infer_bytes_[v], config_.link);
     }
     out.compute_s =
         std::max(out.compute_s, device_infer_time_s(spec, profile_, batches));
     if (n_dev > 1)
       out.comm_s = std::max(out.comm_s, send_time_s(dev_bytes, config_.link));
   }
-  for (const auto& preds : slice_preds)
+  for (const InferSlice& s : slices) {
+    const auto& preds = vn_infer_preds_[static_cast<std::size_t>(s.vn)];
     out.predictions.insert(out.predictions.end(), preds.begin(), preds.end());
+  }
   return out;
 }
 

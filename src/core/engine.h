@@ -222,6 +222,10 @@ class VirtualFlowEngine {
   /// After warm-up a steady-state train_step must not move this (the
   /// zero-allocation contract; see tests/core/test_zero_alloc.cpp).
   std::int64_t workspace_allocs() const;
+  /// Virtual-node slot rows currently held by the hot-path workspace.
+  /// Tracks the live mapping exactly: reconfigure evicts slots (and infer
+  /// scratch) of departed VNs rather than letting them pin buffers.
+  std::int64_t workspace_vns() const { return ws_.num_vns(); }
 
  private:
   struct Replica {
@@ -250,6 +254,11 @@ class VirtualFlowEngine {
       const Dataset& eval, std::int64_t n,
       const std::function<void(std::int64_t, const Tensor&,
                                const std::vector<std::int64_t>&)>& fn);
+  /// Averaged eval-time VN state, recomputed lazily (train_step, restore,
+  /// and reconfigure invalidate it). Eval-mode forwards only read state,
+  /// so eval/infer workers share this one copy instead of deep-copying it
+  /// per call per device — the infer hot path allocates nothing for it.
+  VnState& shared_eval_state();
 
   static constexpr std::int64_t kEvalChunk = 1024;
 
@@ -277,6 +286,17 @@ class VirtualFlowEngine {
   Tensor global_grad_;                              // reduction scratch
   std::vector<Tensor> device_sums_;                 // hierarchical-mode scratch
   std::vector<Workspace> eval_ws_;                  // per-eval-worker arenas
+
+  // ---- Per-model infer scratch (this engine IS the model: co-located
+  // serving runs one engine per model, so everything here is keyed by
+  // (model, VN) overall). Sized to the mapping by resize_vn_scratch and
+  // evicted with it on reconfigure, like the training slots above.
+  VnState eval_state_cache_;                        // shared averaged eval state
+  bool eval_state_dirty_ = true;
+  std::vector<std::vector<std::int64_t>> vn_infer_preds_;  // per-VN predictions
+  std::vector<double> vn_infer_bytes_;              // per-VN logits bytes
+  std::vector<std::vector<std::size_t>> infer_by_device_;  // device -> slice idx
+  std::vector<bool> infer_seen_;                    // duplicate-VN guard
 
   std::int64_t step_ = 0;
   double clock_s_ = 0.0;

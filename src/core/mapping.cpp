@@ -38,13 +38,17 @@ VnMapping VnMapping::uneven(const std::vector<std::vector<std::int64_t>>& per_de
   m.device_vns_.resize(per_device.size());
   std::int32_t next = 0;
   for (std::size_t d = 0; d < per_device.size(); ++d) {
-    check(!per_device[d].empty(), "every device must host at least one virtual node");
+    // An empty list is legal: a device may host zero virtual nodes this
+    // phase (skewed heterogeneous splits, co-location warm spares). Such
+    // a device idles — the engine skips it in compute, timing, and
+    // reduction — but stays in the cluster for later reconfigurations.
     for (const std::int64_t b : per_device[d]) {
       check(b > 0, "virtual-node batch must be positive");
       m.device_vns_[d].push_back(next++);
       m.vn_batches_.push_back(b);
     }
   }
+  check(next > 0, "mapping needs at least one virtual node");
   m.validate();
   return m;
 }

@@ -1,0 +1,20 @@
+#include "sched/elastic.h"
+
+#include <algorithm>
+
+namespace vf::sched {
+
+std::int64_t elastic_resize_target(std::int64_t queue_depth, std::int64_t inflight,
+                                   std::int64_t cur_devices,
+                                   std::int64_t high_watermark,
+                                   std::int64_t low_watermark,
+                                   std::int64_t min_devices,
+                                   std::int64_t max_devices) {
+  if (queue_depth >= high_watermark && cur_devices < max_devices)
+    return std::min(cur_devices * 2, max_devices);
+  if (queue_depth + inflight <= low_watermark && cur_devices > min_devices)
+    return std::max(cur_devices / 2, min_devices);
+  return cur_devices;
+}
+
+}  // namespace vf::sched

@@ -1,0 +1,38 @@
+// Shared elastic device-budget rule for the serving paths.
+//
+// Both the single-model vf::serve::Server and the multi-model
+// ColocatedServer size their device set with the same queue-depth
+// hysteresis: grow (double) when the backlog reaches the high watermark,
+// shrink (halve) when the *system* load — backlog plus in-flight requests
+// — falls to the low watermark. Keeping the rule in one pure function is
+// what lets the co-located arbiter drive a shared budget from combined
+// per-model loads without re-deriving (and re-bugging) the hysteresis:
+// the shrink side must see in-flight work, because mid-burst the queue
+// empties the instant a full batch is admitted into slots, and shrinking
+// on that illusion of idleness oscillates the device set under steady
+// pressure (a 13%-of-throughput bug before PR 3 fixed it).
+//
+// Determinism contract: a pure function of its integer inputs — no clock,
+// no host state — so every replay decision is replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace vf::sched {
+
+/// Returns the device count the elastic loop should run next: `cur_devices`
+/// when no change is warranted, otherwise the doubled (capped at
+/// `max_devices`) or halved (floored at `min_devices`) count. Growth
+/// triggers on `queue_depth` alone reaching `high_watermark`; shrink
+/// triggers only when `queue_depth + inflight` has drained to
+/// `low_watermark` (batch-boundary callers pass inflight = 0 — at their
+/// decision points nothing is in flight). Watermarks must satisfy
+/// high > low (callers validate once at construction).
+std::int64_t elastic_resize_target(std::int64_t queue_depth, std::int64_t inflight,
+                                   std::int64_t cur_devices,
+                                   std::int64_t high_watermark,
+                                   std::int64_t low_watermark,
+                                   std::int64_t min_devices,
+                                   std::int64_t max_devices);
+
+}  // namespace vf::sched

@@ -1,0 +1,475 @@
+#include "serve/colocation.h"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "sched/elastic.h"
+#include "util/common.h"
+
+namespace vf::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---- ModelRegistry ---------------------------------------------------------
+
+std::int32_t ModelRegistry::add(VirtualFlowEngine& engine, const Dataset& request_pool,
+                                ModelConfig config) {
+  for (const Entry& e : entries_)
+    check(e.engine != &engine,
+          "an engine registers at most once (its virtual nodes are one "
+          "model's identity)");
+  check(config.queue_capacity > 0, "model queue capacity must be positive");
+  check(config.deadline_s > 0.0, "model deadline must be positive");
+  Entry e;
+  e.engine = &engine;
+  e.pool = &request_pool;
+  e.config = std::move(config);
+  entries_.push_back(std::move(e));
+  return static_cast<std::int32_t>(entries_.size() - 1);
+}
+
+VirtualFlowEngine& ModelRegistry::engine(std::int32_t m) const {
+  check_index(m, size(), "model");
+  return *entries_[static_cast<std::size_t>(m)].engine;
+}
+
+const Dataset& ModelRegistry::pool(std::int32_t m) const {
+  check_index(m, size(), "model");
+  return *entries_[static_cast<std::size_t>(m)].pool;
+}
+
+const ModelConfig& ModelRegistry::config(std::int32_t m) const {
+  check_index(m, size(), "model");
+  return entries_[static_cast<std::size_t>(m)].config;
+}
+
+// ---- ColocatedServer -------------------------------------------------------
+
+ColocatedServer::ColocatedServer(ModelRegistry& registry, ColocationConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  check(registry_.size() >= 1, "co-location needs at least one registered model");
+
+  const auto shared = static_cast<std::int64_t>(registry_.engine(0).devices().size());
+  for (std::int32_t m = 0; m < registry_.size(); ++m) {
+    check(static_cast<std::int64_t>(registry_.engine(m).devices().size()) == shared,
+          "co-located engines must start on identical device counts (model " +
+              std::to_string(m) + " differs); they share one device set");
+  }
+
+  if (config_.elastic.enabled) {
+    const ElasticPolicy& e = config_.elastic;
+    check(e.min_devices >= 1, "elastic min_devices must be >= 1");
+    check(e.max_devices >= e.min_devices, "elastic max_devices < min_devices");
+    check(e.high_watermark > e.low_watermark,
+          "elastic watermarks must satisfy high > low (hysteresis)");
+    check(e.cooldown_batches >= 0, "elastic cooldown must be non-negative");
+    for (std::int32_t m = 0; m < registry_.size(); ++m) {
+      check(e.max_devices <= registry_.engine(m).mapping().total_vns(),
+            "elastic max_devices (" + std::to_string(e.max_devices) +
+                ") exceeds model " + std::to_string(m) + "'s virtual-node count (" +
+                std::to_string(registry_.engine(m).mapping().total_vns()) +
+                "); devices beyond the VN count would idle for it");
+    }
+  }
+
+  models_.reserve(static_cast<std::size_t>(registry_.size()));
+  for (std::int32_t m = 0; m < registry_.size(); ++m) {
+    const ModelConfig& mc = registry_.config(m);
+    models_.emplace_back(mc.queue_capacity, mc.batch, mc.deadline_s,
+                         registry_.engine(m).mapping().total_vns());
+  }
+  dispatch_ready_.assign(models_.size(), 0.0);
+  // Drop accounting lives at each model's backpressure point, exactly as
+  // in the single-model server. models_ never resizes after this loop, so
+  // indexing through `this` stays valid.
+  for (std::int32_t m = 0; m < registry_.size(); ++m) {
+    models_[static_cast<std::size_t>(m)].queue.set_reject_observer(
+        [this, m](const InferRequest& r) {
+          models_[static_cast<std::size_t>(m)].tracker.record_rejection(r, r.arrival_s);
+        });
+  }
+}
+
+std::int64_t ColocatedServer::shared_devices() const {
+  return static_cast<std::int64_t>(registry_.engine(0).devices().size());
+}
+
+const SloTracker& ColocatedServer::slo(std::int32_t m) const {
+  // Bounds come from models_, the state frozen at construction — the
+  // registry object could have grown since (see the replay() check).
+  check_index(m, static_cast<std::int64_t>(models_.size()), "model");
+  return models_[static_cast<std::size_t>(m)].tracker;
+}
+
+const RequestQueue& ColocatedServer::queue(std::int32_t m) const {
+  check_index(m, static_cast<std::int64_t>(models_.size()), "model");
+  return models_[static_cast<std::size_t>(m)].queue;
+}
+
+void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& traces) {
+  check(!replayed_, "a ColocatedServer replays exactly one trace set");
+  replayed_ = true;
+  check(registry_.size() == static_cast<std::int64_t>(models_.size()),
+        "the registry grew after this server was built (it serves the " +
+            std::to_string(models_.size()) + " models registered at construction)");
+  check(traces.size() == models_.size(),
+        "one trace per registered model (got " + std::to_string(traces.size()) +
+            ", registry holds " + std::to_string(models_.size()) + ")");
+  for (const auto& trace : traces) {
+    for (std::size_t i = 1; i < trace.size(); ++i)
+      check(trace[i - 1].arrival_s <= trace[i].arrival_s,
+            "each trace must be sorted by arrival time");
+  }
+  traces_ = &traces;
+  if (config_.continuous) {
+    replay_continuous();
+  } else {
+    replay_batch_boundary();
+  }
+  traces_ = nullptr;
+}
+
+void ColocatedServer::admit_up_to_clock() {
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    ModelState& st = models_[m];
+    const auto& trace = (*traces_)[m];
+    while (st.next_arrival < trace.size() &&
+           trace[st.next_arrival].arrival_s <= clock_) {
+      st.queue.push(trace[st.next_arrival]);
+      ++st.next_arrival;
+    }
+  }
+}
+
+bool ColocatedServer::migration_in_progress() const {
+  for (const double ready : dispatch_ready_)
+    if (ready > clock_) return true;
+  return false;
+}
+
+void ColocatedServer::resize_if_needed(std::int64_t combined_inflight) {
+  const ElasticPolicy& e = config_.elastic;
+  if (!e.enabled) return;
+  if (work_since_resize_ < e.cooldown_batches) return;
+  // A rolling migration is atomic: no new decision until the last model
+  // has cut over to the current target.
+  if (migration_in_progress()) return;
+  // The shared budget reacts to the COMBINED system load: the sum of every
+  // model's backlog (growth), plus every model's in-flight requests
+  // (shrink) — one bursting model is enough to grow the set all models
+  // run on, which is the whole point of co-locating.
+  std::int64_t depth = 0;
+  for (const ModelState& st : models_) depth += st.queue.size();
+  const std::int64_t cur = shared_devices();
+  const std::int64_t target = sched::elastic_resize_target(
+      depth, combined_inflight, cur, e.high_watermark, e.low_watermark,
+      e.min_devices, e.max_devices);
+  if (target == cur) return;
+  perform_resize(target, depth);
+  device_free_.assign(static_cast<std::size_t>(shared_devices()), clock_);
+}
+
+void ColocatedServer::perform_resize(std::int64_t target, std::int64_t depth) {
+  const std::int64_t cur = shared_devices();
+
+  // Rolling migration order: deepest backlog first (it is the model the
+  // resize exists for), model id breaking ties — a pure function of
+  // replay state, so the cutover sequence is part of the determinism
+  // contract.
+  std::vector<std::int32_t> order(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m)
+    order[m] = static_cast<std::int32_t>(m);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const std::int64_t qa = models_[static_cast<std::size_t>(a)].queue.size();
+    const std::int64_t qb = models_[static_cast<std::size_t>(b)].queue.size();
+    if (qa != qb) return qa > qb;
+    return a < b;
+  });
+
+  // The state all-gathers share the links, so the charges serialize; but
+  // each model's NEW dispatches resume the moment ITS state has landed —
+  // the urgent (deepest-backlog) model pays only the price a dedicated
+  // server would have charged it. The mapping itself switches now;
+  // in-flight slices keep their old schedules (seamless).
+  double migration = 0.0;
+  for (const std::int32_t m : order) {
+    VirtualFlowEngine& eng = registry_.engine(m);
+    const double before = eng.sim_time_s();
+    eng.resize(make_devices(config_.elastic.device, target));
+    migration += eng.sim_time_s() - before;
+    dispatch_ready_[static_cast<std::size_t>(m)] = clock_ + migration;
+  }
+
+  ResizeEvent ev;
+  ev.time_s = clock_ + migration;  // shared set fully live
+  ev.from_devices = cur;
+  ev.to_devices = target;
+  ev.queue_depth = depth;
+  ev.migration_s = migration;
+  resizes_.push_back(ev);
+  work_since_resize_ = 0;
+}
+
+void ColocatedServer::dispatch_slice(std::int32_t m) {
+  ModelState& st = models_[static_cast<std::size_t>(m)];
+  VirtualFlowEngine& eng = registry_.engine(m);
+  const std::int32_t vn = st.ledger.lowest_free();
+  const std::int64_t cap = eng.mapping().vn_batch(vn);
+
+  Slot slot;
+  slot.requests = st.queue.pop(std::min(cap, st.queue.size()));
+  idx_scratch_.clear();
+  idx_scratch_.reserve(slot.requests.size());
+  for (const InferRequest& r : slot.requests) idx_scratch_.push_back(r.example_index);
+  slices_scratch_.resize(1);
+  InferSlice& slice = slices_scratch_.front();
+  slice.vn = vn;
+  registry_.pool(m).gather(idx_scratch_, slice.features, labels_scratch_);
+  InferStats stats = eng.infer(slices_scratch_);
+  const SliceCost& cost = stats.slice_costs.front();
+
+  // The warm/cold pricing rule is the single-model server's
+  // (price_slice_dispatch — one definition, no drift), but the device
+  // horizon is SHARED: a slice of model A pipelines warm behind a pass of
+  // model B on the same device — co-scheduled slices amortize the
+  // dispatch overhead no matter whose they are.
+  const auto dev = static_cast<std::size_t>(cost.device);
+  const SliceSchedule sched = price_slice_dispatch(clock_, device_free_[dev], cost);
+  slot.dispatch_s = clock_;
+  slot.devices = shared_devices();
+  slot.compute_s = sched.compute_s;
+  slot.comm_s = cost.comm_s;
+  slot.done_s = sched.done_s;
+  device_free_[dev] = sched.start_s + sched.compute_s;
+  slot.predictions = std::move(stats.predictions);
+  st.ledger.admit(vn, std::move(slot));
+}
+
+void ColocatedServer::replay_continuous() {
+  device_free_.assign(static_cast<std::size_t>(shared_devices()), 0.0);
+
+  // Completion transition: across ALL models, free every slot due at the
+  // current clock in (done_s, model id, VN id) order — the canonical
+  // multi-model completion order.
+  const auto complete_due = [&]() {
+    std::vector<std::tuple<double, std::int32_t, std::int32_t>> due;
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      ModelState& st = models_[m];
+      for (const std::int32_t vn : st.ledger.due(clock_))
+        due.emplace_back(st.ledger.slot(vn).done_s, static_cast<std::int32_t>(m), vn);
+    }
+    std::sort(due.begin(), due.end());
+    for (const auto& [done_s, m, vn] : due) {
+      ModelState& st = models_[static_cast<std::size_t>(m)];
+      const Slot done = st.ledger.complete(vn);
+      for (std::size_t i = 0; i < done.requests.size(); ++i) {
+        const InferRequest& r = done.requests[i];
+        RequestRecord rec;
+        rec.id = r.id;
+        rec.arrival_s = r.arrival_s;
+        rec.dispatch_s = done.dispatch_s;
+        rec.queue_wait_s = done.dispatch_s - r.arrival_s;
+        rec.compute_s = done.compute_s;
+        rec.comm_s = done.comm_s;
+        rec.finish_s = done.done_s;
+        rec.prediction = done.predictions[i];
+        st.tracker.record_completion(std::move(rec));
+      }
+      ++work_since_resize_;
+      BatchEvent ev;
+      ev.start_s = done.dispatch_s;
+      ev.finish_s = done.done_s;
+      ev.size = static_cast<std::int64_t>(done.requests.size());
+      ev.devices = done.devices;  // the mapping it was launched under
+      ev.queue_depth_after = st.queue.size();
+      ev.vn = vn;
+      ev.model = m;
+      batches_.push_back(ev);
+    }
+  };
+
+  // The deadline-aware arbiter: while any model has a dispatchable slice
+  // (free slot + full slice or timed-out oldest request), claim slots in
+  // ascending (earliest deadline, model id, VN id) order. The VN-id part
+  // comes free: within a model, lowest_free() claims ascending VN ids.
+  const auto try_dispatch = [&]() {
+    for (;;) {
+      std::int32_t best = -1;
+      double best_key = kInf;
+      for (std::size_t m = 0; m < models_.size(); ++m) {
+        ModelState& st = models_[m];
+        if (clock_ < dispatch_ready_[m]) continue;  // still cutting over
+        if (st.queue.empty()) continue;
+        const std::int32_t vn = st.ledger.lowest_free();
+        if (vn < 0) continue;
+        const ModelConfig& mc = registry_.config(static_cast<std::int32_t>(m));
+        const std::int64_t cap =
+            registry_.engine(static_cast<std::int32_t>(m)).mapping().vn_batch(vn);
+        const bool full_slice = st.queue.size() >= cap;
+        const bool timed_out =
+            clock_ >= st.queue.front().arrival_s + mc.batch.max_wait_s;
+        if (!full_slice && !timed_out) continue;
+        // Strict < keeps the lowest model id on deadline ties (scan order).
+        const double key = st.queue.front().arrival_s + mc.deadline_s;
+        if (key < best_key) {
+          best_key = key;
+          best = static_cast<std::int32_t>(m);
+        }
+      }
+      if (best < 0) break;
+      dispatch_slice(best);
+    }
+  };
+
+  while (true) {
+    admit_up_to_clock();
+    complete_due();
+    std::int64_t inflight = 0;
+    for (const ModelState& st : models_) inflight += st.ledger.inflight_requests();
+    resize_if_needed(inflight);
+    try_dispatch();
+
+    // Next event over all models: earliest in-flight completion, next
+    // arrival, or — where a partial slice waits on a free slot — the
+    // oldest request's timeout.
+    double next_t = kInf;
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      const ModelState& st = models_[m];
+      next_t = std::min(next_t, st.ledger.earliest_done_s());
+      const auto& trace = (*traces_)[m];
+      if (st.next_arrival < trace.size())
+        next_t = std::min(next_t, trace[st.next_arrival].arrival_s);
+      if (!st.queue.empty() && st.ledger.lowest_free() >= 0) {
+        // A full slice blocked only by a cutover dispatches at the ready
+        // stamp; a partial slice waits for its timeout (or the cutover,
+        // whichever is later).
+        const std::int64_t cap = registry_.engine(static_cast<std::int32_t>(m))
+                                     .mapping()
+                                     .vn_batch(st.ledger.lowest_free());
+        const double timeout =
+            st.queue.front().arrival_s +
+            registry_.config(static_cast<std::int32_t>(m)).batch.max_wait_s;
+        const double t = st.queue.size() >= cap
+                             ? dispatch_ready_[m]
+                             : std::max(timeout, dispatch_ready_[m]);
+        next_t = std::min(next_t, t);
+      }
+    }
+    if (next_t == kInf) break;  // ledgers idle, queues drained, traces done
+    clock_ = std::max(clock_, next_t);
+  }
+}
+
+void ColocatedServer::execute_model_batch(std::int32_t m, std::int64_t take) {
+  ModelState& st = models_[static_cast<std::size_t>(m)];
+  VirtualFlowEngine& eng = registry_.engine(m);
+  const double start = clock_;
+  const std::vector<InferRequest> batch = st.queue.pop(take);
+  const std::vector<VnPack> packs = st.former.pack(take, eng.mapping());
+
+  slices_scratch_.resize(packs.size());
+  for (std::size_t pi = 0; pi < packs.size(); ++pi) {
+    const VnPack& p = packs[pi];
+    idx_scratch_.clear();
+    idx_scratch_.reserve(p.positions.size());
+    for (const std::int64_t pos : p.positions)
+      idx_scratch_.push_back(batch[static_cast<std::size_t>(pos)].example_index);
+    InferSlice& s = slices_scratch_[pi];
+    s.vn = p.vn;
+    registry_.pool(m).gather(idx_scratch_, s.features, labels_scratch_);
+  }
+
+  const InferStats stats = eng.infer(slices_scratch_);
+  const double finish = start + stats.compute_s + stats.comm_s;
+
+  for (std::int64_t p = 0; p < take; ++p) {
+    const InferRequest& r = batch[static_cast<std::size_t>(p)];
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.arrival_s = r.arrival_s;
+    rec.dispatch_s = start;
+    rec.queue_wait_s = start - r.arrival_s;
+    rec.compute_s = stats.compute_s;
+    rec.comm_s = stats.comm_s;
+    rec.finish_s = finish;
+    rec.prediction = stats.predictions[static_cast<std::size_t>(p)];
+    st.tracker.record_completion(std::move(rec));
+  }
+
+  clock_ = finish;
+  ++work_since_resize_;
+  BatchEvent ev;
+  ev.start_s = start;
+  ev.finish_s = finish;
+  ev.size = take;
+  ev.devices = shared_devices();
+  ev.queue_depth_after = st.queue.size();
+  ev.model = m;
+  batches_.push_back(ev);
+}
+
+void ColocatedServer::replay_batch_boundary() {
+  while (true) {
+    admit_up_to_clock();
+
+    // Deadline-ordered batch arbitration: among models whose former says
+    // a batch is ready, serve the one whose oldest request's deadline is
+    // earliest (model id breaks ties); each batch runs on the FULL shared
+    // device set, so batches of different models serialize.
+    std::int32_t best = -1;
+    double best_key = kInf;
+    std::int64_t best_take = 0;
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      ModelState& st = models_[m];
+      if (clock_ < dispatch_ready_[m]) continue;  // still cutting over
+      const std::int64_t ready = st.former.ready_count(st.queue, clock_);
+      if (ready == 0) continue;
+      const ModelConfig& mc = registry_.config(static_cast<std::int32_t>(m));
+      const double key = st.queue.front().arrival_s + mc.deadline_s;
+      if (key < best_key) {
+        best_key = key;
+        best = static_cast<std::int32_t>(m);
+        best_take = std::min(
+            ready,
+            registry_.engine(static_cast<std::int32_t>(m)).mapping().global_batch());
+      }
+    }
+
+    if (best >= 0) {
+      execute_model_batch(best, best_take);
+      // Admit the service window's arrivals before recording depth and
+      // deciding elasticity, exactly like the single-model server.
+      admit_up_to_clock();
+      batches_.back().queue_depth_after =
+          models_[static_cast<std::size_t>(best)].queue.size();
+      resize_if_needed(/*combined_inflight=*/0);
+      continue;
+    }
+
+    // Nothing ready: jump to the next event — a queued model's timeout
+    // (no earlier than its cutover stamp) or the next arrival of any
+    // model.
+    double next_t = kInf;
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      const ModelState& st = models_[m];
+      if (!st.queue.empty()) {
+        const double formable =
+            st.former.ready_count(st.queue, clock_) > 0
+                ? dispatch_ready_[m]  // gated batch fires at cutover
+                : std::max(st.former.timeout_deadline_s(st.queue),
+                           dispatch_ready_[m]);
+        next_t = std::min(next_t, formable);
+      }
+      const auto& trace = (*traces_)[m];
+      if (st.next_arrival < trace.size())
+        next_t = std::min(next_t, trace[st.next_arrival].arrival_s);
+    }
+    if (next_t == kInf) break;  // queues drained, traces exhausted
+    clock_ = std::max(clock_, next_t);
+  }
+}
+
+}  // namespace vf::serve

@@ -1,0 +1,202 @@
+// Multi-model co-location: several models' virtual nodes multiplexed onto
+// ONE shared physical device set.
+//
+// The paper's decoupling makes this almost free conceptually: a model
+// only ever names virtual nodes, so two models are just two independent
+// VN sets that happen to resolve onto the same devices (the transparent-
+// virtualization direction FlexNPU pushes for co-located LLM serving).
+// What a co-located deployment adds over two dedicated servers is
+// *statistical multiplexing*: when model A bursts while model B idles, A
+// borrows the whole device set instead of being capped at its dedicated
+// half — bench_colocation measures exactly that trade against two
+// dedicated half-size device sets.
+//
+//   ModelRegistry (name, engine, request pool, per-model SLO/queue/batch)
+//        |                        2+ models
+//        v
+//   ColocatedServer ── per-model RequestQueue + SloTracker + SlotLedger
+//        |              one shared virtual clock + per-device free times
+//        v
+//   deadline-aware arbiter ── shared elastic budget (sched/elastic.h)
+//
+// Arbiter rule (the determinism contract's core): whenever slots are
+// free, dispatchable slices are claimed in ascending
+//
+//     (earliest deadline, model id, VN id)
+//
+// order, where a model's deadline key is its oldest queued request's
+// arrival stamp plus the model's SLO. Completions are processed in
+// (completion time, model id, VN id) order, arrivals admitted in model-id
+// order at equal stamps. Every decision is a pure function of (traces,
+// policies, cost model) on the virtual clock — the full per-model record
+// streams replay bit-identically across host worker counts, in both
+// batching modes, exactly like the single-model Server.
+//
+// Elasticity is a SHARED budget: grow/shrink decisions come from the
+// combined backlog (sum of queue depths) plus combined in-flight load via
+// the same hysteresis rule the single-model server uses
+// (sched::elastic_resize_target), and a resize moves every engine to the
+// same device count — the engines stay in lockstep on the shared device
+// set. In-flight slices keep the completion times their dispatch-time
+// mapping scheduled (the resize is seamless, like the single-model
+// server's).
+//
+// Migration is ROLLING: the models' state all-gathers ride the same
+// shared links, so they serialize — most-loaded model first (combined
+// backlog order, model id tie-break) — and each model's NEW dispatches
+// resume the moment its own state has landed, instead of every model
+// stalling for the sum. The urgent model therefore pays exactly the
+// migration price a dedicated server would have charged it, and the
+// quiet models absorb the queueing. (The single-model Server jumps its
+// clock by the whole migration; with one model the two policies
+// coincide.) A resize is also atomic: no new resize decision fires until
+// the last model has cut over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "serve/batch_former.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+#include "serve/slo_tracker.h"
+#include "serve/slot_ledger.h"
+
+namespace vf::serve {
+
+/// Per-model serving configuration within a co-located deployment.
+struct ModelConfig {
+  std::string name = "model";     ///< label for tables and diagnostics
+  std::int64_t queue_capacity = 1024;
+  BatchPolicy batch;              ///< size-or-timeout policy for this model
+  double deadline_s = 0.5;        ///< per-request SLO; also the arbiter key
+};
+
+/// Binds each co-located model's engine, request pool, and config under a
+/// dense model id (registration order). Engines and pools must outlive the
+/// registry and any server built on it; each engine may appear only once
+/// (its virtual nodes are one model's identity).
+class ModelRegistry {
+ public:
+  std::int32_t add(VirtualFlowEngine& engine, const Dataset& request_pool,
+                   ModelConfig config);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(entries_.size()); }
+  VirtualFlowEngine& engine(std::int32_t m) const;
+  const Dataset& pool(std::int32_t m) const;
+  const ModelConfig& config(std::int32_t m) const;
+
+ private:
+  struct Entry {
+    VirtualFlowEngine* engine = nullptr;
+    const Dataset* pool = nullptr;
+    ModelConfig config;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Configuration of the shared device set.
+struct ColocationConfig {
+  /// Shared elastic budget over the co-located device set. Watermarks act
+  /// on the COMBINED backlog (and, for shrink, combined in-flight load).
+  ElasticPolicy elastic;
+  /// Continuous (per-VN slot) batching — co-location's native mode: slots
+  /// of every model compete for devices at slice granularity. False
+  /// serializes whole formed batches (each on the full device set) in
+  /// deadline order — the batch-boundary baseline.
+  bool continuous = true;
+};
+
+/// Serves the registered models (typically 2+; a single model is a legal
+/// degenerate case equivalent to a continuous-mode Server) on one shared
+/// device set. One replay per server, same one-shot contract as the
+/// single-model Server.
+class ColocatedServer {
+ public:
+  /// All engines must start on identical device counts (they stay in
+  /// lockstep through shared resizes). Engines, pools, and the registry
+  /// must outlive the server.
+  ColocatedServer(ModelRegistry& registry, ColocationConfig config);
+
+  ColocatedServer(const ColocatedServer&) = delete;
+  ColocatedServer& operator=(const ColocatedServer&) = delete;
+
+  /// Replays one open-loop arrival trace per model (indexed by model id,
+  /// each ascending in arrival time) to completion, draining every queue.
+  void replay(const std::vector<std::vector<InferRequest>>& traces);
+
+  double now_s() const { return clock_; }
+  /// Models frozen at construction (a registry that grows afterwards is
+  /// rejected at replay; these accessors never index past the snapshot).
+  std::int64_t num_models() const { return static_cast<std::int64_t>(models_.size()); }
+  /// Devices currently backing the shared set (all engines agree).
+  std::int64_t shared_devices() const;
+
+  const SloTracker& slo(std::int32_t m) const;
+  const RequestQueue& queue(std::int32_t m) const;
+  const std::vector<ResizeEvent>& resizes() const { return resizes_; }
+  /// Work units across all models; BatchEvent::model carries the id.
+  const std::vector<BatchEvent>& batches() const { return batches_; }
+
+ private:
+  /// Mutable per-model serving state (config lives in the registry).
+  struct ModelState {
+    ModelState(std::int64_t queue_capacity, BatchPolicy policy,
+               double deadline_s, std::int64_t total_vns)
+        : queue(queue_capacity), former(policy), tracker(deadline_s),
+          ledger(total_vns) {}
+    RequestQueue queue;
+    BatchFormer former;
+    SloTracker tracker;
+    SlotLedger ledger;
+    std::size_t next_arrival = 0;
+  };
+
+  void replay_continuous();
+  void replay_batch_boundary();
+
+  /// Admits every model's arrivals up to the clock, in model-id order.
+  void admit_up_to_clock();
+  /// Combined resize decision + lockstep execution (both modes).
+  void resize_if_needed(std::int64_t combined_inflight);
+  /// Executes a decided resize as a rolling migration: engines cut over
+  /// to `target` devices serially (deepest combined backlog first, model
+  /// id tie-break); model m's dispatches resume at dispatch_ready_[m].
+  void perform_resize(std::int64_t target, std::int64_t depth);
+  /// True while a rolling migration is still cutting models over.
+  bool migration_in_progress() const;
+  /// Dispatches one slice of model `m` onto its lowest free VN slot.
+  void dispatch_slice(std::int32_t m);
+  /// Executes one formed batch of model `m` on the full device set.
+  void execute_model_batch(std::int32_t m, std::int64_t take);
+
+  ModelRegistry& registry_;
+  ColocationConfig config_;
+  std::vector<ModelState> models_;
+  /// The traces being replayed; set for the duration of replay() only.
+  const std::vector<std::vector<InferRequest>>* traces_ = nullptr;
+
+  double clock_ = 0.0;
+  /// Per-device busy horizon on the shared set; devices serialize slices
+  /// of ALL models (continuous mode). Rebuilt after every resize.
+  std::vector<double> device_free_;
+  /// Rolling-migration cutover stamps: model m dispatches nothing new
+  /// before dispatch_ready_[m] (admissions and in-flight completions
+  /// continue throughout).
+  std::vector<double> dispatch_ready_;
+  std::int64_t work_since_resize_ = 0;
+  bool replayed_ = false;
+  std::vector<ResizeEvent> resizes_;
+  std::vector<BatchEvent> batches_;
+
+  // Reusable dispatch scratch shared across models (used serially on the
+  // replay thread, like the single-model server's).
+  std::vector<std::int64_t> idx_scratch_;
+  std::vector<std::int64_t> labels_scratch_;
+  std::vector<InferSlice> slices_scratch_;
+};
+
+}  // namespace vf::serve

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "data/batch.h"
+#include "sched/elastic.h"
 #include "util/common.h"
 
 namespace vf::serve {
@@ -153,19 +154,14 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
     if (work_since_resize_ < e.cooldown_batches) return;
     const std::int64_t depth = queue_.size();
     const auto cur = static_cast<std::int64_t>(engine_.devices().size());
-    std::int64_t target = cur;
-    if (depth >= e.high_watermark && cur < e.max_devices) {
-      target = std::min(cur * 2, e.max_devices);
-    } else if (depth + ledger.inflight_requests() <= e.low_watermark &&
-               cur > e.min_devices) {
-      // Shrink on *system* load, not queue depth alone: mid-burst the
-      // queue empties the instant a full in-flight batch is admitted into
-      // slots, and shrinking on that illusion of idleness would bounce the
-      // device set (shrink -> queue re-fills -> grow) under steady
-      // pressure — a blind spot batch-boundary mode never has, because at
-      // its decision points nothing is in flight.
-      target = std::max(cur / 2, e.min_devices);
-    }
+    // The shared hysteresis rule (src/sched/elastic.h) shrinks on *system*
+    // load — queue plus in-flight — never queue depth alone: mid-burst the
+    // queue empties the instant a full in-flight batch is admitted into
+    // slots, and shrinking on that illusion of idleness would bounce the
+    // device set (shrink -> queue re-fills -> grow) under steady pressure.
+    const std::int64_t target = sched::elastic_resize_target(
+        depth, ledger.inflight_requests(), cur, e.high_watermark, e.low_watermark,
+        e.min_devices, e.max_devices);
     if (target == cur) return;
     perform_resize(target, depth);
     device_free.assign(engine_.devices().size(), clock_);
@@ -198,23 +194,18 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
       InferStats stats = engine_.infer(slices_scratch_);
       const SliceCost& cost = stats.slice_costs.front();
 
-      // Warm/cold dispatch pricing: a slice landing on a device that is
-      // still mid-pass pipelines behind it — the framework's dispatch
-      // overhead hides under the running pass and only the forward time is
-      // charged. A cold dispatch (idle device) pays the full overhead.
-      // Both prices are pure functions of virtual-clock state.
+      // Warm/cold dispatch pricing (price_slice_dispatch, shared with the
+      // co-located server so the two price models cannot diverge).
       const auto dev = static_cast<std::size_t>(cost.device);
-      const bool warm = device_free[dev] > clock_;
-      const double compute = cost.pass_s + (warm ? 0.0 : cost.overhead_s);
-      const double start = std::max(clock_, device_free[dev]);
+      const SliceSchedule sched = price_slice_dispatch(clock_, device_free[dev], cost);
       slot.dispatch_s = clock_;
       slot.devices = static_cast<std::int64_t>(engine_.devices().size());
-      slot.compute_s = compute;
+      slot.compute_s = sched.compute_s;
       slot.comm_s = cost.comm_s;
-      slot.done_s = start + compute + cost.comm_s;
+      slot.done_s = sched.done_s;
       // The device is busy for the forward pass; the logits return rides
       // the link while the device moves on to its next slice.
-      device_free[dev] = start + compute;
+      device_free[dev] = sched.start_s + sched.compute_s;
       slot.predictions = std::move(stats.predictions);
       ledger.admit(vn, std::move(slot));
     }
@@ -298,12 +289,11 @@ void Server::maybe_resize() {
 
   const std::int64_t depth = queue_.size();
   const auto cur = static_cast<std::int64_t>(engine_.devices().size());
-  std::int64_t target = cur;
-  if (depth >= e.high_watermark && cur < e.max_devices) {
-    target = std::min(cur * 2, e.max_devices);
-  } else if (depth <= e.low_watermark && cur > e.min_devices) {
-    target = std::max(cur / 2, e.min_devices);
-  }
+  // Batch-boundary decision points have nothing in flight (the batch
+  // barrier just drained), so the shared rule sees inflight = 0.
+  const std::int64_t target = sched::elastic_resize_target(
+      depth, /*inflight=*/0, cur, e.high_watermark, e.low_watermark,
+      e.min_devices, e.max_devices);
   if (target == cur) return;
   perform_resize(target, depth);
 }

@@ -99,6 +99,7 @@ struct BatchEvent {
   std::int64_t devices = 0;          ///< device count that served it
   std::int64_t queue_depth_after = 0;
   std::int32_t vn = -1;  ///< slice's virtual node (continuous mode); -1 = batch
+  std::int32_t model = -1;  ///< registry id (co-located serving); -1 = single model
 };
 
 class Server {

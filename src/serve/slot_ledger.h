@@ -19,9 +19,34 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine.h"
 #include "serve/request.h"
 
 namespace vf::serve {
+
+/// Virtual-clock schedule of one continuously batched slice dispatch.
+struct SliceSchedule {
+  double start_s = 0.0;    ///< when the device begins the pass
+  double compute_s = 0.0;  ///< forward time actually charged (warm or cold)
+  double done_s = 0.0;     ///< completion incl. the logits return
+};
+
+/// The warm/cold dispatch pricing rule shared by the single-model Server
+/// and the multi-model ColocatedServer (one definition so the two price
+/// models can never silently diverge): a slice landing on a device that
+/// is still mid-pass (`device_free_s > now_s`) pipelines behind it — the
+/// per-dispatch framework overhead hides under the running pass and only
+/// the forward time is charged; a cold dispatch (idle device) pays the
+/// full overhead. Pure function of virtual-clock state.
+inline SliceSchedule price_slice_dispatch(double now_s, double device_free_s,
+                                          const SliceCost& cost) {
+  SliceSchedule s;
+  const bool warm = device_free_s > now_s;
+  s.compute_s = cost.pass_s + (warm ? 0.0 : cost.overhead_s);
+  s.start_s = now_s > device_free_s ? now_s : device_free_s;
+  s.done_s = s.start_s + s.compute_s + cost.comm_s;
+  return s;
+}
 
 /// One in-flight slice occupying a virtual-node slot.
 struct Slot {

@@ -324,10 +324,16 @@ Tensor Tensor::column_sums() const {
 }
 
 std::vector<std::int64_t> Tensor::row_argmax() const {
+  std::vector<std::int64_t> out;
+  row_argmax_into(out);
+  return out;
+}
+
+void Tensor::row_argmax_into(std::vector<std::int64_t>& out) const {
   check(rank() == 2, "row_argmax requires a rank-2 tensor");
   const std::int64_t r = rows(), c = cols();
   check(c > 0 || r == 0, "row_argmax requires at least one column");
-  std::vector<std::int64_t> out(static_cast<std::size_t>(r));
+  out.resize(static_cast<std::size_t>(r));
   const float* p = data_.data();
   for (std::int64_t i = 0; i < r; ++i, p += c) {
     std::int64_t best = 0;
@@ -340,7 +346,6 @@ std::vector<std::int64_t> Tensor::row_argmax() const {
     }
     out[static_cast<std::size_t>(i)] = best;
   }
-  return out;
 }
 
 Tensor Tensor::slice_rows(std::int64_t start_row, std::int64_t count) const {

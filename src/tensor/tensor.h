@@ -124,6 +124,9 @@ class Tensor {
   Tensor column_sums() const;
   /// Row-wise argmax of a rank-2 tensor -> vector of column indices.
   std::vector<std::int64_t> row_argmax() const;
+  /// row_argmax writing into a caller-owned vector (capacity reused across
+  /// calls — the serving hot path's per-VN prediction scratch).
+  void row_argmax_into(std::vector<std::int64_t>& out) const;
 
   /// Copies `count` rows starting at `start_row` into a new tensor.
   Tensor slice_rows(std::int64_t start_row, std::int64_t count) const;

@@ -20,6 +20,15 @@
 // VF_WORKSPACE_REUSE=0), every acquisition drops the slot's buffer first,
 // faithfully reproducing the allocate-per-intermediate behaviour the
 // workspace replaced — bench_hotpath uses this as the "before" arm.
+//
+// Confinement tripwire (debug builds): the one-worker-per-VN contract
+// above is load-bearing but was previously unchecked — a future caller
+// letting two pool workers drive the same VN would corrupt buffers
+// silently. In builds without NDEBUG every acquisition verifies that the
+// acquiring thread is the VN's sole owner within the current ownership
+// region (begin_region() opens a new one; the engine calls it before
+// every parallel section). The check costs one atomic op per acquisition
+// and compiles out of release builds.
 #pragma once
 
 #include <atomic>
@@ -41,9 +50,14 @@ class Workspace {
   // moves spelled out.
   Workspace(Workspace&& other) noexcept
       : vns_(std::move(other.vns_)),
+        owners_(std::move(other.owners_)),
+        generation_(other.generation_.load(std::memory_order_relaxed)),
         allocs_(other.allocs_.load(std::memory_order_relaxed)) {}
   Workspace& operator=(Workspace&& other) noexcept {
     vns_ = std::move(other.vns_);
+    owners_ = std::move(other.owners_);
+    generation_.store(other.generation_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     allocs_.store(other.allocs_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
     return *this;
@@ -56,7 +70,22 @@ class Workspace {
   /// reconfiguration), never inside a parallel region.
   void ensure_vns(std::int64_t num_vns);
 
+  /// Drops every slot (and its buffers) of VNs at or beyond `num_vns`.
+  /// The engine calls this on reconfigure: when a new mapping has fewer
+  /// virtual nodes, the departed VNs' slots must not outlive it — before
+  /// this existed they pinned their buffers for the engine's lifetime.
+  /// Same thread-safety contract as ensure_vns (setup only).
+  void shrink_vns(std::int64_t num_vns);
+
   std::int64_t num_vns() const { return static_cast<std::int64_t>(vns_.size()); }
+
+  /// Opens a new ownership region for the debug confinement check: the
+  /// first thread to acquire a VN's slots after this call owns that VN
+  /// until the next begin_region(). Callers bracket every parallel
+  /// section with it (worker -> VN assignment may legitimately change
+  /// between sections, never within one). Cheap enough to call always;
+  /// the per-acquisition check compiles out of NDEBUG builds.
+  void begin_region() { generation_.fetch_add(1, std::memory_order_acq_rel); }
 
   /// The reusable tensor in slot (vn, tag), created empty on first use.
   /// The caller reshapes (ensure_shape) and overwrites it; contents from
@@ -82,8 +111,29 @@ class Workspace {
     mutable std::size_t audited_capacity = 0;
   };
 
+  /// Per-VN ownership word for the debug confinement check, packed as
+  /// (region generation << 32) | 32-bit thread tag. One atomic so the
+  /// claim race between two violating threads is itself data-race-free
+  /// (the tripwire must not trip TSan). Movable wrapper because the slot
+  /// table resizes during single-threaded setup.
+  struct VnOwner {
+    std::atomic<std::uint64_t> word{0};
+    VnOwner() = default;
+    VnOwner(VnOwner&& o) noexcept : word(o.word.load(std::memory_order_relaxed)) {}
+    VnOwner& operator=(VnOwner&& o) noexcept {
+      word.store(o.word.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   /// Re-audits one slot's capacity, charging any growth since last look.
   void audit(const Slot& s) const;
+
+#ifndef NDEBUG
+  /// Debug confinement check: throws VfError when a second thread touches
+  /// `vn`'s slots within the current ownership region.
+  void assert_vn_owner(std::int32_t vn);
+#endif
 
   // One independent slot map per VN: concurrent first-use insertions for
   // different VNs touch different maps. std::map keeps node addresses
@@ -92,6 +142,10 @@ class Workspace {
   // charge it concurrently (relaxed: it is a diagnostic counter, read
   // from quiescent contexts only).
   std::vector<std::map<std::int32_t, Slot>> vns_;
+  std::vector<VnOwner> owners_;
+  // Region generations start at 1 so the zero-initialized owner words can
+  // never look like a live claim.
+  std::atomic<std::uint64_t> generation_{1};
   mutable std::atomic<std::int64_t> allocs_{0};
 };
 

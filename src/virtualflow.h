@@ -57,6 +57,7 @@
 // Deadline-aware inference serving on virtual nodes.
 #include "serve/arrival.h"
 #include "serve/batch_former.h"
+#include "serve/colocation.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 #include "serve/server.h"
@@ -64,6 +65,7 @@
 #include "serve/slot_ledger.h"
 
 // Cluster scheduling.
+#include "sched/elastic.h"
 #include "sched/gavel.h"
 #include "sched/job.h"
 #include "sched/simulator.h"

@@ -166,6 +166,50 @@ TEST(Infer, SliceCostsPriceEachSliceIndependently) {
   }
 }
 
+TEST(Infer, ReusesEngineScratchAcrossCalls) {
+  // The serving loop issues thousands of infer dispatches; after the first
+  // call warms the per-VN scratch (predictions, grouping lists, the cached
+  // averaged eval state), repeat calls with the same shapes must perform
+  // zero tensor heap allocations inside the engine. The caller-visible
+  // result vectors are excluded — only Tensor allocations are counted.
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 8, 2, 0);
+  for (int i = 0; i < 2; ++i) engine.train_step();
+  const auto slices = make_slices(*rig.task.val, 64, 8);
+  engine.infer(slices);  // warm-up: slots, cached eval state
+
+  const std::int64_t t0 = tensor_alloc_count();
+  for (int i = 0; i < 5; ++i) engine.infer(slices);
+  EXPECT_EQ(tensor_alloc_count() - t0, 0)
+      << "steady-state infer must not allocate tensors";
+
+  // A training step invalidates the cached averaged eval state; the next
+  // infer recomputes it (allocates once), then goes quiet again.
+  engine.train_step();
+  engine.infer(slices);
+  const std::int64_t t1 = tensor_alloc_count();
+  engine.infer(slices);
+  EXPECT_EQ(tensor_alloc_count() - t1, 0);
+}
+
+TEST(Infer, ScratchShrinksWithTheMapping) {
+  // Reconfiguring to fewer VNs must evict the departed VNs' infer scratch
+  // and workspace slots alongside the training scratch.
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 8, 2, 0);
+  engine.infer(make_slices(*rig.task.val, 64, 8));
+  ASSERT_EQ(engine.workspace_vns(), 8);
+
+  engine.reconfigure(make_devices(DeviceType::kV100, 2),
+                     VnMapping::even(4, 2, rig.recipe.global_batch));
+  EXPECT_EQ(engine.workspace_vns(), 4);
+  // Slices naming departed VNs are rejected against the live mapping.
+  auto stale = make_slices(*rig.task.val, 16, 8);
+  EXPECT_THROW(engine.infer(stale), VfError);
+  const InferStats ok = engine.infer(make_slices(*rig.task.val, 16, 4));
+  EXPECT_EQ(ok.predictions.size(), 16u);
+}
+
 TEST(Infer, DoesNotAdvanceClockOrTraining) {
   Rig rig = make_rig();
   VirtualFlowEngine engine = make_engine(rig, 8, 2, 0);

@@ -49,8 +49,21 @@ TEST(VnMapping, UnevenAssignsVnIdsInDeviceOrder) {
 
 TEST(VnMapping, UnevenValidation) {
   EXPECT_THROW(VnMapping::uneven({}), VfError);
-  EXPECT_THROW(VnMapping::uneven({{64}, {}}), VfError);   // empty device
   EXPECT_THROW(VnMapping::uneven({{64}, {0}}), VfError);  // zero batch
+  EXPECT_THROW(VnMapping::uneven({{}, {}}), VfError);     // zero VNs overall
+}
+
+TEST(VnMapping, DeviceMayHostZeroVns) {
+  // A device hosting zero virtual nodes is a legal skewed mapping (it
+  // idles this phase but stays in the cluster) — the shape a skewed
+  // heterogeneous reconfigure or a co-location warm spare produces.
+  const auto m = VnMapping::uneven({{}, {64, 64}});
+  EXPECT_EQ(m.num_devices(), 2);
+  EXPECT_EQ(m.total_vns(), 2);
+  EXPECT_TRUE(m.device_vns(0).empty());
+  EXPECT_EQ(m.device_batch_total(0), 0);
+  EXPECT_EQ(m.device_of(0), 1);
+  EXPECT_EQ(m.global_batch(), 128);
 }
 
 TEST(VnMapping, RedistributedPreservesVnsAndBatches) {

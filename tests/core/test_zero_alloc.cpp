@@ -94,6 +94,46 @@ TEST(ZeroAllocSteadyState, ResizeRewarmsThenGoesQuietAgain) {
   EXPECT_EQ(tensor_alloc_count() - tensor0, 0);
 }
 
+TEST(ZeroAllocSteadyState, GrowShrinkGrowCycleEvictsStaleVnSlotsAndRewarms) {
+  ConfigGuard guard;
+  TensorConfig::set_kernel_mode(KernelMode::kBlocked);
+  TensorConfig::set_workspace_reuse(true);
+
+  ProxyTask task = make_task("qnli-sim", 42);
+  TrainRecipe recipe = make_recipe("qnli-sim");
+  const std::int64_t gb = recipe.global_batch;
+  VirtualFlowEngine eng = make_engine(8, 2, 0, task, recipe);
+  for (int i = 0; i < 3; ++i) eng.train_step();
+  ASSERT_EQ(eng.workspace_vns(), 8);
+
+  // Shrink the VN count (heterogeneous reconfigure, same global batch):
+  // the departed VNs' workspace slots and infer scratch must be evicted
+  // with the mapping — before the fix they outlived it, pinning their
+  // buffers for the engine's lifetime.
+  eng.reconfigure(make_devices(DeviceType::kV100, 2),
+                  VnMapping::even(4, 2, gb));
+  EXPECT_EQ(eng.workspace_vns(), 4)
+      << "reconfigure must evict slots of VNs outside the new mapping";
+  for (int i = 0; i < 3; ++i) eng.train_step();
+
+  const std::int64_t shrunk0 = tensor_alloc_count();
+  for (int i = 0; i < 4; ++i) eng.train_step();
+  EXPECT_EQ(tensor_alloc_count() - shrunk0, 0)
+      << "steady state must return after the shrink re-warm";
+
+  // Growing back re-creates the evicted VNs' slots (a re-warm may
+  // allocate), then the step goes allocation-quiet again.
+  eng.reconfigure(make_devices(DeviceType::kV100, 2),
+                  VnMapping::even(8, 2, gb));
+  EXPECT_EQ(eng.workspace_vns(), 8);
+  for (int i = 0; i < 3; ++i) eng.train_step();
+
+  const std::int64_t regrown0 = tensor_alloc_count();
+  for (int i = 0; i < 4; ++i) eng.train_step();
+  EXPECT_EQ(tensor_alloc_count() - regrown0, 0)
+      << "steady state must return after the grow re-warm";
+}
+
 TEST(ZeroAllocSteadyState, NoReuseBaselineChurnsEveryStep) {
   ConfigGuard guard;
   TensorConfig::set_kernel_mode(KernelMode::kReference);

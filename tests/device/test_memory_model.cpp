@@ -101,8 +101,18 @@ TEST(PeakMemory, PrefetchDoublesInputsOnlyWithMultipleVns) {
 
 TEST(PeakMemory, InvalidBatchesThrow) {
   const ModelProfile& m = model_profile("resnet50");
-  EXPECT_THROW(peak_memory(m, {}, true), VfError);
   EXPECT_THROW(peak_memory(m, {0}, true), VfError);
+}
+
+TEST(PeakMemory, IdleDeviceHoldsReplicaOnly) {
+  // A device hosting zero VNs (legal skewed mapping) still pays for its
+  // model replica and the framework footprint, but no inputs/activations.
+  const ModelProfile& m = model_profile("resnet50");
+  const MemoryBreakdown idle = peak_memory(m, {}, false);
+  EXPECT_DOUBLE_EQ(idle.inputs, 0.0);
+  EXPECT_DOUBLE_EQ(idle.activations, 0.0);
+  EXPECT_DOUBLE_EQ(idle.parameters, m.param_bytes());
+  EXPECT_GT(idle.total(), 0.0);
 }
 
 TEST(MaxMicroBatch, VirtualNodesUnlockLargeGlobalBatches) {

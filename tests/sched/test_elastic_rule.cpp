@@ -1,0 +1,60 @@
+// The shared elastic hysteresis rule (sched/elastic.h): one pure function
+// drives both the single-model Server and the multi-model ColocatedServer,
+// so its decision table is pinned here once.
+#include <gtest/gtest.h>
+
+#include "sched/elastic.h"
+
+namespace vf::sched {
+namespace {
+
+constexpr std::int64_t kHigh = 64;
+constexpr std::int64_t kLow = 4;
+constexpr std::int64_t kMin = 1;
+constexpr std::int64_t kMax = 8;
+
+std::int64_t target(std::int64_t depth, std::int64_t inflight, std::int64_t cur) {
+  return elastic_resize_target(depth, inflight, cur, kHigh, kLow, kMin, kMax);
+}
+
+TEST(ElasticResizeTarget, GrowsByDoublingAtTheHighWatermark) {
+  EXPECT_EQ(target(kHigh, 0, 1), 2);
+  EXPECT_EQ(target(kHigh + 100, 0, 2), 4);
+  EXPECT_EQ(target(kHigh - 1, 0, 1), 1) << "below the watermark: no growth";
+}
+
+TEST(ElasticResizeTarget, GrowthIsCappedAtMaxDevices) {
+  EXPECT_EQ(target(kHigh, 0, 8), 8) << "already at the ceiling";
+  EXPECT_EQ(target(kHigh, 0, 5), 8) << "doubling clamps to max, not past it";
+}
+
+TEST(ElasticResizeTarget, ShrinksOnSystemLoadNotQueueDepthAlone) {
+  // An empty queue with a full in-flight batch is a busy system: mid-burst
+  // the queue drains the instant requests are admitted into slots, and
+  // shrinking on that illusion of idleness oscillates the device set.
+  EXPECT_EQ(target(0, 64, 8), 8) << "in-flight load must block the shrink";
+  EXPECT_EQ(target(0, kLow + 1, 8), 8);
+  EXPECT_EQ(target(0, kLow, 8), 4) << "queue + in-flight at the low watermark";
+  EXPECT_EQ(target(2, 2, 8), 4);
+  EXPECT_EQ(target(0, 0, 8), 4);
+}
+
+TEST(ElasticResizeTarget, ShrinkIsFlooredAtMinDevices) {
+  EXPECT_EQ(target(0, 0, 1), 1) << "already at the floor";
+  EXPECT_EQ(elastic_resize_target(0, 0, 3, kHigh, kLow, 2, kMax), 2)
+      << "halving clamps to min, not past it";
+}
+
+TEST(ElasticResizeTarget, HoldsInsideTheHysteresisBand) {
+  for (std::int64_t depth = kLow + 1; depth < kHigh; depth += 7)
+    EXPECT_EQ(target(depth, 0, 4), 4) << "depth " << depth;
+}
+
+TEST(ElasticResizeTarget, GrowthWinsWhenBothConditionsHold) {
+  // Degenerate watermarks can make both branches true; growth is checked
+  // first (pressure beats thrift).
+  EXPECT_EQ(elastic_resize_target(5, 0, 4, 5, 5, 1, 8), 8);
+}
+
+}  // namespace
+}  // namespace vf::sched

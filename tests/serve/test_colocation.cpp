@@ -1,0 +1,358 @@
+// Multi-model co-location end-to-end: per-model SLO accounting, the
+// deadline-aware arbiter, the shared elastic budget under staggered
+// bursts, lockstep seamless resizes, and the bit-exactness contract
+// across host worker counts in BOTH batching modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/arrival.h"
+#include "serve/colocation.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf::serve {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+struct Rig {
+  ProxyTask task;
+  Sequential model;
+  TrainRecipe recipe;
+};
+
+Rig make_rig(const std::string& task) {
+  return Rig{make_task(task, kSeed), make_proxy_model(task, kSeed),
+             make_recipe(task)};
+}
+
+VirtualFlowEngine make_engine(Rig& rig, std::int64_t devices, std::int64_t workers,
+                              std::int64_t vns = 8) {
+  EngineConfig cfg;
+  cfg.seed = kSeed;
+  cfg.enforce_memory = false;
+  cfg.num_threads = workers;
+  return VirtualFlowEngine(rig.model, *rig.recipe.optimizer, *rig.recipe.schedule,
+                           *rig.task.train, model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, devices),
+                           VnMapping::even(vns, devices, rig.recipe.global_batch), cfg);
+}
+
+ModelConfig model_config(const std::string& name, double deadline_s = 0.5) {
+  ModelConfig mc;
+  mc.name = name;
+  mc.queue_capacity = 512;
+  mc.batch = {/*max_batch=*/64, /*max_wait_s=*/0.01};
+  mc.deadline_s = deadline_s;
+  return mc;
+}
+
+ColocationConfig colo_config(bool continuous) {
+  ColocationConfig cfg;
+  cfg.continuous = continuous;
+  cfg.elastic.enabled = true;
+  cfg.elastic.high_watermark = 48;
+  cfg.elastic.low_watermark = 4;
+  cfg.elastic.min_devices = 1;
+  cfg.elastic.max_devices = 8;
+  cfg.elastic.cooldown_batches = 1;
+  return cfg;
+}
+
+/// Staggered bursts: model 0 bursts early, model 1 bursts late — the
+/// statistical-multiplexing shape co-location exists for.
+std::vector<std::vector<InferRequest>> staggered_traces(const Dataset& pool_a,
+                                                        const Dataset& pool_b) {
+  return {phased_poisson_trace(kSeed,
+                               {{300.0, 0.4}, {3000.0, 0.8}, {120.0, 1.8}},
+                               pool_a.size()),
+          phased_poisson_trace(kSeed + 1,
+                               {{250.0, 1.2}, {3000.0, 0.8}, {100.0, 1.0}},
+                               pool_b.size())};
+}
+
+struct ColoResult {
+  std::vector<std::vector<RequestRecord>> records;  // per model
+  std::vector<ResizeEvent> resizes;
+  std::vector<SloSummary> summaries;
+  std::int64_t final_devices = 0;
+};
+
+ColoResult run_colocated(bool continuous, std::int64_t workers,
+                         double deadline_a = 0.5, double deadline_b = 0.5) {
+  Rig rig_a = make_rig("mrpc-sim");
+  Rig rig_b = make_rig("cola-sim");
+  VirtualFlowEngine eng_a = make_engine(rig_a, /*devices=*/1, workers);
+  VirtualFlowEngine eng_b = make_engine(rig_b, /*devices=*/1, workers);
+
+  ModelRegistry registry;
+  registry.add(eng_a, *rig_a.task.val, model_config("mrpc", deadline_a));
+  registry.add(eng_b, *rig_b.task.val, model_config("cola", deadline_b));
+
+  ColocatedServer server(registry, colo_config(continuous));
+  server.replay(staggered_traces(*rig_a.task.val, *rig_b.task.val));
+
+  ColoResult out;
+  for (std::int32_t m = 0; m < 2; ++m) {
+    out.records.push_back(server.slo(m).records());
+    out.summaries.push_back(server.slo(m).summary());
+  }
+  out.resizes = server.resizes();
+  out.final_devices = server.shared_devices();
+  return out;
+}
+
+TEST(Colocation, PerModelSloAccountingCoversEveryRequest) {
+  for (const bool continuous : {true, false}) {
+    Rig rig_a = make_rig("mrpc-sim");
+    Rig rig_b = make_rig("cola-sim");
+    VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+    VirtualFlowEngine eng_b = make_engine(rig_b, 1, 0);
+    ModelRegistry registry;
+    registry.add(eng_a, *rig_a.task.val, model_config("mrpc", 0.5));
+    registry.add(eng_b, *rig_b.task.val, model_config("cola", 0.25));
+    ColocatedServer server(registry, colo_config(continuous));
+
+    const auto traces = staggered_traces(*rig_a.task.val, *rig_b.task.val);
+    ASSERT_GT(traces[0].size(), 100u);
+    ASSERT_GT(traces[1].size(), 100u);
+    server.replay(traces);
+
+    for (std::int32_t m = 0; m < 2; ++m) {
+      const SloTracker& slo = server.slo(m);
+      EXPECT_EQ(slo.completed() + slo.rejected(),
+                static_cast<std::int64_t>(traces[static_cast<std::size_t>(m)].size()))
+          << "model " << m << " (continuous=" << continuous << ")";
+      EXPECT_TRUE(server.queue(m).empty()) << "replay must drain every queue";
+      ASSERT_GT(slo.completed(), 0) << "model " << m;
+      for (const RequestRecord& r : slo.records()) {
+        if (r.rejected) continue;
+        EXPECT_GE(r.queue_wait_s, 0.0);
+        EXPECT_GT(r.compute_s, 0.0);
+        EXPECT_GE(r.prediction, 0);
+      }
+      // Deadline accounting uses the model's own SLO, not a global one.
+      EXPECT_EQ(slo.deadline_s(), m == 0 ? 0.5 : 0.25);
+    }
+    // Work units are labelled with their model; both models executed work.
+    bool saw[2] = {false, false};
+    for (const BatchEvent& b : server.batches()) {
+      ASSERT_GE(b.model, 0);
+      ASSERT_LT(b.model, 2);
+      saw[b.model] = true;
+      if (continuous) {
+        EXPECT_GE(b.vn, 0) << "continuous work units are per-VN slices";
+      } else {
+        EXPECT_EQ(b.vn, -1) << "batch-boundary work units are whole batches";
+      }
+    }
+    EXPECT_TRUE(saw[0] && saw[1]);
+  }
+}
+
+TEST(Colocation, ArbiterServesTheTighterDeadlineFirst) {
+  // Both models present identical, simultaneously-arrived backlogs; model
+  // 1's deadline is 10x tighter, so the arbiter must dispatch it first
+  // even though model 0 has the lower id.
+  Rig rig_a = make_rig("mrpc-sim");
+  Rig rig_b = make_rig("cola-sim");
+  VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+  VirtualFlowEngine eng_b = make_engine(rig_b, 1, 0);
+  ModelRegistry registry;
+  registry.add(eng_a, *rig_a.task.val, model_config("lenient", 1.0));
+  registry.add(eng_b, *rig_b.task.val, model_config("strict", 0.1));
+  ColocationConfig cfg = colo_config(/*continuous=*/true);
+  cfg.elastic.enabled = false;
+  ColocatedServer server(registry, cfg);
+
+  std::vector<std::vector<InferRequest>> traces(2);
+  for (std::int64_t m = 0; m < 2; ++m) {
+    for (std::int64_t i = 0; i < 64; ++i)
+      traces[static_cast<std::size_t>(m)].push_back(
+          InferRequest{/*id=*/i, /*arrival_s=*/0.0, /*example_index=*/i});
+  }
+  server.replay(traces);
+
+  // Equal dispatch stamps, but the strict model's slices must be placed
+  // on the shared device first — its first completion precedes model 0's.
+  const double first_strict = server.slo(1).records().front().finish_s;
+  const double first_lenient = server.slo(0).records().front().finish_s;
+  EXPECT_LT(first_strict, first_lenient)
+      << "(earliest-deadline, model id, VN id) order must favour the "
+         "tighter SLO";
+}
+
+TEST(Colocation, OneModelsBurstGrowsTheSharedSetAndDrainShrinksIt) {
+  const ColoResult r = run_colocated(/*continuous=*/true, /*workers=*/0);
+  ASSERT_GE(r.resizes.size(), 2u)
+      << "a single model's burst must move the SHARED budget";
+  EXPECT_GT(r.resizes.front().to_devices, r.resizes.front().from_devices);
+  EXPECT_GE(r.resizes.front().queue_depth, 48);
+  bool shrank = false;
+  for (const ResizeEvent& e : r.resizes) {
+    EXPECT_GT(e.migration_s, 0.0) << "lockstep seamless resize still all-gathers";
+    if (e.to_devices < e.from_devices) shrank = true;
+  }
+  EXPECT_TRUE(shrank) << "post-burst drain must shrink the shared set back";
+  // The set parks wherever the last decision left it once work stops
+  // (rolling migrations advance no clock, so no trailing decision points
+  // appear after the final completion) — but it must have come down from
+  // the burst peak.
+  EXPECT_LT(r.final_devices, colo_config(true).elastic.max_devices);
+  EXPECT_GE(r.final_devices, colo_config(true).elastic.min_devices);
+}
+
+TEST(Colocation, EnginesStayInLockstepThroughResizes) {
+  Rig rig_a = make_rig("mrpc-sim");
+  Rig rig_b = make_rig("cola-sim");
+  VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+  VirtualFlowEngine eng_b = make_engine(rig_b, 1, 0);
+  ModelRegistry registry;
+  registry.add(eng_a, *rig_a.task.val, model_config("mrpc"));
+  registry.add(eng_b, *rig_b.task.val, model_config("cola"));
+  ColocatedServer server(registry, colo_config(/*continuous=*/true));
+  server.replay(staggered_traces(*rig_a.task.val, *rig_b.task.val));
+
+  ASSERT_GE(server.resizes().size(), 1u);
+  EXPECT_EQ(eng_a.devices().size(), eng_b.devices().size())
+      << "co-located engines share one device set";
+  // In-flight slices launched before a resize keep the device count of
+  // the mapping that dispatched them (seamless: compute is never
+  // interrupted) — at least one slice must straddle a resize boundary.
+  bool straddled = false;
+  for (const BatchEvent& b : server.batches()) {
+    for (const ResizeEvent& e : server.resizes()) {
+      if (b.start_s < e.time_s && b.finish_s > e.time_s &&
+          b.devices == e.from_devices)
+        straddled = true;
+    }
+  }
+  EXPECT_TRUE(straddled) << "seamless resize must not quiesce in-flight slices";
+}
+
+// ---- The acceptance-criteria property: per-model record streams are
+// bit-identical across host worker counts, in both batching modes.
+
+TEST(Colocation, ReplayBitIdenticalAcrossWorkerCountsBothModes) {
+  for (const bool continuous : {true, false}) {
+    const ColoResult serial = run_colocated(continuous, 0);
+    ASSERT_FALSE(serial.records[0].empty());
+    ASSERT_FALSE(serial.records[1].empty());
+    for (const std::int64_t workers : {2, 8}) {
+      const ColoResult pooled = run_colocated(continuous, workers);
+      for (std::size_t m = 0; m < 2; ++m) {
+        ASSERT_EQ(serial.records[m].size(), pooled.records[m].size())
+            << "model " << m << " " << workers << "w continuous=" << continuous;
+        for (std::size_t i = 0; i < serial.records[m].size(); ++i) {
+          const RequestRecord& a = serial.records[m][i];
+          const RequestRecord& b = pooled.records[m][i];
+          EXPECT_EQ(a.id, b.id) << i;
+          EXPECT_EQ(a.rejected, b.rejected) << i;
+          EXPECT_EQ(a.prediction, b.prediction) << i;
+          // EXPECT_EQ on doubles is exact — bit-identical, not close.
+          EXPECT_EQ(a.dispatch_s, b.dispatch_s) << i;
+          EXPECT_EQ(a.queue_wait_s, b.queue_wait_s) << i;
+          EXPECT_EQ(a.compute_s, b.compute_s) << i;
+          EXPECT_EQ(a.comm_s, b.comm_s) << i;
+          EXPECT_EQ(a.finish_s, b.finish_s) << i;
+        }
+        EXPECT_EQ(serial.summaries[m].p99_s, pooled.summaries[m].p99_s);
+      }
+      ASSERT_EQ(serial.resizes.size(), pooled.resizes.size());
+      for (std::size_t i = 0; i < serial.resizes.size(); ++i) {
+        EXPECT_EQ(serial.resizes[i].time_s, pooled.resizes[i].time_s) << i;
+        EXPECT_EQ(serial.resizes[i].to_devices, pooled.resizes[i].to_devices) << i;
+      }
+    }
+  }
+}
+
+TEST(Colocation, ValidatesConstruction) {
+  Rig rig_a = make_rig("mrpc-sim");
+  Rig rig_b = make_rig("cola-sim");
+
+  {
+    // Mismatched starting device counts: no shared set to multiplex.
+    VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+    VirtualFlowEngine eng_b = make_engine(rig_b, 2, 0);
+    ModelRegistry registry;
+    registry.add(eng_a, *rig_a.task.val, model_config("a"));
+    registry.add(eng_b, *rig_b.task.val, model_config("b"));
+    EXPECT_THROW(ColocatedServer(registry, colo_config(true)), VfError);
+  }
+  {
+    // A model with fewer VNs than the elastic ceiling could never use the
+    // grown set.
+    VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+    VirtualFlowEngine eng_b = make_engine(rig_b, 1, 0, /*vns=*/4);
+    ModelRegistry registry;
+    registry.add(eng_a, *rig_a.task.val, model_config("a"));
+    registry.add(eng_b, *rig_b.task.val, model_config("b"));
+    EXPECT_THROW(ColocatedServer(registry, colo_config(true)), VfError);
+  }
+  {
+    // One engine is one model: double registration is a bug.
+    VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+    ModelRegistry registry;
+    registry.add(eng_a, *rig_a.task.val, model_config("a"));
+    EXPECT_THROW(registry.add(eng_a, *rig_a.task.val, model_config("dup")), VfError);
+  }
+  {
+    // Trace count must match the registry.
+    VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+    VirtualFlowEngine eng_b = make_engine(rig_b, 1, 0);
+    ModelRegistry registry;
+    registry.add(eng_a, *rig_a.task.val, model_config("a"));
+    registry.add(eng_b, *rig_b.task.val, model_config("b"));
+    ColocatedServer server(registry, colo_config(true));
+    EXPECT_THROW(server.replay({poisson_trace(kSeed, 100.0, 10,
+                                              rig_a.task.val->size())}),
+                 VfError);
+  }
+}
+
+TEST(Colocation, RejectsRegistryGrowthAfterConstruction) {
+  // The server freezes its model set at construction; registering a
+  // third model afterwards must be rejected at replay (and the accessors
+  // must stay bounded by the frozen set, not the grown registry).
+  Rig rig_a = make_rig("mrpc-sim");
+  Rig rig_b = make_rig("cola-sim");
+  VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+  VirtualFlowEngine eng_b = make_engine(rig_b, 1, 0);
+  VirtualFlowEngine eng_c = make_engine(rig_b, 1, 0);
+  ModelRegistry registry;
+  registry.add(eng_a, *rig_a.task.val, model_config("a"));
+  ColocatedServer server(registry, colo_config(true));
+  registry.add(eng_b, *rig_b.task.val, model_config("late"));
+  registry.add(eng_c, *rig_b.task.val, model_config("later"));
+
+  EXPECT_EQ(server.num_models(), 1);
+  EXPECT_THROW(server.slo(1), VfError);
+  EXPECT_THROW(server.queue(1), VfError);
+  EXPECT_THROW(
+      server.replay({poisson_trace(kSeed, 100.0, 5, rig_a.task.val->size()),
+                     poisson_trace(kSeed, 100.0, 5, rig_b.task.val->size()),
+                     poisson_trace(kSeed, 100.0, 5, rig_b.task.val->size())}),
+      VfError);
+}
+
+TEST(Colocation, ReplayIsOneShot) {
+  Rig rig_a = make_rig("mrpc-sim");
+  Rig rig_b = make_rig("cola-sim");
+  VirtualFlowEngine eng_a = make_engine(rig_a, 1, 0);
+  VirtualFlowEngine eng_b = make_engine(rig_b, 1, 0);
+  ModelRegistry registry;
+  registry.add(eng_a, *rig_a.task.val, model_config("a"));
+  registry.add(eng_b, *rig_b.task.val, model_config("b"));
+  ColocatedServer server(registry, colo_config(true));
+  const std::vector<std::vector<InferRequest>> traces = {
+      poisson_trace(kSeed, 100.0, 10, rig_a.task.val->size()),
+      poisson_trace(kSeed + 1, 100.0, 10, rig_b.task.val->size())};
+  server.replay(traces);
+  EXPECT_THROW(server.replay(traces), VfError);
+}
+
+}  // namespace
+}  // namespace vf::serve
