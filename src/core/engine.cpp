@@ -537,22 +537,28 @@ InferStats VirtualFlowEngine::infer(const std::vector<InferSlice>& slices) {
   for (std::int64_t d = 0; d < n_dev; ++d) {
     const auto& mine = infer_by_device_[static_cast<std::size_t>(d)];
     if (mine.empty()) continue;
-    std::vector<std::int64_t> batches;
+    double dev_pass_s = 0.0;
     double dev_bytes = 0.0;
     const DeviceSpec& spec = devices_[static_cast<std::size_t>(d)].spec();
     for (const std::size_t i : mine) {
       const auto v = static_cast<std::size_t>(slices[i].vn);
-      batches.push_back(slices[i].features.rows());
       dev_bytes += vn_infer_bytes_[v];
       SliceCost& c = out.slice_costs[i];
       c.vn = slices[i].vn;
       c.device = d;
-      c.pass_s = infer_pass_time_s(spec, profile_, slices[i].features.rows());
+      // Decode slices price against the memory-bandwidth floor (full
+      // parameter read per token step); everything else is the standard
+      // forward pass. The device barrier below sums the same per-slice
+      // pass times, so for non-decode batches it equals the old
+      // device_infer_time_s(batches) bit-for-bit.
+      c.pass_s = slices[i].decode
+                     ? decode_pass_time_s(spec, profile_, slices[i].features.rows())
+                     : infer_pass_time_s(spec, profile_, slices[i].features.rows());
       c.overhead_s = spec.step_fixed_s;
       if (n_dev > 1) c.comm_s = send_time_s(vn_infer_bytes_[v], config_.link);
+      dev_pass_s += c.pass_s;
     }
-    out.compute_s =
-        std::max(out.compute_s, device_infer_time_s(spec, profile_, batches));
+    out.compute_s = std::max(out.compute_s, dev_pass_s + spec.step_fixed_s);
     if (n_dev > 1)
       out.comm_s = std::max(out.comm_s, send_time_s(dev_bytes, config_.link));
   }

@@ -99,6 +99,12 @@ struct StepStats {
 struct InferSlice {
   std::int32_t vn = 0;
   Tensor features;
+  /// Autoregressive decode step: the forward math is unchanged (each row
+  /// still produces a logits row), but the slice is PRICED with
+  /// decode_pass_time_s — one token of compute per row against a full
+  /// parameter read — instead of infer_pass_time_s. Set by the token
+  /// streamer for every post-prefill slice of a stream.
+  bool decode = false;
 };
 
 /// Simulated cost of one inference slice, priced as an independently

@@ -55,6 +55,21 @@ double infer_pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
   return spec.kernel_launch_s + std::max(compute_s, memory_s);
 }
 
+double decode_pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                          std::int64_t batch) {
+  check(batch > 0, "batch must be positive");
+  const double b = static_cast<double>(batch);
+  const double util = batch_utilization(model, b);
+  const double compute_s =
+      model.flops_per_example * b / (spec.effective_flops() * util);
+  // One token's activations per stream, but the FULL parameter read: the
+  // weights do not shrink because the input did. This floor is the
+  // memory-bound regime of autoregressive decoding.
+  const double bytes = model.input_bytes_per_example * b + model.param_bytes();
+  const double memory_s = bytes / spec.mem_bw_bytes;
+  return spec.kernel_launch_s + std::max(compute_s, memory_s);
+}
+
 double device_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
                            const std::vector<std::int64_t>& vn_batches) {
   check(!vn_batches.empty(), "device must run at least one virtual node");

@@ -54,6 +54,21 @@ double infer_pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
 double device_infer_time_s(const DeviceSpec& spec, const ModelProfile& model,
                            const std::vector<std::int64_t>& vn_batches);
 
+/// Forward time of one autoregressive DECODE pass over `batch` in-flight
+/// token streams: each stream contributes one token of compute, but the
+/// pass still reads the FULL parameter set from device memory. That full
+/// read is what makes small-batch decode memory-bandwidth-bound — the
+/// param_bytes() / mem_bw floor dominates the single token's FLOPs by an
+/// order of magnitude on profiles sized like transformer decoders — and it
+/// is why decode slices are short, near-constant-cost, and cheap to chain
+/// through a slot (the prefill/decode disaggregation the serving path
+/// exploits). For the token-denominated profiles the serving benches use,
+/// `flops_per_example` / `activation_bytes_per_example` are per-token, so
+/// a prefill of P tokens prices as infer_pass_time_s(batch = P) and each
+/// decode step as decode_pass_time_s(batch = streams).
+double decode_pass_time_s(const DeviceSpec& spec, const ModelProfile& model,
+                          std::int64_t batch);
+
 /// Forward-only time of ONE independently dispatched slice onto an IDLE
 /// device: the cold-dispatch price of continuous batching's scheduling
 /// unit (src/serve/). Unlike device_infer_time_s, which amortizes the

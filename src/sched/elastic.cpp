@@ -10,7 +10,12 @@ std::int64_t elastic_resize_target(std::int64_t queue_depth, std::int64_t inflig
                                    std::int64_t low_watermark,
                                    std::int64_t min_devices,
                                    std::int64_t max_devices) {
-  if (queue_depth >= high_watermark && cur_devices < max_devices)
+  // Grow on SYSTEM load, symmetric with the shrink arm below. Queue depth
+  // alone is blind under continuous batching: a burst is admitted straight
+  // into in-flight slots, so the queue can sit under the high watermark
+  // while every slot saturates — and decode streams make it worse, holding
+  // slots for whole sequences. The in-flight term closes that blind spot.
+  if (queue_depth + inflight >= high_watermark && cur_devices < max_devices)
     return std::min(cur_devices * 2, max_devices);
   if (queue_depth + inflight <= low_watermark && cur_devices > min_devices)
     return std::max(cur_devices / 2, min_devices);

@@ -9,10 +9,11 @@ namespace vf::serve {
 
 namespace {
 
-// Distinct RNG streams for gaps vs payloads so trace length changes never
-// correlate the two.
+// Distinct RNG streams for gaps vs payloads (vs stream shapes) so trace
+// length changes never correlate any two of them.
 constexpr std::uint64_t kGapStream = 0x5e41'0001;
 constexpr std::uint64_t kPayloadStream = 0x5e41'0002;
+constexpr std::uint64_t kShapeStream = 0x5e41'0003;
 
 double exponential_gap(CounterRng& rng, double rate_rps) {
   // Inverse-CDF sample; next_double() is in [0, 1) so the log argument is
@@ -72,6 +73,38 @@ std::vector<InferRequest> phased_poisson_trace(std::uint64_t seed,
       trace.push_back(r);
     }
     phase_start = phase_end;
+  }
+  return trace;
+}
+
+std::vector<InferRequest> streaming_trace(std::uint64_t seed,
+                                          const std::vector<TracePhase>& phases,
+                                          std::int64_t example_pool,
+                                          const StreamShape& shape) {
+  check(shape.stream_fraction >= 0.0 && shape.stream_fraction <= 1.0,
+        "stream fraction must be in [0, 1]");
+  check(shape.prompt_min >= 1 && shape.prompt_min <= shape.prompt_max,
+        "prompt token range must satisfy 1 <= min <= max");
+  check(shape.tokens_min >= 1 && shape.tokens_min <= shape.tokens_max,
+        "stream token range must satisfy 1 <= min <= max");
+  std::vector<InferRequest> trace = phased_poisson_trace(seed, phases, example_pool);
+  CounterRng shapes(seed, kShapeStream);
+  for (InferRequest& r : trace) {
+    // Three draws per request unconditionally, so the annotation of
+    // request i never depends on the coins of requests before it.
+    const bool is_stream = shapes.next_double() < shape.stream_fraction;
+    const auto prompt_span =
+        static_cast<std::uint64_t>(shape.prompt_max - shape.prompt_min + 1);
+    const auto token_span =
+        static_cast<std::uint64_t>(shape.tokens_max - shape.tokens_min + 1);
+    const auto prompt =
+        shape.prompt_min + static_cast<std::int64_t>(shapes.next_below(prompt_span));
+    const auto tokens =
+        shape.tokens_min + static_cast<std::int64_t>(shapes.next_below(token_span));
+    if (is_stream) {
+      r.prompt_tokens = prompt;
+      r.stream_tokens = tokens;
+    }
   }
   return trace;
 }

@@ -34,4 +34,27 @@ std::vector<InferRequest> phased_poisson_trace(std::uint64_t seed,
                                                const std::vector<TracePhase>& phases,
                                                std::int64_t example_pool);
 
+/// Token-stream request shape for streaming_trace. Each request draws a
+/// stream coin (stream_fraction), a prompt length uniform over
+/// [prompt_min, prompt_max], and a total token count uniform over
+/// [tokens_min, tokens_max] — all from a dedicated RNG stream, so the
+/// shape annotation never perturbs the gap/payload draws of the
+/// underlying Poisson trace (a streaming trace and a classify trace from
+/// the same seed share arrival stamps and payloads exactly).
+struct StreamShape {
+  double stream_fraction = 1.0;   ///< probability a request is a stream
+  std::int64_t prompt_min = 8;    ///< prompt tokens, inclusive range
+  std::int64_t prompt_max = 32;
+  std::int64_t tokens_min = 4;    ///< total generated tokens, inclusive range
+  std::int64_t tokens_max = 16;
+};
+
+/// Phased Poisson trace of token-streaming requests: phased_poisson_trace
+/// arrivals annotated with StreamShape draws. Requests losing the stream
+/// coin stay plain classify requests (prompt/stream tokens zero).
+std::vector<InferRequest> streaming_trace(std::uint64_t seed,
+                                          const std::vector<TracePhase>& phases,
+                                          std::int64_t example_pool,
+                                          const StreamShape& shape);
+
 }  // namespace vf::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <tuple>
+#include <utility>
 
 #include "sched/elastic.h"
 #include "util/common.h"
@@ -23,6 +24,7 @@ std::int32_t ModelRegistry::add(VirtualFlowEngine& engine, const Dataset& reques
           "model's identity)");
   check(config.queue_capacity > 0, "model queue capacity must be positive");
   check(config.deadline_s > 0.0, "model deadline must be positive");
+  check(config.share > 0.0, "model share weight must be positive");
   Entry e;
   e.engine = &engine;
   e.pool = &request_pool;
@@ -76,12 +78,20 @@ ColocatedServer::ColocatedServer(ModelRegistry& registry, ColocationConfig confi
   }
 
   models_.reserve(static_cast<std::size_t>(registry_.size()));
+  double total_share = 0.0;
   for (std::int32_t m = 0; m < registry_.size(); ++m) {
     const ModelConfig& mc = registry_.config(m);
-    models_.emplace_back(mc.queue_capacity, mc.batch, mc.deadline_s,
-                         registry_.engine(m).mapping().total_vns());
+    models_.emplace_back(registry_.engine(m), registry_.pool(m), mc);
+    total_share += mc.share;
   }
   dispatch_ready_.assign(models_.size(), 0.0);
+  share_weight_.resize(models_.size());
+  for (std::int32_t m = 0; m < registry_.size(); ++m)
+    share_weight_[static_cast<std::size_t>(m)] =
+        registry_.config(m).share / total_share;
+  share_time_.assign(models_.size(), 0.0);
+  device_seconds_.assign(models_.size(), 0.0);
+
   // Drop accounting lives at each model's backpressure point, exactly as
   // in the single-model server. models_ never resizes after this loop, so
   // indexing through `this` stays valid.
@@ -109,6 +119,11 @@ const RequestQueue& ColocatedServer::queue(std::int32_t m) const {
   return models_[static_cast<std::size_t>(m)].queue;
 }
 
+double ColocatedServer::device_time_used(std::int32_t m) const {
+  check_index(m, static_cast<std::int64_t>(models_.size()), "model");
+  return device_seconds_[static_cast<std::size_t>(m)];
+}
+
 void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& traces) {
   check(!replayed_, "a ColocatedServer replays exactly one trace set");
   replayed_ = true;
@@ -122,6 +137,11 @@ void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& trace
     for (std::size_t i = 1; i < trace.size(); ++i)
       check(trace[i - 1].arrival_s <= trace[i].arrival_s,
             "each trace must be sorted by arrival time");
+    if (!config_.continuous)
+      for (const InferRequest& r : trace)
+        check(!TokenStreamer::is_stream(r),
+              "token streams require continuous batching "
+              "(ColocationConfig::continuous)");
   }
   traces_ = &traces;
   if (config_.continuous) {
@@ -132,15 +152,40 @@ void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& trace
   traces_ = nullptr;
 }
 
+void ColocatedServer::charge(std::int32_t m, double compute_s) {
+  const auto i = static_cast<std::size_t>(m);
+  global_vtime_ = std::max(global_vtime_, share_time_[i]);
+  share_time_[i] += compute_s / share_weight_[i];
+  device_seconds_[i] += compute_s;
+}
+
+std::int64_t ColocatedServer::classify_prefix(const ModelState& st,
+                                              std::int64_t cap) const {
+  std::int64_t prefix = 0;
+  while (prefix < st.queue.size() && prefix < cap &&
+         !TokenStreamer::is_stream(st.queue.at(prefix)))
+    ++prefix;
+  return prefix;
+}
+
 void ColocatedServer::admit_up_to_clock() {
   for (std::size_t m = 0; m < models_.size(); ++m) {
     ModelState& st = models_[m];
     const auto& trace = (*traces_)[m];
+    const bool was_idle = st.queue.empty() && st.ledger.all_free() &&
+                          !st.streamer.has_paused();
+    bool admitted = false;
     while (st.next_arrival < trace.size() &&
            trace[st.next_arrival].arrival_s <= clock_) {
       st.queue.push(trace[st.next_arrival]);
       ++st.next_arrival;
+      admitted = true;
     }
+    // Re-activation: a fully idle model's share debt snaps up to the
+    // system virtual time, so a model cannot bank device-time credit by
+    // idling and then starve its co-tenants with a stale (low) debt.
+    if (was_idle && admitted)
+      share_time_[m] = std::max(share_time_[m], global_vtime_);
   }
 }
 
@@ -158,8 +203,8 @@ void ColocatedServer::resize_if_needed(std::int64_t combined_inflight) {
   // has cut over to the current target.
   if (migration_in_progress()) return;
   // The shared budget reacts to the COMBINED system load: the sum of every
-  // model's backlog (growth), plus every model's in-flight requests
-  // (shrink) — one bursting model is enough to grow the set all models
+  // model's backlog plus every model's in-flight requests, in both
+  // directions — one bursting model is enough to grow the set all models
   // run on, which is the whole point of co-locating.
   std::int64_t depth = 0;
   for (const ModelState& st : models_) depth += st.queue.size();
@@ -193,7 +238,8 @@ void ColocatedServer::perform_resize(std::int64_t target, std::int64_t depth) {
   // each model's NEW dispatches resume the moment ITS state has landed —
   // the urgent (deepest-backlog) model pays only the price a dedicated
   // server would have charged it. The mapping itself switches now;
-  // in-flight slices keep their old schedules (seamless).
+  // in-flight slices keep their old schedules (seamless), and a deferred
+  // decode chain resumes at its model's cutover stamp.
   double migration = 0.0;
   for (const std::int32_t m : order) {
     VirtualFlowEngine& eng = registry_.engine(m);
@@ -215,86 +261,105 @@ void ColocatedServer::perform_resize(std::int64_t target, std::int64_t depth) {
 
 void ColocatedServer::dispatch_slice(std::int32_t m) {
   ModelState& st = models_[static_cast<std::size_t>(m)];
-  VirtualFlowEngine& eng = registry_.engine(m);
   const std::int32_t vn = st.ledger.lowest_free();
-  const std::int64_t cap = eng.mapping().vn_batch(vn);
-
-  Slot slot;
-  slot.requests = st.queue.pop(std::min(cap, st.queue.size()));
-  idx_scratch_.clear();
-  idx_scratch_.reserve(slot.requests.size());
-  for (const InferRequest& r : slot.requests) idx_scratch_.push_back(r.example_index);
-  slices_scratch_.resize(1);
-  InferSlice& slice = slices_scratch_.front();
-  slice.vn = vn;
-  registry_.pool(m).gather(idx_scratch_, slice.features, labels_scratch_);
-  InferStats stats = eng.infer(slices_scratch_);
-  const SliceCost& cost = stats.slice_costs.front();
-
-  // The warm/cold pricing rule is the single-model server's
-  // (price_slice_dispatch — one definition, no drift), but the device
-  // horizon is SHARED: a slice of model A pipelines warm behind a pass of
-  // model B on the same device — co-scheduled slices amortize the
-  // dispatch overhead no matter whose they are.
-  const auto dev = static_cast<std::size_t>(cost.device);
-  const SliceSchedule sched = price_slice_dispatch(clock_, device_free_[dev], cost);
-  slot.dispatch_s = clock_;
-  slot.devices = shared_devices();
-  slot.compute_s = sched.compute_s;
-  slot.comm_s = cost.comm_s;
-  slot.done_s = sched.done_s;
-  device_free_[dev] = sched.start_s + sched.compute_s;
-  slot.predictions = std::move(stats.predictions);
+  if (TokenStreamer::is_stream(st.queue.front())) {
+    std::vector<InferRequest> one = st.queue.pop(1);
+    Slot slot = st.streamer.prefill(st.dispatcher, vn, clock_, device_free_,
+                                    std::move(one.front()));
+    charge(m, slot.compute_s);
+    st.ledger.admit(vn, std::move(slot));
+    return;
+  }
+  const std::int64_t cap = registry_.engine(m).mapping().vn_batch(vn);
+  const std::int64_t prefix = classify_prefix(st, cap);
+  Slot slot = st.dispatcher.dispatch_classify(vn, clock_, device_free_,
+                                              st.queue.pop(prefix));
+  charge(m, slot.compute_s);
   st.ledger.admit(vn, std::move(slot));
 }
 
 void ColocatedServer::replay_continuous() {
   device_free_.assign(static_cast<std::size_t>(shared_devices()), 0.0);
 
-  // Completion transition: across ALL models, free every slot due at the
-  // current clock in (done_s, model id, VN id) order — the canonical
-  // multi-model completion order.
+  // Completion transition: across ALL models, process every slot due at
+  // the current clock in (done_s, model id, VN id) order — the canonical
+  // multi-model completion order. Slots awaiting a deferred decode
+  // continuation (pending_chain) were already absorbed and are skipped.
   const auto complete_due = [&]() {
     std::vector<std::tuple<double, std::int32_t, std::int32_t>> due;
     for (std::size_t m = 0; m < models_.size(); ++m) {
       ModelState& st = models_[m];
-      for (const std::int32_t vn : st.ledger.due(clock_))
+      for (const std::int32_t vn : st.ledger.due(clock_)) {
+        if (st.pending_chain[static_cast<std::size_t>(vn)]) continue;
         due.emplace_back(st.ledger.slot(vn).done_s, static_cast<std::int32_t>(m), vn);
+      }
     }
     std::sort(due.begin(), due.end());
     for (const auto& [done_s, m, vn] : due) {
+      static_cast<void>(done_s);
       ModelState& st = models_[static_cast<std::size_t>(m)];
-      const Slot done = st.ledger.complete(vn);
-      for (std::size_t i = 0; i < done.requests.size(); ++i) {
-        const InferRequest& r = done.requests[i];
-        RequestRecord rec;
-        rec.id = r.id;
-        rec.arrival_s = r.arrival_s;
-        rec.dispatch_s = done.dispatch_s;
-        rec.queue_wait_s = done.dispatch_s - r.arrival_s;
-        rec.compute_s = done.compute_s;
-        rec.comm_s = done.comm_s;
-        rec.finish_s = done.done_s;
-        rec.prediction = done.predictions[i];
-        st.tracker.record_completion(std::move(rec));
+      if (st.ledger.slot(vn).kind == SliceKind::kClassify) {
+        const Slot done = st.ledger.complete(vn);
+        record_slice_requests(done, st.tracker);
+        ++work_since_resize_;
+        BatchEvent ev = make_slice_event(done, vn, st.queue.size());
+        ev.model = m;
+        batches_.push_back(ev);
+        continue;
       }
+      // Stream slice: stamp one token off the finished slice, then chain,
+      // retire, or yield the slot at this token boundary.
+      const bool more = st.streamer.absorb(vn, st.ledger.slot(vn));
       ++work_since_resize_;
-      BatchEvent ev;
-      ev.start_s = done.dispatch_s;
-      ev.finish_s = done.done_s;
-      ev.size = static_cast<std::int64_t>(done.requests.size());
-      ev.devices = done.devices;  // the mapping it was launched under
-      ev.queue_depth_after = st.queue.size();
-      ev.vn = vn;
+      BatchEvent ev = make_slice_event(st.ledger.slot(vn), vn, st.queue.size());
       ev.model = m;
       batches_.push_back(ev);
+      if (!more) {
+        st.ledger.complete(vn);
+        st.tracker.record_completion(st.streamer.finish(vn));
+      } else if (config_.stream.disaggregate &&
+                 clock_ >= dispatch_ready_[static_cast<std::size_t>(m)] &&
+                 !st.streamer.has_paused() && st.ledger.lowest_free() < 0 &&
+                 !st.queue.empty() &&
+                 TokenStreamer::is_stream(st.queue.front())) {
+        // Token-boundary preemption, per model: every slot of THIS model
+        // is busy and a stream heads its queue — park the chain (at most
+        // one parked per model) and lend the slot to the waiting prefill.
+        st.ledger.complete(vn);
+        st.streamer.pause(vn);
+      } else {
+        st.continuations.push_back(vn);
+        st.pending_chain[static_cast<std::size_t>(vn)] = 1;
+      }
     }
   };
 
-  // The deadline-aware arbiter: while any model has a dispatchable slice
-  // (free slot + full slice or timed-out oldest request), claim slots in
-  // ascending (earliest deadline, model id, VN id) order. The VN-id part
-  // comes free: within a model, lowest_free() claims ascending VN ids.
+  // Chain transition: swap finished stream slices for their next decode
+  // slices, model-id order, completion order within a model. Gated on the
+  // model's cutover stamp — a chain stalls while its model's state is
+  // mid-migration and resumes at dispatch_ready_.
+  const auto readmit_continuations = [&]() {
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      ModelState& st = models_[m];
+      if (st.continuations.empty() || clock_ < dispatch_ready_[m]) continue;
+      for (const std::int32_t vn : st.continuations) {
+        Slot next = st.streamer.next_decode(st.dispatcher, vn, clock_, device_free_);
+        charge(static_cast<std::int32_t>(m), next.compute_s);
+        st.ledger.readmit(vn, std::move(next));
+        st.pending_chain[static_cast<std::size_t>(vn)] = 0;
+      }
+      st.continuations.clear();
+    }
+  };
+
+  // The share-weighted deadline arbiter: while any model has a
+  // dispatchable slice (free slot + stream at the head, full classify
+  // prefix, or timed-out oldest request), claim slots in ascending
+  // (deadline key + share debt, model id, VN id) order. Under contention
+  // the debt term dominates — an over-served model's key drifts up and it
+  // yields — fixing the small-batch starvation the deadline-only arbiter
+  // had. The VN-id part comes free: within a model, lowest_free() claims
+  // ascending VN ids.
   const auto try_dispatch = [&]() {
     for (;;) {
       std::int32_t best = -1;
@@ -306,14 +371,22 @@ void ColocatedServer::replay_continuous() {
         const std::int32_t vn = st.ledger.lowest_free();
         if (vn < 0) continue;
         const ModelConfig& mc = registry_.config(static_cast<std::int32_t>(m));
-        const std::int64_t cap =
-            registry_.engine(static_cast<std::int32_t>(m)).mapping().vn_batch(vn);
-        const bool full_slice = st.queue.size() >= cap;
-        const bool timed_out =
-            clock_ >= st.queue.front().arrival_s + mc.batch.max_wait_s;
-        if (!full_slice && !timed_out) continue;
-        // Strict < keeps the lowest model id on deadline ties (scan order).
-        const double key = st.queue.front().arrival_s + mc.deadline_s;
+        bool dispatchable;
+        if (TokenStreamer::is_stream(st.queue.front())) {
+          dispatchable = true;  // a prefill admits alone, always ready
+        } else {
+          const std::int64_t cap =
+              registry_.engine(static_cast<std::int32_t>(m)).mapping().vn_batch(vn);
+          const std::int64_t prefix = classify_prefix(st, cap);
+          const bool full_slice = prefix >= cap || prefix < st.queue.size();
+          const bool timed_out =
+              clock_ >= st.queue.front().arrival_s + mc.batch.max_wait_s;
+          dispatchable = full_slice || timed_out;
+        }
+        if (!dispatchable) continue;
+        // Strict < keeps the lowest model id on key ties (scan order).
+        const double key = st.queue.front().arrival_s + mc.deadline_s +
+                           share_time_[m];
         if (key < best_key) {
           best_key = key;
           best = static_cast<std::int32_t>(m);
@@ -324,38 +397,95 @@ void ColocatedServer::replay_continuous() {
     }
   };
 
+  // Un-park transition: paused streams take free slots left over after
+  // admissions, least share debt first (model id tie-break by the strict
+  // <). A paused stream only fits its own model's slots.
+  const auto try_resumes = [&]() {
+    for (;;) {
+      std::int32_t best = -1;
+      double best_key = kInf;
+      for (std::size_t m = 0; m < models_.size(); ++m) {
+        ModelState& st = models_[m];
+        if (clock_ < dispatch_ready_[m]) continue;
+        if (!st.streamer.has_paused()) continue;
+        if (st.ledger.lowest_free() < 0) continue;
+        if (share_time_[m] < best_key) {
+          best_key = share_time_[m];
+          best = static_cast<std::int32_t>(m);
+        }
+      }
+      if (best < 0) break;
+      ModelState& st = models_[static_cast<std::size_t>(best)];
+      const std::int32_t vn = st.ledger.lowest_free();
+      Slot slot = st.streamer.resume(st.dispatcher, vn, clock_, device_free_);
+      charge(best, slot.compute_s);
+      st.ledger.admit(vn, std::move(slot));
+    }
+  };
+
   while (true) {
     admit_up_to_clock();
     complete_due();
     std::int64_t inflight = 0;
-    for (const ModelState& st : models_) inflight += st.ledger.inflight_requests();
+    for (const ModelState& st : models_)
+      inflight += st.ledger.inflight_requests() + st.streamer.paused_streams();
     resize_if_needed(inflight);
-    try_dispatch();
+    if (config_.stream.disaggregate) {
+      // Admission-class work first (the point of disaggregation), then
+      // decode chains, then parked streams into leftover slots.
+      try_dispatch();
+      readmit_continuations();
+      try_resumes();
+    } else {
+      readmit_continuations();
+      try_dispatch();
+    }
 
     // Next event over all models: earliest in-flight completion, next
-    // arrival, or — where a partial slice waits on a free slot — the
-    // oldest request's timeout.
+    // arrival, a deferred decode chain's cutover stamp, a parked stream's
+    // resume opportunity, or — where a partial classify slice waits on a
+    // free slot — the oldest request's timeout. Terms at or before the
+    // clock denote states the dispatch phases above have already
+    // consumed, so the loop always advances.
     double next_t = kInf;
     for (std::size_t m = 0; m < models_.size(); ++m) {
       const ModelState& st = models_[m];
-      next_t = std::min(next_t, st.ledger.earliest_done_s());
+      // Earliest in-flight completion, excluding slots already absorbed
+      // into a deferred decode chain (pending_chain): their done_s is
+      // stale — at or before the clock — and their real next event is the
+      // cutover stamp added below. Reading them through earliest_done_s()
+      // would pin the horizon at the clock and livelock the loop.
+      for (std::int32_t vn = 0; vn < st.ledger.total_slots(); ++vn) {
+        const Slot& s = st.ledger.slot(vn);
+        if (s.busy && !st.pending_chain[static_cast<std::size_t>(vn)])
+          next_t = std::min(next_t, s.done_s);
+      }
       const auto& trace = (*traces_)[m];
       if (st.next_arrival < trace.size())
         next_t = std::min(next_t, trace[st.next_arrival].arrival_s);
+      if (!st.continuations.empty())
+        next_t = std::min(next_t, dispatch_ready_[m]);
+      if (st.streamer.has_paused() && st.ledger.lowest_free() >= 0)
+        next_t = std::min(next_t, dispatch_ready_[m]);
       if (!st.queue.empty() && st.ledger.lowest_free() >= 0) {
-        // A full slice blocked only by a cutover dispatches at the ready
-        // stamp; a partial slice waits for its timeout (or the cutover,
-        // whichever is later).
-        const std::int64_t cap = registry_.engine(static_cast<std::int32_t>(m))
-                                     .mapping()
-                                     .vn_batch(st.ledger.lowest_free());
-        const double timeout =
-            st.queue.front().arrival_s +
-            registry_.config(static_cast<std::int32_t>(m)).batch.max_wait_s;
-        const double t = st.queue.size() >= cap
-                             ? dispatch_ready_[m]
-                             : std::max(timeout, dispatch_ready_[m]);
-        next_t = std::min(next_t, t);
+        if (TokenStreamer::is_stream(st.queue.front())) {
+          // A gated prefill fires at the cutover stamp; ungated it would
+          // have been admitted above.
+          next_t = std::min(next_t, dispatch_ready_[m]);
+        } else {
+          const std::int64_t cap = registry_.engine(static_cast<std::int32_t>(m))
+                                       .mapping()
+                                       .vn_batch(st.ledger.lowest_free());
+          const std::int64_t prefix = classify_prefix(st, cap);
+          const bool full_slice = prefix >= cap || prefix < st.queue.size();
+          const double timeout =
+              st.queue.front().arrival_s +
+              registry_.config(static_cast<std::int32_t>(m)).batch.max_wait_s;
+          const double t = full_slice
+                               ? dispatch_ready_[m]
+                               : std::max(timeout, dispatch_ready_[m]);
+          next_t = std::min(next_t, t);
+        }
       }
     }
     if (next_t == kInf) break;  // ledgers idle, queues drained, traces done
@@ -365,48 +495,10 @@ void ColocatedServer::replay_continuous() {
 
 void ColocatedServer::execute_model_batch(std::int32_t m, std::int64_t take) {
   ModelState& st = models_[static_cast<std::size_t>(m)];
-  VirtualFlowEngine& eng = registry_.engine(m);
-  const double start = clock_;
-  const std::vector<InferRequest> batch = st.queue.pop(take);
-  const std::vector<VnPack> packs = st.former.pack(take, eng.mapping());
-
-  slices_scratch_.resize(packs.size());
-  for (std::size_t pi = 0; pi < packs.size(); ++pi) {
-    const VnPack& p = packs[pi];
-    idx_scratch_.clear();
-    idx_scratch_.reserve(p.positions.size());
-    for (const std::int64_t pos : p.positions)
-      idx_scratch_.push_back(batch[static_cast<std::size_t>(pos)].example_index);
-    InferSlice& s = slices_scratch_[pi];
-    s.vn = p.vn;
-    registry_.pool(m).gather(idx_scratch_, s.features, labels_scratch_);
-  }
-
-  const InferStats stats = eng.infer(slices_scratch_);
-  const double finish = start + stats.compute_s + stats.comm_s;
-
-  for (std::int64_t p = 0; p < take; ++p) {
-    const InferRequest& r = batch[static_cast<std::size_t>(p)];
-    RequestRecord rec;
-    rec.id = r.id;
-    rec.arrival_s = r.arrival_s;
-    rec.dispatch_s = start;
-    rec.queue_wait_s = start - r.arrival_s;
-    rec.compute_s = stats.compute_s;
-    rec.comm_s = stats.comm_s;
-    rec.finish_s = finish;
-    rec.prediction = stats.predictions[static_cast<std::size_t>(p)];
-    st.tracker.record_completion(std::move(rec));
-  }
-
-  clock_ = finish;
+  BatchEvent ev =
+      st.dispatcher.run_formed_batch(st.queue, st.former, st.tracker, clock_, take);
+  clock_ = ev.finish_s;
   ++work_since_resize_;
-  BatchEvent ev;
-  ev.start_s = start;
-  ev.finish_s = finish;
-  ev.size = take;
-  ev.devices = shared_devices();
-  ev.queue_depth_after = st.queue.size();
   ev.model = m;
   batches_.push_back(ev);
 }
@@ -418,7 +510,9 @@ void ColocatedServer::replay_batch_boundary() {
     // Deadline-ordered batch arbitration: among models whose former says
     // a batch is ready, serve the one whose oldest request's deadline is
     // earliest (model id breaks ties); each batch runs on the FULL shared
-    // device set, so batches of different models serialize.
+    // device set, so batches of different models serialize. (The
+    // share-weighted arbiter is a continuous-mode feature; this baseline
+    // stays deadline-only.)
     std::int32_t best = -1;
     double best_key = kInf;
     std::int64_t best_take = 0;

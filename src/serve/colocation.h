@@ -11,26 +11,43 @@
 // half — bench_colocation measures exactly that trade against two
 // dedicated half-size device sets.
 //
-//   ModelRegistry (name, engine, request pool, per-model SLO/queue/batch)
+//   ModelRegistry (name, engine, request pool, per-model SLO/queue/batch/share)
 //        |                        2+ models
 //        v
 //   ColocatedServer ── per-model RequestQueue + SloTracker + SlotLedger
-//        |              one shared virtual clock + per-device free times
+//        |              + TokenStreamer; one shared virtual clock +
+//        |              per-device free times + per-model share ledger
 //        v
-//   deadline-aware arbiter ── shared elastic budget (sched/elastic.h)
+//   share-weighted deadline arbiter ── shared elastic budget (sched/elastic.h)
 //
 // Arbiter rule (the determinism contract's core): whenever slots are
 // free, dispatchable slices are claimed in ascending
 //
-//     (earliest deadline, model id, VN id)
+//     (deadline key + share debt, model id, VN id)
 //
-// order, where a model's deadline key is its oldest queued request's
-// arrival stamp plus the model's SLO. Completions are processed in
-// (completion time, model id, VN id) order, arrivals admitted in model-id
-// order at equal stamps. Every decision is a pure function of (traces,
-// policies, cost model) on the virtual clock — the full per-model record
-// streams replay bit-identically across host worker counts, in both
-// batching modes, exactly like the single-model Server.
+// order. A model's deadline key is its oldest queued request's arrival
+// stamp plus the model's SLO; the share debt is the model's cumulative
+// device time normalized by its configured weight (ModelConfig::share).
+// Under contention the debt term dominates — a model that has consumed
+// more than its weighted share of device time accumulates debt faster and
+// yields the next slot — which is what fixes the small-batch starvation
+// the deadline-only arbiter had: a small-batch model's cheap slices let
+// an aggressive co-tenant's deadline keys always look more urgent, and
+// the small model fell arbitrarily far below any intended split. With
+// balanced consumption the debts advance in lockstep and the rule reduces
+// to the old earliest-deadline order. An idle model's debt snaps up to
+// the system's virtual time when it re-activates, so idling never banks
+// credit (standard start-time fair queueing hygiene).
+//
+// Completions are processed in (completion time, model id, VN id) order,
+// arrivals admitted in model-id order at equal stamps. Every decision is
+// a pure function of (traces, policies, cost model) on the virtual clock
+// — the full per-model record streams replay bit-identically across host
+// worker counts, in both batching modes, exactly like the single-model
+// Server. Token streams (serve/streaming.h) ride the continuous mode:
+// per-model prefill/decode chains compete through the same arbiter, and
+// every dispatch — prefill, decode, resume, classify — is charged to its
+// model's share ledger.
 //
 // Elasticity is a SHARED budget: grow/shrink decisions come from the
 // combined backlog (sum of queue depths) plus combined in-flight load via
@@ -50,7 +67,8 @@
 // quiet models absorb the queueing. (The single-model Server jumps its
 // clock by the whole migration; with one model the two policies
 // coincide.) A resize is also atomic: no new resize decision fires until
-// the last model has cut over.
+// the last model has cut over. A mid-stream decode chain stalls during
+// its model's cutover window and resumes at the cutover stamp.
 #pragma once
 
 #include <cstdint>
@@ -60,10 +78,12 @@
 #include "core/engine.h"
 #include "data/dataset.h"
 #include "serve/batch_former.h"
+#include "serve/dispatch.h"
 #include "serve/request_queue.h"
 #include "serve/server.h"
 #include "serve/slo_tracker.h"
 #include "serve/slot_ledger.h"
+#include "serve/streaming.h"
 
 namespace vf::serve {
 
@@ -72,7 +92,13 @@ struct ModelConfig {
   std::string name = "model";     ///< label for tables and diagnostics
   std::int64_t queue_capacity = 1024;
   BatchPolicy batch;              ///< size-or-timeout policy for this model
-  double deadline_s = 0.5;        ///< per-request SLO; also the arbiter key
+  double deadline_s = 0.5;        ///< per-request SLO; base of the arbiter key
+  /// Device-time share weight of the continuous arbiter. Shares are
+  /// relative (normalized over the registered models): under sustained
+  /// contention each model's consumed device time converges to
+  /// share / Σ shares of the total, regardless of how its slice costs
+  /// compare to its co-tenants'. Must be positive.
+  double share = 1.0;
 };
 
 /// Binds each co-located model's engine, request pool, and config under a
@@ -106,8 +132,13 @@ struct ColocationConfig {
   /// Continuous (per-VN slot) batching — co-location's native mode: slots
   /// of every model compete for devices at slice granularity. False
   /// serializes whole formed batches (each on the full device set) in
-  /// deadline order — the batch-boundary baseline.
+  /// deadline order — the batch-boundary baseline (deadline-only: the
+  /// share-weighted arbiter and token streams are continuous-mode
+  /// features).
   bool continuous = true;
+  /// Token-stream scheduling (prefill/decode disaggregation), applied
+  /// per model in continuous mode.
+  StreamPolicy stream;
 };
 
 /// Serves the registered models (typically 2+; a single model is a legal
@@ -140,18 +171,38 @@ class ColocatedServer {
   const std::vector<ResizeEvent>& resizes() const { return resizes_; }
   /// Work units across all models; BatchEvent::model carries the id.
   const std::vector<BatchEvent>& batches() const { return batches_; }
+  /// Raw device-seconds model m's dispatches consumed (continuous mode).
+  /// bench_streaming's share gate checks the ratio of these against the
+  /// configured ModelConfig::share weights.
+  double device_time_used(std::int32_t m) const;
 
  private:
   /// Mutable per-model serving state (config lives in the registry).
   struct ModelState {
-    ModelState(std::int64_t queue_capacity, BatchPolicy policy,
-               double deadline_s, std::int64_t total_vns)
-        : queue(queue_capacity), former(policy), tracker(deadline_s),
-          ledger(total_vns) {}
+    ModelState(VirtualFlowEngine& engine, const Dataset& pool,
+               const ModelConfig& mc)
+        : queue(mc.queue_capacity),
+          former(mc.batch),
+          tracker(mc.deadline_s),
+          ledger(engine.mapping().total_vns()),
+          dispatcher(engine, pool),
+          streamer(engine.mapping().total_vns(), pool.size()),
+          pending_chain(static_cast<std::size_t>(engine.mapping().total_vns()), 0) {}
     RequestQueue queue;
     BatchFormer former;
     SloTracker tracker;
     SlotLedger ledger;
+    SliceDispatcher dispatcher;
+    TokenStreamer streamer;
+    /// VNs whose stream slice finished and wants another token; the slots
+    /// stay busy (holding the finished slice) until the decode
+    /// continuation is readmitted — possibly deferred past a rolling
+    /// migration's cutover stamp for this model.
+    std::vector<std::int32_t> continuations;
+    /// pending_chain[vn] != 0 while vn sits in `continuations`: guards the
+    /// completion scan from absorbing the same finished slice twice when a
+    /// cutover defers the readmit across event-loop iterations.
+    std::vector<char> pending_chain;
     std::size_t next_arrival = 0;
   };
 
@@ -159,7 +210,15 @@ class ColocatedServer {
   void replay_batch_boundary();
 
   /// Admits every model's arrivals up to the clock, in model-id order.
+  /// Re-activation snaps an idle model's share debt up to the system
+  /// virtual time (idling banks no credit).
   void admit_up_to_clock();
+  /// Charges `compute_s` device-seconds of model `m` to the share ledger.
+  void charge(std::int32_t m, double compute_s);
+  /// Length of model m's dispatchable classify prefix: queued requests up
+  /// to `cap`, stopping at the first stream (FIFO order never lets a
+  /// classify slice jump over a queued stream).
+  std::int64_t classify_prefix(const ModelState& st, std::int64_t cap) const;
   /// Combined resize decision + lockstep execution (both modes).
   void resize_if_needed(std::int64_t combined_inflight);
   /// Executes a decided resize as a rolling migration: engines cut over
@@ -168,7 +227,8 @@ class ColocatedServer {
   void perform_resize(std::int64_t target, std::int64_t depth);
   /// True while a rolling migration is still cutting models over.
   bool migration_in_progress() const;
-  /// Dispatches one slice of model `m` onto its lowest free VN slot.
+  /// Dispatches one slice of model `m` onto its lowest free VN slot: a
+  /// prefill when a stream heads the queue, a classify slice otherwise.
   void dispatch_slice(std::int32_t m);
   /// Executes one formed batch of model `m` on the full device set.
   void execute_model_batch(std::int32_t m, std::int64_t take);
@@ -187,16 +247,22 @@ class ColocatedServer {
   /// before dispatch_ready_[m] (admissions and in-flight completions
   /// continue throughout).
   std::vector<double> dispatch_ready_;
+
+  // Share ledger (continuous mode). share_weight_ is each model's
+  // normalized share fraction; share_time_ its cumulative device time
+  // divided by that fraction — the "debt" the arbiter adds to the
+  // deadline key; device_seconds_ the raw consumption for read-out;
+  // global_vtime_ the high-water debt used to re-sync re-activating
+  // models.
+  std::vector<double> share_weight_;
+  std::vector<double> share_time_;
+  std::vector<double> device_seconds_;
+  double global_vtime_ = 0.0;
+
   std::int64_t work_since_resize_ = 0;
   bool replayed_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
-
-  // Reusable dispatch scratch shared across models (used serially on the
-  // replay thread, like the single-model server's).
-  std::vector<std::int64_t> idx_scratch_;
-  std::vector<std::int64_t> labels_scratch_;
-  std::vector<InferSlice> slices_scratch_;
 };
 
 }  // namespace vf::serve

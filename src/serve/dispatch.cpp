@@ -1,0 +1,140 @@
+#include "serve/dispatch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/common.h"
+
+namespace vf::serve {
+
+void record_slice_requests(const Slot& done, SloTracker& tracker) {
+  for (std::size_t i = 0; i < done.requests.size(); ++i) {
+    const InferRequest& r = done.requests[i];
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.arrival_s = r.arrival_s;
+    rec.dispatch_s = done.dispatch_s;
+    rec.queue_wait_s = done.dispatch_s - r.arrival_s;
+    rec.compute_s = done.compute_s;
+    rec.comm_s = done.comm_s;
+    rec.finish_s = done.done_s;
+    rec.prediction = done.predictions[i];
+    tracker.record_completion(std::move(rec));
+  }
+}
+
+BatchEvent make_slice_event(const Slot& done, std::int32_t vn,
+                            std::int64_t queue_depth_after) {
+  BatchEvent ev;
+  ev.start_s = done.dispatch_s;
+  ev.finish_s = done.done_s;
+  ev.size = static_cast<std::int64_t>(done.requests.size());
+  // The device count that dispatched the slice — a slice can span a
+  // seamless resize, and it ran on the mapping it was launched under.
+  ev.devices = done.devices;
+  ev.queue_depth_after = queue_depth_after;
+  ev.vn = vn;
+  ev.kind = done.kind;
+  return ev;
+}
+
+SliceDispatcher::SliceDispatcher(VirtualFlowEngine& engine,
+                                 const Dataset& request_pool)
+    : engine_(engine), request_pool_(request_pool) {}
+
+Slot SliceDispatcher::dispatch_rows(std::int32_t vn, SliceKind kind,
+                                    double now_s,
+                                    std::vector<double>& device_free,
+                                    std::vector<InferRequest> requests,
+                                    const std::vector<std::int64_t>& rows) {
+  check(!rows.empty(), "a dispatched slice needs at least one feature row");
+  slices_scratch_.resize(1);
+  InferSlice& slice = slices_scratch_.front();
+  slice.vn = vn;
+  slice.decode = kind == SliceKind::kDecode;
+  request_pool_.gather(rows, slice.features, labels_scratch_);
+  InferStats stats = engine_.infer(slices_scratch_);
+  const SliceCost& cost = stats.slice_costs.front();
+
+  // Warm/cold dispatch pricing (price_slice_dispatch, shared by every
+  // serving path so the price models cannot diverge).
+  const auto dev = static_cast<std::size_t>(cost.device);
+  const SliceSchedule sched = price_slice_dispatch(now_s, device_free[dev], cost);
+  Slot slot;
+  slot.kind = kind;
+  slot.dispatch_s = now_s;
+  slot.devices = static_cast<std::int64_t>(engine_.devices().size());
+  slot.compute_s = sched.compute_s;
+  slot.comm_s = cost.comm_s;
+  slot.done_s = sched.done_s;
+  // The device is busy for the forward pass; the logits return rides
+  // the link while the device moves on to its next slice.
+  device_free[dev] = sched.start_s + sched.compute_s;
+  slot.requests = std::move(requests);
+  slot.predictions = std::move(stats.predictions);
+  return slot;
+}
+
+Slot SliceDispatcher::dispatch_classify(std::int32_t vn, double now_s,
+                                        std::vector<double>& device_free,
+                                        std::vector<InferRequest> requests) {
+  idx_scratch_.clear();
+  idx_scratch_.reserve(requests.size());
+  for (const InferRequest& r : requests) idx_scratch_.push_back(r.example_index);
+  return dispatch_rows(vn, SliceKind::kClassify, now_s, device_free,
+                       std::move(requests), idx_scratch_);
+}
+
+BatchEvent SliceDispatcher::run_formed_batch(RequestQueue& queue,
+                                             const BatchFormer& former,
+                                             SloTracker& tracker,
+                                             double start_s, std::int64_t take) {
+  const std::vector<InferRequest> batch = queue.pop(take);
+  const std::vector<VnPack> packs = former.pack(take, engine_.mapping());
+
+  // Packs take FIFO positions contiguously in ascending VN order, so the
+  // engine's slice-ordered prediction vector lines up with batch position.
+  // The slice vector and each slice's feature matrix are member scratch,
+  // reused batch after batch.
+  slices_scratch_.resize(packs.size());
+  for (std::size_t pi = 0; pi < packs.size(); ++pi) {
+    const VnPack& p = packs[pi];
+    idx_scratch_.clear();
+    idx_scratch_.reserve(p.positions.size());
+    for (const std::int64_t pos : p.positions)
+      idx_scratch_.push_back(batch[static_cast<std::size_t>(pos)].example_index);
+    InferSlice& s = slices_scratch_[pi];
+    s.vn = p.vn;
+    s.decode = false;
+    request_pool_.gather(idx_scratch_, s.features, labels_scratch_);
+  }
+
+  const InferStats stats = engine_.infer(slices_scratch_);
+  const double finish = start_s + stats.compute_s + stats.comm_s;
+
+  for (std::int64_t p = 0; p < take; ++p) {
+    const InferRequest& r = batch[static_cast<std::size_t>(p)];
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.arrival_s = r.arrival_s;
+    rec.dispatch_s = start_s;
+    rec.queue_wait_s = start_s - r.arrival_s;
+    rec.compute_s = stats.compute_s;
+    rec.comm_s = stats.comm_s;
+    rec.finish_s = finish;
+    rec.prediction = stats.predictions[static_cast<std::size_t>(p)];
+    tracker.record_completion(std::move(rec));
+  }
+
+  BatchEvent ev;
+  ev.start_s = start_s;
+  ev.finish_s = finish;
+  ev.size = take;
+  ev.devices = static_cast<std::int64_t>(engine_.devices().size());
+  // queue_depth_after is finalized by the caller once the arrivals that
+  // landed during this batch's service window are admitted.
+  ev.queue_depth_after = queue.size();
+  return ev;
+}
+
+}  // namespace vf::serve

@@ -1,0 +1,108 @@
+// SliceDispatcher: the one engine-facing dispatch path of vf::serve.
+//
+// The single-model Server and the multi-model ColocatedServer used to
+// carry two copies of the same three bodies — gather-features/infer/price
+// for a continuous slice, the formed-batch execution of batch-boundary
+// mode, and the per-request completion recording — and the copies drifted
+// by exactly one forgotten edit per PR. This header is the dedupe: both
+// servers own a SliceDispatcher per engine and the bodies live once.
+//
+// Everything here is virtual-clock pure (same determinism contract as the
+// rest of vf::serve): a dispatch consumes the caller's clock and per-device
+// free horizon, prices via the analytic cost model, and returns schedule
+// stamps — host threads can change wall-clock speed, never a stamp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "serve/batch_former.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/slo_tracker.h"
+#include "serve/slot_ledger.h"
+
+namespace vf::serve {
+
+/// One unit of executed work during a replay: a formed batch in
+/// batch-boundary mode, or a single VN slice in continuous mode.
+struct BatchEvent {
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  std::int64_t size = 0;
+  std::int64_t devices = 0;          ///< device count that served it
+  std::int64_t queue_depth_after = 0;
+  std::int32_t vn = -1;  ///< slice's virtual node (continuous mode); -1 = batch
+  std::int32_t model = -1;  ///< registry id (co-located serving); -1 = single model
+  SliceKind kind = SliceKind::kClassify;  ///< scheduling class of the work
+};
+
+/// Records the completions of one finished slice (per-request stamps all
+/// derive from the slot's schedule). Classify slices only — a stream's
+/// record is assembled token by token by the TokenStreamer.
+void record_slice_requests(const Slot& done, SloTracker& tracker);
+
+/// The BatchEvent of one finished slice on VN `vn`. The caller finalizes
+/// `model` (co-located serving) if it has one.
+BatchEvent make_slice_event(const Slot& done, std::int32_t vn,
+                            std::int64_t queue_depth_after);
+
+class SliceDispatcher {
+ public:
+  /// Both referents must outlive the dispatcher. One dispatcher per
+  /// engine: the gather/slice scratch inside is sized to that engine's
+  /// request traffic and reused dispatch after dispatch.
+  SliceDispatcher(VirtualFlowEngine& engine, const Dataset& request_pool);
+
+  SliceDispatcher(const SliceDispatcher&) = delete;
+  SliceDispatcher& operator=(const SliceDispatcher&) = delete;
+  /// Movable so per-model serving state can live in a vector
+  /// (ColocatedServer); the reference members rebind nowhere, they just
+  /// travel with the state.
+  SliceDispatcher(SliceDispatcher&&) = default;
+
+  /// Dispatches one continuous-mode slice of arbitrary request-pool rows
+  /// onto VN `vn`: gather -> forward -> warm/cold price against
+  /// `device_free` (updated in place: the hosting device is busy for the
+  /// forward pass; the logits return rides the link). `requests` is the
+  /// slice's request set for completion accounting — for decode/prefill
+  /// slices the rows are the stream's feature schedule, not one row per
+  /// request. Returns the priced Slot, ready for SlotLedger admit/readmit.
+  Slot dispatch_rows(std::int32_t vn, SliceKind kind, double now_s,
+                     std::vector<double>& device_free,
+                     std::vector<InferRequest> requests,
+                     const std::vector<std::int64_t>& rows);
+
+  /// Classify-slice convenience: one feature row per request, taken from
+  /// each request's own `example_index`.
+  Slot dispatch_classify(std::int32_t vn, double now_s,
+                         std::vector<double>& device_free,
+                         std::vector<InferRequest> requests);
+
+  /// Batch-boundary execution: pops `take` requests, packs them across VNs
+  /// (former.pack), runs the whole formed batch to its barrier, records
+  /// every completion, and returns the BatchEvent (finish_s is the new
+  /// clock; the caller finalizes queue_depth_after and `model`).
+  BatchEvent run_formed_batch(RequestQueue& queue, const BatchFormer& former,
+                              SloTracker& tracker, double start_s,
+                              std::int64_t take);
+
+ private:
+  VirtualFlowEngine& engine_;
+  const Dataset& request_pool_;
+
+  // Reusable dispatch scratch: the gather index list, the (discarded)
+  // request-pool labels, and the slice vector handed to engine.infer.
+  // Feature matrices keep their buffers across dispatches, so the
+  // server-side half of a dispatch reallocates nothing once warm (the
+  // engine's forward pass reuses its per-VN workspace likewise, but
+  // infer() itself still builds per-call result vectors — serving is not
+  // under the training loop's zero-allocation contract).
+  std::vector<std::int64_t> idx_scratch_;
+  std::vector<std::int64_t> labels_scratch_;
+  std::vector<InferSlice> slices_scratch_;
+};
+
+}  // namespace vf::serve

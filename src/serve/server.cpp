@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "data/batch.h"
 #include "sched/elastic.h"
@@ -20,7 +21,8 @@ Server::Server(VirtualFlowEngine& engine, const Dataset& request_pool,
       config_(config),
       queue_(config.queue_capacity),
       former_(config.batch),
-      tracker_(config.deadline_s) {
+      tracker_(config.deadline_s),
+      dispatcher_(engine, request_pool) {
   // Backpressure accounting lives at the backpressure point: the queue
   // reports every dropped request (with its id) straight to the tracker,
   // so both replay modes share one drop-accounting path.
@@ -47,6 +49,12 @@ void Server::replay(const std::vector<InferRequest>& trace) {
   for (std::size_t i = 1; i < trace.size(); ++i)
     check(trace[i - 1].arrival_s <= trace[i].arrival_s,
           "trace must be sorted by arrival time");
+  if (!config_.continuous)
+    for (const InferRequest& r : trace)
+      check(!TokenStreamer::is_stream(r),
+            "token streams require continuous batching "
+            "(ServerConfig::continuous) — a stream is a slice chain through "
+            "a VN slot, which batch-boundary mode has no notion of");
   if (config_.continuous) {
     replay_continuous(trace);
   } else {
@@ -95,12 +103,18 @@ void Server::replay_batch_boundary(const std::vector<InferRequest>& trace) {
 
 void Server::replay_continuous(const std::vector<InferRequest>& trace) {
   SlotLedger ledger(engine_.mapping().total_vns());
+  TokenStreamer streamer(engine_.mapping().total_vns(), request_pool_.size());
   // Per-device serialization: a device runs its slices one after another
   // (the same execution shape as training VNs), so a slice dispatched to a
   // busy device starts when the device frees up. Indexed by device id
   // under the current mapping; rebuilt after every resize.
   std::vector<double> device_free(engine_.devices().size(), 0.0);
   std::size_t next_arrival = 0;
+  // Streams whose slice finished this instant and that want another
+  // token: their slots stay busy (holding the finished slice) until the
+  // decode continuation is readmitted below — always within the same
+  // event-loop iteration.
+  std::vector<std::int32_t> continuations;
 
   const auto admit_up_to_clock = [&]() {
     while (next_arrival < trace.size() &&
@@ -110,35 +124,40 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
     }
   };
 
-  // Completion transition: free every slot due at the current clock in
-  // (done_s, VN id) order, recording its requests' completions.
+  // Completion transition, in (done_s, VN id) order. Classify slices free
+  // their slot and record their requests; stream slices stamp one token
+  // and either chain (continuation), retire (last token), or — under
+  // disaggregated scheduling — yield the slot to a queued prefill at this
+  // token boundary.
   const auto complete_due = [&]() {
     for (const std::int32_t vn : ledger.due(clock_)) {
-      const Slot done = ledger.complete(vn);
-      for (std::size_t i = 0; i < done.requests.size(); ++i) {
-        const InferRequest& r = done.requests[i];
-        RequestRecord rec;
-        rec.id = r.id;
-        rec.arrival_s = r.arrival_s;
-        rec.dispatch_s = done.dispatch_s;
-        rec.queue_wait_s = done.dispatch_s - r.arrival_s;
-        rec.compute_s = done.compute_s;
-        rec.comm_s = done.comm_s;
-        rec.finish_s = done.done_s;
-        rec.prediction = done.predictions[i];
-        tracker_.record_completion(std::move(rec));
+      if (ledger.slot(vn).kind == SliceKind::kClassify) {
+        const Slot done = ledger.complete(vn);
+        record_slice_requests(done, tracker_);
+        ++work_since_resize_;
+        batches_.push_back(make_slice_event(done, vn, queue_.size()));
+        continue;
       }
+      const bool more = streamer.absorb(vn, ledger.slot(vn));
       ++work_since_resize_;
-      BatchEvent ev;
-      ev.start_s = done.dispatch_s;
-      ev.finish_s = done.done_s;
-      ev.size = static_cast<std::int64_t>(done.requests.size());
-      // The device count that dispatched the slice — a slice can span a
-      // seamless resize, and it ran on the mapping it was launched under.
-      ev.devices = done.devices;
-      ev.queue_depth_after = queue_.size();
-      ev.vn = vn;
-      batches_.push_back(ev);
+      batches_.push_back(make_slice_event(ledger.slot(vn), vn, queue_.size()));
+      if (!more) {
+        ledger.complete(vn);
+        tracker_.record_completion(streamer.finish(vn));
+      } else if (config_.stream.disaggregate && !streamer.has_paused() &&
+                 ledger.lowest_free() < 0 && !queue_.empty() &&
+                 TokenStreamer::is_stream(queue_.front())) {
+        // Token-boundary preemption: every slot is busy and a stream heads
+        // the queue — park this stream (at most one parked at a time, so
+        // churn stays bounded) and lend its slot to the waiting prefill.
+        // Admissions run before resumes within an instant, so the freed
+        // slot goes to the queue first and the parked stream takes the
+        // next one.
+        ledger.complete(vn);
+        streamer.pause(vn);
+      } else {
+        continuations.push_back(vn);
+      }
     }
   };
 
@@ -154,14 +173,16 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
     if (work_since_resize_ < e.cooldown_batches) return;
     const std::int64_t depth = queue_.size();
     const auto cur = static_cast<std::int64_t>(engine_.devices().size());
-    // The shared hysteresis rule (src/sched/elastic.h) shrinks on *system*
-    // load — queue plus in-flight — never queue depth alone: mid-burst the
-    // queue empties the instant a full in-flight batch is admitted into
-    // slots, and shrinking on that illusion of idleness would bounce the
-    // device set (shrink -> queue re-fills -> grow) under steady pressure.
+    // The shared hysteresis rule (src/sched/elastic.h) acts on *system*
+    // load — queue plus in-flight — in both directions: the queue empties
+    // the instant a burst is admitted into slots, so depth alone both
+    // shrinks too eagerly and (the PR-6 blind spot) fails to grow while
+    // every slot saturates under a shallow queue. Parked streams count as
+    // in-flight: each holds an un-served request that is merely between
+    // slots.
     const std::int64_t target = sched::elastic_resize_target(
-        depth, ledger.inflight_requests(), cur, e.high_watermark, e.low_watermark,
-        e.min_devices, e.max_devices);
+        depth, ledger.inflight_requests() + streamer.paused_streams(), cur,
+        e.high_watermark, e.low_watermark, e.min_devices, e.max_devices);
     if (target == cur) return;
     perform_resize(target, depth);
     device_free.assign(engine_.devices().size(), clock_);
@@ -170,44 +191,52 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
   };
 
   // Admit transition: fill free slots (lowest VN id first) from the FIFO
-  // prefix whenever a full slice is waiting or the oldest request has
-  // timed out — size-or-timeout at slice granularity.
+  // prefix. A stream admits alone — one prefill slice claims the whole
+  // slot. Classify requests pool into slices as before: a slice
+  // dispatches when a full slice's worth is waiting, when the oldest
+  // request has timed out, or when a queued stream blocks the prefix (the
+  // classify prefix is then complete by definition — FIFO order never
+  // lets a classify slice jump over a stream).
   const auto try_dispatch = [&]() {
     while (!queue_.empty()) {
       const std::int32_t vn = ledger.lowest_free();
       if (vn < 0) break;
+      if (TokenStreamer::is_stream(queue_.front())) {
+        std::vector<InferRequest> one = queue_.pop(1);
+        ledger.admit(vn, streamer.prefill(dispatcher_, vn, clock_, device_free,
+                                          std::move(one.front())));
+        continue;
+      }
       const std::int64_t cap = engine_.mapping().vn_batch(vn);
-      const bool full_slice = queue_.size() >= cap;
+      std::int64_t prefix = 0;
+      while (prefix < queue_.size() && prefix < cap &&
+             !TokenStreamer::is_stream(queue_.at(prefix)))
+        ++prefix;
+      const bool full_slice = prefix >= cap || prefix < queue_.size();
       const bool timed_out =
           clock_ >= queue_.front().arrival_s + config_.batch.max_wait_s;
       if (!full_slice && !timed_out) break;
+      ledger.admit(vn, dispatcher_.dispatch_classify(vn, clock_, device_free,
+                                                     queue_.pop(prefix)));
+    }
+  };
 
-      Slot slot;
-      slot.requests = queue_.pop(std::min(cap, queue_.size()));
-      idx_scratch_.clear();
-      idx_scratch_.reserve(slot.requests.size());
-      for (const InferRequest& r : slot.requests) idx_scratch_.push_back(r.example_index);
-      slices_scratch_.resize(1);
-      InferSlice& slice = slices_scratch_.front();
-      slice.vn = vn;
-      request_pool_.gather(idx_scratch_, slice.features, labels_scratch_);
-      InferStats stats = engine_.infer(slices_scratch_);
-      const SliceCost& cost = stats.slice_costs.front();
+  // Chain transition: swap each finished stream slice for its next decode
+  // slice in the same (still busy) slot.
+  const auto readmit_continuations = [&]() {
+    for (const std::int32_t vn : continuations)
+      ledger.readmit(vn,
+                     streamer.next_decode(dispatcher_, vn, clock_, device_free));
+    continuations.clear();
+  };
 
-      // Warm/cold dispatch pricing (price_slice_dispatch, shared with the
-      // co-located server so the two price models cannot diverge).
-      const auto dev = static_cast<std::size_t>(cost.device);
-      const SliceSchedule sched = price_slice_dispatch(clock_, device_free[dev], cost);
-      slot.dispatch_s = clock_;
-      slot.devices = static_cast<std::int64_t>(engine_.devices().size());
-      slot.compute_s = sched.compute_s;
-      slot.comm_s = cost.comm_s;
-      slot.done_s = sched.done_s;
-      // The device is busy for the forward pass; the logits return rides
-      // the link while the device moves on to its next slice.
-      device_free[dev] = sched.start_s + sched.compute_s;
-      slot.predictions = std::move(stats.predictions);
-      ledger.admit(vn, std::move(slot));
+  // Un-park transition: paused streams take free slots left over after
+  // admissions (disaggregated mode only; FIFO never pauses).
+  const auto try_resumes = [&]() {
+    while (streamer.has_paused()) {
+      const std::int32_t vn = ledger.lowest_free();
+      if (vn < 0) break;
+      ledger.admit(vn, streamer.resume(dispatcher_, vn, clock_, device_free));
     }
   };
 
@@ -215,15 +244,30 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
     admit_up_to_clock();
     complete_due();
     resize_if_needed();
-    try_dispatch();
+    if (config_.stream.disaggregate) {
+      // Admission-class work first (that is the point of preemption),
+      // then decode chains, then parked streams into leftover slots.
+      try_dispatch();
+      readmit_continuations();
+      try_resumes();
+    } else {
+      // FIFO: running streams chain ahead of new admissions and nothing
+      // is ever parked — a stream holds its slot from prefill to last
+      // token.
+      readmit_continuations();
+      try_dispatch();
+    }
 
-    // Next event: earliest in-flight completion, next arrival, or — when a
-    // partial slice is waiting on a free slot — the oldest request's
-    // timeout.
+    // Next event: earliest in-flight completion, next arrival, or — when
+    // a partial classify slice is waiting on a free slot — the oldest
+    // request's timeout. (A stream at the head of the queue needs no
+    // timeout term: it is always dispatchable, so if it is still queued
+    // here there is no free slot and a completion must come first.)
     double next_t = ledger.earliest_done_s();
     if (next_arrival < trace.size())
       next_t = std::min(next_t, trace[next_arrival].arrival_s);
-    if (!queue_.empty() && ledger.lowest_free() >= 0)
+    if (!queue_.empty() && !TokenStreamer::is_stream(queue_.front()) &&
+        ledger.lowest_free() >= 0)
       next_t = std::min(next_t,
                         queue_.front().arrival_s + config_.batch.max_wait_s);
     if (next_t == kInf) break;  // ledger idle, queue drained, trace exhausted
@@ -232,53 +276,10 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
 }
 
 void Server::execute_batch(std::int64_t take) {
-  const double start = clock_;
-  const std::vector<InferRequest> batch = queue_.pop(take);
-  const std::vector<VnPack> packs = former_.pack(take, engine_.mapping());
-
-  // Packs take FIFO positions contiguously in ascending VN order, so the
-  // engine's slice-ordered prediction vector lines up with batch position.
-  // The slice vector and each slice's feature matrix are member scratch,
-  // reused batch after batch.
-  slices_scratch_.resize(packs.size());
-  for (std::size_t pi = 0; pi < packs.size(); ++pi) {
-    const VnPack& p = packs[pi];
-    idx_scratch_.clear();
-    idx_scratch_.reserve(p.positions.size());
-    for (const std::int64_t pos : p.positions)
-      idx_scratch_.push_back(batch[static_cast<std::size_t>(pos)].example_index);
-    InferSlice& s = slices_scratch_[pi];
-    s.vn = p.vn;
-    request_pool_.gather(idx_scratch_, s.features, labels_scratch_);
-  }
-
-  const InferStats stats = engine_.infer(slices_scratch_);
-  const double finish = start + stats.compute_s + stats.comm_s;
-
-  for (std::int64_t p = 0; p < take; ++p) {
-    const InferRequest& r = batch[static_cast<std::size_t>(p)];
-    RequestRecord rec;
-    rec.id = r.id;
-    rec.arrival_s = r.arrival_s;
-    rec.dispatch_s = start;
-    rec.queue_wait_s = start - r.arrival_s;
-    rec.compute_s = stats.compute_s;
-    rec.comm_s = stats.comm_s;
-    rec.finish_s = finish;
-    rec.prediction = stats.predictions[static_cast<std::size_t>(p)];
-    tracker_.record_completion(std::move(rec));
-  }
-
-  clock_ = finish;
+  BatchEvent ev =
+      dispatcher_.run_formed_batch(queue_, former_, tracker_, clock_, take);
+  clock_ = ev.finish_s;
   ++work_since_resize_;
-  BatchEvent ev;
-  ev.start_s = start;
-  ev.finish_s = finish;
-  ev.size = take;
-  ev.devices = static_cast<std::int64_t>(engine_.devices().size());
-  // queue_depth_after is finalized by replay() once the arrivals that
-  // landed during this batch's service window are admitted.
-  ev.queue_depth_after = queue_.size();
   batches_.push_back(ev);
 }
 

@@ -18,6 +18,13 @@
 //     the partially-formed in-flight batch instead of waiting for the
 //     next full drain, which is what cuts queue wait at high load.
 //
+// Continuous mode also serves TOKEN STREAMS (requests with
+// stream_tokens > 0): a long prefill slice admits the stream into a slot
+// and samples its first token; short decode slices then chain through the
+// same slot (SlotLedger::readmit), one token per completion. With
+// StreamPolicy::disaggregate the scheduler may pause a stream at a token
+// boundary to lend its slot to a queued prefill — see serve/streaming.h.
+//
 // plus the elasticity loop the paper built for training: when queue depth
 // crosses hysteresis watermarks the server calls the engine's seamless
 // resize(), growing or shrinking the device set under the *same* virtual
@@ -43,9 +50,11 @@
 #include "data/dataset.h"
 #include "device/spec.h"
 #include "serve/batch_former.h"
+#include "serve/dispatch.h"
 #include "serve/request_queue.h"
 #include "serve/slo_tracker.h"
 #include "serve/slot_ledger.h"
+#include "serve/streaming.h"
 
 namespace vf::serve {
 
@@ -79,6 +88,10 @@ struct ServerConfig {
   /// at slice granularity; `batch.max_batch` is a batch-boundary knob and
   /// is not consulted.
   bool continuous = false;
+  /// Token-stream scheduling (prefill/decode disaggregation). Traces with
+  /// stream requests require continuous mode — a stream is a slice chain
+  /// through a VN slot, which batch-boundary mode has no notion of.
+  StreamPolicy stream;
 };
 
 /// One elastic reconfiguration taken during a replay.
@@ -90,17 +103,8 @@ struct ResizeEvent {
   double migration_s = 0.0;       ///< seamless all-gather cost charged
 };
 
-/// One unit of executed work during a replay: a formed batch in
-/// batch-boundary mode, or a single VN slice in continuous mode.
-struct BatchEvent {
-  double start_s = 0.0;
-  double finish_s = 0.0;
-  std::int64_t size = 0;
-  std::int64_t devices = 0;          ///< device count that served it
-  std::int64_t queue_depth_after = 0;
-  std::int32_t vn = -1;  ///< slice's virtual node (continuous mode); -1 = batch
-  std::int32_t model = -1;  ///< registry id (co-located serving); -1 = single model
-};
+// BatchEvent lives in serve/dispatch.h (shared with the SliceDispatcher
+// that produces them); included above.
 
 class Server {
  public:
@@ -142,23 +146,16 @@ class Server {
   BatchFormer former_;
   SloTracker tracker_;
 
+  /// The shared engine-facing dispatch path (gather/infer/price scratch
+  /// lives there, reused dispatch after dispatch).
+  SliceDispatcher dispatcher_;
+
   double clock_ = 0.0;
   /// Work units (batches or slices) since the last resize; cooldown gate.
   std::int64_t work_since_resize_ = 0;
   bool replayed_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
-
-  // Reusable dispatch scratch: the gather index list, the (discarded)
-  // request-pool labels, and the slice vector handed to engine.infer.
-  // Feature matrices keep their buffers across dispatches, so the
-  // server-side half of a dispatch reallocates nothing once warm (the
-  // engine's forward pass reuses its per-VN workspace likewise, but
-  // infer() itself still builds per-call result vectors — serving is not
-  // under the training loop's zero-allocation contract).
-  std::vector<std::int64_t> idx_scratch_;
-  std::vector<std::int64_t> labels_scratch_;
-  std::vector<InferSlice> slices_scratch_;
 };
 
 }  // namespace vf::serve

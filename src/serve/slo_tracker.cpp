@@ -16,7 +16,15 @@ void SloTracker::record_completion(RequestRecord r) {
   check(r.finish_s >= r.arrival_s, "completion before arrival");
   check(r.dispatch_s >= r.arrival_s && r.dispatch_s <= r.finish_s,
         "dispatch stamp must lie between arrival and completion");
-  r.deadline_met = r.latency_s() <= deadline_s_;
+  if (r.streamed()) {
+    check(r.tokens.size() == r.token_stamps.size(),
+          "streamed record must stamp every token");
+    check(r.first_token_s >= r.dispatch_s && r.first_token_s <= r.finish_s,
+          "first-token stamp must lie between dispatch and completion");
+  }
+  // A stream's deadline is its TTFT — total latency scales with requested
+  // length, so completion time is not the responsiveness SLO.
+  r.deadline_met = (r.streamed() ? r.ttft_s() : r.latency_s()) <= deadline_s_;
   if (!r.deadline_met) ++deadline_misses_;
   ++completed_;
   records_.push_back(std::move(r));
@@ -26,6 +34,12 @@ void SloTracker::record_rejection(const InferRequest& r, double now_s) {
   RequestRecord rec;
   rec.id = r.id;
   rec.arrival_s = r.arrival_s;
+  // A rejection leaves the system the instant it is bounced: stamp
+  // dispatch = finish = the rejection time. Leaving dispatch_s at zero
+  // made inflight_s() read as now_s — a wall-clock-sized garbage value
+  // that poisoned any aggregate mixing rejected records in.
+  rec.dispatch_s = now_s;
+  rec.queue_wait_s = now_s - r.arrival_s;
   rec.finish_s = now_s;
   rec.rejected = true;
   rec.deadline_met = false;
@@ -77,9 +91,13 @@ SloSummary SloTracker::summary() const {
   const std::vector<double> xs = completed_samples(
       records_, [](const RequestRecord& r) { return r.latency_s(); });
   if (!xs.empty()) {
-    s.p50_s = percentile(xs, 0.50);
-    s.p95_s = percentile(xs, 0.95);
-    s.p99_s = percentile(xs, 0.99);
+    // Sort each sample set once and read every percentile off it (the
+    // read-outs are bit-equal to one percentile() call per p, which
+    // re-sorted a by-value copy five times per summary).
+    const std::vector<double> lat_ps = percentiles(xs, {0.50, 0.95, 0.99});
+    s.p50_s = lat_ps[0];
+    s.p95_s = lat_ps[1];
+    s.p99_s = lat_ps[2];
     s.mean_s = mean(xs);
     s.max_s = max_of(xs);
     s.hit_rate = static_cast<double>(completed_ - deadline_misses_) /
@@ -89,9 +107,33 @@ SloSummary SloTracker::summary() const {
     const std::vector<double> inflight = completed_samples(
         records_, [](const RequestRecord& r) { return r.inflight_s(); });
     s.mean_queue_wait_s = mean(waits);
-    s.p95_queue_wait_s = percentile(waits, 0.95);
-    s.p99_queue_wait_s = percentile(waits, 0.99);
+    const std::vector<double> wait_ps = percentiles(waits, {0.95, 0.99});
+    s.p95_queue_wait_s = wait_ps[0];
+    s.p99_queue_wait_s = wait_ps[1];
     s.mean_inflight_s = mean(inflight);
+  }
+
+  // Streaming read-outs: TTFT per completed stream, ITL per consecutive
+  // token pair within each stream.
+  std::vector<double> ttft;
+  std::vector<double> itl;
+  for (const RequestRecord& r : records_) {
+    if (r.rejected || !r.streamed()) continue;
+    ++s.streams;
+    s.tokens += static_cast<std::int64_t>(r.tokens.size());
+    ttft.push_back(r.ttft_s());
+    for (std::size_t i = 1; i < r.token_stamps.size(); ++i)
+      itl.push_back(r.token_stamps[i] - r.token_stamps[i - 1]);
+  }
+  if (!ttft.empty()) {
+    const std::vector<double> ttft_ps = percentiles(ttft, {0.50, 0.95, 0.99});
+    s.p50_ttft_s = ttft_ps[0];
+    s.p95_ttft_s = ttft_ps[1];
+    s.p99_ttft_s = ttft_ps[2];
+  }
+  if (!itl.empty()) {
+    s.mean_itl_s = mean(itl);
+    s.p99_itl_s = percentile(itl, 0.99);
   }
   return s;
 }

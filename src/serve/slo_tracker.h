@@ -37,11 +37,26 @@ struct SloSummary {
   double p95_queue_wait_s = 0.0;
   double p99_queue_wait_s = 0.0;
   double mean_inflight_s = 0.0;
+
+  // Token-streaming read-outs, over streamed completions only (all zero in
+  // a pure-classify replay). TTFT — arrival to first token — is the SLO a
+  // streaming client feels; inter-token latency (ITL, consecutive token
+  // stamp gaps) is the cadence of the decode chain afterwards.
+  std::int64_t streams = 0;       ///< completed streamed requests
+  std::int64_t tokens = 0;        ///< total tokens across completed streams
+  double p50_ttft_s = 0.0;
+  double p95_ttft_s = 0.0;
+  double p99_ttft_s = 0.0;
+  double mean_itl_s = 0.0;
+  double p99_itl_s = 0.0;
 };
 
 class SloTracker {
  public:
-  /// `deadline_s` is the per-request latency SLO (arrival -> completion).
+  /// `deadline_s` is the per-request latency SLO: arrival -> completion
+  /// for classify requests, arrival -> FIRST TOKEN (TTFT) for token
+  /// streams — a stream's total latency scales with its requested length,
+  /// so responsiveness, not completion, is the meaningful deadline.
   explicit SloTracker(double deadline_s);
 
   double deadline_s() const { return deadline_s_; }

@@ -63,6 +63,23 @@ Slot SlotLedger::complete(std::int32_t vn) {
   return out;
 }
 
+Slot SlotLedger::readmit(std::int32_t vn, Slot next) {
+  check_index(vn, total_slots(), "virtual-node slot");
+  Slot& s = slots_[static_cast<std::size_t>(vn)];
+  check(s.busy, "readmit on free slot VN " + std::to_string(vn));
+  check(!next.requests.empty(), "an admitted slice holds at least one request");
+  check(next.dispatch_s <= next.done_s, "slice completes before its dispatch");
+  check(s.done_s <= next.dispatch_s,
+        "readmit into VN " + std::to_string(vn) + " before its slice finished");
+  Slot out = std::move(s);
+  inflight_ += static_cast<std::int64_t>(next.requests.size()) -
+               static_cast<std::int64_t>(out.requests.size());
+  next.busy = true;
+  s = std::move(next);
+  // busy_ is unchanged: the slot stays occupied across the swap.
+  return out;
+}
+
 const Slot& SlotLedger::slot(std::int32_t vn) const {
   check_index(vn, total_slots(), "virtual-node slot");
   return slots_[static_cast<std::size_t>(vn)];

@@ -51,6 +51,7 @@ inline SliceSchedule price_slice_dispatch(double now_s, double device_free_s,
 /// One in-flight slice occupying a virtual-node slot.
 struct Slot {
   bool busy = false;
+  SliceKind kind = SliceKind::kClassify;  ///< scheduling class of the slice
   double dispatch_s = 0.0;  ///< when the slice was admitted into the slot
   double done_s = 0.0;      ///< scheduled completion on the virtual clock
   std::int64_t devices = 0; ///< device count of the mapping that dispatched it
@@ -96,6 +97,15 @@ class SlotLedger {
   /// Complete transition: free slot `vn` (which must be busy) and return
   /// the slice it held.
   Slot complete(std::int32_t vn);
+
+  /// Readmit transition: atomically swap the finished slice in busy slot
+  /// `vn` for its continuation `next`, returning the finished slice. This
+  /// is how a token stream's decode chain holds its slot: the slot never
+  /// passes through the free state between slices, so no queued admission
+  /// can steal it mid-stream. The slot must be busy and already due
+  /// (slot.done_s <= next.dispatch_s); `next` obeys the same invariants as
+  /// an admitted slice.
+  Slot readmit(std::int32_t vn, Slot next);
 
   /// Read-only view of slot `vn` (busy or free).
   const Slot& slot(std::int32_t vn) const;

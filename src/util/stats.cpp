@@ -38,6 +38,31 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+std::vector<double> percentiles(std::vector<double> xs,
+                                const std::vector<double>& ps) {
+  check(!xs.empty(), "percentile of empty vector");
+  for (const double p : ps)
+    check(p >= 0.0 && p <= 1.0, "percentile p must be in [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) {
+    if (xs.size() == 1) {
+      out.push_back(xs[0]);
+      continue;
+    }
+    // Same interpolation arithmetic as percentile(): the sorted sample
+    // sequence is identical (doubles order totally here), so each read-out
+    // is bit-equal to the one-sort-per-p path it replaces.
+    const double idx = p * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    out.push_back(xs[lo] * (1.0 - frac) + xs[hi] * frac);
+  }
+  return out;
+}
+
 double median(std::vector<double> xs) { return percentile(std::move(xs), 0.5); }
 
 double min_of(const std::vector<double>& xs) {

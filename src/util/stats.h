@@ -13,6 +13,14 @@ double stddev(const std::vector<double>& xs);
 
 /// p in [0, 1]; linear interpolation between order statistics.
 double percentile(std::vector<double> xs, double p);
+
+/// Multi-percentile read-out: element i equals percentile(xs, ps[i])
+/// bit-for-bit, but the samples are sorted ONCE instead of once per p.
+/// SloTracker::summary() reads five percentiles of the same replay — per
+/// model, per resize tick in the co-located path — and was re-sorting a
+/// by-value copy for each.
+std::vector<double> percentiles(std::vector<double> xs,
+                                const std::vector<double>& ps);
 double median(std::vector<double> xs);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);

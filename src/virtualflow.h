@@ -63,6 +63,7 @@
 #include "serve/server.h"
 #include "serve/slo_tracker.h"
 #include "serve/slot_ledger.h"
+#include "serve/streaming.h"
 
 // Cluster scheduling.
 #include "sched/elastic.h"

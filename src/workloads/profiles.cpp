@@ -75,13 +75,33 @@ ModelProfile transformer_profile() {
   return p;
 }
 
+ModelProfile llm_decode_profile() {
+  // Token-denominated decoder for the streaming-serving benches (like
+  // "transformer", examples are TOKENS): a prefill of P prompt tokens
+  // prices as a batch-P forward pass; a decode step prices one token
+  // against the full parameter read (decode_pass_time_s). Sized so decode
+  // is firmly memory-bandwidth-bound on a V100 — 1.4 GB of weights reads
+  // in ~1.56 ms at 900 GB/s, an order of magnitude over the single
+  // token's compute — while a 32-token prefill is compute-bound.
+  ModelProfile p;
+  p.name = "llm-decode";
+  p.param_count = 350'000'000;                  // 1.4 GB of fp32
+  p.flops_per_example = 0.7e9;                  // per token, forward
+  p.activation_bytes_per_example = 2.0 * kMiB;
+  p.input_bytes_per_example = 4.0 * kKiB;
+  p.workspace_bytes = 512.0 * kMiB;
+  p.batch_half_saturation = 2.0;                // wide matmuls saturate early
+  p.update_cost_factor = 6.0;
+  return p;
+}
+
 }  // namespace
 
 const ModelProfile& model_profile(const std::string& name) {
   static const std::map<std::string, ModelProfile> catalog = {
       {"resnet50", resnet50_profile()},       {"resnet56", resnet56_profile()},
       {"bert-base", bert_base_profile()},     {"bert-large", bert_large_profile()},
-      {"transformer", transformer_profile()},
+      {"transformer", transformer_profile()}, {"llm-decode", llm_decode_profile()},
   };
   const auto it = catalog.find(name);
   check(it != catalog.end(), "unknown model profile: " + name);
@@ -89,7 +109,8 @@ const ModelProfile& model_profile(const std::string& name) {
 }
 
 std::vector<std::string> model_profile_names() {
-  return {"resnet50", "resnet56", "bert-base", "bert-large", "transformer"};
+  return {"resnet50",    "resnet56",    "bert-base",
+          "bert-large",  "transformer", "llm-decode"};
 }
 
 }  // namespace vf

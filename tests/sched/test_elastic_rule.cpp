@@ -23,6 +23,18 @@ TEST(ElasticResizeTarget, GrowsByDoublingAtTheHighWatermark) {
   EXPECT_EQ(target(kHigh - 1, 0, 1), 1) << "below the watermark: no growth";
 }
 
+TEST(ElasticResizeTarget, GrowsOnSystemLoadNotQueueDepthAlone) {
+  // The PR-6 blind spot: under continuous batching a burst is admitted
+  // straight into in-flight slots, so the queue stays shallow while every
+  // slot saturates. The grow arm must read queue + in-flight, symmetric
+  // with the shrink arm — these assertions fail against the queue-only
+  // rule (it returns cur_devices for all three).
+  EXPECT_EQ(target(0, kHigh, 1), 2) << "a saturated ledger alone must grow";
+  EXPECT_EQ(target(kHigh / 2, kHigh / 2, 1), 2)
+      << "half queued + half in flight is the same pressure";
+  EXPECT_EQ(target(0, kHigh - 1, 1), 1) << "below the watermark: no growth";
+}
+
 TEST(ElasticResizeTarget, GrowthIsCappedAtMaxDevices) {
   EXPECT_EQ(target(kHigh, 0, 8), 8) << "already at the ceiling";
   EXPECT_EQ(target(kHigh, 0, 5), 8) << "doubling clamps to max, not past it";

@@ -232,7 +232,14 @@ TEST(Server, ContinuousBurstTriggersElasticGrowth) {
   ASSERT_GE(resizes.size(), 2u);
   EXPECT_GT(resizes.front().to_devices, resizes.front().from_devices)
       << "first resize grows under queue pressure";
-  EXPECT_GE(resizes.front().queue_depth, burst_config().elastic.high_watermark);
+  // Growth fires on SYSTEM load (queue + in-flight), so under continuous
+  // batching the recorded queue depth at the trigger sits BELOW the
+  // watermark by at most the in-flight capacity (global_batch requests
+  // across full slots) — the pre-fix blind spot was exactly that gap.
+  EXPECT_LT(resizes.front().queue_depth, burst_config().elastic.high_watermark)
+      << "continuous batching must grow before the queue alone hits the mark";
+  EXPECT_GE(resizes.front().queue_depth + engine.mapping().global_batch(),
+            burst_config().elastic.high_watermark);
   bool shrank = false;
   for (const ResizeEvent& e : resizes) {
     EXPECT_GT(e.migration_s, 0.0) << "seamless resize still costs an all-gather";
@@ -329,6 +336,140 @@ TEST(Server, ReplayBitIdenticalAcrossKernelModes) {
   ASSERT_FALSE(batch_ref.records.empty());
   compare(batch_ref, batch_blk);
   compare(cont_ref, cont_blk);
+}
+
+// ---- Token streaming: prefill/decode disaggregation on the slice chain.
+
+/// Mixed classify + stream trace: steady -> burst -> drain with most
+/// requests streaming a short completion.
+std::vector<InferRequest> stream_trace(const Dataset& pool) {
+  StreamShape shape;
+  shape.stream_fraction = 0.7;
+  shape.prompt_min = 8;
+  shape.prompt_max = 32;
+  shape.tokens_min = 4;
+  shape.tokens_max = 12;
+  return streaming_trace(kSeed,
+                         {{/*rate_rps=*/40.0, /*duration_s=*/0.5},
+                          {/*rate_rps=*/150.0, /*duration_s=*/1.0},
+                          {/*rate_rps=*/30.0, /*duration_s=*/1.0}},
+                         pool.size(), shape);
+}
+
+ReplayResult run_streaming_replay(std::int64_t workers, bool disaggregate = true) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, workers);
+  ServerConfig cfg = burst_config();
+  cfg.continuous = true;
+  cfg.stream.disaggregate = disaggregate;
+  Server server(engine, *rig.task.val, cfg);
+  server.replay(stream_trace(*rig.task.val));
+  return {server.slo().records(), server.resizes(), server.slo().summary()};
+}
+
+TEST(Server, StreamingReplayStampsEveryToken) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, 0);
+  ServerConfig cfg = burst_config();
+  cfg.continuous = true;
+  Server server(engine, *rig.task.val, cfg);
+  const auto trace = stream_trace(*rig.task.val);
+  std::int64_t expect_streams = 0;
+  std::int64_t expect_tokens = 0;
+  for (const InferRequest& r : trace) {
+    if (r.stream_tokens > 0) {
+      ++expect_streams;
+      expect_tokens += r.stream_tokens;
+    }
+  }
+  ASSERT_GT(expect_streams, 50);
+  ASSERT_LT(expect_streams, static_cast<std::int64_t>(trace.size()))
+      << "the trace must mix classify requests in";
+  server.replay(trace);
+
+  const SloTracker& slo = server.slo();
+  EXPECT_EQ(slo.completed() + slo.rejected(), static_cast<std::int64_t>(trace.size()));
+  EXPECT_TRUE(server.queue().empty());
+  const SloSummary s = slo.summary();
+  EXPECT_EQ(s.rejected, 0) << "512-deep queue must admit this trace";
+  EXPECT_EQ(s.streams, expect_streams);
+  EXPECT_EQ(s.tokens, expect_tokens) << "every requested token must be served";
+  EXPECT_GT(s.p50_ttft_s, 0.0);
+  EXPECT_GT(s.mean_itl_s, 0.0);
+
+  std::int64_t prefills = 0;
+  std::int64_t decodes = 0;
+  for (const BatchEvent& b : server.batches()) {
+    if (b.kind == SliceKind::kPrefill) ++prefills;
+    if (b.kind == SliceKind::kDecode) ++decodes;
+  }
+  EXPECT_EQ(prefills, expect_streams) << "one prefill slice per stream";
+  EXPECT_EQ(decodes, expect_tokens - expect_streams)
+      << "one decode slice per token after the first";
+
+  for (const RequestRecord& r : slo.records()) {
+    if (!r.streamed()) continue;
+    ASSERT_EQ(r.tokens.size(), r.token_stamps.size()) << "request " << r.id;
+    EXPECT_DOUBLE_EQ(r.first_token_s, r.token_stamps.front()) << r.id;
+    EXPECT_DOUBLE_EQ(r.finish_s, r.token_stamps.back()) << r.id;
+    EXPECT_EQ(r.prediction, r.tokens.back()) << r.id;
+    EXPECT_GT(r.ttft_s(), 0.0) << r.id;
+    for (std::size_t i = 1; i < r.token_stamps.size(); ++i)
+      EXPECT_GT(r.token_stamps[i], r.token_stamps[i - 1])
+          << "tokens must stream strictly forward, request " << r.id;
+  }
+}
+
+TEST(Server, StreamingRequiresContinuousMode) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, 0);
+  ServerConfig cfg = burst_config();
+  cfg.continuous = false;
+  Server server(engine, *rig.task.val, cfg);
+  EXPECT_THROW(server.replay(stream_trace(*rig.task.val)), VfError)
+      << "a stream is a slice chain; batch-boundary mode has no slots";
+}
+
+TEST(Server, DisaggregationCutsTtftTailAtEqualTokens) {
+  // A/B on the same trace: disaggregated scheduling (prefill admission
+  // preferred, token-boundary preemption of decode chains) against plain
+  // FIFO slice order. Both modes serve every requested token; the
+  // disaggregated policy must buy its complexity with a lower TTFT tail.
+  const ReplayResult disagg = run_streaming_replay(0, /*disaggregate=*/true);
+  const ReplayResult fifo = run_streaming_replay(0, /*disaggregate=*/false);
+  ASSERT_GT(disagg.summary.streams, 0);
+  EXPECT_EQ(disagg.summary.tokens, fifo.summary.tokens)
+      << "policy must not change the work served";
+  EXPECT_EQ(disagg.summary.streams, fifo.summary.streams);
+  EXPECT_LT(disagg.summary.p99_ttft_s, fifo.summary.p99_ttft_s)
+      << "prefill preference must cut the TTFT tail";
+}
+
+TEST(Server, StreamingReplayBitIdenticalAcrossWorkerCounts) {
+  const ReplayResult serial = run_streaming_replay(0);
+  ASSERT_FALSE(serial.records.empty());
+  for (const std::int64_t workers : {2, 8}) {
+    const ReplayResult pooled = run_streaming_replay(workers);
+    ASSERT_EQ(serial.records.size(), pooled.records.size()) << workers << "w";
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      const RequestRecord& a = serial.records[i];
+      const RequestRecord& b = pooled.records[i];
+      EXPECT_EQ(a.id, b.id) << i;
+      EXPECT_EQ(a.prediction, b.prediction) << i;
+      EXPECT_EQ(a.dispatch_s, b.dispatch_s) << i;
+      EXPECT_EQ(a.finish_s, b.finish_s) << i;
+      EXPECT_EQ(a.first_token_s, b.first_token_s) << i;
+      ASSERT_EQ(a.tokens.size(), b.tokens.size()) << i;
+      for (std::size_t t = 0; t < a.tokens.size(); ++t) {
+        EXPECT_EQ(a.tokens[t], b.tokens[t]) << i << ":" << t;
+        // Exact double equality: per-token stamps are part of the
+        // bit-exactness contract, not just the scalar record fields.
+        EXPECT_EQ(a.token_stamps[t], b.token_stamps[t]) << i << ":" << t;
+      }
+    }
+    EXPECT_EQ(serial.summary.p99_ttft_s, pooled.summary.p99_ttft_s);
+    EXPECT_EQ(serial.summary.mean_itl_s, pooled.summary.mean_itl_s);
+  }
 }
 
 TEST(Server, ValidatesElasticPolicy) {

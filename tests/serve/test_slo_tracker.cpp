@@ -10,6 +10,7 @@
 
 #include "serve/slo_tracker.h"
 #include "util/common.h"
+#include "util/stats.h"
 
 namespace vf::serve {
 namespace {
@@ -102,6 +103,95 @@ TEST(SloTracker, QueueWaitPlusInflightIsLatency) {
   const SloSummary s = t.summary();
   EXPECT_DOUBLE_EQ(s.mean_queue_wait_s + s.mean_inflight_s, s.mean_s)
       << "the decomposition must be exact, not approximate";
+}
+
+TEST(SloTracker, RejectionStampsDispatchAndFinishAtRejectionTime) {
+  // Regression: record_rejection used to leave dispatch_s/finish_s at
+  // their zero defaults, so inflight_s() read as now_s and queue_wait_s as
+  // zero — wall-clock-sized garbage in any aggregate mixing rejected
+  // records. A rejection leaves the system the instant it is bounced.
+  SloTracker t(0.5);
+  InferRequest r;
+  r.id = 3;
+  r.arrival_s = 2.0;
+  t.record_rejection(r, 2.5);
+  ASSERT_EQ(t.records().size(), 1u);
+  const RequestRecord& rec = t.records().front();
+  EXPECT_TRUE(rec.rejected);
+  EXPECT_DOUBLE_EQ(rec.dispatch_s, 2.5);
+  EXPECT_DOUBLE_EQ(rec.finish_s, 2.5);
+  EXPECT_DOUBLE_EQ(rec.queue_wait_s, 0.5);
+  EXPECT_DOUBLE_EQ(rec.inflight_s(), 0.0)
+      << "a bounced request spends no time in flight";
+  EXPECT_DOUBLE_EQ(rec.latency_s(), 0.5);
+}
+
+TEST(SloTracker, SummaryPercentilesBitEqualSinglePercentileReads) {
+  // summary() reads its percentiles off one sort per sample set; the
+  // read-outs must stay bit-equal to the percentile() calls the accessors
+  // make, or determinism comparisons across the two paths would drift.
+  SloTracker t(0.3);
+  double arrive = 0.0;
+  for (std::int64_t i = 0; i < 97; ++i) {
+    arrive += 0.0125 * static_cast<double>(i % 7 + 1);
+    const double dispatch = arrive + 0.015625 * static_cast<double>(i % 5);
+    const double finish = dispatch + 0.03125 * static_cast<double>(i % 11 + 1);
+    t.record_completion(completed(i, arrive, dispatch, finish));
+  }
+  const SloSummary s = t.summary();
+  EXPECT_EQ(s.p50_s, t.latency_percentile_s(0.50));
+  EXPECT_EQ(s.p95_s, t.latency_percentile_s(0.95));
+  EXPECT_EQ(s.p99_s, t.latency_percentile_s(0.99));
+  EXPECT_EQ(s.p95_queue_wait_s, t.queue_wait_percentile_s(0.95));
+  EXPECT_EQ(s.p99_queue_wait_s, t.queue_wait_percentile_s(0.99));
+}
+
+RequestRecord streamed_record(std::int64_t id, double arrival_s, double ttft_s,
+                              double itl_s, std::int64_t tokens) {
+  RequestRecord r;
+  r.id = id;
+  r.arrival_s = arrival_s;
+  r.dispatch_s = arrival_s;
+  r.queue_wait_s = 0.0;
+  r.first_token_s = arrival_s + ttft_s;
+  for (std::int64_t i = 0; i < tokens; ++i) {
+    r.tokens.push_back(i % 10);
+    r.token_stamps.push_back(r.first_token_s + itl_s * static_cast<double>(i));
+  }
+  r.finish_s = r.token_stamps.back();
+  r.prediction = r.tokens.back();
+  return r;
+}
+
+TEST(SloTracker, StreamedSummaryReportsTtftAndItl) {
+  SloTracker t(/*deadline_s=*/0.5);
+  // Two streams with dyadic stamps: TTFT 0.25 and 0.75, ITL 0.125 and
+  // 0.25. The second stream misses the TTFT deadline even though nothing
+  // about its total latency is checked.
+  t.record_completion(streamed_record(0, 1.0, 0.25, 0.125, 4));
+  t.record_completion(streamed_record(1, 2.0, 0.75, 0.25, 3));
+  const SloSummary s = t.summary();
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.streams, 2);
+  EXPECT_EQ(s.tokens, 7);
+  EXPECT_EQ(s.deadline_misses, 1) << "a stream's deadline is its TTFT";
+  EXPECT_DOUBLE_EQ(s.p50_ttft_s, 0.5);   // midpoint of {0.25, 0.75}
+  EXPECT_DOUBLE_EQ(s.p99_ttft_s, 0.25 + 0.99 * 0.5);
+  // ITL samples: {0.125 x3, 0.25 x2} -> mean = (0.375 + 0.5) / 5.
+  EXPECT_DOUBLE_EQ(s.mean_itl_s, 0.175);
+  EXPECT_DOUBLE_EQ(s.p99_itl_s, percentile({0.125, 0.125, 0.125, 0.25, 0.25}, 0.99));
+  // Classify percentiles still cover the streams' total latencies.
+  EXPECT_GT(s.p99_s, 0.0);
+}
+
+TEST(SloTracker, StreamedRecordValidation) {
+  SloTracker t(0.5);
+  RequestRecord bad = streamed_record(0, 1.0, 0.25, 0.125, 3);
+  bad.tokens.pop_back();  // stamp count no longer matches token count
+  EXPECT_THROW(t.record_completion(bad), VfError);
+  RequestRecord early = streamed_record(1, 1.0, 0.25, 0.125, 3);
+  early.first_token_s = 0.5;  // before dispatch
+  EXPECT_THROW(t.record_completion(early), VfError);
 }
 
 TEST(SloTracker, ValidatesDispatchStamp) {

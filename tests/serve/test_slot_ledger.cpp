@@ -84,6 +84,71 @@ TEST(SlotLedger, DueOrdersByDoneTimeThenVnId) {
   EXPECT_DOUBLE_EQ(ledger.earliest_done_s(), 2.0);
 }
 
+TEST(SlotLedger, ReadmitChainsSlicesWithoutFreeingTheSlot) {
+  // A token stream's decode chain: prefill, then per-token slices swapped
+  // in via readmit. The slot never passes through the free state, so a
+  // queued admission can never steal it mid-stream.
+  SlotLedger ledger(2);
+  Slot prefill = slice(0.0, 1.0, {7});
+  prefill.kind = SliceKind::kPrefill;
+  ledger.admit(0, std::move(prefill));
+  ledger.admit(1, slice(0.0, 5.0, {8}));
+  EXPECT_EQ(ledger.lowest_free(), -1);
+
+  Slot decode = slice(1.0, 2.0, {7});
+  decode.kind = SliceKind::kDecode;
+  const Slot finished = ledger.complete(0);  // would free the slot...
+  ledger.admit(0, std::move(decode));        // ...if readmit did not exist
+  EXPECT_EQ(finished.kind, SliceKind::kPrefill);
+
+  // The real transition: swap without the intermediate free state.
+  Slot decode2 = slice(2.0, 3.0, {7});
+  decode2.kind = SliceKind::kDecode;
+  const Slot first_decode = ledger.readmit(0, std::move(decode2));
+  EXPECT_EQ(first_decode.kind, SliceKind::kDecode);
+  ASSERT_EQ(first_decode.requests.size(), 1u);
+  EXPECT_EQ(first_decode.requests[0].id, 7);
+  EXPECT_TRUE(ledger.slot(0).busy) << "the slot never went free";
+  EXPECT_EQ(ledger.busy_count(), 2);
+  EXPECT_EQ(ledger.lowest_free(), -1)
+      << "chained readmits leave no admission window";
+  EXPECT_DOUBLE_EQ(ledger.slot(0).done_s, 3.0);
+  // Due ordering sees the continuation's completion time, with the usual
+  // (done_s, VN id) order against other slots.
+  EXPECT_EQ(ledger.due(3.0), (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(ledger.due(5.0), (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(SlotLedger, ReadmitTracksInflightRequestDelta) {
+  SlotLedger ledger(1);
+  ledger.admit(0, slice(0.0, 1.0, {1, 2, 3}));
+  EXPECT_EQ(ledger.inflight_requests(), 3);
+  // A continuation can carry a different request count (a decode slice is
+  // a single stream); the in-flight load the elastic rule reads must track
+  // the delta, not leak the old count.
+  const Slot done = ledger.readmit(0, slice(1.0, 2.0, {1}));
+  ASSERT_EQ(done.requests.size(), 3u);
+  EXPECT_EQ(ledger.inflight_requests(), 1);
+  ledger.complete(0);
+  EXPECT_EQ(ledger.inflight_requests(), 0);
+}
+
+TEST(SlotLedger, ReadmitGuardsInvalidTransitions) {
+  SlotLedger ledger(2);
+  EXPECT_THROW(ledger.readmit(0, slice(0.0, 1.0, {0})), VfError)
+      << "readmit on a free slot";
+  ledger.admit(0, slice(0.0, 2.0, {0}));
+  EXPECT_THROW(ledger.readmit(0, slice(1.0, 3.0, {0})), VfError)
+      << "continuation dispatched before the slice finished";
+  EXPECT_THROW(ledger.readmit(0, Slot{}), VfError) << "empty continuation";
+  EXPECT_THROW(ledger.readmit(0, slice(3.0, 2.5, {0})), VfError)
+      << "continuation completes before its dispatch";
+  // A same-instant handoff (done_s == next.dispatch_s) is legal — that is
+  // the normal cadence of a decode chain.
+  const Slot done = ledger.readmit(0, slice(2.0, 2.5, {0}));
+  EXPECT_DOUBLE_EQ(done.done_s, 2.0);
+}
+
 TEST(SlotLedger, GuardsInvalidTransitions) {
   EXPECT_THROW(SlotLedger(0), VfError);
   SlotLedger ledger(2);

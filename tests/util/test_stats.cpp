@@ -36,6 +36,30 @@ TEST(Stats, PercentileValidation) {
   EXPECT_THROW(percentile({1.0}, 1.5), VfError);
 }
 
+TEST(Stats, PercentilesBitEqualToRepeatedPercentile) {
+  // The single-sort multi-read must reproduce percentile() bit-for-bit —
+  // SloTracker summaries feed determinism assertions, so "close" is not
+  // good enough.
+  std::vector<double> xs;
+  double v = 0.137;
+  for (int i = 0; i < 257; ++i) {
+    v = v * 1.618033988749895 + 0.002;
+    while (v > 10.0) v -= 9.7;
+    xs.push_back(v);
+  }
+  const std::vector<double> ps = {0.0, 0.5, 0.95, 0.99, 1.0};
+  const std::vector<double> many = percentiles(xs, ps);
+  ASSERT_EQ(many.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_EQ(many[i], percentile(xs, ps[i])) << "p=" << ps[i];
+}
+
+TEST(Stats, PercentilesValidation) {
+  EXPECT_THROW(percentiles({}, {0.5}), VfError);
+  EXPECT_THROW(percentiles({1.0}, {-0.1}), VfError);
+  EXPECT_TRUE(percentiles({1.0, 2.0}, {}).empty());
+}
+
 TEST(Stats, MinMax) {
   EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
   EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);

@@ -14,7 +14,7 @@ TEST(Profiles, CatalogComplete) {
     EXPECT_GT(p.flops_per_example, 0.0);
     EXPECT_GT(p.activation_bytes_per_example, 0.0);
   }
-  EXPECT_EQ(model_profile_names().size(), 5u);
+  EXPECT_EQ(model_profile_names().size(), 6u);
 }
 
 TEST(Profiles, UnknownNameThrows) { EXPECT_THROW(model_profile("vgg"), VfError); }
