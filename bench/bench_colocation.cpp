@@ -26,6 +26,9 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 using namespace vf;
 using namespace vf::serve;
@@ -111,7 +114,8 @@ struct SetupOutcome {
   double drained_at_s = 0.0;
 };
 
-SetupOutcome run_colocated(const BenchParams& p, std::int64_t workers) {
+SetupOutcome run_colocated(const BenchParams& p, std::int64_t workers,
+                           obs::Observability obs = {}) {
   EngineBox box_a(p.task_a, p.seed);
   EngineBox box_b(p.task_b, p.seed);
   // The shared set starts at 2 devices — the same total hardware the
@@ -136,6 +140,7 @@ SetupOutcome run_colocated(const BenchParams& p, std::int64_t workers) {
   cfg.continuous = true;
   cfg.elastic = elastic(p.max_devices);
   ColocatedServer server(registry, cfg);
+  server.set_observability(obs);
   server.replay(staggered_traces(p, *box_a.task.val, *box_b.task.val));
 
   SetupOutcome out;
@@ -277,7 +282,18 @@ int main(int argc, char** argv) {
   // Determinism sweep (the claim-4 witness) doubles as the co-located run.
   const std::vector<std::int64_t> worker_counts = {0, 2, 8};
   std::vector<SetupOutcome> colo_runs;
-  for (const std::int64_t w : worker_counts) colo_runs.push_back(run_colocated(p, w));
+  // The reference run records the per-model observability timeline
+  // (one track per device, per-model metrics prefixes) for --trace /
+  // --metrics; recording never perturbs records, which the cross-worker
+  // bit-identity claim below would catch.
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  for (const std::int64_t w : worker_counts)
+    colo_runs.push_back(run_colocated(
+        p, w,
+        w == worker_counts.front()
+            ? obs::Observability{&trace, &metrics}
+            : obs::Observability{}));
   const SetupOutcome& colo = colo_runs.front();
   const SetupOutcome dedicated = run_dedicated(p);
 
@@ -352,8 +368,13 @@ int main(int argc, char** argv) {
                static_cast<double>(colo_served - ded_served), "requests");
     report.add("colocation.resizes", static_cast<double>(colo.resizes.size()),
                "events");
+    report.add("colocation.obs.trace_events", static_cast<double>(trace.size()),
+               "events");
     if (!report.save(json)) ok = false;
   }
+  if (!flags.trace_path().empty() && !trace.save(flags.trace_path())) ok = false;
+  if (!flags.metrics_path().empty() && !metrics.save(flags.metrics_path()))
+    ok = false;
 
   const char* miss = custom_load ? "no (informational: custom workload)" : "NO — BUG";
   std::printf("\n  per-model SLO hit rates >= 0.95: %s\n", slo_met ? "yes" : miss);

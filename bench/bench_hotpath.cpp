@@ -24,6 +24,9 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 
 using namespace vf;
@@ -74,11 +77,12 @@ struct ArmResult {
 ArmResult run_arm(const std::string& task, const std::string& profile,
                   std::int64_t vns, std::int64_t devices, std::uint64_t seed,
                   std::int64_t warmup, std::int64_t steps, KernelMode mode,
-                  bool reuse) {
+                  bool reuse, obs::Observability obs = {}) {
   TensorConfig::set_kernel_mode(mode);
   TensorConfig::set_workspace_reuse(reuse);
   bench::EngineSetup setup =
       bench::make_setup(task, profile, vns, devices, DeviceType::kV100, seed);
+  setup.engine.set_observability(obs);
   ArmResult out;
   for (std::int64_t s = 0; s < warmup; ++s) out.losses.push_back(setup.engine.train_step().loss);
   const std::int64_t allocs0 = tensor_alloc_count();
@@ -202,6 +206,16 @@ int main(int argc, char** argv) {
                                 KernelMode::kReference, /*reuse=*/false);
   const ArmResult blk = run_arm(task, profile, vns, devices, seed, warmup, steps,
                                 KernelMode::kBlocked, /*reuse=*/true);
+  // ---- 3. Observability A/B on the same blocked hot path: with a
+  // TraceRecorder + MetricsRegistry attached, the step loop must stay at
+  // zero tensor heap allocations (recording touches no tensors), the
+  // trajectory must not move a bit, and the step time must stay within
+  // the stated budget of the unobserved arm.
+  obs::TraceRecorder obs_trace;
+  obs::MetricsRegistry obs_metrics;
+  const ArmResult obs_on =
+      run_arm(task, profile, vns, devices, seed, warmup, steps,
+              KernelMode::kBlocked, /*reuse=*/true, {&obs_trace, &obs_metrics});
   TensorConfig::set_kernel_mode(saved_mode);
   TensorConfig::set_workspace_reuse(saved_reuse);
 
@@ -237,14 +251,37 @@ int main(int argc, char** argv) {
 
   const bool zero_alloc = blk.tensor_allocs == 0 && blk.ws_allocs == 0;
   const bool fast_enough = speedup >= min_speedup;
+
+  // Observability gates: pure observer (bit-identical trajectory), zero
+  // tensor allocations either way, and a 1.5x step-time budget — the
+  // recorder's cost is a POD vector push per device per step (measured
+  // ~0.8x-1.0x), so the headroom is all for wall noise on smoke-sized
+  // steps under loaded CI hosts.
+  bool obs_identical =
+      blk.params.equals(obs_on.params) && blk.losses.size() == obs_on.losses.size();
+  if (obs_identical) {
+    for (std::size_t i = 0; i < blk.losses.size(); ++i)
+      obs_identical &= blk.losses[i] == obs_on.losses[i];
+  }
+  const bool obs_zero_alloc = obs_on.tensor_allocs == 0 && obs_on.ws_allocs == 0;
+  const double obs_ratio = blk.step_s > 0.0 ? obs_on.step_s / blk.step_s : 0.0;
+  const bool obs_cheap = obs_ratio <= 1.5;
+
   std::printf("\n  trajectories bit-identical across kernel modes: %s\n",
               identical ? "yes" : "NO — BUG");
   std::printf("  blocked arm steady-state tensor heap allocations: %lld (want 0)\n",
               static_cast<long long>(blk.tensor_allocs));
   std::printf("  end-to-end speedup %.2fx (gate: >= %.2fx): %s\n", speedup, min_speedup,
               fast_enough ? "yes" : miss);
+  std::printf("  recording on: %zu trace events, step %.3f ms vs %.3f ms off "
+              "(%.2fx, budget 1.5x): %s\n",
+              obs_trace.size(), obs_on.step_s * 1e3, blk.step_s * 1e3, obs_ratio,
+              obs_cheap ? "yes" : miss);
+  std::printf("  recording does not perturb the trajectory, zero tensor allocs: %s\n",
+              (obs_identical && obs_zero_alloc) ? "yes" : "NO — BUG");
   if (!identical || !zero_alloc) ok = false;
-  if (!custom && !fast_enough) ok = false;
+  if (!obs_identical || !obs_zero_alloc) ok = false;
+  if (!custom && (!fast_enough || !obs_cheap)) ok = false;
 
   report.add("e2e.reference.step_ms", ref.step_s * 1e3, "ms");
   report.add("e2e.blocked.step_ms", blk.step_s * 1e3, "ms");
@@ -252,6 +289,10 @@ int main(int argc, char** argv) {
   report.add("e2e.blocked.tensor_allocs_per_step",
              static_cast<double>(blk.tensor_allocs) / static_cast<double>(steps),
              "allocs");
+  report.add("e2e.obs_on.step_ms", obs_on.step_s * 1e3, "ms");
+  report.add("e2e.obs_on.overhead_x", obs_ratio, "x");
+  report.add("e2e.obs_on.trace_events", static_cast<double>(obs_trace.size()),
+             "events");
   const std::string json = flags.json_path();
   if (!json.empty() && !report.save(json)) ok = false;
 

@@ -19,11 +19,15 @@
 // Prints per-worker-count SLO tables (p50/p95/p99, deadline hit rate,
 // rejections), the resize timeline, and the batch-vs-continuous A/B
 // queue-wait table. Exit 1 when any claim fails.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "common/bench_util.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 using namespace vf;
 using namespace vf::serve;
@@ -58,7 +62,9 @@ struct ReplayOutcome {
   double drained_at_s = 0.0;
 };
 
-ReplayOutcome run_replay(const BenchParams& p, std::int64_t workers) {
+ReplayOutcome run_replay(const BenchParams& p, std::int64_t workers,
+                         obs::Observability obs = {},
+                         double* wall_s = nullptr) {
   ProxyTask task = make_task(p.task, p.seed);
   Sequential model = make_proxy_model(p.task, p.seed);
   TrainRecipe recipe = make_recipe(p.task);
@@ -85,11 +91,17 @@ ReplayOutcome run_replay(const BenchParams& p, std::int64_t workers) {
   scfg.elastic.cooldown_batches = 1;
 
   Server server(engine, *task.val, scfg);
-  server.replay(phased_poisson_trace(p.seed,
-                                     {{p.steady_rps, p.steady_s},
-                                      {p.burst_rps, p.burst_s},
-                                      {p.steady_rps / 2.0, p.drain_s}},
-                                     task.val->size()));
+  server.set_observability(obs);
+  const auto trace = phased_poisson_trace(p.seed,
+                                          {{p.steady_rps, p.steady_s},
+                                           {p.burst_rps, p.burst_s},
+                                           {p.steady_rps / 2.0, p.drain_s}},
+                                          task.val->size());
+  const auto t0 = std::chrono::steady_clock::now();
+  server.replay(trace);
+  if (wall_s != nullptr)
+    *wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
 
   ReplayOutcome out;
   out.records = server.slo().records();
@@ -240,6 +252,26 @@ int main(int argc, char** argv) {
                 -pct_change(batch.p99_queue_wait_s, cont.p99_queue_wait_s));
   }
 
+  // Observability overhead guard: the same replay with the recorder +
+  // registry attached must produce bit-identical records (a pure
+  // observer), and its wall time must stay within budget of the
+  // unobserved run. Both arms re-run fresh here so they are timed under
+  // identical cache conditions.
+  double wall_off = 0.0, wall_on = 0.0;
+  const ReplayOutcome unobserved = run_replay(p, /*workers=*/0, {}, &wall_off);
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  const ReplayOutcome observed =
+      run_replay(p, /*workers=*/0, {&trace, &metrics}, &wall_on);
+  const bool obs_pure = identical(unobserved, observed);
+  // Generous budget: recording is a bounded vector push per slice, so
+  // even smoke-sized replays with noisy wall clocks sit far inside 1.5x.
+  const double obs_overhead = wall_on / wall_off;
+  const bool obs_cheap = obs_overhead < 1.5;
+  std::printf("\n  observability: %zu trace events; replay wall %.3fs off / "
+              "%.3fs on (%.2fx)\n",
+              trace.size(), wall_off, wall_on, obs_overhead);
+
   // The growth and queue-wait claims are calibrated against the default
   // high-load trace; an exploratory sweep with overridden workload knobs
   // (e.g. a trickle of arrivals, where both modes dispatch every slice on
@@ -276,15 +308,25 @@ int main(int argc, char** argv) {
     add_mode("batch", batch);
     add_mode("continuous", cont);
     report.add("serving.resizes", static_cast<double>(ref.resizes.size()), "events");
+    report.add("serving.obs.trace_events", static_cast<double>(trace.size()),
+               "events");
+    report.add("serving.obs.overhead_x", obs_overhead, "ratio");
     if (!report.save(json)) ok = false;
   }
+  if (!flags.trace_path().empty() && !trace.save(flags.trace_path())) ok = false;
+  if (!flags.metrics_path().empty() && !metrics.save(flags.metrics_path()))
+    ok = false;
   const char* miss = custom_load ? "no (informational: custom workload)" : "NO — BUG";
   std::printf("\n  queue-depth-triggered growth: %s\n", grew ? "yes" : miss);
   std::printf("  bit-identical records/resizes across workers {0, 2, 8}: %s\n",
               exact ? "yes" : "NO — BUG");
   std::printf("  continuous mean queue wait below batch-boundary: %s\n",
               wait_reduced ? "yes" : miss);
-  if (!exact) ok = false;
-  if (!custom_load && (!grew || !wait_reduced)) ok = false;
+  std::printf("  recording does not perturb the replay: %s\n",
+              obs_pure ? "yes" : "NO — BUG");
+  std::printf("  recording wall overhead within 1.5x budget: %s\n",
+              obs_cheap ? "yes" : miss);
+  if (!exact || !obs_pure) ok = false;
+  if (!custom_load && (!grew || !wait_reduced || !obs_cheap)) ok = false;
   return ok ? 0 : 1;
 }

@@ -23,17 +23,24 @@
 //      share lands within 10% of its weight — the starvation case the
 //      deadline-only arbiter failed.
 //   4. Determinism: records — including every per-token stamp — replay
-//      bit-identically across host worker counts {0, 2, 8}.
+//      bit-identically across host worker counts {0, 2, 8}; the exported
+//      observability trace (obs/trace.h) is BYTE-identical across the
+//      same sweep, and attaching the recorder never perturbs a record.
 //
 // Prints the A/B SLO/TTFT/ITL table, the resize timeline, and the share
 // split. Exit 1 when any enforced claim fails. --json emits the
-// perf-trajectory record.
+// perf-trajectory record; --trace/--metrics dump the elastic run's
+// Perfetto timeline and metrics snapshot.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/bench_util.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 using namespace vf;
 using namespace vf::serve;
@@ -124,7 +131,8 @@ struct RunOutcome {
 /// the budget move and carries the grow/shrink claim plus the
 /// determinism sweep (resize timelines must replay bit-exactly too).
 RunOutcome run_streaming(const BenchParams& p, std::int64_t workers,
-                         bool disaggregate, bool elastic_enabled) {
+                         bool disaggregate, bool elastic_enabled,
+                         obs::Observability obs = {}) {
   Rig rig(p.task, p.seed);
   VirtualFlowEngine engine = rig.make_engine(p, /*devices=*/1, workers, p.vns);
   ServerConfig cfg;
@@ -136,8 +144,15 @@ RunOutcome run_streaming(const BenchParams& p, std::int64_t workers,
   cfg.elastic = elastic(p.max_devices);
   cfg.elastic.enabled = elastic_enabled;
   Server server(engine, *rig.task.val, cfg);
+  server.set_observability(obs);
   server.replay(make_stream_trace(p, *rig.task.val));
   return {server.slo().summary(), server.slo().records(), server.resizes()};
+}
+
+/// Does the exported trace contain an event with this exact name?
+bool has_event(const std::string& trace_json, const char* name) {
+  return trace_json.find("{\"name\": \"" + std::string(name) + "\"") !=
+         std::string::npos;
 }
 
 /// Bit-identity over full streamed records, token stamps included.
@@ -280,13 +295,28 @@ int main(int argc, char** argv) {
       run_streaming(p, 0, /*disaggregate=*/false, /*elastic_enabled=*/false);
 
   // Elastic run carries the grow/shrink claim; the determinism sweep
-  // (claim 4) rides it so resize timelines are bit-compared too.
+  // (claim 4) rides it so resize timelines are bit-compared too. Every
+  // sweep run records a full observability trace + metrics snapshot: the
+  // exported bytes must agree across worker counts (the trace is a
+  // witness of the determinism contract, not just the records).
   const std::vector<std::int64_t> worker_counts = {0, 2, 8};
   std::vector<RunOutcome> elastic_runs;
-  for (const std::int64_t w : worker_counts)
-    elastic_runs.push_back(
-        run_streaming(p, w, /*disaggregate=*/true, /*elastic_enabled=*/true));
+  std::vector<std::string> trace_jsons, metrics_jsons;
+  for (const std::int64_t w : worker_counts) {
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    elastic_runs.push_back(run_streaming(p, w, /*disaggregate=*/true,
+                                         /*elastic_enabled=*/true,
+                                         {&trace, &metrics}));
+    trace_jsons.push_back(trace.to_json());
+    metrics_jsons.push_back(metrics.to_json());
+  }
   const RunOutcome& grown = elastic_runs.front();
+
+  // The recorder must be a pure observer: an unobserved replay of the
+  // same elastic run produces bit-identical records.
+  const RunOutcome unobserved =
+      run_streaming(p, 0, /*disaggregate=*/true, /*elastic_enabled=*/true);
 
   std::printf("\n  disaggregated vs FIFO slice order:\n");
   Table table({"policy", "served", "streams", "tokens", "p50 TTFT (ms)",
@@ -334,6 +364,19 @@ int main(int argc, char** argv) {
   bool exact = true;
   for (std::size_t i = 1; i < elastic_runs.size(); ++i)
     exact &= identical(grown, elastic_runs[i]);
+  bool trace_exact = true;
+  for (std::size_t i = 1; i < trace_jsons.size(); ++i) {
+    trace_exact &= trace_jsons[i] == trace_jsons.front();
+    trace_exact &= metrics_jsons[i] == metrics_jsons.front();
+  }
+  const bool unperturbed = identical(grown, unobserved);
+  // The elastic streaming replay must have exercised every slice kind and
+  // both scheduler markers the trace exists to expose.
+  const std::string& trace_json = trace_jsons.front();
+  const bool trace_complete =
+      has_event(trace_json, "classify") && has_event(trace_json, "prefill") &&
+      has_event(trace_json, "decode") && has_event(trace_json, "resize") &&
+      has_event(trace_json, "preempt");
   bool grew = false, shrank = false;
   for (const ResizeEvent& e : grown.resizes) {
     grew |= e.to_devices > e.from_devices;
@@ -370,8 +413,18 @@ int main(int argc, char** argv) {
     report.add("streaming.share.small_batch_frac", share.small_batch_frac,
                "fraction");
     report.add("streaming.share.target_frac", share.target_frac, "fraction");
+    report.add("streaming.trace_events",
+               static_cast<double>(
+                   std::count(trace_json.begin(), trace_json.end(), '\n') - 2),
+               "events");
     if (!report.save(json)) ok = false;
   }
+  if (!flags.trace_path().empty() &&
+      !vf::obs::save_text_file(flags.trace_path(), trace_json))
+    ok = false;
+  if (!flags.metrics_path().empty() &&
+      !vf::obs::save_text_file(flags.metrics_path(), metrics_jsons.front()))
+    ok = false;
 
   const char* miss = custom_load ? "no (informational: custom workload)" : "NO — BUG";
   std::printf("\n  p99 TTFT: disaggregated < FIFO: %s\n", ttft_ok ? "yes" : miss);
@@ -383,9 +436,17 @@ int main(int argc, char** argv) {
   std::printf("  bit-identical records (token stamps included) across workers "
               "{0, 2, 8}: %s\n",
               exact ? "yes" : "NO — BUG");
+  std::printf("  byte-identical trace + metrics export across workers "
+              "{0, 2, 8}: %s\n",
+              trace_exact ? "yes" : "NO — BUG");
+  std::printf("  recording does not perturb the replay: %s\n",
+              unperturbed ? "yes" : "NO — BUG");
+  std::printf("  trace covers classify/prefill/decode + resize + preempt: %s\n",
+              trace_complete ? "yes" : miss);
 
-  if (!exact) ok = false;
-  if (!custom_load && (!ttft_ok || !tokens_ok || !grew || !shrank || !share_ok))
+  if (!exact || !trace_exact || !unperturbed) ok = false;
+  if (!custom_load && (!ttft_ok || !tokens_ok || !grew || !shrank || !share_ok ||
+                       !trace_complete))
     ok = false;
   return ok ? 0 : 1;
 }

@@ -25,6 +25,8 @@ Flags::Flags(int argc, char** argv, const std::map<std::string, std::string>& kn
     : known_(known) {
   known_.emplace("smoke", "run a tiny workload (used by `ctest -L bench-smoke`)");
   known_.emplace("json", "write machine-readable results (name/value/unit JSON) here");
+  known_.emplace("trace", "write a Chrome trace-event JSON timeline here (Perfetto-openable)");
+  known_.emplace("metrics", "write a runtime MetricsRegistry snapshot (JSON) here");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -98,55 +100,6 @@ void print_claim(const std::string& name, double measured, double paper,
                  const std::string& unit) {
   std::printf("  %-52s measured=%.3f%s paper=%.3f%s\n", name.c_str(), measured,
               unit.c_str(), paper, unit.c_str());
-}
-
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-void JsonReport::add(const std::string& name, double value, const std::string& unit) {
-  recs_.push_back(Rec{name, value, unit});
-}
-
-bool JsonReport::save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::cerr << "error: cannot open --json path for writing: " << path << "\n";
-    return false;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", json_escape(bench_).c_str());
-  for (std::size_t i = 0; i < recs_.size(); ++i) {
-    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}",
-                 i == 0 ? "" : ",", json_escape(recs_[i].name).c_str(), recs_[i].value,
-                 json_escape(recs_[i].unit).c_str());
-  }
-  std::fprintf(f, "\n  ]\n}\n");
-  const bool ok = std::fclose(f) == 0;
-  if (!ok) std::cerr << "error: failed writing --json output: " << path << "\n";
-  return ok;
 }
 
 }  // namespace vf::bench

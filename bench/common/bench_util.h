@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "virtualflow.h"
 
 namespace vf::bench {
@@ -32,7 +33,10 @@ inline constexpr int kUsageErrorExit = 2;
 /// instead of minutes. `--json=<path>` is likewise parsed everywhere,
 /// but only benches that build a JsonReport write the file (today:
 /// bench_hotpath, bench_serving) — adopt it when adding records to the
-/// perf trajectory.
+/// perf trajectory. `--trace=<path>` / `--metrics=<path>` follow the same
+/// pattern for the runtime observability outputs (Chrome trace-event JSON
+/// and a MetricsRegistry snapshot; see src/obs/): the serving benches
+/// write them, others accept-and-ignore.
 class Flags {
  public:
   Flags(int argc, char** argv, const std::map<std::string, std::string>& known);
@@ -45,6 +49,10 @@ class Flags {
   bool smoke() const { return get_int("smoke", 0) != 0; }
   /// Path passed via --json=<path>, empty when absent.
   std::string json_path() const { return get_string("json", ""); }
+  /// Path passed via --trace=<path> (Chrome trace-event JSON output).
+  std::string trace_path() const { return get_string("trace", ""); }
+  /// Path passed via --metrics=<path> (MetricsRegistry snapshot output).
+  std::string metrics_path() const { return get_string("metrics", ""); }
   /// True when `key` was explicitly passed on the command line (as opposed
   /// to falling back to its default). Lets a bench distinguish its
   /// calibrated default workload (where acceptance claims are enforced)
@@ -85,36 +93,10 @@ EngineSetup make_setup(const std::string& task_name, const std::string& profile_
 void print_claim(const std::string& name, double measured, double paper,
                  const std::string& unit = "");
 
-/// Machine-readable benchmark output: a flat list of name/value/unit
-/// records serialized as JSON. This is the repo's perf trajectory format
-/// (`BENCH_*.json`): every record is one measured scalar, names are
-/// dotted paths ("e2e.speedup", "kernel.matmul.1024x32x64.blocked"), and
-/// the CI perf-smoke job uploads the files as artifacts so regressions
-/// are diffable across commits.
-///
-/// Shape:
-///   { "bench": "<name>", "results": [
-///       {"name": "...", "value": 1.23, "unit": "GFLOP/s"}, ... ] }
-class JsonReport {
- public:
-  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
-
-  void add(const std::string& name, double value, const std::string& unit);
-
-  /// Serializes to `path`. Returns false (after a stderr diagnosis) on an
-  /// IO failure so benches can turn it into a nonzero exit.
-  bool save(const std::string& path) const;
-
-  std::size_t size() const { return recs_.size(); }
-
- private:
-  struct Rec {
-    std::string name;
-    double value;
-    std::string unit;
-  };
-  std::string bench_;
-  std::vector<Rec> recs_;
-};
+/// The perf-trajectory report writer moved into the library proper
+/// (src/obs/json.h) when the observability layer generalized it into the
+/// runtime metrics sink; the alias keeps every bench compiling unchanged.
+/// Doubles are now written round-trip-exact and locale-independent.
+using JsonReport = vf::obs::JsonReport;
 
 }  // namespace vf::bench

@@ -7,7 +7,13 @@
 // it back once the queue drains.
 //
 //   $ ./build/examples/example_serving
+//
+// Pass --trace=<path> to dump the continuous replay's device timeline as
+// Chrome trace-event JSON (open it at https://ui.perfetto.dev), and
+// --metrics=<path> for the "serve.*" metrics snapshot.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "virtualflow.h"
 
@@ -34,10 +40,16 @@ vf::VirtualFlowEngine make_trained_engine(const vf::ProxyTask& task,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::serve;
   const std::uint64_t seed = 42;
+
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) metrics_path = argv[i] + 10;
+  }
 
   // A trained-ish model to serve: a few epochs of cola-sim.
   ProxyTask task = make_task("cola-sim", seed);
@@ -87,6 +99,13 @@ int main() {
   scfg.continuous = true;
   VirtualFlowEngine engine2 = make_trained_engine(task, model, recipe, seed);
   Server cont(engine2, *task.val, scfg);
+  // The observability sinks ride the continuous replay: spans for every
+  // slice on its device track, markers for resizes/rejections, "serve.*"
+  // metrics. Recording never changes a record.
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  cont.set_observability({trace_path.empty() ? nullptr : &trace,
+                          metrics_path.empty() ? nullptr : &metrics});
   cont.replay(phased_poisson_trace(seed,
                                    {{200.0, 1.0}, {2000.0, 1.5}, {100.0, 2.0}},
                                    task.val->size()));
@@ -97,5 +116,11 @@ int main() {
   std::printf("mean queue wait %.1f ms -> %.1f ms  (in-flight %.1f ms -> %.1f ms)\n",
               slo.mean_queue_wait_s * 1e3, cslo.mean_queue_wait_s * 1e3,
               slo.mean_inflight_s * 1e3, cslo.mean_inflight_s * 1e3);
+
+  if (!trace_path.empty() && trace.save(trace_path))
+    std::printf("\nwrote %zu trace events to %s (open in https://ui.perfetto.dev)\n",
+                trace.size(), trace_path.c_str());
+  if (!metrics_path.empty() && metrics.save(metrics_path))
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
   return 0;
 }

@@ -98,6 +98,26 @@ void VirtualFlowEngine::check_memory() const {
   }
 }
 
+void VirtualFlowEngine::set_observability(obs::Observability obs) {
+  obs_ = obs;
+  if (obs.metrics == nullptr) {
+    steps_counter_ = evals_counter_ = nullptr;
+    step_hist_ = nullptr;
+    loss_gauge_ = throughput_gauge_ = nullptr;
+    return;
+  }
+  // Step times of interesting configs span ~1ms (tiny test models) to
+  // tens of seconds (first-step warmup on large profiles).
+  static const std::vector<double> kStepTimeEdges = {
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+      0.2,   0.5,   1.0,   2.0,  5.0,  10.0, 30.0};
+  steps_counter_ = &obs.metrics->counter("train.steps");
+  evals_counter_ = &obs.metrics->counter("train.evals");
+  step_hist_ = &obs.metrics->histogram("train.step_time_s", kStepTimeEdges);
+  loss_gauge_ = &obs.metrics->gauge("train.loss");
+  throughput_gauge_ = &obs.metrics->gauge("train.throughput");
+}
+
 StepStats VirtualFlowEngine::train_step() {
   const std::int64_t bpe = batcher_.batches_per_epoch();
   const std::int64_t epoch = step_ / bpe;
@@ -153,8 +173,18 @@ StepStats VirtualFlowEngine::train_step() {
     // A device hosting zero VNs this phase idles: it spends no compute
     // and cannot be the step's barrier (its replica memory still counts).
     if (!mapping_.device_vns(d).empty()) {
-      compute_s = std::max(
-          compute_s, device_step_time_s(spec, profile_, mapping_.device_batches(d)));
+      const double dt =
+          device_step_time_s(spec, profile_, mapping_.device_batches(d));
+      compute_s = std::max(compute_s, dt);
+      if (obs_.trace != nullptr) {
+        // One span per busy device: its simulated compute window this
+        // step. Emitted here, in the serial timing section, so the trace
+        // is byte-identical under any host worker count.
+        obs_.trace->span("train", clock_s_, clock_s_ + dt,
+                         static_cast<std::int32_t>(d), /*vn=*/-1,
+                         /*model=*/-1, mapping_.device_batch_total(d),
+                         /*warm=*/false);
+      }
     }
     max_mem = std::max(max_mem, device_memory(d).total());
   }
@@ -164,6 +194,14 @@ StepStats VirtualFlowEngine::train_step() {
     for (const Device& dev : devices_) extra = std::max(extra, dev.spec().first_step_extra_s);
     step_time += extra;
     first_step_done_ = true;
+  }
+
+  if (obs_.trace != nullptr) {
+    // The whole step (compute barrier + all-reduce + any first-step
+    // extra) on the control track, sized by the global batch.
+    obs_.trace->span("step", clock_s_, clock_s_ + step_time, /*device=*/-1,
+                     /*vn=*/-1, /*model=*/-1, mapping_.global_batch(),
+                     /*warm=*/false);
   }
 
   clock_s_ += step_time;
@@ -178,6 +216,12 @@ StepStats VirtualFlowEngine::train_step() {
   s.throughput = static_cast<double>(mapping_.global_batch()) / step_time;
   s.comm_time_s = comm_s;
   s.max_device_mem = max_mem;
+  if (steps_counter_ != nullptr) {
+    steps_counter_->add();
+    step_hist_->observe(step_time);
+    loss_gauge_->set(loss, clock_s_);
+    throughput_gauge_->set(s.throughput, clock_s_);
+  }
   return s;
 }
 
@@ -288,6 +332,16 @@ void VirtualFlowEngine::reconfigure(std::vector<Device> new_devices,
   } else {
     migration_s = config_.restart_penalty_s;
   }
+  if (obs_.trace != nullptr) {
+    // Reconfiguration marker on the control track: device-count change
+    // plus the migration charge (arg_s), stamped when the decision lands.
+    obs_.trace->instant("migrate", clock_s_, /*device=*/-1, /*vn=*/-1,
+                        /*model=*/-1, mapping_.num_devices(),
+                        static_cast<std::int64_t>(new_devices.size()),
+                        migration_s);
+  }
+  if (obs_.metrics != nullptr)
+    obs_.metrics->counter("train.reconfigures").add();
   clock_s_ += migration_s;
 
   if (!opts.migrate_state) {
@@ -587,7 +641,17 @@ double VirtualFlowEngine::evaluate(const Dataset& eval, std::int64_t limit) {
 
   std::int64_t correct = 0;
   for (const std::int64_t c : chunk_correct) correct += c;
-  return static_cast<double>(correct) / static_cast<double>(n);
+  const double acc = static_cast<double>(correct) / static_cast<double>(n);
+  // Evaluation does not advance the simulated clock, so it gets an
+  // instant marker (stamped at the current clock) rather than a span.
+  if (obs_.trace != nullptr)
+    obs_.trace->instant("eval", clock_s_, /*device=*/-1, /*vn=*/-1,
+                        /*model=*/-1, /*arg0=*/n, /*arg1=*/correct, acc);
+  if (evals_counter_ != nullptr) {
+    evals_counter_->add();
+    obs_.metrics->gauge("train.eval_accuracy").set(acc, clock_s_);
+  }
+  return acc;
 }
 
 double VirtualFlowEngine::evaluate_loss(const Dataset& eval, std::int64_t limit) {

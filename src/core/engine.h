@@ -36,6 +36,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/schedule.h"
+#include "obs/obs.h"
 #include "tensor/workspace.h"
 #include "util/thread_pool.h"
 
@@ -163,6 +164,16 @@ class VirtualFlowEngine {
                     const LrSchedule& schedule, const Dataset& train,
                     ModelProfile profile, std::vector<Device> devices,
                     VnMapping mapping, EngineConfig config);
+
+  /// Attaches observability sinks (obs/obs.h; either pointer may be
+  /// null). With a TraceRecorder attached, each train_step records one
+  /// "train" span per busy device (its simulated busy window on the
+  /// virtual clock) plus a "step" span on the control track covering the
+  /// whole step; with a MetricsRegistry it feeds "train.*" counters,
+  /// gauges, and the step-time histogram. Spans are emitted from the
+  /// serial timing section, so recording is identical under any host
+  /// worker count and never perturbs the simulated trajectory.
+  void set_observability(obs::Observability obs);
 
   /// Runs one global-batch step (Fig 5 steps 1-6).
   StepStats train_step();
@@ -303,6 +314,15 @@ class VirtualFlowEngine {
   std::vector<double> vn_infer_bytes_;              // per-VN logits bytes
   std::vector<std::vector<std::size_t>> infer_by_device_;  // device -> slice idx
   std::vector<bool> infer_seen_;                    // duplicate-VN guard
+
+  // ---- Observability sinks (null = off) and instrument pointers cached
+  // at attach time so the step loop never does a name lookup.
+  obs::Observability obs_;
+  obs::Counter* steps_counter_ = nullptr;
+  obs::Counter* evals_counter_ = nullptr;
+  obs::Histogram* step_hist_ = nullptr;
+  obs::Gauge* loss_gauge_ = nullptr;
+  obs::Gauge* throughput_gauge_ = nullptr;
 
   std::int64_t step_ = 0;
   double clock_s_ = 0.0;

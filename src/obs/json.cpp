@@ -1,0 +1,92 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "util/common.h"
+
+namespace vf::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no spelling for nan/inf; null keeps the document parseable
+    // and makes the bad sample impossible to mistake for a number.
+    out += "null";
+    return;
+  }
+  // Shortest form that round-trips: to_chars without a precision argument.
+  // Always enough for the shortest representation of any double.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  check(res.ec == std::errc(), "to_chars failed formatting a double");
+  out.append(buf, res.ptr);
+}
+
+std::string format_double(double v) {
+  std::string out;
+  append_double(out, v);
+  return out;
+}
+
+bool save_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "error: cannot open for writing: " << path << "\n";
+    return false;
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) std::cerr << "error: failed writing: " << path << "\n";
+  return ok;
+}
+
+void JsonReport::add(const std::string& name, double value, const std::string& unit) {
+  recs_.push_back(Rec{name, value, unit});
+}
+
+std::string JsonReport::to_json() const {
+  std::string out;
+  out += "{\n  \"bench\": \"";
+  out += json_escape(bench_);
+  out += "\",\n  \"results\": [";
+  for (std::size_t i = 0; i < recs_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    out += json_escape(recs_[i].name);
+    out += "\", \"value\": ";
+    append_double(out, recs_[i].value);
+    out += ", \"unit\": \"";
+    out += json_escape(recs_[i].unit);
+    out += "\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool JsonReport::save(const std::string& path) const { return save_text_file(path, to_json()); }
+
+}  // namespace vf::obs

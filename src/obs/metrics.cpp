@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+#include "util/common.h"
+
+namespace vf::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  check(!edges_.empty(), "a histogram needs at least one bucket edge");
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    check(edges_[i - 1] < edges_[i], "histogram edges must be strictly ascending");
+  buckets_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t b = 0;
+  while (b < edges_.size() && v > edges_[b]) ++b;
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& edges) {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    return histograms_.emplace(name, Histogram(edges)).first->second;
+  check(it->second.edges() == edges,
+        "histogram '" + name + "' re-registered with different bucket edges");
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  out += "{\n  \"metrics\": {\n    \"counters\": [";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      {\"name\": \"" + json_escape(name) +
+           "\", \"value\": " + std::to_string(c.value) + "}";
+  }
+  out += first ? "],\n" : "\n    ],\n";
+
+  out += "    \"gauges\": [";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      {\"name\": \"" + json_escape(name) + "\", \"value\": ";
+    append_double(out, g.value);
+    out += ", \"stamp_s\": ";
+    append_double(out, g.stamp_s);
+    out += "}";
+  }
+  out += first ? "],\n" : "\n    ],\n";
+
+  out += "    \"histograms\": [";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      {\"name\": \"" + json_escape(name) +
+           "\", \"count\": " + std::to_string(h.count()) + ", \"sum\": ";
+    append_double(out, h.sum());
+    out += ", \"min\": ";
+    append_double(out, h.min());
+    out += ", \"max\": ";
+    append_double(out, h.max());
+    out += ", \"edges\": [";
+    for (std::size_t i = 0; i < h.edges().size(); ++i) {
+      if (i != 0) out += ", ";
+      append_double(out, h.edges()[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(h.buckets()[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n    ]\n";
+  out += "  }\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::save(const std::string& path) const {
+  return save_text_file(path, to_json());
+}
+
+}  // namespace vf::obs

@@ -1,0 +1,100 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms for
+// the runtime — the BENCH_*.json JsonReport plumbing generalized into a
+// metrics sink the serving/training loops feed while they run.
+//
+// Design rules, all serving the repo's determinism contract:
+//
+//   * Instruments live in node-stable maps, so `counter("x")` returns a
+//     reference that stays valid for the registry's lifetime — hot loops
+//     resolve a name ONCE (at attach time) and then bump a cached pointer,
+//     allocation-free.
+//   * Gauges are stamped with the caller's VIRTUAL clock, never wall time:
+//     a snapshot is a pure function of the replay, so two replays that
+//     agree on their schedules serialize byte-identical snapshots.
+//   * Histograms have fixed bucket edges declared at registration
+//     (re-registration with different edges is an error) — bucket counts
+//     are integers, immune to accumulation-order noise.
+//   * Snapshots serialize sorted by name (std::map order), through the
+//     locale-independent round-trip writer in obs/json.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vf::obs {
+
+/// Monotonic event count.
+struct Counter {
+  std::int64_t value = 0;
+  void add(std::int64_t delta = 1) { value += delta; }
+};
+
+/// Last-write-wins sample, stamped with the virtual clock of the write.
+struct Gauge {
+  double value = 0.0;
+  double stamp_s = 0.0;
+  void set(double v, double now_s) {
+    value = v;
+    stamp_s = now_s;
+  }
+};
+
+/// Fixed-edge histogram: `edges` (ascending) split the line into
+/// edges.size() + 1 buckets; bucket i counts samples v <= edges[i], the
+/// last bucket is the overflow. Tracks count/sum/min/max alongside.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void observe(double v);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  ///< 0.0 before the first sample
+  double max() const { return max_; }
+  const std::vector<double>& edges() const { return edges_; }
+  /// edges.size() + 1 bucket counts (last = overflow past the top edge).
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. The returned reference is stable for the registry's
+  /// lifetime (node-based map) — cache it outside hot loops.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Get-or-create with fixed `edges` (ascending, non-empty). A second
+  /// registration of `name` must pass identical edges.
+  Histogram& histogram(const std::string& name, const std::vector<double>& edges);
+
+  /// Lookup without creating; nullptr when absent (tests, read-outs).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Snapshot of every instrument, sorted by name, values formatted
+  /// round-trip-exact:
+  ///   { "metrics": { "counters": [{"name","value"}...],
+  ///                  "gauges": [{"name","value","stamp_s"}...],
+  ///                  "histograms": [{"name","count","sum","min","max",
+  ///                                  "edges","buckets"}...] } }
+  std::string to_json() const;
+  bool save(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace vf::obs

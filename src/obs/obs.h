@@ -1,0 +1,21 @@
+// The observability handle threaded through the runtime: nullable
+// pointers to a TraceRecorder and a MetricsRegistry. Both null (the
+// default) means recording is OFF, and every instrumentation site reduces
+// to one pointer test — the null-sink fast path that keeps the serving
+// and training hot loops allocation-free and within noise when nobody is
+// watching. The referents are owned by the caller (a bench, an example, a
+// test) and must outlive whatever the handle is attached to.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vf::obs {
+
+struct Observability {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  bool on() const { return trace != nullptr || metrics != nullptr; }
+};
+
+}  // namespace vf::obs

@@ -99,7 +99,25 @@ ColocatedServer::ColocatedServer(ModelRegistry& registry, ColocationConfig confi
     models_[static_cast<std::size_t>(m)].queue.set_reject_observer(
         [this, m](const InferRequest& r) {
           models_[static_cast<std::size_t>(m)].tracker.record_rejection(r, r.arrival_s);
+          if (obs_.trace != nullptr)
+            obs_.trace->instant("reject", r.arrival_s, /*device=*/-1, /*vn=*/-1,
+                                m, /*arg0=*/r.id);
         });
+  }
+}
+
+void ColocatedServer::set_observability(obs::Observability obs) {
+  check(!replayed_, "attach observability before replay()");
+  obs_ = obs;
+  share_gauges_.clear();
+  for (std::int32_t m = 0; m < static_cast<std::int32_t>(models_.size()); ++m) {
+    ModelState& st = models_[static_cast<std::size_t>(m)];
+    const std::string prefix = "serve." + registry_.config(m).name + ".";
+    st.dispatcher.set_observability(obs, m, prefix);
+    st.tracker.set_metrics(obs.metrics, prefix);
+    st.ledger.set_metrics(obs.metrics, prefix);
+    if (obs.metrics != nullptr)
+      share_gauges_.push_back(&obs.metrics->gauge(prefix + "share_vtime"));
   }
 }
 
@@ -150,6 +168,18 @@ void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& trace
     replay_batch_boundary();
   }
   traces_ = nullptr;
+  if (obs_.metrics != nullptr) {
+    for (std::int32_t m = 0; m < static_cast<std::int32_t>(models_.size()); ++m) {
+      const ModelState& st = models_[static_cast<std::size_t>(m)];
+      const std::string prefix = "serve." + registry_.config(m).name + ".";
+      SloTracker::export_summary(st.tracker.summary(), *obs_.metrics, prefix,
+                                 clock_);
+      obs_.metrics->gauge(prefix + "device_seconds")
+          .set(device_time_used(m), clock_);
+    }
+    obs_.metrics->gauge("serve.devices")
+        .set(static_cast<double>(shared_devices()), clock_);
+  }
 }
 
 void ColocatedServer::charge(std::int32_t m, double compute_s) {
@@ -157,6 +187,10 @@ void ColocatedServer::charge(std::int32_t m, double compute_s) {
   global_vtime_ = std::max(global_vtime_, share_time_[i]);
   share_time_[i] += compute_s / share_weight_[i];
   device_seconds_[i] += compute_s;
+  // The arbiter key's share-debt term over virtual time: the gauge pair
+  // (value, stamp) plots each model's weighted consumption, which is where
+  // share starvation shows up first.
+  if (!share_gauges_.empty()) share_gauges_[i]->set(share_time_[i], clock_);
 }
 
 std::int64_t ColocatedServer::classify_prefix(const ModelState& st,
@@ -247,6 +281,11 @@ void ColocatedServer::perform_resize(std::int64_t target, std::int64_t depth) {
     eng.resize(make_devices(config_.elastic.device, target));
     migration += eng.sim_time_s() - before;
     dispatch_ready_[static_cast<std::size_t>(m)] = clock_ + migration;
+    // Rolling migration: one "cutover" marker per model at its
+    // dispatch-resume stamp, in cutover (deepest-backlog-first) order.
+    if (obs_.trace != nullptr)
+      obs_.trace->instant("cutover", clock_ + migration, /*device=*/-1,
+                          /*vn=*/-1, m);
   }
 
   ResizeEvent ev;
@@ -257,6 +296,17 @@ void ColocatedServer::perform_resize(std::int64_t target, std::int64_t depth) {
   ev.migration_s = migration;
   resizes_.push_back(ev);
   work_since_resize_ = 0;
+
+  if (obs_.trace != nullptr)
+    obs_.trace->instant("resize", clock_, /*device=*/-1, /*vn=*/-1,
+                        /*model=*/-1, /*arg0=*/cur, /*arg1=*/target,
+                        /*arg_s=*/migration);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter(target > cur ? "serve.resizes.grow"
+                                       : "serve.resizes.shrink")
+        .add();
+    obs_.metrics->gauge("serve.devices").set(static_cast<double>(target), clock_);
+  }
 }
 
 void ColocatedServer::dispatch_slice(std::int32_t m) {
@@ -295,6 +345,13 @@ void ColocatedServer::replay_continuous() {
       }
     }
     std::sort(due.begin(), due.end());
+    // Finalizes the newest slice event's trace span: post-admission queue
+    // depth (the dispatcher stamped the model already).
+    const auto finalize_span_depth = [&]() {
+      if (obs_.trace != nullptr)
+        obs_.trace->set_queue_depth(batches_.back().trace_span,
+                                    batches_.back().queue_depth_after);
+    };
     for (const auto& [done_s, m, vn] : due) {
       static_cast<void>(done_s);
       ModelState& st = models_[static_cast<std::size_t>(m)];
@@ -305,6 +362,7 @@ void ColocatedServer::replay_continuous() {
         BatchEvent ev = make_slice_event(done, vn, st.queue.size());
         ev.model = m;
         batches_.push_back(ev);
+        finalize_span_depth();
         continue;
       }
       // Stream slice: stamp one token off the finished slice, then chain,
@@ -314,6 +372,7 @@ void ColocatedServer::replay_continuous() {
       BatchEvent ev = make_slice_event(st.ledger.slot(vn), vn, st.queue.size());
       ev.model = m;
       batches_.push_back(ev);
+      finalize_span_depth();
       if (!more) {
         st.ledger.complete(vn);
         st.tracker.record_completion(st.streamer.finish(vn));
@@ -325,8 +384,15 @@ void ColocatedServer::replay_continuous() {
         // Token-boundary preemption, per model: every slot of THIS model
         // is busy and a stream heads its queue — park the chain (at most
         // one parked per model) and lend the slot to the waiting prefill.
-        st.ledger.complete(vn);
+        const Slot freed = st.ledger.complete(vn);
         st.streamer.pause(vn);
+        if (obs_.trace != nullptr)
+          obs_.trace->instant("preempt", clock_,
+                              static_cast<std::int32_t>(freed.device), vn, m);
+        if (obs_.metrics != nullptr)
+          obs_.metrics->counter("serve." + registry_.config(m).name +
+                                ".preemptions")
+              .add();
       } else {
         st.continuations.push_back(vn);
         st.pending_chain[static_cast<std::size_t>(vn)] = 1;

@@ -155,6 +155,16 @@ class ColocatedServer {
   ColocatedServer(const ColocatedServer&) = delete;
   ColocatedServer& operator=(const ColocatedServer&) = delete;
 
+  /// Attaches observability sinks (obs/obs.h; either pointer may be null)
+  /// before replay(). Spans carry each slice's model id; per-model metrics
+  /// live under "serve.<model name>."; shared-set events (resizes, the
+  /// devices gauge) under "serve.". Rolling migrations additionally mark a
+  /// per-model "cutover" instant at each dispatch_ready_ stamp, and the
+  /// arbiter's share virtual time is exported as a per-model gauge — the
+  /// share-starvation signal on the timeline. Recording never perturbs the
+  /// schedule.
+  void set_observability(obs::Observability obs);
+
   /// Replays one open-loop arrival trace per model (indexed by model id,
   /// each ascending in arrival time) to completion, draining every queue.
   void replay(const std::vector<std::vector<InferRequest>>& traces);
@@ -263,6 +273,12 @@ class ColocatedServer {
   bool replayed_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
+
+  /// Observability sinks (null = off); see set_observability.
+  obs::Observability obs_;
+  /// Cached per-model share-virtual-time gauges (empty = off), updated on
+  /// every charge() so share starvation is visible over virtual time.
+  std::vector<obs::Gauge*> share_gauges_;
 };
 
 }  // namespace vf::serve

@@ -7,6 +7,15 @@
 
 namespace vf::serve {
 
+const char* slice_kind_name(SliceKind kind) {
+  switch (kind) {
+    case SliceKind::kClassify: return "classify";
+    case SliceKind::kPrefill: return "prefill";
+    case SliceKind::kDecode: return "decode";
+  }
+  return "unknown";
+}
+
 void record_slice_requests(const Slot& done, SloTracker& tracker) {
   for (std::size_t i = 0; i < done.requests.size(); ++i) {
     const InferRequest& r = done.requests[i];
@@ -29,18 +38,37 @@ BatchEvent make_slice_event(const Slot& done, std::int32_t vn,
   ev.start_s = done.dispatch_s;
   ev.finish_s = done.done_s;
   ev.size = static_cast<std::int64_t>(done.requests.size());
-  // The device count that dispatched the slice — a slice can span a
-  // seamless resize, and it ran on the mapping it was launched under.
+  // The hosting-device count that dispatched the slice — a slice can span
+  // a seamless resize, and it ran on the mapping it was launched under.
   ev.devices = done.devices;
   ev.queue_depth_after = queue_depth_after;
   ev.vn = vn;
   ev.kind = done.kind;
+  ev.device = done.device;
+  ev.warm = done.warm;
+  ev.trace_span = done.trace_span;
   return ev;
 }
 
 SliceDispatcher::SliceDispatcher(VirtualFlowEngine& engine,
                                  const Dataset& request_pool)
     : engine_(engine), request_pool_(request_pool) {}
+
+void SliceDispatcher::set_observability(obs::Observability obs,
+                                        std::int32_t model,
+                                        const std::string& metrics_prefix) {
+  obs_ = obs;
+  model_ = model;
+  if (obs.metrics == nullptr) {
+    kind_counters_[0] = kind_counters_[1] = kind_counters_[2] = nullptr;
+    batch_counter_ = nullptr;
+    return;
+  }
+  kind_counters_[0] = &obs.metrics->counter(metrics_prefix + "slices.classify");
+  kind_counters_[1] = &obs.metrics->counter(metrics_prefix + "slices.prefill");
+  kind_counters_[2] = &obs.metrics->counter(metrics_prefix + "slices.decode");
+  batch_counter_ = &obs.metrics->counter(metrics_prefix + "batches.formed");
+}
 
 Slot SliceDispatcher::dispatch_rows(std::int32_t vn, SliceKind kind,
                                     double now_s,
@@ -63,13 +91,29 @@ Slot SliceDispatcher::dispatch_rows(std::int32_t vn, SliceKind kind,
   Slot slot;
   slot.kind = kind;
   slot.dispatch_s = now_s;
-  slot.devices = static_cast<std::int64_t>(engine_.devices().size());
+  // A single-VN slice runs on exactly the one device hosting its VN
+  // (reporting the full device-set size here made BatchEvent accounting
+  // disagree with the per-device trace spans).
+  slot.devices = 1;
+  slot.device = cost.device;
+  slot.warm = sched.warm;
   slot.compute_s = sched.compute_s;
   slot.comm_s = cost.comm_s;
   slot.done_s = sched.done_s;
   // The device is busy for the forward pass; the logits return rides
   // the link while the device moves on to its next slice.
   device_free[dev] = sched.start_s + sched.compute_s;
+  if (obs_.trace != nullptr) {
+    // The span covers the device's busy window plus the logits return;
+    // queue depth is finalized by the server once post-dispatch admissions
+    // have settled.
+    slot.trace_span =
+        obs_.trace->span(slice_kind_name(kind), sched.start_s, sched.done_s,
+                         static_cast<std::int32_t>(cost.device), vn, model_,
+                         static_cast<std::int64_t>(requests.size()), sched.warm);
+  }
+  if (kind_counters_[0] != nullptr)
+    kind_counters_[static_cast<std::size_t>(kind)]->add();
   slot.requests = std::move(requests);
   slot.predictions = std::move(stats.predictions);
   return slot;
@@ -134,6 +178,13 @@ BatchEvent SliceDispatcher::run_formed_batch(RequestQueue& queue,
   // queue_depth_after is finalized by the caller once the arrivals that
   // landed during this batch's service window are admitted.
   ev.queue_depth_after = queue.size();
+  if (obs_.trace != nullptr) {
+    // A formed batch runs to a barrier across the whole device set, so its
+    // span lives on the control track (device -1), sized by the take.
+    ev.trace_span = obs_.trace->span("batch", start_s, finish, /*device=*/-1,
+                                     /*vn=*/-1, model_, take, /*warm=*/false);
+  }
+  if (batch_counter_ != nullptr) batch_counter_->add();
   return ev;
 }
 

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "data/dataset.h"
+#include "obs/obs.h"
 #include "serve/batch_former.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
@@ -26,17 +28,29 @@
 
 namespace vf::serve {
 
+/// Static display name of a slice kind ("classify"/"prefill"/"decode") —
+/// the trace span names, shared so the trace and tables cannot disagree.
+const char* slice_kind_name(SliceKind kind);
+
 /// One unit of executed work during a replay: a formed batch in
 /// batch-boundary mode, or a single VN slice in continuous mode.
 struct BatchEvent {
   double start_s = 0.0;
   double finish_s = 0.0;
   std::int64_t size = 0;
-  std::int64_t devices = 0;          ///< device count that served it
+  /// Device count that served it: the hosting device (1) for a
+  /// continuous-mode slice, the full set for a formed batch.
+  std::int64_t devices = 0;
   std::int64_t queue_depth_after = 0;
   std::int32_t vn = -1;  ///< slice's virtual node (continuous mode); -1 = batch
   std::int32_t model = -1;  ///< registry id (co-located serving); -1 = single model
   SliceKind kind = SliceKind::kClassify;  ///< scheduling class of the work
+  std::int64_t device = -1;  ///< hosting device id (continuous mode); -1 = all
+  bool warm = false;         ///< warm/cold dispatch pricing of the slice
+  /// TraceRecorder span of the dispatch; obs::TraceRecorder::kNoSpan when
+  /// recording is off. Servers finalize the span's queue depth and model
+  /// through it.
+  std::int64_t trace_span = obs::TraceRecorder::kNoSpan;
 };
 
 /// Records the completions of one finished slice (per-request stamps all
@@ -62,6 +76,15 @@ class SliceDispatcher {
   /// (ColocatedServer); the reference members rebind nowhere, they just
   /// travel with the state.
   SliceDispatcher(SliceDispatcher&&) = default;
+
+  /// Attaches observability sinks (either pointer may be null — the
+  /// default handle is the null sink, one pointer test per dispatch).
+  /// Every subsequent dispatch records a span named by its slice kind and
+  /// bumps "<metrics_prefix>slices.<kind>" counters; `model` stamps the
+  /// spans' model id (-1 = single-model serving). The referents must
+  /// outlive the dispatcher.
+  void set_observability(obs::Observability obs, std::int32_t model,
+                         const std::string& metrics_prefix);
 
   /// Dispatches one continuous-mode slice of arbitrary request-pool rows
   /// onto VN `vn`: gather -> forward -> warm/cold price against
@@ -92,6 +115,14 @@ class SliceDispatcher {
  private:
   VirtualFlowEngine& engine_;
   const Dataset& request_pool_;
+
+  // Observability (null sinks by default). Per-kind slice counters are
+  // resolved once at attach time so the dispatch hot path never touches a
+  // metric name.
+  obs::Observability obs_;
+  std::int32_t model_ = -1;
+  obs::Counter* kind_counters_[3] = {nullptr, nullptr, nullptr};
+  obs::Counter* batch_counter_ = nullptr;
 
   // Reusable dispatch scratch: the gather index list, the (discarded)
   // request-pool labels, and the slice vector handed to engine.infer.

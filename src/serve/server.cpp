@@ -24,10 +24,15 @@ Server::Server(VirtualFlowEngine& engine, const Dataset& request_pool,
       tracker_(config.deadline_s),
       dispatcher_(engine, request_pool) {
   // Backpressure accounting lives at the backpressure point: the queue
-  // reports every dropped request (with its id) straight to the tracker,
-  // so both replay modes share one drop-accounting path.
-  queue_.set_reject_observer(
-      [this](const InferRequest& r) { tracker_.record_rejection(r, r.arrival_s); });
+  // reports every dropped request (with its id) straight to the tracker
+  // (and, when a recorder is attached, as a "reject" marker on the control
+  // track), so both replay modes share one drop-accounting path.
+  queue_.set_reject_observer([this](const InferRequest& r) {
+    tracker_.record_rejection(r, r.arrival_s);
+    if (obs_.trace != nullptr)
+      obs_.trace->instant("reject", r.arrival_s, /*device=*/-1, /*vn=*/-1,
+                          /*model=*/-1, /*arg0=*/r.id);
+  });
   if (config_.elastic.enabled) {
     const ElasticPolicy& e = config_.elastic;
     check(e.min_devices >= 1, "elastic min_devices must be >= 1");
@@ -41,6 +46,13 @@ Server::Server(VirtualFlowEngine& engine, const Dataset& request_pool,
           "elastic watermarks must satisfy high > low (hysteresis)");
     check(e.cooldown_batches >= 0, "elastic cooldown must be non-negative");
   }
+}
+
+void Server::set_observability(obs::Observability obs) {
+  check(!replayed_, "attach observability before replay()");
+  obs_ = obs;
+  dispatcher_.set_observability(obs, /*model=*/-1, "serve.");
+  tracker_.set_metrics(obs.metrics, "serve.");
 }
 
 void Server::replay(const std::vector<InferRequest>& trace) {
@@ -59,6 +71,12 @@ void Server::replay(const std::vector<InferRequest>& trace) {
     replay_continuous(trace);
   } else {
     replay_batch_boundary(trace);
+  }
+  if (obs_.metrics != nullptr) {
+    SloTracker::export_summary(tracker_.summary(), *obs_.metrics, "serve.",
+                               clock_);
+    obs_.metrics->gauge("serve.devices")
+        .set(static_cast<double>(engine_.devices().size()), clock_);
   }
 }
 
@@ -97,12 +115,16 @@ void Server::replay_batch_boundary(const std::vector<InferRequest>& trace) {
     // batch later).
     admit_up_to_clock();
     batches_.back().queue_depth_after = queue_.size();
+    if (obs_.trace != nullptr)
+      obs_.trace->set_queue_depth(batches_.back().trace_span,
+                                  batches_.back().queue_depth_after);
     maybe_resize();
   }
 }
 
 void Server::replay_continuous(const std::vector<InferRequest>& trace) {
   SlotLedger ledger(engine_.mapping().total_vns());
+  ledger.set_metrics(obs_.metrics, "serve.");
   TokenStreamer streamer(engine_.mapping().total_vns(), request_pool_.size());
   // Per-device serialization: a device runs its slices one after another
   // (the same execution shape as training VNs), so a slice dispatched to a
@@ -129,6 +151,14 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
   // and either chain (continuation), retire (last token), or — under
   // disaggregated scheduling — yield the slot to a queued prefill at this
   // token boundary.
+  // Finalizes the newest slice event's trace span with the queue depth the
+  // event recorded (a no-op without a recorder or span).
+  const auto finalize_span_depth = [&]() {
+    if (obs_.trace != nullptr)
+      obs_.trace->set_queue_depth(batches_.back().trace_span,
+                                  batches_.back().queue_depth_after);
+  };
+
   const auto complete_due = [&]() {
     for (const std::int32_t vn : ledger.due(clock_)) {
       if (ledger.slot(vn).kind == SliceKind::kClassify) {
@@ -136,11 +166,13 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
         record_slice_requests(done, tracker_);
         ++work_since_resize_;
         batches_.push_back(make_slice_event(done, vn, queue_.size()));
+        finalize_span_depth();
         continue;
       }
       const bool more = streamer.absorb(vn, ledger.slot(vn));
       ++work_since_resize_;
       batches_.push_back(make_slice_event(ledger.slot(vn), vn, queue_.size()));
+      finalize_span_depth();
       if (!more) {
         ledger.complete(vn);
         tracker_.record_completion(streamer.finish(vn));
@@ -153,8 +185,14 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
         // Admissions run before resumes within an instant, so the freed
         // slot goes to the queue first and the parked stream takes the
         // next one.
-        ledger.complete(vn);
+        const Slot freed = ledger.complete(vn);
         streamer.pause(vn);
+        if (obs_.trace != nullptr)
+          obs_.trace->instant("preempt", clock_,
+                              static_cast<std::int32_t>(freed.device), vn,
+                              /*model=*/-1);
+        if (obs_.metrics != nullptr)
+          obs_.metrics->counter("serve.preemptions").add();
       } else {
         continuations.push_back(vn);
       }
@@ -316,6 +354,20 @@ void Server::perform_resize(std::int64_t target, std::int64_t depth) {
   ev.migration_s = migration;
   resizes_.push_back(ev);
   work_since_resize_ = 0;
+
+  // The elastic_resize_target decision, marked on the control track and
+  // counted by direction; the devices gauge tracks the set's size over
+  // virtual time.
+  if (obs_.trace != nullptr)
+    obs_.trace->instant("resize", clock_, /*device=*/-1, /*vn=*/-1,
+                        /*model=*/-1, /*arg0=*/cur, /*arg1=*/target,
+                        /*arg_s=*/migration);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter(target > cur ? "serve.resizes.grow"
+                                       : "serve.resizes.shrink")
+        .add();
+    obs_.metrics->gauge("serve.devices").set(static_cast<double>(target), clock_);
+  }
 }
 
 }  // namespace vf::serve

@@ -119,6 +119,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  /// Attaches observability sinks (obs/obs.h; either pointer may be null).
+  /// Must be called before replay(); the referents must outlive it. With a
+  /// TraceRecorder attached the replay records one span per slice/batch on
+  /// its device's track plus instant markers (resize, preempt, reject);
+  /// with a MetricsRegistry it feeds "serve.*" counters/histograms and
+  /// exports the SLO summary as gauges when the replay drains. Recording
+  /// never perturbs the schedule — records are bit-identical with sinks
+  /// attached or not (bench_serving gates this).
+  void set_observability(obs::Observability obs);
+
   /// Replays an open-loop arrival trace (ascending arrival order) to
   /// completion, draining the queue. One replay per Server.
   void replay(const std::vector<InferRequest>& trace);
@@ -149,6 +159,9 @@ class Server {
   /// The shared engine-facing dispatch path (gather/infer/price scratch
   /// lives there, reused dispatch after dispatch).
   SliceDispatcher dispatcher_;
+
+  /// Observability sinks (null = off); see set_observability.
+  obs::Observability obs_;
 
   double clock_ = 0.0;
   /// Work units (batches or slices) since the last resize; cooldown gate.

@@ -25,8 +25,14 @@ void SloTracker::record_completion(RequestRecord r) {
   // A stream's deadline is its TTFT — total latency scales with requested
   // length, so completion time is not the responsiveness SLO.
   r.deadline_met = (r.streamed() ? r.ttft_s() : r.latency_s()) <= deadline_s_;
-  if (!r.deadline_met) ++deadline_misses_;
+  if (!r.deadline_met) {
+    ++deadline_misses_;
+    if (misses_ != nullptr) misses_->add();
+  }
   ++completed_;
+  if (completions_ != nullptr) completions_->add();
+  if (latency_hist_ != nullptr) latency_hist_->observe(r.latency_s());
+  if (queue_wait_hist_ != nullptr) queue_wait_hist_->observe(r.queue_wait_s);
   records_.push_back(std::move(r));
 }
 
@@ -44,7 +50,49 @@ void SloTracker::record_rejection(const InferRequest& r, double now_s) {
   rec.rejected = true;
   rec.deadline_met = false;
   ++rejected_;
+  if (rejections_ != nullptr) rejections_->add();
   records_.push_back(std::move(rec));
+}
+
+void SloTracker::set_metrics(obs::MetricsRegistry* metrics,
+                             const std::string& prefix) {
+  if (metrics == nullptr) {
+    completions_ = rejections_ = misses_ = nullptr;
+    latency_hist_ = queue_wait_hist_ = nullptr;
+    return;
+  }
+  completions_ = &metrics->counter(prefix + "requests.completed");
+  rejections_ = &metrics->counter(prefix + "requests.rejected");
+  misses_ = &metrics->counter(prefix + "requests.deadline_misses");
+  // Fixed edges spanning 1 ms .. 10 s of virtual latency — wide enough for
+  // every serving scenario in bench/, stable so snapshots stay comparable.
+  static const std::vector<double> kLatencyEdges = {
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0};
+  latency_hist_ = &metrics->histogram(prefix + "latency_s", kLatencyEdges);
+  queue_wait_hist_ = &metrics->histogram(prefix + "queue_wait_s", kLatencyEdges);
+}
+
+void SloTracker::export_summary(const SloSummary& s, obs::MetricsRegistry& metrics,
+                                const std::string& prefix, double now_s) {
+  const auto set = [&](const char* name, double v) {
+    metrics.gauge(prefix + "slo." + name).set(v, now_s);
+  };
+  set("completed", static_cast<double>(s.completed));
+  set("rejected", static_cast<double>(s.rejected));
+  set("deadline_misses", static_cast<double>(s.deadline_misses));
+  set("hit_rate", s.hit_rate);
+  set("p50_s", s.p50_s);
+  set("p95_s", s.p95_s);
+  set("p99_s", s.p99_s);
+  set("mean_s", s.mean_s);
+  set("mean_queue_wait_s", s.mean_queue_wait_s);
+  set("p99_queue_wait_s", s.p99_queue_wait_s);
+  set("mean_inflight_s", s.mean_inflight_s);
+  set("streams", static_cast<double>(s.streams));
+  set("tokens", static_cast<double>(s.tokens));
+  set("p50_ttft_s", s.p50_ttft_s);
+  set("p99_ttft_s", s.p99_ttft_s);
+  set("mean_itl_s", s.mean_itl_s);
 }
 
 std::int64_t SloTracker::completed() const { return completed_; }

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/request.h"
 
 namespace vf::serve {
@@ -86,12 +88,31 @@ class SloTracker {
   /// worker counts.
   const std::vector<RequestRecord>& records() const { return records_; }
 
+  /// Attaches per-request metrics under `prefix`: completion/rejection/
+  /// deadline-miss counters plus latency and queue-wait histograms
+  /// (fixed edges; see docs/metrics.md). The registry must outlive the
+  /// tracker; instrument pointers are cached so the record path stays
+  /// allocation-free. Null detaches.
+  void set_metrics(obs::MetricsRegistry* metrics, const std::string& prefix);
+
+  /// Writes `summary()` into `metrics` as "<prefix>slo.*" gauges stamped
+  /// at virtual time `now_s` — the SloTracker summary export the serving
+  /// loops call once per replay.
+  static void export_summary(const SloSummary& s, obs::MetricsRegistry& metrics,
+                             const std::string& prefix, double now_s);
+
  private:
   double deadline_s_;
   std::vector<RequestRecord> records_;
   std::int64_t completed_ = 0;
   std::int64_t rejected_ = 0;
   std::int64_t deadline_misses_ = 0;
+  // Cached instrument pointers (null = off); see set_metrics.
+  obs::Counter* completions_ = nullptr;
+  obs::Counter* rejections_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
 };
 
 }  // namespace vf::serve

@@ -36,6 +36,7 @@ void SlotLedger::admit(std::int32_t vn, Slot slot) {
   inflight_ += static_cast<std::int64_t>(slot.requests.size());
   dst = std::move(slot);
   ++busy_;
+  if (admits_ != nullptr) admits_->add();
 }
 
 std::vector<std::int32_t> SlotLedger::due(double now_s) const {
@@ -60,6 +61,7 @@ Slot SlotLedger::complete(std::int32_t vn) {
   s = Slot{};
   --busy_;
   inflight_ -= static_cast<std::int64_t>(out.requests.size());
+  if (completes_ != nullptr) completes_->add();
   return out;
 }
 
@@ -77,7 +79,19 @@ Slot SlotLedger::readmit(std::int32_t vn, Slot next) {
   next.busy = true;
   s = std::move(next);
   // busy_ is unchanged: the slot stays occupied across the swap.
+  if (readmits_ != nullptr) readmits_->add();
   return out;
+}
+
+void SlotLedger::set_metrics(obs::MetricsRegistry* metrics,
+                             const std::string& prefix) {
+  if (metrics == nullptr) {
+    admits_ = readmits_ = completes_ = nullptr;
+    return;
+  }
+  admits_ = &metrics->counter(prefix + "slots.admits");
+  readmits_ = &metrics->counter(prefix + "slots.readmits");
+  completes_ = &metrics->counter(prefix + "slots.completes");
 }
 
 const Slot& SlotLedger::slot(std::int32_t vn) const {

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "serve/request.h"
 
 namespace vf::serve {
@@ -29,6 +31,7 @@ struct SliceSchedule {
   double start_s = 0.0;    ///< when the device begins the pass
   double compute_s = 0.0;  ///< forward time actually charged (warm or cold)
   double done_s = 0.0;     ///< completion incl. the logits return
+  bool warm = false;       ///< amortized dispatch (device was mid-pass)
 };
 
 /// The warm/cold dispatch pricing rule shared by the single-model Server
@@ -41,8 +44,8 @@ struct SliceSchedule {
 inline SliceSchedule price_slice_dispatch(double now_s, double device_free_s,
                                           const SliceCost& cost) {
   SliceSchedule s;
-  const bool warm = device_free_s > now_s;
-  s.compute_s = cost.pass_s + (warm ? 0.0 : cost.overhead_s);
+  s.warm = device_free_s > now_s;
+  s.compute_s = cost.pass_s + (s.warm ? 0.0 : cost.overhead_s);
   s.start_s = now_s > device_free_s ? now_s : device_free_s;
   s.done_s = s.start_s + s.compute_s + cost.comm_s;
   return s;
@@ -54,9 +57,17 @@ struct Slot {
   SliceKind kind = SliceKind::kClassify;  ///< scheduling class of the slice
   double dispatch_s = 0.0;  ///< when the slice was admitted into the slot
   double done_s = 0.0;      ///< scheduled completion on the virtual clock
-  std::int64_t devices = 0; ///< device count of the mapping that dispatched it
+  /// Device count that hosts the slice: 1 — a single-VN slice runs on the
+  /// one device its VN maps to (it used to misreport the full device-set
+  /// size, so per-event accounting disagreed with the per-device trace).
+  std::int64_t devices = 0;
+  std::int64_t device = -1; ///< hosting device id under the dispatch mapping
+  bool warm = false;        ///< warm/cold dispatch pricing (see SliceSchedule)
   double compute_s = 0.0;   ///< cost-model forward time of the slice
   double comm_s = 0.0;      ///< logits-return time of the slice
+  /// TraceRecorder span index of this slice's dispatch (obs/trace.h);
+  /// obs::TraceRecorder::kNoSpan when no recorder was attached.
+  std::int64_t trace_span = -1;
   std::vector<InferRequest> requests;  ///< FIFO order within the slice
   std::vector<std::int64_t> predictions;  ///< one per request, same order
 };
@@ -110,10 +121,20 @@ class SlotLedger {
   /// Read-only view of slot `vn` (busy or free).
   const Slot& slot(std::int32_t vn) const;
 
+  /// Attaches admit/readmit/complete transition counters under
+  /// `prefix` ("<prefix>slots.admits" etc). The registry must outlive the
+  /// ledger; counter pointers are cached here so the transitions stay
+  /// allocation-free. Null detaches.
+  void set_metrics(obs::MetricsRegistry* metrics, const std::string& prefix);
+
  private:
   std::vector<Slot> slots_;
   std::int64_t busy_ = 0;
   std::int64_t inflight_ = 0;
+  // Cached instrument pointers (null = off); see set_metrics.
+  obs::Counter* admits_ = nullptr;
+  obs::Counter* readmits_ = nullptr;
+  obs::Counter* completes_ = nullptr;
 };
 
 }  // namespace vf::serve

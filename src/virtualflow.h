@@ -54,6 +54,12 @@
 #include "profiler/profiler.h"
 #include "solver/solver.h"
 
+// Runtime observability: metrics registry + Perfetto-compatible tracing.
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
 // Deadline-aware inference serving on virtual nodes.
 #include "serve/arrival.h"
 #include "serve/batch_former.h"

@@ -1,0 +1,83 @@
+// MetricsRegistry: instrument lifecycle, node-stable references, fixed
+// histogram edges, and the sorted deterministic snapshot.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vf::obs {
+namespace {
+
+TEST(Metrics, CounterAndGaugeGetOrCreate) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("serve.slices.classify");
+  c.add();
+  c.add(3);
+  EXPECT_EQ(reg.counter("serve.slices.classify").value, 4);
+  EXPECT_EQ(&reg.counter("serve.slices.classify"), &c)
+      << "get-or-create must return the same node-stable instrument";
+
+  reg.gauge("serve.devices").set(8.0, 1.25);
+  EXPECT_EQ(reg.find_gauge("serve.devices")->value, 8.0);
+  EXPECT_EQ(reg.find_gauge("serve.devices")->stamp_s, 1.25);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_gauge("absent"), nullptr);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("latency_s", {0.1, 1.0, 10.0});
+  // 4 buckets: <=0.1, <=1.0, <=10.0, overflow.
+  h.observe(0.05);
+  h.observe(0.1);  // boundary lands in its edge's bucket
+  h.observe(0.5);
+  h.observe(100.0);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.min(), 0.05);
+  EXPECT_EQ(h.max(), 100.0);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 0);
+  EXPECT_EQ(h.buckets()[3], 1) << "past the top edge lands in overflow";
+
+  // Re-registration with identical edges returns the same histogram;
+  // different edges are a caller bug.
+  EXPECT_EQ(&reg.histogram("latency_s", {0.1, 1.0, 10.0}), &h);
+  EXPECT_THROW(reg.histogram("latency_s", {0.5, 1.0}), std::runtime_error);
+  EXPECT_THROW(reg.histogram("bad_edges", {1.0, 1.0}), std::runtime_error)
+      << "edges must be strictly ascending";
+  EXPECT_THROW(reg.histogram("no_edges", {}), std::runtime_error);
+}
+
+TEST(Metrics, SnapshotSortedAndDeterministic) {
+  // Two registries fed the same instruments in DIFFERENT creation order
+  // serialize byte-identically: std::map sorts by name.
+  MetricsRegistry a, b;
+  a.counter("z.last").add(2);
+  a.counter("a.first").add(1);
+  a.gauge("m.mid").set(0.1, 3.0);
+  a.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+  b.gauge("m.mid").set(0.1, 3.0);
+  b.counter("a.first").add(1);
+  b.counter("z.last").add(2);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  const std::string json = a.to_json();
+  EXPECT_LT(json.find("a.first"), json.find("z.last")) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Round-trip-exact gauge value, shortest form.
+  EXPECT_NE(json.find("0.1"), std::string::npos);
+  EXPECT_EQ(json.find("0.10000000000000001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vf::obs

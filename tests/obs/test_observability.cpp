@@ -1,0 +1,132 @@
+// End-to-end observability contract on a serving replay: the exported
+// trace and metrics snapshot are byte-identical across host worker
+// counts, recording never perturbs a record, and the trace covers the
+// slice kinds and scheduler markers the replay exercised.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "serve/arrival.h"
+#include "serve/server.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf::serve {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+struct Rig {
+  ProxyTask task;
+  Sequential model;
+  TrainRecipe recipe;
+};
+
+Rig make_rig() {
+  return Rig{make_task("cifar10-sim", kSeed), make_proxy_model("cifar10-sim", kSeed),
+             make_recipe("cifar10-sim")};
+}
+
+struct Outcome {
+  std::vector<RequestRecord> records;
+  std::string trace_json;
+  std::string metrics_json;
+};
+
+/// One elastic streaming replay (prefill/decode disaggregation on, so
+/// token-boundary preemptions occur) with optional recording.
+Outcome run(std::int64_t workers, bool record) {
+  Rig rig = make_rig();
+  EngineConfig ecfg;
+  ecfg.seed = kSeed;
+  ecfg.enforce_memory = false;
+  ecfg.num_threads = workers;
+  VirtualFlowEngine engine(rig.model, *rig.recipe.optimizer, *rig.recipe.schedule,
+                           *rig.task.train, model_profile("llm-decode"),
+                           make_devices(DeviceType::kV100, 1),
+                           VnMapping::even(8, 1, rig.recipe.global_batch), ecfg);
+
+  ServerConfig cfg;
+  cfg.queue_capacity = 4096;
+  cfg.batch = {/*max_batch=*/64, /*max_wait_s=*/0.005};
+  cfg.deadline_s = 0.25;
+  cfg.continuous = true;
+  cfg.stream.disaggregate = true;
+  cfg.elastic.enabled = true;
+  cfg.elastic.high_watermark = 18;
+  cfg.elastic.low_watermark = 6;
+  cfg.elastic.max_devices = 4;
+  cfg.elastic.cooldown_batches = 1;
+
+  Server server(engine, *rig.task.val, cfg);
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  if (record) server.set_observability({&trace, &metrics});
+
+  StreamShape shape;
+  shape.stream_fraction = 0.85;
+  server.replay(streaming_trace(kSeed,
+                                {{25.0, 0.5}, {90.0, 0.6}, {15.0, 0.8}},
+                                rig.task.val->size(), shape));
+
+  return {server.slo().records(), trace.to_json(), metrics.to_json()};
+}
+
+bool same_records(const std::vector<RequestRecord>& a,
+                  const std::vector<RequestRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].dispatch_s != b[i].dispatch_s ||
+        a[i].finish_s != b[i].finish_s || a[i].rejected != b[i].rejected ||
+        a[i].first_token_s != b[i].first_token_s)
+      return false;
+  }
+  return true;
+}
+
+bool has_event(const std::string& trace_json, const char* name) {
+  return trace_json.find("{\"name\": \"" + std::string(name) + "\"") !=
+         std::string::npos;
+}
+
+TEST(Observability, TraceBytesIdenticalAcrossWorkerCounts) {
+  const Outcome serial = run(/*workers=*/0, /*record=*/true);
+  const Outcome pooled = run(/*workers=*/2, /*record=*/true);
+  EXPECT_TRUE(same_records(serial.records, pooled.records));
+  EXPECT_EQ(serial.trace_json, pooled.trace_json)
+      << "the exported trace is a pure function of the replay";
+  EXPECT_EQ(serial.metrics_json, pooled.metrics_json);
+}
+
+TEST(Observability, RecordingNeverPerturbsTheReplay) {
+  const Outcome observed = run(/*workers=*/0, /*record=*/true);
+  const Outcome silent = run(/*workers=*/0, /*record=*/false);
+  EXPECT_TRUE(same_records(observed.records, silent.records))
+      << "attaching the recorder must not move one stamp";
+  EXPECT_EQ(silent.trace_json, "{\"traceEvents\": [\n  {\"name\": "
+                               "\"process_name\", \"ph\": \"M\", \"pid\": 0, "
+                               "\"args\": {\"name\": \"virtualflow\"}}\n]}\n")
+      << "no sink attached -> nothing recorded";
+}
+
+TEST(Observability, TraceCoversKindsAndMarkers) {
+  const Outcome o = run(/*workers=*/0, /*record=*/true);
+  EXPECT_TRUE(has_event(o.trace_json, "classify"));
+  EXPECT_TRUE(has_event(o.trace_json, "prefill"));
+  EXPECT_TRUE(has_event(o.trace_json, "decode"));
+  EXPECT_TRUE(has_event(o.trace_json, "resize"));
+  EXPECT_TRUE(has_event(o.trace_json, "preempt"));
+
+  // The metrics feed agrees with the trace on what happened.
+  EXPECT_NE(o.metrics_json.find("serve.slices.prefill"), std::string::npos);
+  EXPECT_NE(o.metrics_json.find("serve.preemptions"), std::string::npos);
+  EXPECT_NE(o.metrics_json.find("serve.slo.hit_rate"), std::string::npos);
+  EXPECT_NE(o.metrics_json.find("serve.latency_s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vf::serve

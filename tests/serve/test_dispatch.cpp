@@ -1,0 +1,169 @@
+// SliceDispatcher helpers: per-request stamp derivation in
+// record_slice_requests, BatchEvent construction in make_slice_event
+// (including the hosting-device-count fix: a single-VN continuous slice
+// reports the one device it ran on, never the full set), and the
+// observability plumbing — span emission, kind counters, and the late
+// queue-depth finalization the servers perform.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/dispatch.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf::serve {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+Slot finished_slot(SliceKind kind) {
+  Slot s;
+  s.kind = kind;
+  s.dispatch_s = 2.0;
+  s.compute_s = 0.25;
+  s.comm_s = 0.05;
+  s.done_s = 2.3;
+  s.devices = 1;
+  s.device = 3;
+  s.warm = true;
+  s.trace_span = 7;
+  for (std::int64_t id : {10, 11}) {
+    InferRequest r;
+    r.id = id;
+    r.arrival_s = 1.5 + 0.1 * static_cast<double>(id - 10);
+    s.requests.push_back(r);
+    s.predictions.push_back(id % 2);
+  }
+  return s;
+}
+
+TEST(Dispatch, SliceKindNames) {
+  EXPECT_STREQ(slice_kind_name(SliceKind::kClassify), "classify");
+  EXPECT_STREQ(slice_kind_name(SliceKind::kPrefill), "prefill");
+  EXPECT_STREQ(slice_kind_name(SliceKind::kDecode), "decode");
+}
+
+TEST(Dispatch, MakeSliceEventCopiesScheduleAndObsFields) {
+  for (const SliceKind kind :
+       {SliceKind::kClassify, SliceKind::kPrefill, SliceKind::kDecode}) {
+    const Slot done = finished_slot(kind);
+    const BatchEvent ev = make_slice_event(done, /*vn=*/5, /*queue_depth=*/9);
+    EXPECT_EQ(ev.start_s, done.dispatch_s);
+    EXPECT_EQ(ev.finish_s, done.done_s);
+    EXPECT_EQ(ev.size, 2);
+    EXPECT_EQ(ev.devices, 1);
+    EXPECT_EQ(ev.queue_depth_after, 9);
+    EXPECT_EQ(ev.vn, 5);
+    EXPECT_EQ(ev.model, -1) << "model is finalized by the co-located caller";
+    EXPECT_EQ(ev.kind, kind);
+    EXPECT_EQ(ev.device, 3);
+    EXPECT_TRUE(ev.warm);
+    EXPECT_EQ(ev.trace_span, 7);
+  }
+}
+
+TEST(Dispatch, RecordSliceRequestsDerivesPerRequestStamps) {
+  const Slot done = finished_slot(SliceKind::kClassify);
+  SloTracker tracker(/*deadline_s=*/0.5);
+  record_slice_requests(done, tracker);
+
+  ASSERT_EQ(tracker.completed(), 2);
+  const std::vector<RequestRecord>& recs = tracker.records();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const RequestRecord& r = recs[i];
+    const InferRequest& q = done.requests[i];
+    EXPECT_EQ(r.id, q.id);
+    EXPECT_EQ(r.arrival_s, q.arrival_s);
+    EXPECT_EQ(r.dispatch_s, done.dispatch_s);
+    EXPECT_EQ(r.queue_wait_s, done.dispatch_s - q.arrival_s)
+        << "queue wait is admission -> slice dispatch";
+    EXPECT_EQ(r.compute_s, done.compute_s);
+    EXPECT_EQ(r.comm_s, done.comm_s);
+    EXPECT_EQ(r.finish_s, done.done_s) << "every request finishes at the "
+                                          "slice's own completion time";
+    EXPECT_EQ(r.prediction, done.predictions[i]);
+  }
+}
+
+TEST(Dispatch, ContinuousSliceReportsHostingDeviceNotFullSet) {
+  // Regression: with a 4-device mapping, a dispatched single-VN slice ran
+  // on exactly one device — BatchEvent.devices used to report 4, which
+  // disagreed with the per-device trace spans and double-counted capacity
+  // in device-seconds accounting.
+  ProxyTask task = make_task("mrpc-sim", kSeed);
+  Sequential model = make_proxy_model("mrpc-sim", kSeed);
+  TrainRecipe recipe = make_recipe("mrpc-sim");
+  EngineConfig cfg;
+  cfg.seed = kSeed;
+  cfg.enforce_memory = false;
+  VirtualFlowEngine engine(model, *recipe.optimizer, *recipe.schedule,
+                           *task.train, model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, 4),
+                           VnMapping::even(8, 4, recipe.global_batch), cfg);
+
+  SliceDispatcher dispatcher(engine, *task.val);
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  dispatcher.set_observability({&trace, &metrics}, /*model=*/-1, "serve.");
+
+  std::vector<double> device_free(4, 0.0);
+  std::vector<InferRequest> reqs;
+  for (std::int64_t id = 0; id < 3; ++id)
+    reqs.push_back(InferRequest{id, /*arrival_s=*/0.0, /*example_index=*/id});
+  const Slot slot =
+      dispatcher.dispatch_classify(/*vn=*/5, /*now_s=*/1.0, device_free, reqs);
+
+  EXPECT_EQ(slot.devices, 1) << "a single-VN slice runs on one device";
+  EXPECT_GE(slot.device, 0);
+  EXPECT_LT(slot.device, 4);
+  EXPECT_GT(slot.done_s, 1.0);
+  const BatchEvent ev = make_slice_event(slot, 5, /*queue_depth=*/0);
+  EXPECT_EQ(ev.devices, 1);
+  EXPECT_EQ(ev.device, slot.device);
+
+  // The dispatch recorded one classify span on the hosting device's track
+  // and bumped the kind counter; queue depth is unfinalized until the
+  // server settles post-dispatch admissions.
+  ASSERT_EQ(trace.size(), 1u);
+  const obs::TraceEvent& span = trace.events()[0];
+  EXPECT_STREQ(span.name, "classify");
+  EXPECT_EQ(span.device, static_cast<std::int32_t>(slot.device));
+  EXPECT_EQ(span.vn, 5);
+  EXPECT_EQ(span.batch, 3);
+  EXPECT_EQ(span.queue_depth, -1);
+  EXPECT_EQ(metrics.find_counter("serve.slices.classify")->value, 1);
+
+  // Late finalization through the slot's span index — the path the
+  // servers use once admissions have settled.
+  trace.set_queue_depth(ev.trace_span, 4);
+  EXPECT_EQ(trace.events()[0].queue_depth, 4);
+
+  // Decode slices carry their own kind through the same path.
+  std::vector<InferRequest> stream_req;
+  InferRequest sr;
+  sr.id = 100;
+  sr.arrival_s = 1.0;
+  stream_req.push_back(sr);
+  const Slot decode =
+      dispatcher.dispatch_rows(/*vn=*/2, SliceKind::kDecode, /*now_s=*/1.1,
+                               device_free, stream_req, /*rows=*/{0});
+  EXPECT_EQ(decode.kind, SliceKind::kDecode);
+  EXPECT_EQ(decode.devices, 1);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_STREQ(trace.events()[1].name, "decode");
+  EXPECT_EQ(metrics.find_counter("serve.slices.decode")->value, 1);
+
+  // Recording off: the same dispatch emits nothing and marks no span.
+  dispatcher.set_observability({}, -1, "");
+  const Slot quiet =
+      dispatcher.dispatch_classify(/*vn=*/6, /*now_s=*/1.2, device_free, reqs);
+  EXPECT_EQ(quiet.trace_span, obs::TraceRecorder::kNoSpan);
+  EXPECT_EQ(trace.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vf::serve
