@@ -1,22 +1,32 @@
-// Hot-path harness: the kernel layer and the zero-allocation workspace
+// Hot-path harness: the kernel tiers and the zero-allocation workspace
 // A/B, gating the wins this repo claims for its innermost loops.
 //
 //   1. Per-kernel throughput: GFLOP/s of matmul / matmul_transpose_lhs /
 //      matmul_transpose_rhs on the workload-profile shapes the proxy
-//      models actually run (per-VN batch x feature dims), reference vs
-//      blocked — with a bit-identity check on every shape (the blocked
-//      kernels must not change one bit; tiling is over i/j only).
-//   2. End-to-end step time: the same training job run twice —
+//      models actually run (per-VN batch x feature dims), three-way:
+//      reference vs blocked vs simd — with a bit-identity check on every
+//      shape (no tier may change one bit) and the backend factory's
+//      per-shape dispatch decision printed per row ("vector" = the AVX2
+//      kernel served; "isa"/"narrow-n" = a fallback did — see
+//      tensor/backend.h for the rule names). On large shapes
+//      (>= 8 MFLOP) the simd tier must beat blocked by
+//      --min-simd-speedup (default 1.5x, smoke 1.2x) whenever the
+//      vector ISA is live; hosts without AVX2 skip the gate and report
+//      the fallback tier honestly.
+//   2. End-to-end step time: the same training job run three times —
 //      "reference" arm: reference kernels + allocate-per-use workspaces
 //      (VF_WORKSPACE_REUSE=0 semantics), i.e. the pre-optimization hot
-//      path; "blocked" arm: blocked kernels + buffer reuse. The arms must
-//      produce bit-identical parameters and losses, the blocked arm's
-//      timed steps must perform ZERO tensor heap allocations, and the
-//      speedup must clear --min-speedup (default 1.5x full, 1.15x smoke).
+//      path; "blocked" and "simd" arms: that tier + buffer reuse. All
+//      arms must produce bit-identical parameters and losses, the
+//      optimized arms' timed steps must perform ZERO tensor heap
+//      allocations, and blocked-over-reference must clear --min-speedup
+//      (default 1.5x full, 1.15x smoke). simd-over-reference is reported
+//      and recorded; it is not gated end-to-end because the step budget
+//      is dominated by the simulated device clock, not GEMM wall time.
 //
-// Exit 1 when any claim fails (speedup is informational under overridden
-// workload knobs, like bench_serving's custom-load rule). --json=<path>
-// emits the machine-readable perf trajectory records.
+// Exit 1 when any claim fails (speedups are informational under
+// overridden workload knobs, like bench_serving's custom-load rule).
+// --json=<path> emits the machine-readable perf trajectory records.
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -27,6 +37,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "tensor/backend.h"
 #include "tensor/kernels.h"
 
 using namespace vf;
@@ -108,6 +119,9 @@ int main(int argc, char** argv) {
                {"warmup", "untimed warm-up steps per arm (default 5; smoke 2)"},
                {"min-speedup", "required end-to-end speedup, blocked+reuse vs "
                                "reference+alloc (default 1.5; smoke 1.15)"},
+               {"min-simd-speedup", "required per-kernel simd-over-blocked speedup "
+                                    "on >=8 MFLOP shapes when the vector ISA is "
+                                    "live (default 1.5; smoke 1.2)"},
                {"seed", "experiment seed (default 42)"}});
   if (flags.help_requested()) {
     flags.print_help(
@@ -123,6 +137,8 @@ int main(int argc, char** argv) {
   const std::int64_t steps = flags.get_int("steps", 30, /*smoke_def=*/8);
   const std::int64_t warmup = flags.get_int("warmup", 5, /*smoke_def=*/2);
   const double min_speedup = flags.get_double("min-speedup", 1.5, /*smoke_def=*/1.15);
+  const double min_simd_speedup =
+      flags.get_double("min-simd-speedup", 1.5, /*smoke_def=*/1.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   const KernelMode saved_mode = TensorConfig::kernel_mode();
@@ -130,7 +146,21 @@ int main(int argc, char** argv) {
   JsonReport report("bench_hotpath");
   bool ok = true;
 
-  print_banner(std::cout, "hot path — blocked GEMM kernels + reusable workspaces");
+  print_banner(std::cout, "hot path — kernel tiers (reference/blocked/simd) + reusable workspaces");
+
+  // Overridden workload knobs make the speedup claims informational (the
+  // default configuration is what the acceptance numbers are calibrated
+  // on); bit-identity and the zero-allocation contract hold regardless.
+  bool custom = false;
+  for (const char* knob : {"task", "profile", "vns", "devices", "seed"})
+    custom |= flags.overridden(knob);
+
+  backend::BackendFactory& factory = backend::BackendFactory::instance();
+  std::printf("  simd backend: compiled=%s isa=%s cpu-avx2=%s -> %s\n",
+              backend::BackendFactory::simd_compiled() ? "yes" : "no",
+              backend::BackendFactory::simd_isa(),
+              factory.cpu_features().avx2 ? "yes" : "no",
+              factory.simd_available() ? "live" : "falling back to blocked");
 
   // ---- 1. Per-kernel GFLOP/s on the workload-profile shapes. The per-VN
   // batch rows come from the task's reference global batch folded onto the
@@ -154,9 +184,11 @@ int main(int argc, char** argv) {
         {"matmul", 256, 256, 256},         // beyond-L1 square
     };
 
-    std::printf("  per-kernel throughput (GFLOP/s), reference vs blocked:\n");
-    Table table({"kernel", "m", "k", "n", "reference", "blocked", "speedup", "bit-identical"});
+    std::printf("  per-kernel throughput (GFLOP/s), reference vs blocked vs simd:\n");
+    Table table({"kernel", "m", "k", "n", "reference", "blocked", "simd",
+                 "simd/blk", "tier", "bit-identical"});
     CounterRng rng(seed, /*stream=*/0xBE7C4);
+    bool simd_gate_ok = true;
     for (const KernelCase& c : cases) {
       const std::string op(c.op);
       // Operand layouts per op (see kernels.h): tl takes a as [k x m].
@@ -166,19 +198,36 @@ int main(int argc, char** argv) {
                                   : Tensor::randn({c.k, c.n}, rng);
       Tensor out_ref({c.m, c.n});
       Tensor out_blk({c.m, c.n});
+      Tensor out_simd({c.m, c.n});
       const double flops = 2.0 * static_cast<double>(c.m) *
                            static_cast<double>(c.k) * static_cast<double>(c.n);
       const auto reps = std::max<std::int64_t>(
           1, static_cast<std::int64_t>((flags.smoke() ? 2e7 : 2e8) / flops));
+      // Which tier actually serves VF_KERNELS=simd here, and under which
+      // factory rule (tensor/backend.h).
+      const backend::KernelOp bop =
+          op == "matmul" ? backend::KernelOp::kMatmul
+          : op == "tl"   ? backend::KernelOp::kMatmulTransposeLhs
+                         : backend::KernelOp::kMatmulTransposeRhs;
+      const backend::Dispatch dispatch = factory.select(bop, c.m, c.k, c.n);
       // Bit-identity first (also warms the caches).
       time_kernel(c, KernelMode::kReference, a, b, out_ref, 1);
       time_kernel(c, KernelMode::kBlocked, a, b, out_blk, 1);
-      const bool identical = out_ref.equals(out_blk);
+      time_kernel(c, KernelMode::kSimd, a, b, out_simd, 1);
+      const bool identical = out_ref.equals(out_blk) && out_ref.equals(out_simd);
       ok &= identical;
       const double ref_s = time_kernel(c, KernelMode::kReference, a, b, out_ref, reps);
       const double blk_s = time_kernel(c, KernelMode::kBlocked, a, b, out_blk, reps);
+      const double simd_s = time_kernel(c, KernelMode::kSimd, a, b, out_simd, reps);
       const double ref_gf = flops / ref_s / 1e9;
       const double blk_gf = flops / blk_s / 1e9;
+      const double simd_gf = flops / simd_s / 1e9;
+      const double simd_speedup = simd_s > 0.0 ? blk_s / simd_s : 0.0;
+      // The vector-width claim is gated only where it is claimed: shapes
+      // big enough to amortize the panel fill (>= 8 MFLOP) that the
+      // factory actually serves with the vector kernel.
+      const bool gated = flops >= 8e6 && dispatch.tier == KernelMode::kSimd;
+      if (gated && simd_speedup < min_simd_speedup) simd_gate_ok = false;
       const std::string shape = std::to_string(c.m) + "x" + std::to_string(c.k) +
                                 "x" + std::to_string(c.n);
       table.row()
@@ -188,12 +237,28 @@ int main(int argc, char** argv) {
           .cell(c.n)
           .cell(ref_gf, 2)
           .cell(blk_gf, 2)
-          .cell(blk_s > 0.0 ? ref_s / blk_s : 0.0, 2)
+          .cell(simd_gf, 2)
+          .cell(simd_speedup, 2)
+          .cell(std::string(dispatch.rule) + (gated ? "*" : ""))
           .cell(std::string(identical ? "yes" : "NO — BUG"));
       report.add("kernel." + op + "." + shape + ".reference", ref_gf, "GFLOP/s");
       report.add("kernel." + op + "." + shape + ".blocked", blk_gf, "GFLOP/s");
+      report.add("kernel." + op + "." + shape + ".simd", simd_gf, "GFLOP/s");
     }
     table.print(std::cout);
+    std::printf("  (tier = backend-factory rule serving VF_KERNELS=simd for that "
+                "shape; * = simd speedup gated)\n");
+    if (factory.simd_available()) {
+      std::printf("  simd-over-blocked on gated shapes >= %.2fx: %s\n",
+                  min_simd_speedup,
+                  simd_gate_ok ? "yes"
+                               : (custom ? "no (informational: custom workload)"
+                                         : "NO — BUG"));
+      if (!custom && !simd_gate_ok) ok = false;
+    } else {
+      std::printf("  simd-over-blocked gate skipped: vector ISA not live on this "
+                  "host (simd serves via blocked fallback)\n");
+    }
   }
 
   // ---- 2. End-to-end train-step A/B.
@@ -206,6 +271,8 @@ int main(int argc, char** argv) {
                                 KernelMode::kReference, /*reuse=*/false);
   const ArmResult blk = run_arm(task, profile, vns, devices, seed, warmup, steps,
                                 KernelMode::kBlocked, /*reuse=*/true);
+  const ArmResult simd = run_arm(task, profile, vns, devices, seed, warmup, steps,
+                                 KernelMode::kSimd, /*reuse=*/true);
   // ---- 3. Observability A/B on the same blocked hot path: with a
   // TraceRecorder + MetricsRegistry attached, the step loop must stay at
   // zero tensor heap allocations (recording touches no tensors), the
@@ -220,6 +287,7 @@ int main(int argc, char** argv) {
   TensorConfig::set_workspace_reuse(saved_reuse);
 
   const double speedup = blk.step_s > 0.0 ? ref.step_s / blk.step_s : 0.0;
+  const double simd_e2e = simd.step_s > 0.0 ? ref.step_s / simd.step_s : 0.0;
   Table e2e({"arm", "step (ms)", "speedup", "tensor allocs/step", "ws allocs"});
   e2e.row()
       .cell(std::string("reference + alloc-per-use"))
@@ -233,23 +301,29 @@ int main(int argc, char** argv) {
       .cell(speedup, 2)
       .cell(static_cast<double>(blk.tensor_allocs) / static_cast<double>(steps), 1)
       .cell(blk.ws_allocs);
+  e2e.row()
+      .cell(std::string("simd + workspace reuse"))
+      .cell(simd.step_s * 1e3, 3)
+      .cell(simd_e2e, 2)
+      .cell(static_cast<double>(simd.tensor_allocs) / static_cast<double>(steps), 1)
+      .cell(simd.ws_allocs);
   e2e.print(std::cout);
 
-  bool identical = ref.params.equals(blk.params) && ref.losses.size() == blk.losses.size();
-  if (identical) {
-    for (std::size_t i = 0; i < ref.losses.size(); ++i)
-      identical &= ref.losses[i] == blk.losses[i];
-  }
+  const auto arm_identical = [&ref](const ArmResult& other) {
+    bool same =
+        ref.params.equals(other.params) && ref.losses.size() == other.losses.size();
+    if (same) {
+      for (std::size_t i = 0; i < ref.losses.size(); ++i)
+        same &= ref.losses[i] == other.losses[i];
+    }
+    return same;
+  };
+  const bool identical = arm_identical(blk) && arm_identical(simd);
 
-  // Overridden workload knobs make the speedup claim informational (the
-  // default configuration is what the acceptance numbers are calibrated
-  // on); bit-identity and the zero-allocation contract hold regardless.
-  bool custom = false;
-  for (const char* knob : {"task", "profile", "vns", "devices", "seed"})
-    custom |= flags.overridden(knob);
   const char* miss = custom ? "no (informational: custom workload)" : "NO — BUG";
 
-  const bool zero_alloc = blk.tensor_allocs == 0 && blk.ws_allocs == 0;
+  const bool zero_alloc = blk.tensor_allocs == 0 && blk.ws_allocs == 0 &&
+                          simd.tensor_allocs == 0 && simd.ws_allocs == 0;
   const bool fast_enough = speedup >= min_speedup;
 
   // Observability gates: pure observer (bit-identical trajectory), zero
@@ -267,12 +341,15 @@ int main(int argc, char** argv) {
   const double obs_ratio = blk.step_s > 0.0 ? obs_on.step_s / blk.step_s : 0.0;
   const bool obs_cheap = obs_ratio <= 1.5;
 
-  std::printf("\n  trajectories bit-identical across kernel modes: %s\n",
+  std::printf("\n  trajectories bit-identical across all three kernel modes: %s\n",
               identical ? "yes" : "NO — BUG");
-  std::printf("  blocked arm steady-state tensor heap allocations: %lld (want 0)\n",
-              static_cast<long long>(blk.tensor_allocs));
-  std::printf("  end-to-end speedup %.2fx (gate: >= %.2fx): %s\n", speedup, min_speedup,
-              fast_enough ? "yes" : miss);
+  std::printf("  optimized arms steady-state tensor heap allocations: %lld + %lld "
+              "(want 0)\n",
+              static_cast<long long>(blk.tensor_allocs),
+              static_cast<long long>(simd.tensor_allocs));
+  std::printf("  end-to-end speedup %.2fx blocked / %.2fx simd (gate on blocked: "
+              ">= %.2fx): %s\n",
+              speedup, simd_e2e, min_speedup, fast_enough ? "yes" : miss);
   std::printf("  recording on: %zu trace events, step %.3f ms vs %.3f ms off "
               "(%.2fx, budget 1.5x): %s\n",
               obs_trace.size(), obs_on.step_s * 1e3, blk.step_s * 1e3, obs_ratio,
@@ -285,7 +362,9 @@ int main(int argc, char** argv) {
 
   report.add("e2e.reference.step_ms", ref.step_s * 1e3, "ms");
   report.add("e2e.blocked.step_ms", blk.step_s * 1e3, "ms");
+  report.add("e2e.simd.step_ms", simd.step_s * 1e3, "ms");
   report.add("e2e.speedup", speedup, "x");
+  report.add("e2e.simd_speedup", simd_e2e, "x");
   report.add("e2e.blocked.tensor_allocs_per_step",
              static_cast<double>(blk.tensor_allocs) / static_cast<double>(steps),
              "allocs");

@@ -1,0 +1,162 @@
+#include "tensor/backend.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+
+#include "util/common.h"
+
+namespace vf::backend {
+
+namespace {
+
+CpuFeatures probe_cpu() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // Runtime cpuid probe — what makes calling into the -mavx2 TU safe on
+  // a binary that must also run on older x86 hosts.
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(__ARM_NEON) || defined(__aarch64__)
+  f.neon = true;  // baseline on aarch64
+#endif
+  return f;
+}
+
+struct ContractKey {
+  KernelOp op;
+  std::int64_t m, k, n;
+};
+
+// Bounded lock-free-read registry: writers append under a mutex and then
+// publish by bumping the count (release); readers acquire the count and
+// scan. Registration is a setup/test API — it must not race in-flight
+// kernels that could observe a slot mid-write after clear() recycles it.
+constexpr std::size_t kMaxContractFallbacks = 64;
+std::array<ContractKey, kMaxContractFallbacks> g_contract{};
+std::atomic<std::size_t> g_contract_count{0};
+std::mutex g_contract_mu;
+
+std::atomic<bool> g_simd_disabled{false};
+
+/// Lazily probed on first use: __builtin_cpu_supports needs libgcc's cpu
+/// indicator initialized, which a namespace-scope initializer in another
+/// TU could beat to the punch.
+const CpuFeatures& features() {
+  static const CpuFeatures f = probe_cpu();
+  return f;
+}
+
+bool contract_fallback_hit(KernelOp op, std::int64_t m, std::int64_t k,
+                           std::int64_t n) {
+  const std::size_t count = g_contract_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ContractKey& e = g_contract[i];
+    if (e.op == op && e.m == m && e.k == k && e.n == n) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* kernel_op_name(KernelOp op) {
+  switch (op) {
+    case KernelOp::kMatmul: return "matmul";
+    case KernelOp::kMatmulTransposeLhs: return "tl";
+    case KernelOp::kMatmulTransposeRhs: return "tr";
+    case KernelOp::kTranspose: return "transpose";
+    case KernelOp::kAdd: return "add";
+    case KernelOp::kMul: return "mul";
+    case KernelOp::kColumnSums: return "column_sums";
+  }
+  return "?";
+}
+
+BackendFactory::BackendFactory() = default;
+
+BackendFactory& BackendFactory::instance() {
+  static BackendFactory factory;
+  return factory;
+}
+
+bool BackendFactory::simd_compiled() {
+#if defined(VF_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* BackendFactory::simd_isa() {
+#if defined(VF_SIMD_AVX2)
+  return "avx2";
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+  return "neon";  // stub tier: compiled as delegation, never selected
+#else
+  return "none";
+#endif
+}
+
+CpuFeatures BackendFactory::cpu_features() const { return features(); }
+
+bool BackendFactory::simd_available() const {
+  return simd_compiled() && features().avx2 &&
+         !g_simd_disabled.load(std::memory_order_relaxed);
+}
+
+void BackendFactory::set_simd_disabled(bool disabled) {
+  g_simd_disabled.store(disabled, std::memory_order_relaxed);
+}
+
+bool BackendFactory::simd_disabled() const {
+  return g_simd_disabled.load(std::memory_order_relaxed);
+}
+
+void BackendFactory::register_contract_fallback(KernelOp op, std::int64_t m,
+                                                std::int64_t k, std::int64_t n) {
+  std::lock_guard<std::mutex> lock(g_contract_mu);
+  const std::size_t count = g_contract_count.load(std::memory_order_relaxed);
+  check(count < kMaxContractFallbacks,
+        "backend contract-fallback registry is full");
+  g_contract[count] = ContractKey{op, m, k, n};
+  g_contract_count.store(count + 1, std::memory_order_release);
+}
+
+void BackendFactory::clear_contract_fallbacks() {
+  std::lock_guard<std::mutex> lock(g_contract_mu);
+  g_contract_count.store(0, std::memory_order_release);
+}
+
+std::size_t BackendFactory::contract_fallback_count() const {
+  return g_contract_count.load(std::memory_order_acquire);
+}
+
+Dispatch BackendFactory::select(KernelOp op, std::int64_t m, std::int64_t k,
+                                std::int64_t n) const {
+  // Rule order is the contract (backend.h): ISA, then per-shape contract
+  // fallbacks, then the static per-op entries, then the vector kernel.
+  if (!simd_available()) return {KernelMode::kBlocked, "isa"};
+  if (contract_fallback_hit(op, m, k, n)) return {KernelMode::kReference, "contract"};
+  switch (op) {
+    case KernelOp::kTranspose:
+      // Pure data movement: the blocked tiles already run at load/store
+      // port speed; a shuffle-based vector transpose is a follow-on.
+      return {KernelMode::kBlocked, "no-simd-transpose"};
+    case KernelOp::kMatmul:
+    case KernelOp::kMatmulTransposeLhs:
+    case KernelOp::kMatmulTransposeRhs:
+    case KernelOp::kAdd:
+    case KernelOp::kMul:
+    case KernelOp::kColumnSums:
+      // n is the lane axis for every op (see KernelOp): with fewer
+      // elements than one vector register there is nothing to win, so
+      // the blocked tier serves — it is bit-identical, so this is a
+      // speed decision, not a contract one.
+      if (n < 8) return {KernelMode::kBlocked, "narrow-n"};
+      return {KernelMode::kSimd, "vector"};
+  }
+  return {KernelMode::kBlocked, "isa"};
+}
+
+}  // namespace vf::backend

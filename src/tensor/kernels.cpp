@@ -1,15 +1,27 @@
 #include "tensor/kernels.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "tensor/backend.h"
 #include "tensor/kernels_blocked.h"
-#include "util/common.h"
+#include "tensor/kernels_simd.h"
 
 namespace vf {
 
 namespace {
+
+/// Rejects a bad environment value the way the bench flag parser rejects
+/// a bad flag (bench/common/bench_util.h): a one-line stderr diagnosis
+/// and a clean exit 2 — never a silent fall-through to the default, and
+/// never an uncaught throw out of a static initializer (which would bury
+/// the message under terminate() stack noise).
+[[noreturn]] void env_usage_error(const std::string& msg) {
+  std::fprintf(stderr, "virtualflow: %s\n", msg.c_str());
+  std::exit(2);
+}
 
 KernelMode mode_from_env() {
   const char* env = std::getenv("VF_KERNELS");
@@ -17,7 +29,9 @@ KernelMode mode_from_env() {
   const std::string v(env);
   if (v == "reference") return KernelMode::kReference;
   if (v == "blocked" || v.empty()) return KernelMode::kBlocked;
-  throw VfError("VF_KERNELS must be 'reference' or 'blocked', got: " + v);
+  if (v == "simd") return KernelMode::kSimd;
+  env_usage_error("VF_KERNELS must be 'reference', 'blocked', or 'simd', got: '" +
+                  v + "'");
 }
 
 bool reuse_from_env() {
@@ -26,7 +40,7 @@ bool reuse_from_env() {
   const std::string v(env);
   if (v == "0") return false;
   if (v == "1" || v.empty()) return true;
-  throw VfError("VF_WORKSPACE_REUSE must be '0' or '1', got: " + v);
+  env_usage_error("VF_WORKSPACE_REUSE must be '0' or '1', got: '" + v + "'");
 }
 
 std::atomic<KernelMode>& mode_flag() {
@@ -42,7 +56,12 @@ std::atomic<bool>& reuse_flag() {
 }  // namespace
 
 const char* kernel_mode_name(KernelMode mode) {
-  return mode == KernelMode::kReference ? "reference" : "blocked";
+  switch (mode) {
+    case KernelMode::kReference: return "reference";
+    case KernelMode::kBlocked: return "blocked";
+    case KernelMode::kSimd: return "simd";
+  }
+  return "?";
 }
 
 KernelMode TensorConfig::kernel_mode() {
@@ -57,6 +76,10 @@ bool TensorConfig::workspace_reuse() {
 void TensorConfig::set_workspace_reuse(bool reuse) {
   reuse_flag().store(reuse, std::memory_order_relaxed);
 }
+void TensorConfig::reload_from_env() {
+  mode_flag().store(mode_from_env(), std::memory_order_relaxed);
+  reuse_flag().store(reuse_from_env(), std::memory_order_relaxed);
+}
 
 namespace kernels {
 
@@ -65,7 +88,8 @@ namespace {
 // ------------------------------------------------------------- reference
 //
 // These are the original Tensor loops, verbatim: they define the
-// accumulation order the blocked versions must reproduce bit for bit.
+// accumulation order the blocked and simd versions must reproduce bit
+// for bit.
 
 void matmul_reference(const float* a, const float* b, float* out,
                       std::int64_t m, std::int64_t k, std::int64_t n) {
@@ -117,47 +141,110 @@ void transpose_reference(const float* in, float* out, std::int64_t rows,
     for (std::int64_t j = 0; j < cols; ++j) out[j * rows + i] = in[i * cols + j];
 }
 
+// The scalar elementwise/column-sum loops serve BOTH the reference and
+// blocked tiers (there is nothing to tile); only simd differs.
+
+void add_scalar(const float* a, const float* b, float* out, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) out[i] = a[i] + b[i];
+}
+
+void mul_scalar(const float* a, const float* b, float* out, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) out[i] = a[i] * b[i];
+}
+
+void column_sums_scalar(const float* in, float* out, std::int64_t rows,
+                        std::int64_t cols) {
+  for (std::int64_t j = 0; j < cols; ++j) out[j] = 0.0F;
+  // Single row-major pass; per column the accumulation runs over rows in
+  // ascending order.
+  const float* p = in;
+  for (std::int64_t i = 0; i < rows; ++i, p += cols)
+    for (std::int64_t j = 0; j < cols; ++j) out[j] += p[j];
+}
+
+/// Resolves the tier that actually serves this call: kSimd consults the
+/// backend factory per shape (ISA probe, contract fallbacks, per-op
+/// entries — see backend.h); the other modes are themselves.
+KernelMode resolve(backend::KernelOp op, std::int64_t m, std::int64_t k,
+                   std::int64_t n, KernelMode mode) {
+  if (mode != KernelMode::kSimd) return mode;
+  return backend::BackendFactory::instance().select(op, m, k, n).tier;
+}
+
 }  // namespace
 
-// The blocked implementations live in kernels_blocked.cpp (compiled -O3;
-// see CMakeLists). Dispatch is the only coupling.
+// The blocked implementations live in kernels_blocked.cpp (compiled -O3)
+// and the vector implementations in kernels_simd.cpp (the one TU built
+// with -mavx2; see CMakeLists). Dispatch is the only coupling.
 
 void matmul(const float* a, const float* b, float* out, std::int64_t m,
             std::int64_t k, std::int64_t n, KernelMode mode) {
-  if (mode == KernelMode::kBlocked) {
-    detail::matmul_blocked(a, b, out, m, k, n);
-  } else {
-    matmul_reference(a, b, out, m, k, n);
+  switch (resolve(backend::KernelOp::kMatmul, m, k, n, mode)) {
+    case KernelMode::kSimd: detail::matmul_simd(a, b, out, m, k, n); return;
+    case KernelMode::kBlocked: detail::matmul_blocked(a, b, out, m, k, n); return;
+    case KernelMode::kReference: break;
   }
+  matmul_reference(a, b, out, m, k, n);
 }
 
 void matmul_transpose_lhs(const float* a, const float* b, float* out,
                           std::int64_t m, std::int64_t k, std::int64_t n,
                           KernelMode mode) {
-  if (mode == KernelMode::kBlocked) {
-    detail::matmul_tl_blocked(a, b, out, m, k, n);
-  } else {
-    matmul_tl_reference(a, b, out, m, k, n);
+  switch (resolve(backend::KernelOp::kMatmulTransposeLhs, m, k, n, mode)) {
+    case KernelMode::kSimd: detail::matmul_tl_simd(a, b, out, m, k, n); return;
+    case KernelMode::kBlocked: detail::matmul_tl_blocked(a, b, out, m, k, n); return;
+    case KernelMode::kReference: break;
   }
+  matmul_tl_reference(a, b, out, m, k, n);
 }
 
 void matmul_transpose_rhs(const float* a, const float* b, float* out,
                           std::int64_t m, std::int64_t k, std::int64_t n,
                           KernelMode mode) {
-  if (mode == KernelMode::kBlocked) {
-    detail::matmul_tr_blocked(a, b, out, m, k, n);
-  } else {
-    matmul_tr_reference(a, b, out, m, k, n);
+  switch (resolve(backend::KernelOp::kMatmulTransposeRhs, m, k, n, mode)) {
+    case KernelMode::kSimd: detail::matmul_tr_simd(a, b, out, m, k, n); return;
+    case KernelMode::kBlocked: detail::matmul_tr_blocked(a, b, out, m, k, n); return;
+    case KernelMode::kReference: break;
   }
+  matmul_tr_reference(a, b, out, m, k, n);
 }
 
 void transpose(const float* in, float* out, std::int64_t rows,
                std::int64_t cols, KernelMode mode) {
-  if (mode == KernelMode::kBlocked) {
-    detail::transpose_blocked(in, out, rows, cols);
-  } else {
-    transpose_reference(in, out, rows, cols);
+  switch (resolve(backend::KernelOp::kTranspose, rows, cols, cols, mode)) {
+    case KernelMode::kSimd:  // factory never selects it today; keep total
+    case KernelMode::kBlocked: detail::transpose_blocked(in, out, rows, cols); return;
+    case KernelMode::kReference: break;
   }
+  transpose_reference(in, out, rows, cols);
+}
+
+void add(const float* a, const float* b, float* out, std::int64_t count,
+         KernelMode mode) {
+  if (resolve(backend::KernelOp::kAdd, 0, 0, count, mode) == KernelMode::kSimd) {
+    detail::add_simd(a, b, out, count);
+    return;
+  }
+  add_scalar(a, b, out, count);
+}
+
+void mul(const float* a, const float* b, float* out, std::int64_t count,
+         KernelMode mode) {
+  if (resolve(backend::KernelOp::kMul, 0, 0, count, mode) == KernelMode::kSimd) {
+    detail::mul_simd(a, b, out, count);
+    return;
+  }
+  mul_scalar(a, b, out, count);
+}
+
+void column_sums(const float* in, float* out, std::int64_t rows,
+                 std::int64_t cols, KernelMode mode) {
+  if (resolve(backend::KernelOp::kColumnSums, rows, 0, cols, mode) ==
+      KernelMode::kSimd) {
+    detail::column_sums_simd(in, out, rows, cols);
+    return;
+  }
+  column_sums_scalar(in, out, rows, cols);
 }
 
 }  // namespace kernels

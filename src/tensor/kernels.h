@@ -1,33 +1,42 @@
-// Dense-kernel layer: the matmul/transpose inner loops behind Tensor.
+// Dense-kernel layer: the matmul/transpose/elementwise inner loops behind
+// Tensor.
 //
 // VirtualFlow replays many virtual nodes serially on each physical device,
 // so per-slice compute time is multiplied by the VN:device ratio — these
-// loops ARE the system's throughput. Two implementations are provided for
-// every kernel and are selectable at runtime:
+// loops ARE the system's throughput. Three implementations are provided
+// for the hot kernels and are selectable at runtime:
 //
 //   * kReference — the original order-stable loops, kept as the executable
 //     specification.
 //   * kBlocked   — cache-blocked (i/j-tiled), unroll-by-4 versions.
+//   * kSimd      — explicitly vectorized (AVX2; NEON slot stubbed) cores,
+//     selected per shape through the backend factory in tensor/backend.h,
+//     which probes the CPU at runtime and falls back to blocked whenever
+//     the ISA or the shape cannot keep the contract below.
 //
-// Bit-exactness contract: both modes produce bit-identical outputs on all
+// Bit-exactness contract: all modes produce bit-identical outputs on all
 // finite inputs. The blocked kernels tile ONLY over the i/j (output)
 // dimensions and never reorder, split, or vectorize the k-accumulation of
 // a single output element: each out[i, j] is built by the exact
 // float-addition chain the reference performs, term by term in ascending
-// k. Two implementation liberties are taken, neither observable on finite
-// data:
+// k. The SIMD kernels keep the same discipline with vector registers: a
+// lane is always one output element, the k chain stays sequential per
+// lane (multiply then add, two roundings — never FMA-contracted), and no
+// horizontal reduction ever combines lanes. Two implementation liberties
+// are taken, neither observable on finite data:
 //
 //   * The reference's zero-lhs skip is dropped (branchless inner loops).
 //     A skipped term contributes a*b = +/-0, and adding a signed zero to
 //     a running sum that started at +0 can never change its bits — the
 //     modes diverge only in the 0 * inf / 0 * NaN corner.
 //   * The transpose-variant kernels transpose the transposed operand into
-//     scratch first and reuse the one blocked core; the multiplication
-//     terms and their order per output element are unchanged.
+//     scratch first and reuse the one core; the multiplication terms and
+//     their order per output element are unchanged.
 //
 // This is what lets the entire training/serving bit-reproducibility story
 // (mapping invariance, worker invariance) survive a kernel swap, and it is
-// what tests/tensor/test_kernels.cpp asserts shape by shape.
+// what tests/tensor/test_kernels.cpp and tests/tensor/test_backend.cpp
+// assert shape by shape. The full tier handbook is docs/kernels.md.
 #pragma once
 
 #include <cstdint>
@@ -38,27 +47,37 @@ namespace vf {
 enum class KernelMode : std::uint8_t {
   kReference,  ///< original order-stable loops (executable specification)
   kBlocked,    ///< i/j-tiled, unroll-by-4; bit-identical to kReference
+  kSimd,       ///< vectorized per-shape via backend factory; same bits
 };
 
-/// Short name for logs/benches: "reference" or "blocked".
+/// Short name for logs/benches: "reference", "blocked", or "simd".
 const char* kernel_mode_name(KernelMode mode);
 
 /// Process-wide tensor-runtime configuration. Defaults come from the
 /// environment on first use and can be overridden programmatically (the
-/// benches A/B both knobs):
+/// benches A/B all knobs):
 ///
-///   VF_KERNELS=reference|blocked   kernel implementation (default blocked)
-///   VF_WORKSPACE_REUSE=0|1         workspace buffer reuse (default 1; 0 is
-///                                  the allocate-per-use baseline)
+///   VF_KERNELS=reference|blocked|simd  kernel implementation (default
+///                                      blocked; simd falls back to
+///                                      blocked per shape when the CPU or
+///                                      the shape cannot carry it)
+///   VF_WORKSPACE_REUSE=0|1             workspace buffer reuse (default 1;
+///                                      0 is the allocate-per-use baseline)
 ///
-/// Neither knob can change a single bit of any computed result — kernels
-/// are bit-identical by contract and workspaces only recycle storage — so
+/// Unknown values are rejected loudly: a one-line diagnosis on stderr and
+/// exit code 2, the same usage-error policy as the bench flag parser — a
+/// typo must never silently run the default configuration. Neither knob
+/// can change a single bit of any computed result — kernels are
+/// bit-identical by contract and workspaces only recycle storage — so
 /// flipping them mid-run is safe; they trade speed only.
 struct TensorConfig {
   static KernelMode kernel_mode();
   static void set_kernel_mode(KernelMode mode);
   static bool workspace_reuse();
   static void set_workspace_reuse(bool reuse);
+  /// Re-reads both knobs from the environment (they are otherwise latched
+  /// on first use). Test hook; applies the same reject-loudly policy.
+  static void reload_from_env();
 };
 
 namespace kernels {
@@ -70,6 +89,8 @@ namespace kernels {
 //   matmul_transpose_lhs: out[m x n]  = a[k x m]^T @ b[k x n]
 //   matmul_transpose_rhs: out[m x n]  = a[m x k] @ b[n x k]^T
 //   transpose:            out[c x r]  = in[r x c]^T
+//   add / mul:            out[i]      = a[i] + b[i] / a[i] * b[i]
+//   column_sums:          out[n]      = sum over rows of in[r x n]
 //
 // Each overwrites `out` entirely (no accumulation into prior contents).
 
@@ -86,6 +107,19 @@ void matmul_transpose_rhs(const float* a, const float* b, float* out,
 
 void transpose(const float* in, float* out, std::int64_t rows,
                std::int64_t cols, KernelMode mode);
+
+// Elementwise / reduction kernels. reference and blocked share one scalar
+// loop (there is nothing to tile); simd vectorizes the independent lanes
+// (elements / columns) and keeps every per-element chain in order.
+
+void add(const float* a, const float* b, float* out, std::int64_t count,
+         KernelMode mode);
+
+void mul(const float* a, const float* b, float* out, std::int64_t count,
+         KernelMode mode);
+
+void column_sums(const float* in, float* out, std::int64_t rows,
+                 std::int64_t cols, KernelMode mode);
 
 }  // namespace kernels
 

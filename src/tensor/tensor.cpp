@@ -197,10 +197,8 @@ void Tensor::add_into(const Tensor& other, Tensor& out) const {
   check_no_alias(out, *this, "add_into");
   check_no_alias(out, other, "add_into");
   out.ensure_shape(shape_);
-  const float* a = data_.data();
-  const float* b = other.data_.data();
-  float* o = out.data_.data();
-  for (std::size_t i = 0; i < data_.size(); ++i) o[i] = a[i] + b[i];
+  kernels::add(data_.data(), other.data_.data(), out.data_.data(), size(),
+               TensorConfig::kernel_mode());
 }
 
 void Tensor::mul_into(const Tensor& other, Tensor& out) const {
@@ -208,10 +206,8 @@ void Tensor::mul_into(const Tensor& other, Tensor& out) const {
   check_no_alias(out, *this, "mul_into");
   check_no_alias(out, other, "mul_into");
   out.ensure_shape(shape_);
-  const float* a = data_.data();
-  const float* b = other.data_.data();
-  float* o = out.data_.data();
-  for (std::size_t i = 0; i < data_.size(); ++i) o[i] = a[i] * b[i];
+  kernels::mul(data_.data(), other.data_.data(), out.data_.data(), size(),
+               TensorConfig::kernel_mode());
 }
 
 void Tensor::matmul_into(const Tensor& rhs, Tensor& out) const {
@@ -308,13 +304,10 @@ void Tensor::column_sums_into(Tensor& out) const {
   check_no_alias(out, *this, "column_sums_into");
   const std::int64_t r = rows(), c = cols();
   out.ensure_shape({c});
-  float* o = out.data_.data();
-  for (std::int64_t j = 0; j < c; ++j) o[j] = 0.0F;
-  // Single row-major pass; per column the accumulation runs over rows in
-  // ascending order, exactly as the nested at() loops did.
-  const float* p = data_.data();
-  for (std::int64_t i = 0; i < r; ++i, p += c)
-    for (std::int64_t j = 0; j < c; ++j) o[j] += p[j];
+  // Per column the accumulation runs over rows in ascending order in
+  // every kernel tier, exactly as the nested at() loops did.
+  kernels::column_sums(data_.data(), out.data_.data(), r, c,
+                       TensorConfig::kernel_mode());
 }
 
 Tensor Tensor::column_sums() const {

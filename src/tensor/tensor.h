@@ -5,9 +5,11 @@
 // elementwise/matmul/reduction ops the nn layers need, and nothing more.
 // Determinism comes first — every op is sequential and order-stable so
 // that training trajectories are bit-reproducible — but the hot-path ops
-// (matmul family, transpose) dispatch to the kernel layer in
-// tensor/kernels.h, whose blocked implementations are bit-identical to
-// the reference loops by construction.
+// (matmul family, transpose, elementwise add/mul, column_sums) dispatch
+// to the kernel layer in tensor/kernels.h, whose blocked and simd tiers
+// are bit-identical to the reference loops by construction (the simd
+// tier resolves per shape through the backend factory in
+// tensor/backend.h).
 //
 // Allocation discipline: the `_into` variants write into caller-owned
 // tensors via ensure_shape(), which recycles the existing heap buffer

@@ -310,8 +310,10 @@ TEST(Server, ContinuousReplayBitIdenticalAcrossWorkerCounts) {
 
 TEST(Server, ReplayBitIdenticalAcrossKernelModes) {
   // The kernel layer cannot move a prediction, a latency bit, or a resize
-  // decision — in either batching mode. (Replays run under reference and
-  // blocked kernels; records are compared exactly.)
+  // decision — in either batching mode. (Replays run under reference,
+  // blocked, and simd kernels at different worker counts; records are
+  // compared exactly. The simd arm runs everywhere: without the vector
+  // ISA the backend factory serves it with the blocked tier.)
   const KernelMode saved = TensorConfig::kernel_mode();
   const auto compare = [](const ReplayResult& a, const ReplayResult& b) {
     ASSERT_EQ(a.records.size(), b.records.size());
@@ -331,11 +333,16 @@ TEST(Server, ReplayBitIdenticalAcrossKernelModes) {
   TensorConfig::set_kernel_mode(KernelMode::kBlocked);
   const ReplayResult batch_blk = run_replay(2);
   const ReplayResult cont_blk = run_continuous_replay(2);
+  TensorConfig::set_kernel_mode(KernelMode::kSimd);
+  const ReplayResult batch_simd = run_replay(8);
+  const ReplayResult cont_simd = run_continuous_replay(8);
   TensorConfig::set_kernel_mode(saved);
 
   ASSERT_FALSE(batch_ref.records.empty());
   compare(batch_ref, batch_blk);
   compare(cont_ref, cont_blk);
+  compare(batch_ref, batch_simd);
+  compare(cont_ref, cont_simd);
 }
 
 // ---- Token streaming: prefill/decode disaggregation on the slice chain.

@@ -1,0 +1,317 @@
+// Backend-factory suite: the runtime dispatch policy behind
+// VF_KERNELS=simd. What is asserted here is the *decision*, not just the
+// bits — which tier serves which (op, shape) and under which registry
+// rule — plus the bit-identity of the simd tier against the reference
+// specification on the shapes the generic kernel suite does not reach
+// (edge dims with a live lane axis, negative zero, NaN/Inf passthrough).
+//
+// Everything must pass on hosts WITHOUT the vector ISA too: there the
+// factory serves every shape with the blocked tier under rule "isa", and
+// the tier-specific asserts are skipped rather than weakened.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "tensor/backend.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace vf {
+namespace {
+
+using backend::BackendFactory;
+using backend::Dispatch;
+using backend::KernelOp;
+using backend::ScopedSimdDisable;
+
+/// Restores the global kernel mode and drops any contract fallbacks the
+/// test registered.
+struct FactoryGuard {
+  KernelMode mode = TensorConfig::kernel_mode();
+  ~FactoryGuard() {
+    TensorConfig::set_kernel_mode(mode);
+    BackendFactory::instance().clear_contract_fallbacks();
+  }
+};
+
+/// True bitwise equality (Tensor::equals uses float ==, which conflates
+/// +0/-0 and rejects equal NaNs — exactly the cases this suite probes).
+bool bits_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+TEST(BackendFactory, ProbeAndAvailabilityAreCoherent) {
+  BackendFactory& f = BackendFactory::instance();
+  if (BackendFactory::simd_compiled()) {
+    EXPECT_STREQ(BackendFactory::simd_isa(), "avx2");
+  }
+  // simd_available implies all three gates.
+  if (f.simd_available()) {
+    EXPECT_TRUE(BackendFactory::simd_compiled());
+    EXPECT_TRUE(f.cpu_features().avx2);
+    EXPECT_FALSE(f.simd_disabled());
+  }
+}
+
+TEST(BackendFactory, ForceDisableFallsBackToBlockedUnderIsaRule) {
+  FactoryGuard guard;
+  BackendFactory& f = BackendFactory::instance();
+  {
+    ScopedSimdDisable disable;
+    EXPECT_FALSE(f.simd_available());
+    const Dispatch d = f.select(KernelOp::kMatmul, 64, 64, 64);
+    EXPECT_EQ(d.tier, KernelMode::kBlocked);
+    EXPECT_STREQ(d.rule, "isa");
+
+    // Dispatch through the public kernel entry points still works and
+    // still keeps the contract while disabled.
+    CounterRng rng(3, 0x51);
+    const Tensor a = Tensor::randn({17, 9}, rng);
+    const Tensor b = Tensor::randn({9, 21}, rng);
+    Tensor ref({17, 21}), simd({17, 21});
+    kernels::matmul(a.data().data(), b.data().data(), ref.data().data(), 17, 9,
+                    21, KernelMode::kReference);
+    kernels::matmul(a.data().data(), b.data().data(), simd.data().data(), 17, 9,
+                    21, KernelMode::kSimd);
+    EXPECT_TRUE(bits_equal(ref, simd));
+  }
+  // The guard restored the previous override.
+  EXPECT_EQ(f.simd_disabled(), false);
+}
+
+TEST(BackendFactory, PerShapeIntrospectionNamesTheDecidingRule) {
+  BackendFactory& f = BackendFactory::instance();
+  if (!f.simd_available()) GTEST_SKIP() << "no vector ISA on this host";
+
+  // A healthy GEMM shape is served by the vector kernel.
+  Dispatch d = f.select(KernelOp::kMatmul, 64, 64, 64);
+  EXPECT_EQ(d.tier, KernelMode::kSimd);
+  EXPECT_STREQ(d.rule, "vector");
+
+  // A lane axis shorter than one vector register has nothing to win.
+  d = f.select(KernelOp::kMatmul, 64, 64, 3);
+  EXPECT_EQ(d.tier, KernelMode::kBlocked);
+  EXPECT_STREQ(d.rule, "narrow-n");
+
+  // Transpose is pure data movement; the blocked tiles serve it.
+  d = f.select(KernelOp::kTranspose, 64, 64, 64);
+  EXPECT_EQ(d.tier, KernelMode::kBlocked);
+  EXPECT_STREQ(d.rule, "no-simd-transpose");
+
+  // Elementwise ops vectorize from one full register up.
+  EXPECT_EQ(f.select(KernelOp::kAdd, 0, 0, 8).tier, KernelMode::kSimd);
+  EXPECT_EQ(f.select(KernelOp::kAdd, 0, 0, 7).tier, KernelMode::kBlocked);
+  EXPECT_EQ(f.select(KernelOp::kColumnSums, 40, 0, 11).tier, KernelMode::kSimd);
+}
+
+TEST(BackendFactory, ContractFallbackRegistryServesReferencePerShape) {
+  FactoryGuard guard;
+  BackendFactory& f = BackendFactory::instance();
+  if (!f.simd_available()) GTEST_SKIP() << "no vector ISA on this host";
+
+  ASSERT_EQ(f.contract_fallback_count(), 0U);
+  f.register_contract_fallback(KernelOp::kMatmul, 40, 64, 200);
+  EXPECT_EQ(f.contract_fallback_count(), 1U);
+
+  // The registered shape is pinned to the executable specification...
+  Dispatch d = f.select(KernelOp::kMatmul, 40, 64, 200);
+  EXPECT_EQ(d.tier, KernelMode::kReference);
+  EXPECT_STREQ(d.rule, "contract");
+  // ...per shape AND per op: neighbours are untouched.
+  EXPECT_EQ(f.select(KernelOp::kMatmul, 40, 64, 201).tier, KernelMode::kSimd);
+  EXPECT_EQ(f.select(KernelOp::kMatmulTransposeRhs, 40, 64, 200).tier,
+            KernelMode::kSimd);
+
+  // Dispatch honors it end to end (trivially bit-identical — the point is
+  // that the simd entry point routed to the reference loop).
+  CounterRng rng(5, 0x52);
+  const Tensor a = Tensor::randn({40, 64}, rng);
+  const Tensor b = Tensor::randn({64, 200}, rng);
+  Tensor ref({40, 200}), simd({40, 200});
+  kernels::matmul(a.data().data(), b.data().data(), ref.data().data(), 40, 64,
+                  200, KernelMode::kReference);
+  kernels::matmul(a.data().data(), b.data().data(), simd.data().data(), 40, 64,
+                  200, KernelMode::kSimd);
+  EXPECT_TRUE(bits_equal(ref, simd));
+
+  f.clear_contract_fallbacks();
+  EXPECT_EQ(f.contract_fallback_count(), 0U);
+  EXPECT_EQ(f.select(KernelOp::kMatmul, 40, 64, 200).tier, KernelMode::kSimd);
+}
+
+TEST(BackendFactory, ContractRegistryIsBoundedAndThrowsWhenFull) {
+  FactoryGuard guard;
+  BackendFactory& f = BackendFactory::instance();
+  for (std::int64_t i = 0; i < 64; ++i)
+    f.register_contract_fallback(KernelOp::kMul, 0, 0, 1000 + i);
+  EXPECT_THROW(f.register_contract_fallback(KernelOp::kMul, 0, 0, 2000), VfError);
+  f.clear_contract_fallbacks();
+}
+
+TEST(BackendFactory, KernelOpNamesRoundTrip) {
+  EXPECT_STREQ(backend::kernel_op_name(KernelOp::kMatmul), "matmul");
+  EXPECT_STREQ(backend::kernel_op_name(KernelOp::kMatmulTransposeLhs), "tl");
+  EXPECT_STREQ(backend::kernel_op_name(KernelOp::kMatmulTransposeRhs), "tr");
+  EXPECT_STREQ(backend::kernel_op_name(KernelOp::kTranspose), "transpose");
+  EXPECT_STREQ(backend::kernel_op_name(KernelOp::kAdd), "add");
+  EXPECT_STREQ(backend::kernel_op_name(KernelOp::kMul), "mul");
+  EXPECT_STREQ(backend::kernel_op_name(KernelOp::kColumnSums), "column_sums");
+}
+
+// ---- simd bit-identity on the edges the generic suite does not reach.
+
+struct Shape {
+  std::int64_t m, k, n;
+};
+
+/// Edge shapes with a live lane axis (n >= 8, so the vector kernel — not
+/// a fallback — actually serves): degenerate and 1-sized m/k, odd
+/// everything, panel boundaries (8/16/32) and their neighbours.
+const std::vector<Shape> kEdgeShapes = {
+    {0, 5, 9},  {5, 0, 9},   {1, 1, 8},   {3, 1, 12},  {1, 7, 33},
+    {2, 3, 8},  {7, 5, 31},  {9, 11, 32}, {33, 7, 40}, {5, 13, 72},
+};
+
+void expect_matmul_family_bits_equal(const Tensor& a_mm, const Tensor& b_mm,
+                                     const Shape& s) {
+  Tensor ref({s.m, s.n}), simd({s.m, s.n});
+  kernels::matmul(a_mm.data().data(), b_mm.data().data(), ref.data().data(),
+                  s.m, s.k, s.n, KernelMode::kReference);
+  kernels::matmul(a_mm.data().data(), b_mm.data().data(), simd.data().data(),
+                  s.m, s.k, s.n, KernelMode::kSimd);
+  EXPECT_TRUE(bits_equal(ref, simd))
+      << "matmul " << s.m << "x" << s.k << "x" << s.n;
+}
+
+TEST(SimdBitIdentity, EdgeShapesMatchReferenceBitForBit) {
+  CounterRng rng(41, 0x53);
+  for (const Shape& s : kEdgeShapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    expect_matmul_family_bits_equal(a, b, s);
+
+    const Tensor atl = Tensor::randn({s.k, s.m}, rng);
+    Tensor ref({s.m, s.n}), simd({s.m, s.n});
+    kernels::matmul_transpose_lhs(atl.data().data(), b.data().data(),
+                                  ref.data().data(), s.m, s.k, s.n,
+                                  KernelMode::kReference);
+    kernels::matmul_transpose_lhs(atl.data().data(), b.data().data(),
+                                  simd.data().data(), s.m, s.k, s.n,
+                                  KernelMode::kSimd);
+    EXPECT_TRUE(bits_equal(ref, simd)) << "tl " << s.m << "x" << s.k << "x" << s.n;
+
+    const Tensor btr = Tensor::randn({s.n, s.k}, rng);
+    kernels::matmul_transpose_rhs(a.data().data(), btr.data().data(),
+                                  ref.data().data(), s.m, s.k, s.n,
+                                  KernelMode::kReference);
+    kernels::matmul_transpose_rhs(a.data().data(), btr.data().data(),
+                                  simd.data().data(), s.m, s.k, s.n,
+                                  KernelMode::kSimd);
+    EXPECT_TRUE(bits_equal(ref, simd)) << "tr " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(SimdBitIdentity, NegativeZeroSurvivesEveryTier) {
+  // -0.0 inputs are where a "harmless" re-association or a skipped term
+  // shows up: (+0) + (-0) = +0 but (-0) + (-0) = -0. Seed operands with
+  // signed zeros in every position parity and require exact bits.
+  CounterRng rng(43, 0x54);
+  const Shape s{9, 12, 16};
+  Tensor a = Tensor::randn({s.m, s.k}, rng);
+  Tensor b = Tensor::randn({s.k, s.n}, rng);
+  for (std::int64_t i = 0; i < a.size(); i += 3) a.at(i) = -0.0F;
+  for (std::int64_t i = 1; i < b.size(); i += 4) b.at(i) = -0.0F;
+  expect_matmul_family_bits_equal(a, b, s);
+
+  // Elementwise: a lane is one element; signed-zero sums must match.
+  Tensor ref, simd;
+  Tensor zpos = Tensor::full({4, 8}, 0.0F);
+  Tensor zneg = Tensor::full({4, 8}, -0.0F);
+  TensorConfig::set_kernel_mode(KernelMode::kReference);
+  zneg.add_into(zneg, ref);
+  TensorConfig::set_kernel_mode(KernelMode::kSimd);
+  zneg.add_into(zneg, simd);
+  TensorConfig::set_kernel_mode(KernelMode::kBlocked);
+  EXPECT_TRUE(bits_equal(ref, simd));
+  EXPECT_EQ(std::signbit(simd.at(0)), true);  // (-0) + (-0) = -0
+}
+
+TEST(SimdBitIdentity, NanAndInfPassThroughIdentically) {
+  // With no exact zeros in the lhs the reference zero-skip never fires,
+  // so the chains are term-for-term identical and NaN/Inf must propagate
+  // to the same bits. (With zeros, 0 * inf differs by documented design —
+  // kernels.h.)
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  CounterRng rng(47, 0x55);
+  const Shape s{6, 9, 24};
+  Tensor a = Tensor::randn({s.m, s.k}, rng);
+  Tensor b = Tensor::randn({s.k, s.n}, rng);
+  for (float& v : a.data())
+    if (v == 0.0F) v = 1.0F;  // keep the zero-skip out of play
+  a.at(0, 3) = kInf;
+  a.at(2, 1) = -kInf;
+  a.at(4, 7) = kNan;
+  b.at(1, 9) = kInf;
+  b.at(5, 17) = kNan;
+  expect_matmul_family_bits_equal(a, b, s);
+}
+
+TEST(SimdBitIdentity, ElementwiseAndColumnSumsMatchAcrossCounts) {
+  // Sweep counts across the 8-lane boundary (tails 0..7) and odd column
+  // counts for the strided reduction.
+  CounterRng rng(53, 0x56);
+  for (std::int64_t count : {1, 7, 8, 9, 15, 16, 17, 40, 64, 100}) {
+    const Tensor a = Tensor::randn({count}, rng);
+    const Tensor b = Tensor::randn({count}, rng);
+    Tensor r1({count}), r2({count});
+    kernels::add(a.data().data(), b.data().data(), r1.data().data(), count,
+                 KernelMode::kReference);
+    kernels::add(a.data().data(), b.data().data(), r2.data().data(), count,
+                 KernelMode::kSimd);
+    EXPECT_TRUE(bits_equal(r1, r2)) << "add " << count;
+    kernels::mul(a.data().data(), b.data().data(), r1.data().data(), count,
+                 KernelMode::kReference);
+    kernels::mul(a.data().data(), b.data().data(), r2.data().data(), count,
+                 KernelMode::kSimd);
+    EXPECT_TRUE(bits_equal(r1, r2)) << "mul " << count;
+  }
+  for (const auto& [rows, cols] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {0, 9}, {1, 8}, {23, 11}, {40, 31}, {7, 64}}) {
+    const Tensor m = Tensor::randn({rows, cols}, rng);
+    Tensor r1({cols}), r2({cols});
+    kernels::column_sums(m.data().data(), r1.data().data(), rows, cols,
+                         KernelMode::kReference);
+    kernels::column_sums(m.data().data(), r2.data().data(), rows, cols,
+                         KernelMode::kSimd);
+    EXPECT_TRUE(bits_equal(r1, r2)) << "column_sums " << rows << "x" << cols;
+  }
+}
+
+TEST(SimdBitIdentity, TensorOpsHonorTheSimdMode) {
+  FactoryGuard guard;
+  CounterRng rng(59, 0x57);
+  const Tensor a = Tensor::randn({33, 17}, rng);
+  const Tensor b = Tensor::randn({17, 29}, rng);
+
+  TensorConfig::set_kernel_mode(KernelMode::kReference);
+  const Tensor ref = a.matmul(b);
+  const Tensor ref_cs = a.column_sums();
+  TensorConfig::set_kernel_mode(KernelMode::kSimd);
+  const Tensor simd = a.matmul(b);
+  const Tensor simd_cs = a.column_sums();
+
+  EXPECT_TRUE(bits_equal(ref, simd));
+  EXPECT_TRUE(bits_equal(ref_cs, simd_cs));
+}
+
+}  // namespace
+}  // namespace vf

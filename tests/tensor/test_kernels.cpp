@@ -1,11 +1,17 @@
-// Kernel equivalence suite: the blocked kernels must be bit-identical to
-// the reference kernels on every (finite) input — that is the contract
-// that lets the training/serving bit-reproducibility story survive the
-// kernel swap. Hammered shape by shape, including the degenerate and odd
-// shapes the tiling tails have to get right, and with ReLU-style exact
-// zeros (the reference's zero-skip must be invisible).
+// Kernel equivalence suite: the blocked AND simd kernels must be
+// bit-identical to the reference kernels on every (finite) input — that
+// is the contract that lets the training/serving bit-reproducibility
+// story survive a kernel swap. Hammered shape by shape, including the
+// degenerate and odd shapes the tiling/lane tails have to get right, and
+// with ReLU-style exact zeros (the reference's zero-skip must be
+// invisible). On hosts without the vector ISA the kSimd arms still run —
+// the backend factory serves them with the blocked tier, so the asserts
+// hold everywhere (tier-selection specifics live in test_backend.cpp).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/kernels.h"
@@ -56,13 +62,17 @@ TEST_P(KernelEquivalence, MatmulBlockedMatchesReferenceBitForBit) {
   for (const Shape& s : kShapes) {
     const Tensor a = sparse_randn({s.m, s.k}, rng, sparsity);
     const Tensor b = sparse_randn({s.k, s.n}, rng, sparsity);
-    Tensor ref({s.m, s.n}), blk({s.m, s.n});
+    Tensor ref({s.m, s.n}), blk({s.m, s.n}), simd({s.m, s.n});
     kernels::matmul(a.data().data(), b.data().data(), ref.data().data(), s.m, s.k,
                     s.n, KernelMode::kReference);
     kernels::matmul(a.data().data(), b.data().data(), blk.data().data(), s.m, s.k,
                     s.n, KernelMode::kBlocked);
+    kernels::matmul(a.data().data(), b.data().data(), simd.data().data(), s.m,
+                    s.k, s.n, KernelMode::kSimd);
     EXPECT_TRUE(ref.equals(blk)) << s.m << "x" << s.k << "x" << s.n
                                  << " max diff " << ref.max_abs_diff(blk);
+    EXPECT_TRUE(ref.equals(simd)) << "simd " << s.m << "x" << s.k << "x" << s.n
+                                  << " max diff " << ref.max_abs_diff(simd);
   }
 }
 
@@ -72,14 +82,18 @@ TEST_P(KernelEquivalence, TransposeLhsBlockedMatchesReferenceBitForBit) {
   for (const Shape& s : kShapes) {
     const Tensor a = sparse_randn({s.k, s.m}, rng, sparsity);  // lhs is [k x m]
     const Tensor b = sparse_randn({s.k, s.n}, rng, sparsity);
-    Tensor ref({s.m, s.n}), blk({s.m, s.n});
+    Tensor ref({s.m, s.n}), blk({s.m, s.n}), simd({s.m, s.n});
     kernels::matmul_transpose_lhs(a.data().data(), b.data().data(),
                                   ref.data().data(), s.m, s.k, s.n,
                                   KernelMode::kReference);
     kernels::matmul_transpose_lhs(a.data().data(), b.data().data(),
                                   blk.data().data(), s.m, s.k, s.n,
                                   KernelMode::kBlocked);
+    kernels::matmul_transpose_lhs(a.data().data(), b.data().data(),
+                                  simd.data().data(), s.m, s.k, s.n,
+                                  KernelMode::kSimd);
     EXPECT_TRUE(ref.equals(blk)) << s.m << "x" << s.k << "x" << s.n;
+    EXPECT_TRUE(ref.equals(simd)) << "simd " << s.m << "x" << s.k << "x" << s.n;
   }
 }
 
@@ -89,14 +103,18 @@ TEST_P(KernelEquivalence, TransposeRhsBlockedMatchesReferenceBitForBit) {
   for (const Shape& s : kShapes) {
     const Tensor a = sparse_randn({s.m, s.k}, rng, sparsity);
     const Tensor b = sparse_randn({s.n, s.k}, rng, sparsity);  // rhs is [n x k]
-    Tensor ref({s.m, s.n}), blk({s.m, s.n});
+    Tensor ref({s.m, s.n}), blk({s.m, s.n}), simd({s.m, s.n});
     kernels::matmul_transpose_rhs(a.data().data(), b.data().data(),
                                   ref.data().data(), s.m, s.k, s.n,
                                   KernelMode::kReference);
     kernels::matmul_transpose_rhs(a.data().data(), b.data().data(),
                                   blk.data().data(), s.m, s.k, s.n,
                                   KernelMode::kBlocked);
+    kernels::matmul_transpose_rhs(a.data().data(), b.data().data(),
+                                  simd.data().data(), s.m, s.k, s.n,
+                                  KernelMode::kSimd);
     EXPECT_TRUE(ref.equals(blk)) << s.m << "x" << s.k << "x" << s.n;
+    EXPECT_TRUE(ref.equals(simd)) << "simd " << s.m << "x" << s.k << "x" << s.n;
   }
 }
 
@@ -111,12 +129,17 @@ TEST(KernelEquivalence, TransposeBlockedMatchesReference) {
   CounterRng rng(17, 0x11);
   for (const Shape& s : kShapes) {
     const Tensor a = Tensor::randn({s.m, s.n}, rng);
-    Tensor ref({s.n, s.m}), blk({s.n, s.m});
+    Tensor ref({s.n, s.m}), blk({s.n, s.m}), simd({s.n, s.m});
     kernels::transpose(a.data().data(), ref.data().data(), s.m, s.n,
                        KernelMode::kReference);
     kernels::transpose(a.data().data(), blk.data().data(), s.m, s.n,
                        KernelMode::kBlocked);
+    // There is no vector transpose; the factory serves kSimd with the
+    // blocked tiles — the result must still be exact.
+    kernels::transpose(a.data().data(), simd.data().data(), s.m, s.n,
+                       KernelMode::kSimd);
     EXPECT_TRUE(ref.equals(blk));
+    EXPECT_TRUE(ref.equals(simd));
   }
 }
 
@@ -140,6 +163,73 @@ TEST(KernelDispatch, TensorOpsHonorTheGlobalMode) {
 TEST(KernelDispatch, ModeNamesRoundTrip) {
   EXPECT_STREQ(kernel_mode_name(KernelMode::kReference), "reference");
   EXPECT_STREQ(kernel_mode_name(KernelMode::kBlocked), "blocked");
+  EXPECT_STREQ(kernel_mode_name(KernelMode::kSimd), "simd");
+}
+
+// ---- Environment parsing: accept the documented values, reject loudly.
+//
+// A typo in VF_KERNELS silently running the wrong tier would invalidate a
+// whole benchmark campaign, so unknown values are a hard usage error
+// (stderr one-liner + exit 2 — bench_util's kUsageErrorExit), not a
+// fall-through to the default. The env is latched on first use, so the
+// death tests go through the reload_from_env() test hook; EXPECT_EXIT
+// forks, leaving the parent's latched config untouched.
+
+class EnvConfig : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    save(kernels_, "VF_KERNELS");
+    save(reuse_, "VF_WORKSPACE_REUSE");
+  }
+  void TearDown() override {
+    restore(kernels_, "VF_KERNELS");
+    restore(reuse_, "VF_WORKSPACE_REUSE");
+    TensorConfig::reload_from_env();
+  }
+
+ private:
+  static void save(std::pair<bool, std::string>& slot, const char* name) {
+    const char* v = std::getenv(name);
+    slot = {v != nullptr, v != nullptr ? v : ""};
+  }
+  static void restore(const std::pair<bool, std::string>& slot,
+                      const char* name) {
+    if (slot.first)
+      ::setenv(name, slot.second.c_str(), 1);
+    else
+      ::unsetenv(name);
+  }
+  std::pair<bool, std::string> kernels_;
+  std::pair<bool, std::string> reuse_;
+};
+
+TEST_F(EnvConfig, AcceptsEveryDocumentedKernelMode) {
+  ::setenv("VF_KERNELS", "reference", 1);
+  TensorConfig::reload_from_env();
+  EXPECT_EQ(TensorConfig::kernel_mode(), KernelMode::kReference);
+  ::setenv("VF_KERNELS", "simd", 1);
+  TensorConfig::reload_from_env();
+  EXPECT_EQ(TensorConfig::kernel_mode(), KernelMode::kSimd);
+  ::setenv("VF_KERNELS", "blocked", 1);
+  TensorConfig::reload_from_env();
+  EXPECT_EQ(TensorConfig::kernel_mode(), KernelMode::kBlocked);
+  ::unsetenv("VF_KERNELS");
+  TensorConfig::reload_from_env();
+  EXPECT_EQ(TensorConfig::kernel_mode(), KernelMode::kBlocked);
+}
+
+TEST_F(EnvConfig, RejectsUnknownKernelModeWithUsageError) {
+  ::setenv("VF_KERNELS", "sidm", 1);  // the classic transposition typo
+  EXPECT_EXIT(TensorConfig::reload_from_env(),
+              ::testing::ExitedWithCode(2),
+              "VF_KERNELS must be 'reference', 'blocked', or 'simd'");
+}
+
+TEST_F(EnvConfig, RejectsUnknownWorkspaceReuseWithUsageError) {
+  ::setenv("VF_WORKSPACE_REUSE", "yes", 1);
+  EXPECT_EXIT(TensorConfig::reload_from_env(),
+              ::testing::ExitedWithCode(2),
+              "VF_WORKSPACE_REUSE must be '0' or '1'");
 }
 
 TEST(TensorInto, MatmulIntoReusesTheOutputBuffer) {
