@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 
 #include "util/common.h"
@@ -71,26 +72,36 @@ std::string read_string(std::istream& is) {
 }  // namespace
 
 void save_checkpoint(const Checkpoint& snapshot, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  check(os.is_open(), "cannot open checkpoint file for writing: " + path);
+  // Crash-safe save: write the full snapshot to a sibling temp file, then
+  // atomically rename it over the destination. A save interrupted mid-write
+  // leaves at most a stale ".tmp" beside an intact previous checkpoint —
+  // the destination is never observable in a partial state.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    check(os.is_open(), "cannot open checkpoint file for writing: " + tmp);
 
-  write_u64(os, kMagic);
-  write_tensor(os, snapshot.parameters);
-  write_u64(os, snapshot.optimizer_slots.size());
-  for (const Tensor& t : snapshot.optimizer_slots) write_tensor(os, t);
-  write_u64(os, static_cast<std::uint64_t>(snapshot.optimizer_counter));
-  write_u64(os, snapshot.vn_states.size());
-  for (const VnState& st : snapshot.vn_states) {
-    const auto keys = st.keys();
-    write_u64(os, keys.size());
-    for (const std::string& k : keys) {
-      write_string(os, k);
-      write_tensor(os, st.get(k));
+    write_u64(os, kMagic);
+    write_tensor(os, snapshot.parameters);
+    write_u64(os, snapshot.optimizer_slots.size());
+    for (const Tensor& t : snapshot.optimizer_slots) write_tensor(os, t);
+    write_u64(os, static_cast<std::uint64_t>(snapshot.optimizer_counter));
+    write_u64(os, snapshot.vn_states.size());
+    for (const VnState& st : snapshot.vn_states) {
+      const auto keys = st.keys();
+      write_u64(os, keys.size());
+      for (const std::string& k : keys) {
+        write_string(os, k);
+        write_tensor(os, st.get(k));
+      }
     }
+    write_u64(os, static_cast<std::uint64_t>(snapshot.step));
+    write_f64(os, snapshot.sim_time_s);
+    os.flush();
+    check(bool(os), "checkpoint write failed: " + tmp);
   }
-  write_u64(os, static_cast<std::uint64_t>(snapshot.step));
-  write_f64(os, snapshot.sim_time_s);
-  check(bool(os), "checkpoint write failed: " + path);
+  check(std::rename(tmp.c_str(), path.c_str()) == 0,
+        "cannot publish checkpoint (rename failed): " + path);
 }
 
 Checkpoint load_checkpoint(const std::string& path) {

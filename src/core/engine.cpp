@@ -50,7 +50,21 @@ void VirtualFlowEngine::resize_vn_scratch() {
   vn_infer_preds_.resize(n);
   vn_infer_bytes_.assign(n, 0.0);
   infer_seen_.assign(n, false);
+  // Slowdowns are positional (slot d of the current set); a reconfigure
+  // re-lands VNs on fresh hardware, so injected stragglers do not follow.
+  slowdowns_.assign(devices_.size(), 1.0);
   eval_state_dirty_ = true;
+}
+
+void VirtualFlowEngine::set_device_slowdown(std::int64_t device, double multiplier) {
+  check_index(device, static_cast<std::int64_t>(slowdowns_.size()), "device");
+  check(multiplier >= 1.0, "slowdown multiplier must be >= 1");
+  slowdowns_[static_cast<std::size_t>(device)] = multiplier;
+}
+
+double VirtualFlowEngine::device_slowdown(std::int64_t device) const {
+  check_index(device, static_cast<std::int64_t>(slowdowns_.size()), "device");
+  return slowdowns_[static_cast<std::size_t>(device)];
 }
 
 std::int64_t VirtualFlowEngine::workspace_allocs() const {
@@ -173,8 +187,12 @@ StepStats VirtualFlowEngine::train_step() {
     // A device hosting zero VNs this phase idles: it spends no compute
     // and cannot be the step's barrier (its replica memory still counts).
     if (!mapping_.device_vns(d).empty()) {
+      // Injected straggler multipliers (src/fault/) stretch the device's
+      // simulated window; the barrier picks up the slowest device either
+      // way, and the math above already ran — timing only.
       const double dt =
-          device_step_time_s(spec, profile_, mapping_.device_batches(d));
+          device_step_time_s(spec, profile_, mapping_.device_batches(d)) *
+          slowdowns_[static_cast<std::size_t>(d)];
       compute_s = std::max(compute_s, dt);
       if (obs_.trace != nullptr) {
         // One span per busy device: its simulated compute window this
@@ -291,9 +309,13 @@ double VirtualFlowEngine::sync_and_update(const std::vector<Tensor>& vn_grad_sum
     rep.optimizer->apply(rep.model, lr);
   });
 
+  // An injected comm fault charges the all-reduce twice (one retry).
+  // Consumed even on a single device, where no comm phase exists.
+  const double retry = comm_retry_ ? 2.0 : 1.0;
+  comm_retry_ = false;
   if (mapping_.num_devices() <= 1) return 0.0;
-  return ring_allreduce_time_s(profile_.param_bytes(),
-                               mapping_.num_devices(), config_.link);
+  return retry * ring_allreduce_time_s(profile_.param_bytes(),
+                                       mapping_.num_devices(), config_.link);
 }
 
 void VirtualFlowEngine::resize(std::vector<Device> new_devices, const ResizeOptions& opts) {
@@ -608,6 +630,9 @@ InferStats VirtualFlowEngine::infer(const std::vector<InferSlice>& slices) {
       c.pass_s = slices[i].decode
                      ? decode_pass_time_s(spec, profile_, slices[i].features.rows())
                      : infer_pass_time_s(spec, profile_, slices[i].features.rows());
+      // Injected straggler multiplier (src/fault/): a degraded device
+      // serves its slices slower; predictions are untouched.
+      c.pass_s *= slowdowns_[static_cast<std::size_t>(d)];
       c.overhead_s = spec.step_fixed_s;
       if (n_dev > 1) c.comm_s = send_time_s(vn_infer_bytes_[v], config_.link);
       dev_pass_s += c.pass_s;

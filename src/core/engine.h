@@ -194,6 +194,20 @@ class VirtualFlowEngine {
   Checkpoint capture() const;
   void restore(const Checkpoint& snapshot);
 
+  /// Straggler injection (src/fault/): scales device d's simulated compute
+  /// time by `multiplier` (>= 1) in both train_step and infer. Timing
+  /// only — the numerical trajectory is untouched, so bit-exactness across
+  /// worker counts survives any straggler schedule. Reset to 1.0 for every
+  /// device by resize/reconfigure (slots are positional, and a migration
+  /// re-lands VNs on fresh hardware).
+  void set_device_slowdown(std::int64_t device, double multiplier);
+  double device_slowdown(std::int64_t device) const;
+
+  /// Comm-fault injection: the next train_step charges its all-reduce
+  /// twice (one retry), consuming the flag. Timing only; a single-device
+  /// step has no comm phase and consumes the flag for free.
+  void inject_comm_retry() { comm_retry_ = true; }
+
   /// General reconfiguration to an arbitrary mapping (used by
   /// heterogeneous training, §5). The new mapping must preserve the
   /// global batch size.
@@ -323,6 +337,10 @@ class VirtualFlowEngine {
   obs::Histogram* step_hist_ = nullptr;
   obs::Gauge* loss_gauge_ = nullptr;
   obs::Gauge* throughput_gauge_ = nullptr;
+
+  // ---- Fault injection (timing-only; see set_device_slowdown).
+  std::vector<double> slowdowns_;  // per device slot, reset on reconfigure
+  bool comm_retry_ = false;
 
   std::int64_t step_ = 0;
   double clock_s_ = 0.0;

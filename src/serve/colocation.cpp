@@ -97,12 +97,15 @@ ColocatedServer::ColocatedServer(ModelRegistry& registry, ColocationConfig confi
   // indexing through `this` stays valid.
   for (std::int32_t m = 0; m < registry_.size(); ++m) {
     models_[static_cast<std::size_t>(m)].queue.set_reject_observer(
-        [this, m](const InferRequest& r) {
-          models_[static_cast<std::size_t>(m)].tracker.record_rejection(r, r.arrival_s);
+        [this, m](const InferRequest& r, double now_s) {
+          models_[static_cast<std::size_t>(m)].tracker.record_rejection(r, now_s);
           if (obs_.trace != nullptr)
-            obs_.trace->instant("reject", r.arrival_s, /*device=*/-1, /*vn=*/-1,
+            obs_.trace->instant("reject", now_s, /*device=*/-1, /*vn=*/-1,
                                 m, /*arg0=*/r.id);
         });
+    if (registry_.config(m).shed_expired)
+      models_[static_cast<std::size_t>(m)].queue.set_deadline(
+          registry_.config(m).deadline_s);
   }
 }
 
@@ -119,6 +122,14 @@ void ColocatedServer::set_observability(obs::Observability obs) {
     if (obs.metrics != nullptr)
       share_gauges_.push_back(&obs.metrics->gauge(prefix + "share_vtime"));
   }
+}
+
+void ColocatedServer::set_fault_injector(fault::FaultInjector* injector) {
+  check(!replayed_, "attach the fault injector before replay()");
+  check(injector == nullptr || config_.continuous,
+        "fault injection requires continuous batching (recovery re-dispatches "
+        "at slice granularity)");
+  injector_ = injector;
 }
 
 std::int64_t ColocatedServer::shared_devices() const {
@@ -209,9 +220,15 @@ void ColocatedServer::admit_up_to_clock() {
     const bool was_idle = st.queue.empty() && st.ledger.all_free() &&
                           !st.streamer.has_paused();
     bool admitted = false;
+    const bool shed = registry_.config(static_cast<std::int32_t>(m)).shed_expired;
     while (st.next_arrival < trace.size() &&
            trace[st.next_arrival].arrival_s <= clock_) {
-      st.queue.push(trace[st.next_arrival]);
+      // Shedding models stamp admission at the loop's clock so a request
+      // already past its SLO is bounced, not queued to a guaranteed miss.
+      if (shed)
+        st.queue.push(trace[st.next_arrival], clock_);
+      else
+        st.queue.push(trace[st.next_arrival]);
       ++st.next_arrival;
       admitted = true;
     }
@@ -243,9 +260,15 @@ void ColocatedServer::resize_if_needed(std::int64_t combined_inflight) {
   std::int64_t depth = 0;
   for (const ModelState& st : models_) depth += st.queue.size();
   const std::int64_t cur = shared_devices();
+  // Killed devices shrink the elastic budget until their recover events
+  // lift the cap — growth cannot resurrect lost capacity.
+  std::int64_t max_dev = e.max_devices;
+  if (injector_ != nullptr)
+    max_dev = std::max(e.min_devices,
+                       std::min(max_dev, injector_->capacity_cap(e.max_devices)));
   const std::int64_t target = sched::elastic_resize_target(
       depth, combined_inflight, cur, e.high_watermark, e.low_watermark,
-      e.min_devices, e.max_devices);
+      e.min_devices, max_dev);
   if (target == cur) return;
   perform_resize(target, depth);
   device_free_.assign(static_cast<std::size_t>(shared_devices()), clock_);
@@ -309,21 +332,29 @@ void ColocatedServer::perform_resize(std::int64_t target, std::int64_t depth) {
   }
 }
 
+Slot ColocatedServer::maybe_comm_fault(Slot slot) {
+  if (injector_ != nullptr && injector_->take_comm_fault()) {
+    slot.done_s += slot.comm_s;
+    slot.comm_s *= 2.0;
+  }
+  return slot;
+}
+
 void ColocatedServer::dispatch_slice(std::int32_t m) {
   ModelState& st = models_[static_cast<std::size_t>(m)];
   const std::int32_t vn = st.ledger.lowest_free();
   if (TokenStreamer::is_stream(st.queue.front())) {
     std::vector<InferRequest> one = st.queue.pop(1);
-    Slot slot = st.streamer.prefill(st.dispatcher, vn, clock_, device_free_,
-                                    std::move(one.front()));
+    Slot slot = maybe_comm_fault(st.streamer.prefill(
+        st.dispatcher, vn, clock_, device_free_, std::move(one.front())));
     charge(m, slot.compute_s);
     st.ledger.admit(vn, std::move(slot));
     return;
   }
   const std::int64_t cap = registry_.engine(m).mapping().vn_batch(vn);
   const std::int64_t prefix = classify_prefix(st, cap);
-  Slot slot = st.dispatcher.dispatch_classify(vn, clock_, device_free_,
-                                              st.queue.pop(prefix));
+  Slot slot = maybe_comm_fault(st.dispatcher.dispatch_classify(
+      vn, clock_, device_free_, st.queue.pop(prefix)));
   charge(m, slot.compute_s);
   st.ledger.admit(vn, std::move(slot));
 }
@@ -409,7 +440,8 @@ void ColocatedServer::replay_continuous() {
       ModelState& st = models_[m];
       if (st.continuations.empty() || clock_ < dispatch_ready_[m]) continue;
       for (const std::int32_t vn : st.continuations) {
-        Slot next = st.streamer.next_decode(st.dispatcher, vn, clock_, device_free_);
+        Slot next = maybe_comm_fault(
+            st.streamer.next_decode(st.dispatcher, vn, clock_, device_free_));
         charge(static_cast<std::int32_t>(m), next.compute_s);
         st.ledger.readmit(vn, std::move(next));
         st.pending_chain[static_cast<std::size_t>(vn)] = 0;
@@ -483,15 +515,149 @@ void ColocatedServer::replay_continuous() {
       if (best < 0) break;
       ModelState& st = models_[static_cast<std::size_t>(best)];
       const std::int32_t vn = st.ledger.lowest_free();
-      Slot slot = st.streamer.resume(st.dispatcher, vn, clock_, device_free_);
+      Slot slot = maybe_comm_fault(
+          st.streamer.resume(st.dispatcher, vn, clock_, device_free_));
       charge(best, slot.compute_s);
       st.ledger.admit(vn, std::move(slot));
+    }
+  };
+
+  // Fault transition: fires every injected event due at the current stamp
+  // (complete_due first — a slice finishing exactly at a kill's stamp
+  // survives). A kill tears the dead device slot's in-flight slices off
+  // EVERY model with the single-model Server's per-kind recovery
+  // (classify/prefill requeue with honest retry stamps, decode chains park
+  // and resume from their last landed token), then remaps each engine's
+  // VNs onto the survivors as a ROLLING migration: the fail_device
+  // all-gathers serialize deepest-backlog-first (model id tie-break, like
+  // perform_resize), each model's new dispatches resuming at its own
+  // cutover stamp — on top of any cutover stamps still pending from an
+  // in-progress elastic migration, which is why the base is the max of the
+  // clock and the existing dispatch_ready_ horizon.
+  const auto process_faults_due = [&]() {
+    if (injector_ == nullptr) return;
+    for (const fault::FaultEvent& ev : injector_->due(clock_)) {
+      FaultRecord rec;
+      rec.time_s = clock_;
+      rec.kind = ev.kind;
+      rec.device = ev.device;
+      switch (ev.kind) {
+        case fault::FaultKind::kKill: {
+          const std::int64_t ndev = shared_devices();
+          if (ndev <= 1) {
+            injector_->kill_skipped();
+            rec.skipped = true;
+            break;
+          }
+          const std::int64_t dead = ev.device % ndev;
+          rec.device = dead;
+          std::int64_t depth = 0;
+          for (std::size_t m = 0; m < models_.size(); ++m) {
+            ModelState& st = models_[m];
+            std::vector<InferRequest> requeue;
+            for (std::int32_t vn = 0; vn < st.ledger.total_slots(); ++vn) {
+              const Slot& s = st.ledger.slot(vn);
+              if (!s.busy || s.device != dead) continue;
+              // A slice absorbed this instant (pending decode chain)
+              // finished before the kill; it re-dispatches after cutover.
+              if (st.pending_chain[static_cast<std::size_t>(vn)]) continue;
+              Slot evicted = st.ledger.evict(vn);
+              ++rec.evicted_slices;
+              if (evicted.kind == SliceKind::kClassify) {
+                for (InferRequest& r : evicted.requests) {
+                  r.queue_wait_accum_s += evicted.dispatch_s - r.enqueued_s();
+                  ++r.retries;
+                  requeue.push_back(std::move(r));
+                }
+              } else if (evicted.kind == SliceKind::kPrefill) {
+                InferRequest r = st.streamer.cancel(vn);
+                r.queue_wait_accum_s += evicted.dispatch_s - r.enqueued_s();
+                ++r.retries;
+                requeue.push_back(std::move(r));
+              } else {
+                st.streamer.mark_retry(vn);
+                st.streamer.pause(vn);
+              }
+            }
+            rec.requeued_requests += static_cast<std::int64_t>(requeue.size());
+            std::sort(requeue.begin(), requeue.end(),
+                      [](const InferRequest& a, const InferRequest& b) {
+                        return a.id < b.id;
+                      });
+            for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+              it->requeue_s = clock_;
+              st.queue.push_front(*it);
+            }
+            depth += st.queue.size();
+          }
+
+          // Rolling VN remap, deepest combined backlog first.
+          std::vector<std::int32_t> order(models_.size());
+          for (std::size_t m = 0; m < models_.size(); ++m)
+            order[m] = static_cast<std::int32_t>(m);
+          std::sort(order.begin(), order.end(),
+                    [&](std::int32_t a, std::int32_t b) {
+                      const std::int64_t qa =
+                          models_[static_cast<std::size_t>(a)].queue.size();
+                      const std::int64_t qb =
+                          models_[static_cast<std::size_t>(b)].queue.size();
+                      if (qa != qb) return qa > qb;
+                      return a < b;
+                    });
+          double base = clock_;
+          for (const double ready : dispatch_ready_)
+            base = std::max(base, ready);
+          double migration = 0.0;
+          for (const std::int32_t m : order) {
+            VirtualFlowEngine& eng = registry_.engine(m);
+            const double before = eng.sim_time_s();
+            eng.fail_device(dead);
+            migration += eng.sim_time_s() - before;
+            dispatch_ready_[static_cast<std::size_t>(m)] = base + migration;
+            if (obs_.trace != nullptr)
+              obs_.trace->instant("cutover", base + migration, /*device=*/-1,
+                                  /*vn=*/-1, m);
+          }
+          rec.migration_s = migration;
+          device_free_.assign(static_cast<std::size_t>(shared_devices()), clock_);
+          for (std::size_t m = 0; m < models_.size(); ++m)
+            injector_->apply_slowdowns(registry_.engine(static_cast<std::int32_t>(m)));
+          work_since_resize_ = 0;
+          ResizeEvent rev;
+          rev.time_s = base + migration;
+          rev.from_devices = ndev;
+          rev.to_devices = ndev - 1;
+          rev.queue_depth = depth;
+          rev.migration_s = migration;
+          resizes_.push_back(rev);
+          if (obs_.metrics != nullptr) {
+            obs_.metrics->counter("serve.faults.requeued").add(rec.requeued_requests);
+            obs_.metrics->gauge("serve.devices")
+                .set(static_cast<double>(ndev - 1), clock_);
+          }
+          break;
+        }
+        case fault::FaultKind::kRecover:
+          // Capacity returns to the shared elastic budget (capacity_cap);
+          // the resize rule re-grows on observed load, not on the event.
+          break;
+        case fault::FaultKind::kStragglerStart:
+        case fault::FaultKind::kStragglerEnd:
+          for (std::size_t m = 0; m < models_.size(); ++m)
+            injector_->apply_slowdowns(registry_.engine(static_cast<std::int32_t>(m)));
+          break;
+        case fault::FaultKind::kCommFault:
+          // One-shot; consumed by the next dispatch (maybe_comm_fault).
+          break;
+      }
+      faults_.push_back(rec);
     }
   };
 
   while (true) {
     admit_up_to_clock();
     complete_due();
+    process_faults_due();
     std::int64_t inflight = 0;
     for (const ModelState& st : models_)
       inflight += st.ledger.inflight_requests() + st.streamer.paused_streams();
@@ -505,6 +671,9 @@ void ColocatedServer::replay_continuous() {
     } else {
       readmit_continuations();
       try_dispatch();
+      // A kill can park decode chains even in FIFO mode (no-op without
+      // faults: nothing pauses streams otherwise).
+      try_resumes();
     }
 
     // Next event over all models: earliest in-flight completion, next
@@ -554,6 +723,7 @@ void ColocatedServer::replay_continuous() {
         }
       }
     }
+    if (injector_ != nullptr) next_t = std::min(next_t, injector_->next_event_s());
     if (next_t == kInf) break;  // ledgers idle, queues drained, traces done
     clock_ = std::max(clock_, next_t);
   }

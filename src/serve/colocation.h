@@ -99,6 +99,9 @@ struct ModelConfig {
   /// share / Σ shares of the total, regardless of how its slice costs
   /// compare to its co-tenants'. Must be positive.
   double share = 1.0;
+  /// Deadline-aware load shedding at admission for this model (see
+  /// ServerConfig::shed_expired). Off by default.
+  bool shed_expired = false;
 };
 
 /// Binds each co-located model's engine, request pool, and config under a
@@ -165,6 +168,15 @@ class ColocatedServer {
   /// schedule.
   void set_observability(obs::Observability obs);
 
+  /// Attaches a fault injector (src/fault/) shared across the co-located
+  /// set: a kill evicts the dead device slot's in-flight slices of EVERY
+  /// model and remaps each engine's VNs onto the survivors as a rolling
+  /// migration (deepest-backlog model first, like perform_resize); see
+  /// Server::set_fault_injector for the per-slice recovery semantics.
+  /// Must be called before replay(); requires continuous mode; the
+  /// injector must outlive the replay.
+  void set_fault_injector(fault::FaultInjector* injector);
+
   /// Replays one open-loop arrival trace per model (indexed by model id,
   /// each ascending in arrival time) to completion, draining every queue.
   void replay(const std::vector<std::vector<InferRequest>>& traces);
@@ -181,6 +193,9 @@ class ColocatedServer {
   const std::vector<ResizeEvent>& resizes() const { return resizes_; }
   /// Work units across all models; BatchEvent::model carries the id.
   const std::vector<BatchEvent>& batches() const { return batches_; }
+  /// Injected faults the replay acted on (shared-set events; a kill's
+  /// eviction/requeue counts aggregate over all models).
+  const std::vector<FaultRecord>& faults() const { return faults_; }
   /// Raw device-seconds model m's dispatches consumed (continuous mode).
   /// bench_streaming's share gate checks the ratio of these against the
   /// configured ModelConfig::share weights.
@@ -240,6 +255,10 @@ class ColocatedServer {
   /// Dispatches one slice of model `m` onto its lowest free VN slot: a
   /// prefill when a stream heads the queue, a classify slice otherwise.
   void dispatch_slice(std::int32_t m);
+  /// Applies a pending one-shot comm fault to a freshly dispatched slot
+  /// (logits-return retry: done_s slips by one comm charge); identity
+  /// when no injector or no fault is pending.
+  Slot maybe_comm_fault(Slot slot);
   /// Executes one formed batch of model `m` on the full device set.
   void execute_model_batch(std::int32_t m, std::int64_t take);
 
@@ -273,6 +292,10 @@ class ColocatedServer {
   bool replayed_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
+
+  /// Fault injector (null = no faults); see set_fault_injector.
+  fault::FaultInjector* injector_ = nullptr;
+  std::vector<FaultRecord> faults_;
 
   /// Observability sinks (null = off); see set_observability.
   obs::Observability obs_;

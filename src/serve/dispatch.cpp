@@ -23,7 +23,12 @@ void record_slice_requests(const Slot& done, SloTracker& tracker) {
     rec.id = r.id;
     rec.arrival_s = r.arrival_s;
     rec.dispatch_s = done.dispatch_s;
-    rec.queue_wait_s = done.dispatch_s - r.arrival_s;
+    // Honest accounting across fault retries: waits that preceded evicted
+    // dispatches accumulate on the request, and the final stretch runs
+    // from the latest queue entry (requeue stamp after an eviction).
+    rec.queue_wait_s =
+        r.queue_wait_accum_s + (done.dispatch_s - r.enqueued_s());
+    rec.retries = r.retries;
     rec.compute_s = done.compute_s;
     rec.comm_s = done.comm_s;
     rec.finish_s = done.done_s;

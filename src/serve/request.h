@@ -43,6 +43,20 @@ struct InferRequest {
   /// tokens: the first sampled at the prefill's completion, the rest by
   /// N - 1 decode slices.
   std::int64_t stream_tokens = 0;
+
+  /// Fault-recovery accounting (src/fault/). A device kill evicts the
+  /// request's in-flight slice and requeues it: `retries` counts those
+  /// round-trips, `requeue_s` stamps the latest re-entry into the queue,
+  /// and `queue_wait_accum_s` accumulates the waits that preceded each
+  /// failed dispatch — so the final record's queue_wait_s stays the honest
+  /// total time spent queued, not just the last stretch.
+  std::int64_t retries = 0;
+  double requeue_s = 0.0;
+  double queue_wait_accum_s = 0.0;
+
+  /// Stamp the request last entered the queue: `requeue_s` after a fault
+  /// eviction, the arrival otherwise.
+  double enqueued_s() const { return retries > 0 ? requeue_s : arrival_s; }
 };
 
 /// Per-request accounting recorded by the SloTracker once a request leaves
@@ -52,14 +66,17 @@ struct RequestRecord {
   double arrival_s = 0.0;
   double dispatch_s = 0.0;    ///< left the queue: batch execution start, or
                               ///< admission into an in-flight VN slot
-  double queue_wait_s = 0.0;  ///< arrival -> dispatch (= dispatch_s - arrival_s)
+  double queue_wait_s = 0.0;  ///< total time queued: arrival -> dispatch, plus
+                              ///< any earlier waits before fault-evicted
+                              ///< dispatches (see InferRequest::retries)
   double compute_s = 0.0;     ///< cost-model forward time of its batch/slice
                               ///< (summed over a stream's slices)
   double comm_s = 0.0;        ///< logits return of its batch/slice (summed)
   double finish_s = 0.0;      ///< virtual completion stamp
   std::int64_t prediction = -1;  ///< classify: argmax; stream: last token
-  bool rejected = false;      ///< bounced at admission (queue full)
+  bool rejected = false;      ///< bounced at admission (queue full or expired)
   bool deadline_met = false;  ///< classify: latency SLO; stream: TTFT SLO
+  std::int64_t retries = 0;   ///< fault evictions survived before completing
 
   /// Token stream accounting; all empty/zero for classify requests.
   double first_token_s = 0.0;  ///< prefill completion (first token) stamp

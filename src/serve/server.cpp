@@ -27,12 +27,15 @@ Server::Server(VirtualFlowEngine& engine, const Dataset& request_pool,
   // reports every dropped request (with its id) straight to the tracker
   // (and, when a recorder is attached, as a "reject" marker on the control
   // track), so both replay modes share one drop-accounting path.
-  queue_.set_reject_observer([this](const InferRequest& r) {
-    tracker_.record_rejection(r, r.arrival_s);
+  queue_.set_reject_observer([this](const InferRequest& r, double now_s) {
+    tracker_.record_rejection(r, now_s);
     if (obs_.trace != nullptr)
-      obs_.trace->instant("reject", r.arrival_s, /*device=*/-1, /*vn=*/-1,
+      obs_.trace->instant("reject", now_s, /*device=*/-1, /*vn=*/-1,
                           /*model=*/-1, /*arg0=*/r.id);
   });
+  // Deadline-aware load shedding (opt-in): requests already past the SLO
+  // at admission are bounced at the door rather than queued to a miss.
+  if (config_.shed_expired) queue_.set_deadline(config_.deadline_s);
   if (config_.elastic.enabled) {
     const ElasticPolicy& e = config_.elastic;
     check(e.min_devices >= 1, "elastic min_devices must be >= 1");
@@ -53,6 +56,15 @@ void Server::set_observability(obs::Observability obs) {
   obs_ = obs;
   dispatcher_.set_observability(obs, /*model=*/-1, "serve.");
   tracker_.set_metrics(obs.metrics, "serve.");
+}
+
+void Server::set_fault_injector(fault::FaultInjector* injector) {
+  check(!replayed_, "attach the fault injector before replay()");
+  check(injector == nullptr || config_.continuous,
+        "fault injection requires continuous batching "
+        "(ServerConfig::continuous) — recovery re-dispatches through the "
+        "slot ledger, which batch-boundary mode has no notion of");
+  injector_ = injector;
 }
 
 void Server::replay(const std::vector<InferRequest>& trace) {
@@ -83,11 +95,16 @@ void Server::replay(const std::vector<InferRequest>& trace) {
 void Server::replay_batch_boundary(const std::vector<InferRequest>& trace) {
   std::size_t next_arrival = 0;
   // Admits every arrival up to the current virtual time, in trace order.
-  // Rejections (queue full) happen at the request's own arrival stamp.
+  // Rejections (queue full) happen at the request's own arrival stamp;
+  // with shedding on, expired requests bounce at the admission stamp.
   const auto admit_up_to_clock = [&]() {
     while (next_arrival < trace.size() &&
            trace[next_arrival].arrival_s <= clock_) {
-      queue_.push(trace[next_arrival]);
+      if (config_.shed_expired) {
+        queue_.push(trace[next_arrival], clock_);
+      } else {
+        queue_.push(trace[next_arrival]);
+      }
       ++next_arrival;
     }
   };
@@ -141,9 +158,23 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
   const auto admit_up_to_clock = [&]() {
     while (next_arrival < trace.size() &&
            trace[next_arrival].arrival_s <= clock_) {
-      queue_.push(trace[next_arrival]);
+      if (config_.shed_expired) {
+        queue_.push(trace[next_arrival], clock_);
+      } else {
+        queue_.push(trace[next_arrival]);
+      }
       ++next_arrival;
     }
+  };
+
+  // Injected comm fault (one-shot): the next dispatched slice retries its
+  // logits return — one extra comm charge delays that slice's completion.
+  const auto with_comm_fault = [&](Slot slot) {
+    if (injector_ != nullptr && injector_->take_comm_fault()) {
+      slot.done_s += slot.comm_s;
+      slot.comm_s *= 2.0;
+    }
+    return slot;
   };
 
   // Completion transition, in (done_s, VN id) order. Classify slices free
@@ -199,6 +230,121 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
     }
   };
 
+  // Fault transition: fires every injected event due at the current stamp.
+  // Ordering contract: complete_due runs first within an instant, so a
+  // slice finishing exactly at a kill's stamp survives (its work is done;
+  // only un-finished work is on the dead device). A kill evicts the dead
+  // device's in-flight slices — classify/prefill requests requeue at the
+  // queue head with honest retry stamps, decode chains park and later
+  // resume from their last landed token — then remaps its VNs onto the
+  // survivors through the engine's seamless-migration machinery. Eviction
+  // matches slices by their dispatch-time device slot; a slice that
+  // straddled an elastic resize keeps its old slot index (the documented
+  // approximation — see docs/fault_tolerance.md).
+  const auto process_faults_due = [&]() {
+    if (injector_ == nullptr) return;
+    for (const fault::FaultEvent& ev : injector_->due(clock_)) {
+      FaultRecord rec;
+      rec.time_s = clock_;
+      rec.kind = ev.kind;
+      rec.device = ev.device;
+      switch (ev.kind) {
+        case fault::FaultKind::kKill: {
+          const auto ndev = static_cast<std::int64_t>(engine_.devices().size());
+          if (ndev <= 1) {
+            // The last device cannot die without ending the replay; the
+            // kill is skipped (capacity loss reverted) and recorded.
+            injector_->kill_skipped();
+            rec.skipped = true;
+            break;
+          }
+          const std::int64_t dead = ev.device % ndev;
+          rec.device = dead;
+          std::vector<InferRequest> requeue;
+          for (std::int32_t vn = 0; vn < ledger.total_slots(); ++vn) {
+            const Slot& s = ledger.slot(vn);
+            if (!s.busy || s.device != dead) continue;
+            // A slice absorbed this instant (pending decode continuation)
+            // finished before the kill; its chain re-dispatches on the
+            // post-migration mapping below.
+            if (std::find(continuations.begin(), continuations.end(), vn) !=
+                continuations.end())
+              continue;
+            Slot evicted = ledger.evict(vn);
+            ++rec.evicted_slices;
+            if (evicted.kind == SliceKind::kClassify) {
+              for (InferRequest& r : evicted.requests) {
+                r.queue_wait_accum_s += evicted.dispatch_s - r.enqueued_s();
+                ++r.retries;
+                requeue.push_back(std::move(r));
+              }
+            } else if (evicted.kind == SliceKind::kPrefill) {
+              // No token landed yet: abort the stream and requeue the
+              // request; its next prefill restarts the chain.
+              InferRequest r = streamer.cancel(vn);
+              r.queue_wait_accum_s += evicted.dispatch_s - r.enqueued_s();
+              ++r.retries;
+              requeue.push_back(std::move(r));
+            } else {
+              // Decode chain with landed tokens: never recompute them —
+              // park the stream; resume re-dispatches only the lost token.
+              streamer.mark_retry(vn);
+              streamer.pause(vn);
+            }
+          }
+          // VN remap onto the survivors (the paper's fault story §7),
+          // charged to the serving clock like any elastic migration.
+          const double before = engine_.sim_time_s();
+          engine_.fail_device(dead);
+          const double migration = engine_.sim_time_s() - before;
+          clock_ += migration;
+          rec.migration_s = migration;
+          rec.requeued_requests = static_cast<std::int64_t>(requeue.size());
+          // Requeue at the head, lowest id first (in-flight requests are
+          // always older than anything queued, so FIFO order is restored).
+          std::sort(requeue.begin(), requeue.end(),
+                    [](const InferRequest& a, const InferRequest& b) {
+                      return a.id < b.id;
+                    });
+          for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+            it->requeue_s = clock_;
+            queue_.push_front(*it);
+          }
+          device_free.assign(engine_.devices().size(), clock_);
+          // The migration landed the VNs on fresh slots; re-apply any
+          // straggler windows still active.
+          injector_->apply_slowdowns(engine_);
+          work_since_resize_ = 0;
+          ResizeEvent rev;
+          rev.time_s = clock_;
+          rev.from_devices = ndev;
+          rev.to_devices = ndev - 1;
+          rev.queue_depth = queue_.size();
+          rev.migration_s = migration;
+          resizes_.push_back(rev);
+          if (obs_.metrics != nullptr) {
+            obs_.metrics->counter("serve.faults.requeued").add(rec.requeued_requests);
+            obs_.metrics->gauge("serve.devices")
+                .set(static_cast<double>(ndev - 1), clock_);
+          }
+          break;
+        }
+        case fault::FaultKind::kRecover:
+          // Capacity returns to the elastic budget (capacity_cap); the
+          // resize rule re-grows on observed load, not on the event.
+          break;
+        case fault::FaultKind::kStragglerStart:
+        case fault::FaultKind::kStragglerEnd:
+          injector_->apply_slowdowns(engine_);
+          break;
+        case fault::FaultKind::kCommFault:
+          // One-shot; consumed by the next dispatch (with_comm_fault).
+          break;
+      }
+      faults_.push_back(rec);
+    }
+  };
+
   // Resize decisions use the same hysteresis as batch mode, and the
   // resize itself is as seamless as the paper's: in-flight slices keep
   // the completion times the old mapping scheduled for them (compute is
@@ -218,9 +364,17 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
     // every slot saturates under a shallow queue. Parked streams count as
     // in-flight: each holds an un-served request that is merely between
     // slots.
+    // Killed devices are budget loss: the elastic ceiling drops by the
+    // capacity currently dead (floored at min_devices), so the rule
+    // degrades gracefully instead of re-growing onto hardware that is
+    // gone, and re-expands when a recover lifts the cap.
+    std::int64_t max_dev = e.max_devices;
+    if (injector_ != nullptr)
+      max_dev = std::max(e.min_devices,
+                         std::min(max_dev, injector_->capacity_cap(e.max_devices)));
     const std::int64_t target = sched::elastic_resize_target(
         depth, ledger.inflight_requests() + streamer.paused_streams(), cur,
-        e.high_watermark, e.low_watermark, e.min_devices, e.max_devices);
+        e.high_watermark, e.low_watermark, e.min_devices, max_dev);
     if (target == cur) return;
     perform_resize(target, depth);
     device_free.assign(engine_.devices().size(), clock_);
@@ -241,8 +395,9 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
       if (vn < 0) break;
       if (TokenStreamer::is_stream(queue_.front())) {
         std::vector<InferRequest> one = queue_.pop(1);
-        ledger.admit(vn, streamer.prefill(dispatcher_, vn, clock_, device_free,
-                                          std::move(one.front())));
+        ledger.admit(vn, with_comm_fault(streamer.prefill(
+                             dispatcher_, vn, clock_, device_free,
+                             std::move(one.front()))));
         continue;
       }
       const std::int64_t cap = engine_.mapping().vn_batch(vn);
@@ -254,8 +409,8 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
       const bool timed_out =
           clock_ >= queue_.front().arrival_s + config_.batch.max_wait_s;
       if (!full_slice && !timed_out) break;
-      ledger.admit(vn, dispatcher_.dispatch_classify(vn, clock_, device_free,
-                                                     queue_.pop(prefix)));
+      ledger.admit(vn, with_comm_fault(dispatcher_.dispatch_classify(
+                           vn, clock_, device_free, queue_.pop(prefix))));
     }
   };
 
@@ -263,8 +418,8 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
   // slice in the same (still busy) slot.
   const auto readmit_continuations = [&]() {
     for (const std::int32_t vn : continuations)
-      ledger.readmit(vn,
-                     streamer.next_decode(dispatcher_, vn, clock_, device_free));
+      ledger.readmit(vn, with_comm_fault(streamer.next_decode(
+                             dispatcher_, vn, clock_, device_free)));
     continuations.clear();
   };
 
@@ -274,13 +429,18 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
     while (streamer.has_paused()) {
       const std::int32_t vn = ledger.lowest_free();
       if (vn < 0) break;
-      ledger.admit(vn, streamer.resume(dispatcher_, vn, clock_, device_free));
+      ledger.admit(vn,
+                   with_comm_fault(streamer.resume(dispatcher_, vn, clock_,
+                                                   device_free)));
     }
   };
 
   while (true) {
     admit_up_to_clock();
     complete_due();
+    // Faults after completions at the same stamp: a slice finishing
+    // exactly when its device dies has already finished.
+    process_faults_due();
     resize_if_needed();
     if (config_.stream.disaggregate) {
       // Admission-class work first (that is the point of preemption),
@@ -290,10 +450,12 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
       try_resumes();
     } else {
       // FIFO: running streams chain ahead of new admissions and nothing
-      // is ever parked — a stream holds its slot from prefill to last
-      // token.
+      // is ever preemption-parked — a stream holds its slot from prefill
+      // to last token. A device kill can still park decode chains, so
+      // resumes run here too (a no-op without faults).
       readmit_continuations();
       try_dispatch();
+      try_resumes();
     }
 
     // Next event: earliest in-flight completion, next arrival, or — when
@@ -308,6 +470,7 @@ void Server::replay_continuous(const std::vector<InferRequest>& trace) {
         ledger.lowest_free() >= 0)
       next_t = std::min(next_t,
                         queue_.front().arrival_s + config_.batch.max_wait_s);
+    if (injector_ != nullptr) next_t = std::min(next_t, injector_->next_event_s());
     if (next_t == kInf) break;  // ledger idle, queue drained, trace exhausted
     clock_ = std::max(clock_, next_t);
   }

@@ -49,6 +49,7 @@
 #include "core/engine.h"
 #include "data/dataset.h"
 #include "device/spec.h"
+#include "fault/fault.h"
 #include "serve/batch_former.h"
 #include "serve/dispatch.h"
 #include "serve/request_queue.h"
@@ -92,6 +93,13 @@ struct ServerConfig {
   /// stream requests require continuous mode — a stream is a slice chain
   /// through a VN slot, which batch-boundary mode has no notion of.
   StreamPolicy stream;
+  /// Deadline-aware load shedding at admission (RequestQueue::set_deadline
+  /// with `deadline_s`): requests already past the SLO when the loop gets
+  /// to them are bounced instead of queued to a guaranteed miss — the
+  /// graceful-degradation arm of the fault story under sustained capacity
+  /// loss. Off by default: shedding changes which requests are served, so
+  /// it is opt-in per workload (bench_faults turns it on).
+  bool shed_expired = false;
 };
 
 /// One elastic reconfiguration taken during a replay.
@@ -101,6 +109,17 @@ struct ResizeEvent {
   std::int64_t to_devices = 0;
   std::int64_t queue_depth = 0;   ///< depth that triggered the decision
   double migration_s = 0.0;       ///< seamless all-gather cost charged
+};
+
+/// One injected fault the replay acted on (or explicitly skipped).
+struct FaultRecord {
+  double time_s = 0.0;          ///< virtual stamp the loop processed it at
+  fault::FaultKind kind = fault::FaultKind::kKill;
+  std::int64_t device = -1;     ///< resolved device slot (kills/stragglers)
+  bool skipped = false;         ///< kill skipped: the set was at one device
+  std::int64_t evicted_slices = 0;    ///< in-flight slices torn off the device
+  std::int64_t requeued_requests = 0; ///< classify/prefill requests requeued
+  double migration_s = 0.0;     ///< VN-remap all-gather charged by the kill
 };
 
 // BatchEvent lives in serve/dispatch.h (shared with the SliceDispatcher
@@ -129,6 +148,17 @@ class Server {
   /// attached or not (bench_serving gates this).
   void set_observability(obs::Observability obs);
 
+  /// Attaches a fault injector (src/fault/) whose events the continuous
+  /// replay loop processes at their virtual stamps: kills evict the dead
+  /// device's in-flight slices (classify/prefill requests requeue at the
+  /// head; decode chains park and resume from their last landed token),
+  /// remap its VNs onto survivors via the engine's migration machinery,
+  /// and cap the elastic budget until a recover; stragglers re-apply
+  /// cost-model slowdowns; comm faults retry the next slice's logits
+  /// return. Must be called before replay(); requires continuous mode; the
+  /// injector must outlive the replay.
+  void set_fault_injector(fault::FaultInjector* injector);
+
   /// Replays an open-loop arrival trace (ascending arrival order) to
   /// completion, draining the queue. One replay per Server.
   void replay(const std::vector<InferRequest>& trace);
@@ -138,6 +168,7 @@ class Server {
   const RequestQueue& queue() const { return queue_; }
   const std::vector<ResizeEvent>& resizes() const { return resizes_; }
   const std::vector<BatchEvent>& batches() const { return batches_; }
+  const std::vector<FaultRecord>& faults() const { return faults_; }
 
  private:
   void replay_batch_boundary(const std::vector<InferRequest>& trace);
@@ -163,12 +194,16 @@ class Server {
   /// Observability sinks (null = off); see set_observability.
   obs::Observability obs_;
 
+  /// Fault injector (null = no faults); see set_fault_injector.
+  fault::FaultInjector* injector_ = nullptr;
+
   double clock_ = 0.0;
   /// Work units (batches or slices) since the last resize; cooldown gate.
   std::int64_t work_since_resize_ = 0;
   bool replayed_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
+  std::vector<FaultRecord> faults_;
 };
 
 }  // namespace vf::serve

@@ -29,6 +29,10 @@ void SloTracker::record_completion(RequestRecord r) {
     ++deadline_misses_;
     if (misses_ != nullptr) misses_->add();
   }
+  if (r.retries > 0) {
+    ++retried_;
+    retries_ += r.retries;
+  }
   ++completed_;
   if (completions_ != nullptr) completions_->add();
   if (latency_hist_ != nullptr) latency_hist_->observe(r.latency_s());
@@ -80,6 +84,8 @@ void SloTracker::export_summary(const SloSummary& s, obs::MetricsRegistry& metri
   set("completed", static_cast<double>(s.completed));
   set("rejected", static_cast<double>(s.rejected));
   set("deadline_misses", static_cast<double>(s.deadline_misses));
+  set("retried", static_cast<double>(s.retried));
+  set("retries", static_cast<double>(s.retries));
   set("hit_rate", s.hit_rate);
   set("p50_s", s.p50_s);
   set("p95_s", s.p95_s);
@@ -136,6 +142,8 @@ SloSummary SloTracker::summary() const {
   s.completed = completed_;
   s.rejected = rejected_;
   s.deadline_misses = deadline_misses_;
+  s.retried = retried_;
+  s.retries = retries_;
   const std::vector<double> xs = completed_samples(
       records_, [](const RequestRecord& r) { return r.latency_s(); });
   if (!xs.empty()) {

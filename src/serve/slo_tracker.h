@@ -25,6 +25,12 @@ struct SloSummary {
   std::int64_t completed = 0;
   std::int64_t rejected = 0;
   std::int64_t deadline_misses = 0;
+  /// Completed requests that survived at least one fault eviction, and the
+  /// total evictions across them — the retry/requeue read-out of the fault
+  /// story (docs/fault_tolerance.md). Queue-wait stats above already count
+  /// pre-eviction waits (RequestRecord::queue_wait_s is the honest total).
+  std::int64_t retried = 0;
+  std::int64_t retries = 0;
   double p50_s = 0.0;
   double p95_s = 0.0;
   double p99_s = 0.0;
@@ -107,6 +113,8 @@ class SloTracker {
   std::int64_t completed_ = 0;
   std::int64_t rejected_ = 0;
   std::int64_t deadline_misses_ = 0;
+  std::int64_t retried_ = 0;
+  std::int64_t retries_ = 0;
   // Cached instrument pointers (null = off); see set_metrics.
   obs::Counter* completions_ = nullptr;
   obs::Counter* rejections_ = nullptr;

@@ -83,15 +83,28 @@ Slot SlotLedger::readmit(std::int32_t vn, Slot next) {
   return out;
 }
 
+Slot SlotLedger::evict(std::int32_t vn) {
+  check_index(vn, total_slots(), "virtual-node slot");
+  Slot& s = slots_[static_cast<std::size_t>(vn)];
+  check(s.busy, "evict on free slot VN " + std::to_string(vn));
+  Slot out = std::move(s);
+  s = Slot{};
+  --busy_;
+  inflight_ -= static_cast<std::int64_t>(out.requests.size());
+  if (evictions_ != nullptr) evictions_->add();
+  return out;
+}
+
 void SlotLedger::set_metrics(obs::MetricsRegistry* metrics,
                              const std::string& prefix) {
   if (metrics == nullptr) {
-    admits_ = readmits_ = completes_ = nullptr;
+    admits_ = readmits_ = completes_ = evictions_ = nullptr;
     return;
   }
   admits_ = &metrics->counter(prefix + "slots.admits");
   readmits_ = &metrics->counter(prefix + "slots.readmits");
   completes_ = &metrics->counter(prefix + "slots.completes");
+  evictions_ = &metrics->counter(prefix + "slots.evictions");
 }
 
 const Slot& SlotLedger::slot(std::int32_t vn) const {

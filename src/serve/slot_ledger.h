@@ -118,6 +118,13 @@ class SlotLedger {
   /// an admitted slice.
   Slot readmit(std::int32_t vn, Slot next);
 
+  /// Evict transition (fault recovery): free busy slot `vn` whose slice
+  /// will never complete — its device died — and return the slice so the
+  /// caller can requeue the requests. Identical bookkeeping to complete()
+  /// but counted separately (an eviction is not a served slice) and legal
+  /// at any stamp, including before the slice's scheduled done_s.
+  Slot evict(std::int32_t vn);
+
   /// Read-only view of slot `vn` (busy or free).
   const Slot& slot(std::int32_t vn) const;
 
@@ -135,6 +142,7 @@ class SlotLedger {
   obs::Counter* admits_ = nullptr;
   obs::Counter* readmits_ = nullptr;
   obs::Counter* completes_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 }  // namespace vf::serve

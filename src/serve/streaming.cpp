@@ -107,7 +107,12 @@ RequestRecord TokenStreamer::finish(std::int32_t vn) {
   rec.id = s.request.id;
   rec.arrival_s = s.request.arrival_s;
   rec.dispatch_s = s.dispatch_s;
-  rec.queue_wait_s = s.dispatch_s - s.request.arrival_s;
+  // Honest accounting across fault retries: waits that preceded evicted
+  // dispatches accumulate on the request (queue_wait_accum_s), and the
+  // last stretch is measured from the latest queue entry.
+  rec.queue_wait_s =
+      s.request.queue_wait_accum_s + (s.dispatch_s - s.request.enqueued_s());
+  rec.retries = s.request.retries;
   rec.compute_s = s.compute_s;
   rec.comm_s = s.comm_s;
   rec.first_token_s = s.first_token_s;
@@ -118,6 +123,26 @@ RequestRecord TokenStreamer::finish(std::int32_t vn) {
   s = SequenceState{};
   live_[static_cast<std::size_t>(vn)] = 0;
   return rec;
+}
+
+InferRequest TokenStreamer::cancel(std::int32_t vn) {
+  check_index(vn, static_cast<std::int64_t>(seq_.size()), "virtual-node slot");
+  check(live_[static_cast<std::size_t>(vn)],
+        "cancel on VN " + std::to_string(vn) + " with no live stream");
+  SequenceState& s = seq_[static_cast<std::size_t>(vn)];
+  check(s.generated == 0,
+        "cancel on a stream with landed tokens — pause/resume it instead");
+  InferRequest r = std::move(s.request);
+  s = SequenceState{};
+  live_[static_cast<std::size_t>(vn)] = 0;
+  return r;
+}
+
+void TokenStreamer::mark_retry(std::int32_t vn) {
+  check_index(vn, static_cast<std::int64_t>(seq_.size()), "virtual-node slot");
+  check(live_[static_cast<std::size_t>(vn)],
+        "mark_retry on VN " + std::to_string(vn) + " with no live stream");
+  ++seq_[static_cast<std::size_t>(vn)].request.retries;
 }
 
 bool TokenStreamer::active(std::int32_t vn) const {

@@ -105,6 +105,17 @@ class TokenStreamer {
   /// (dispatch = prefill admission, finish = last token's stamp).
   RequestRecord finish(std::int32_t vn);
 
+  /// Fault recovery: aborts the live stream on `vn` whose PREFILL was
+  /// evicted (no token landed yet) and returns the request for requeueing.
+  /// Streams that already stamped tokens must pause() instead — resume
+  /// re-dispatches only the lost token, never recomputes landed ones.
+  InferRequest cancel(std::int32_t vn);
+
+  /// Fault recovery: stamps one survived eviction on the live stream on
+  /// `vn` (carried into its record's `retries`). Called before pausing a
+  /// decode chain whose in-flight slice was evicted.
+  void mark_retry(std::int32_t vn);
+
   /// Whether slot `vn` currently hosts a live (un-paused) stream.
   bool active(std::int32_t vn) const;
 

@@ -54,6 +54,9 @@
 #include "profiler/profiler.h"
 #include "solver/solver.h"
 
+// Deterministic fault injection on the virtual clock.
+#include "fault/fault.h"
+
 // Runtime observability: metrics registry + Perfetto-compatible tracing.
 #include "obs/json.h"
 #include "obs/metrics.h"

@@ -194,6 +194,54 @@ TEST(Checkpoint, TruncatedFileThrowsAtEveryPrefixLength) {
   }
 }
 
+TEST(Checkpoint, SaveIsAtomicAgainstInterruptedWrites) {
+  // A save interrupted mid-write must never leave the destination partial:
+  // the writer goes through "<path>.tmp" + rename, so an intact previous
+  // checkpoint survives anything that dies before the rename.
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe recipe = make_recipe("cola-sim");
+  auto eng = make_engine(task, model, recipe);
+  for (int i = 0; i < 4; ++i) eng.train_step();
+  const Checkpoint good = eng.capture();
+
+  TempPath file("vf_ckpt_atomic.bin");
+  const std::string tmp = file.path + ".tmp";
+  save_checkpoint(good, file.path);
+  {
+    std::ifstream probe(tmp, std::ios::binary);
+    EXPECT_FALSE(probe.is_open()) << "a completed save must not leave a .tmp";
+  }
+
+  // Simulate a crash mid-save: a truncated/garbage temp file beside the
+  // good checkpoint. The destination must stay loadable and bit-intact.
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os << "interrupted mid-write";
+  }
+  expect_checkpoints_equal(load_checkpoint(file.path), good);
+
+  // The next save replaces both the stale temp and the destination.
+  for (int i = 0; i < 3; ++i) eng.train_step();
+  const Checkpoint newer = eng.capture();
+  save_checkpoint(newer, file.path);
+  expect_checkpoints_equal(load_checkpoint(file.path), newer);
+  {
+    std::ifstream probe(tmp, std::ios::binary);
+    EXPECT_FALSE(probe.is_open());
+  }
+  std::remove(tmp.c_str());
+}
+
+TEST(Checkpoint, SaveToUnwritablePathLeavesNoArtifacts) {
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe recipe = make_recipe("cola-sim");
+  auto eng = make_engine(task, model, recipe);
+  EXPECT_THROW(save_checkpoint(eng.capture(), "/nonexistent/dir/ckpt.bin"),
+               VfError);
+}
+
 TEST(Checkpoint, CorruptedMagicRejected) {
   ProxyTask task = make_task("cola-sim", 42);
   Sequential model = make_proxy_model("cola-sim", 42);

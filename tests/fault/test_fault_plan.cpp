@@ -1,0 +1,178 @@
+// vf::fault — seeded fault plans and the injector state machine.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/engine.h"
+#include "fault/fault.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf::fault {
+namespace {
+
+EngineConfig test_cfg() {
+  EngineConfig cfg;
+  cfg.seed = 42;
+  cfg.enforce_memory = false;
+  return cfg;
+}
+
+VirtualFlowEngine make_engine(const ProxyTask& task, const Sequential& model,
+                              const TrainRecipe& recipe, std::int64_t devices = 2) {
+  return VirtualFlowEngine(model, *recipe.optimizer, *recipe.schedule, *task.train,
+                           model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, devices),
+                           VnMapping::even(8, devices, recipe.global_batch),
+                           test_cfg());
+}
+
+TEST(FaultPlan, FluentBuildersRecordEventsWithInsertionIds) {
+  FaultPlan plan;
+  plan.kill(1.0, 3)
+      .recover(2.0)
+      .straggler(0.5, 1, 2.5, 0.75)
+      .comm_fault(1.5);
+  // straggler() adds the paired start/end, so five events total.
+  ASSERT_EQ(plan.size(), 5u);
+  const auto& ev = plan.events();
+  EXPECT_EQ(ev[0].kind, FaultKind::kKill);
+  EXPECT_EQ(ev[0].device, 3);
+  EXPECT_EQ(ev[1].kind, FaultKind::kRecover);
+  EXPECT_EQ(ev[2].kind, FaultKind::kStragglerStart);
+  EXPECT_DOUBLE_EQ(ev[2].multiplier, 2.5);
+  EXPECT_EQ(ev[3].kind, FaultKind::kStragglerEnd);
+  EXPECT_DOUBLE_EQ(ev[3].time_s, 1.25);
+  EXPECT_EQ(ev[3].device, 1);
+  EXPECT_EQ(ev[4].kind, FaultKind::kCommFault);
+  for (std::size_t i = 0; i < ev.size(); ++i)
+    EXPECT_EQ(ev[i].id, static_cast<std::int64_t>(i)) << "insertion id";
+}
+
+TEST(FaultPlan, ChaosIsPureFunctionOfSeed) {
+  ChaosConfig cfg;
+  const FaultPlan a = FaultPlan::chaos(7, cfg);
+  const FaultPlan b = FaultPlan::chaos(7, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time_s, b.events()[i].time_s);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].device, b.events()[i].device);
+    EXPECT_DOUBLE_EQ(a.events()[i].multiplier, b.events()[i].multiplier);
+  }
+  // Counts follow the config: kills pair with recovers, stragglers with
+  // their end events.
+  EXPECT_EQ(a.size(), static_cast<std::size_t>(2 * cfg.kills + 2 * cfg.stragglers +
+                                               cfg.comm_faults));
+  // A different seed reshuffles at least one stamp.
+  const FaultPlan c = FaultPlan::chaos(8, cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    differs = a.events()[i].time_s != c.events()[i].time_s ||
+              a.events()[i].device != c.events()[i].device;
+  EXPECT_TRUE(differs);
+  // Every event lands inside the chaos window (plus the recover delay and
+  // straggler duration tails), with legal devices and multipliers.
+  for (const FaultEvent& ev : a.events()) {
+    EXPECT_GE(ev.time_s, cfg.start_s);
+    EXPECT_LT(ev.time_s, cfg.start_s + cfg.duration_s + cfg.recover_delay_s +
+                             cfg.straggler_duration_s);
+    if (ev.kind == FaultKind::kKill || ev.kind == FaultKind::kStragglerStart) {
+      EXPECT_GE(ev.device, 0);
+      EXPECT_LE(ev.device, cfg.max_device);
+    }
+    if (ev.kind == FaultKind::kStragglerStart) {
+      EXPECT_GE(ev.multiplier, cfg.multiplier_min);
+      EXPECT_LE(ev.multiplier, cfg.multiplier_max);
+    }
+  }
+}
+
+TEST(FaultInjector, DueFiresInOrderAndTracksDerivedState) {
+  FaultPlan plan;
+  plan.kill(1.0, 2).comm_fault(1.5).recover(2.0);
+  FaultInjector inj(std::move(plan));
+
+  EXPECT_TRUE(inj.due(0.5).empty());
+  EXPECT_DOUBLE_EQ(inj.next_event_s(), 1.0);
+
+  const auto killed = inj.due(1.0);
+  ASSERT_EQ(killed.size(), 1u);
+  EXPECT_EQ(killed[0].kind, FaultKind::kKill);
+  EXPECT_EQ(inj.killed(), 1);
+  EXPECT_EQ(inj.capacity_cap(8), 7);
+
+  const auto comm = inj.due(1.5);
+  ASSERT_EQ(comm.size(), 1u);
+  EXPECT_TRUE(inj.comm_fault_pending());
+  EXPECT_TRUE(inj.take_comm_fault());
+  EXPECT_FALSE(inj.take_comm_fault()) << "comm faults are one-shot";
+
+  const auto rec = inj.due(10.0);
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].kind, FaultKind::kRecover);
+  EXPECT_EQ(inj.killed(), 0);
+  EXPECT_EQ(inj.capacity_cap(8), 8);
+  EXPECT_EQ(inj.next_event_s(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inj.fired().size(), 3u);
+}
+
+TEST(FaultInjector, KillSkippedRevertsCapacityLoss) {
+  FaultPlan plan;
+  plan.kill(1.0, 0);
+  FaultInjector inj(std::move(plan));
+  inj.due(1.0);
+  EXPECT_EQ(inj.killed(), 1);
+  inj.kill_skipped();
+  EXPECT_EQ(inj.killed(), 0);
+  EXPECT_EQ(inj.capacity_cap(4), 4);
+}
+
+TEST(FaultInjector, CapacityCapFloorsAtOneDevice) {
+  FaultPlan plan;
+  for (int i = 0; i < 10; ++i) plan.kill(1.0 + i, 0);
+  FaultInjector inj(std::move(plan));
+  inj.due(100.0);
+  EXPECT_EQ(inj.killed(), 10);
+  EXPECT_EQ(inj.capacity_cap(4), 1) << "the budget never reaches zero";
+}
+
+TEST(FaultInjector, ApplySlowdownsWrapsModuloAndKeepsLargestMultiplier) {
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe recipe = make_recipe("cola-sim");
+  auto eng = make_engine(task, model, recipe, 2);
+
+  FaultPlan plan;
+  // Device 5 wraps onto slot 1 of a 2-device set; the overlapping window
+  // on the same slot must keep the larger multiplier.
+  plan.straggler(1.0, 5, 3.0, 2.0).straggler(1.5, 1, 2.0, 0.25);
+  FaultInjector inj(std::move(plan));
+
+  inj.due(1.5);  // both windows active
+  inj.apply_slowdowns(eng);
+  EXPECT_DOUBLE_EQ(eng.device_slowdown(0), 1.0);
+  EXPECT_DOUBLE_EQ(eng.device_slowdown(1), 3.0);
+
+  inj.due(2.0);  // second window ended, first still active
+  inj.apply_slowdowns(eng);
+  EXPECT_DOUBLE_EQ(eng.device_slowdown(1), 3.0);
+
+  inj.due(4.0);  // all windows ended
+  inj.apply_slowdowns(eng);
+  EXPECT_DOUBLE_EQ(eng.device_slowdown(1), 1.0);
+}
+
+TEST(FaultInjector, EngineGuardsSlowdownInputs) {
+  ProxyTask task = make_task("cola-sim", 42);
+  Sequential model = make_proxy_model("cola-sim", 42);
+  TrainRecipe recipe = make_recipe("cola-sim");
+  auto eng = make_engine(task, model, recipe, 2);
+  EXPECT_THROW(eng.set_device_slowdown(5, 2.0), VfError);
+  EXPECT_THROW(eng.set_device_slowdown(0, 0.5), VfError)
+      << "a slowdown below 1 would be a speedup";
+}
+
+}  // namespace
+}  // namespace vf::fault

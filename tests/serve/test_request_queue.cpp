@@ -59,8 +59,9 @@ TEST(RequestQueue, BackpressureRejectsAtCapacity) {
 TEST(RequestQueue, RejectObserverReceivesEveryDroppedRequest) {
   RequestQueue q(2);
   SloTracker tracker(0.5);
-  q.set_reject_observer(
-      [&](const InferRequest& r) { tracker.record_rejection(r, r.arrival_s); });
+  q.set_reject_observer([&](const InferRequest& r, double now_s) {
+    tracker.record_rejection(r, now_s);
+  });
 
   EXPECT_TRUE(q.push(req(0, 0.0)));
   EXPECT_TRUE(q.push(req(1, 1.0)));
@@ -80,6 +81,46 @@ TEST(RequestQueue, RejectObserverReceivesEveryDroppedRequest) {
   q.pop(1);
   EXPECT_TRUE(q.push(req(44, 4.0)));
   EXPECT_EQ(tracker.rejected(), 2);
+}
+
+TEST(RequestQueue, DeadlineShedsExpiredRequestsAtAdmission) {
+  RequestQueue q(4);
+  q.set_deadline(0.5);
+  SloTracker tracker(0.5);
+  q.set_reject_observer([&](const InferRequest& r, double now_s) {
+    tracker.record_rejection(r, now_s);
+  });
+
+  // Within deadline at admission time: admitted.
+  EXPECT_TRUE(q.push(req(0, 0.0), /*now_s=*/0.4));
+  // Past deadline when the loop gets to it: shed, stamped at now_s.
+  EXPECT_FALSE(q.push(req(1, 0.0), /*now_s=*/0.6));
+  EXPECT_EQ(q.size(), 1);
+  EXPECT_EQ(q.shed(), 1);
+  EXPECT_EQ(q.rejected(), 1) << "sheds count as rejections";
+  ASSERT_EQ(tracker.records().size(), 1u);
+  EXPECT_EQ(tracker.records()[0].id, 1);
+  EXPECT_EQ(tracker.records()[0].finish_s, 0.6) << "shed stamped at now_s";
+
+  // Without set_deadline, push(r, now) never sheds.
+  RequestQueue plain(4);
+  EXPECT_TRUE(plain.push(req(0, 0.0), /*now_s=*/100.0));
+  EXPECT_EQ(plain.shed(), 0);
+}
+
+TEST(RequestQueue, PushFrontRequeuesAtHeadBypassingCapacity) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.push(req(5, 1.0)));
+  EXPECT_TRUE(q.push(req(6, 2.0)));
+  // Fault requeue of an older (already-admitted) request: accepted at the
+  // head even though the queue is at capacity — zero-loss invariant.
+  q.push_front(req(3, 0.5));
+  EXPECT_EQ(q.size(), 3);
+  EXPECT_EQ(q.front().id, 3);
+  EXPECT_EQ(q.requeued(), 1);
+  EXPECT_EQ(q.admitted(), 2) << "a requeue is not a second admission";
+  // Head insertion must keep the queue arrival-ordered.
+  EXPECT_THROW(q.push_front(req(9, 9.0)), VfError);
 }
 
 TEST(RequestQueue, RejectsOutOfOrderAdmission) {

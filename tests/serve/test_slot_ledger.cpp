@@ -149,6 +149,25 @@ TEST(SlotLedger, ReadmitGuardsInvalidTransitions) {
   EXPECT_DOUBLE_EQ(done.done_s, 2.0);
 }
 
+TEST(SlotLedger, EvictFreesSlotBeforeCompletion) {
+  // Fault recovery: a kill tears an in-flight slice off its dead device
+  // before its scheduled done_s — complete() would reject that, evict()
+  // must not.
+  SlotLedger ledger(2);
+  ledger.admit(0, slice(0.0, 5.0, {3, 4}));
+  ledger.admit(1, slice(0.0, 1.0, {5}));
+  EXPECT_EQ(ledger.inflight_requests(), 3);
+
+  const Slot evicted = ledger.evict(0);
+  ASSERT_EQ(evicted.requests.size(), 2u);
+  EXPECT_EQ(evicted.requests[0].id, 3);
+  EXPECT_FALSE(ledger.slot(0).busy);
+  EXPECT_EQ(ledger.busy_count(), 1);
+  EXPECT_EQ(ledger.inflight_requests(), 1);
+  EXPECT_EQ(ledger.lowest_free(), 0) << "the evicted slot is free again";
+  EXPECT_THROW(ledger.evict(0), VfError) << "evict on a free slot";
+}
+
 TEST(SlotLedger, GuardsInvalidTransitions) {
   EXPECT_THROW(SlotLedger(0), VfError);
   SlotLedger ledger(2);
