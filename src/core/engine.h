@@ -179,7 +179,11 @@ class VirtualFlowEngine {
   StepStats train_step();
 
   /// Elastic resize: redistribute the existing virtual nodes across a new
-  /// device set (§4.1). Keeps VN count/batches, hence semantics.
+  /// device set (§4.1). Keeps VN count/batches, hence semantics. This is
+  /// the execution path for every sizing decision made ABOVE the engine —
+  /// the self-governed elastic rule and cluster-policy device grants
+  /// (sched::DeviceLease / EngineTrainLease) both land here, so a grant
+  /// can never produce a trajectory a standalone resize could not.
   void resize(std::vector<Device> new_devices, const ResizeOptions& opts = {});
 
   /// Fault tolerance (§7): drop the device at `device_index` and

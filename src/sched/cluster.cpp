@@ -1,0 +1,494 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sched/elastic.h"
+#include "sched/throughput.h"
+#include "util/common.h"
+
+namespace vf {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// A job whose remaining work is below this is finished (simulate() uses
+// the same epsilon, so analytic jobs complete at identical stamps here).
+constexpr double kStepEps = 1e-6;
+
+std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClusterController
+// ---------------------------------------------------------------------------
+
+ClusterController::ClusterController(ClusterInventory cluster, Scheduler& policy,
+                                     ClusterOptions options)
+    : cluster_(std::move(cluster)), policy_(policy), options_(std::move(options)) {
+  check(cluster_.total() > 0, "cluster inventory is empty");
+  check(options_.max_events > 0, "max_events must be positive");
+  check(options_.reeval_interval_s >= 0.0, "reeval_interval_s must be >= 0");
+}
+
+void ClusterController::set_observability(obs::Observability obs) { obs_ = obs; }
+
+void ClusterController::add_tenant(JobSpec spec, Backing backing,
+                                   sched::DeviceLease* lease) {
+  check(!ran_, "cannot add jobs after run()");
+  check(spec.arrival_s >= 0.0, "job arrival must be >= 0");
+  for (const Tenant& t : tenants_) {
+    check(t.state.spec.id != spec.id, "duplicate job id " + std::to_string(spec.id));
+  }
+  Tenant t;
+  t.state.spec = std::move(spec);
+  t.state.remaining_steps = static_cast<double>(t.state.spec.total_steps);
+  t.backing = backing;
+  t.lease = lease;
+  t.step_time_s = kInf;
+  tenants_.push_back(std::move(t));
+}
+
+void ClusterController::add_train_job(JobSpec spec) {
+  check(spec.kind == JobKind::kTrain, "add_train_job needs a kTrain spec");
+  check(spec.total_steps > 0, "training job needs total_steps > 0");
+  check(spec.demand_gpus > 0, "training job needs demand_gpus > 0");
+  check(spec.global_batch > 0, "training job needs global_batch > 0");
+  add_tenant(std::move(spec), Backing::kAnalytic, nullptr);
+}
+
+void ClusterController::add_serve_job(JobSpec spec, sched::DeviceLease& lease) {
+  check(spec.kind == JobKind::kServe, "add_serve_job needs a kServe spec");
+  check(spec.min_gpus >= 1, "serving job needs min_gpus >= 1");
+  check(spec.max_gpus >= spec.min_gpus, "serving job needs max_gpus >= min_gpus");
+  add_tenant(std::move(spec), Backing::kServeLease, &lease);
+}
+
+void ClusterController::add_train_lease(JobSpec spec, sched::DeviceLease& lease) {
+  check(spec.kind == JobKind::kTrain, "add_train_lease needs a kTrain spec");
+  check(spec.total_steps > 0, "training lease needs total_steps > 0");
+  check(spec.demand_gpus > 0, "training lease needs demand_gpus > 0");
+  add_tenant(std::move(spec), Backing::kTrainLease, &lease);
+}
+
+void ClusterController::advance_analytic(double now, double t_next) {
+  const double dt_total = t_next - now;
+  if (dt_total <= 0.0) return;
+  for (Tenant& t : tenants_) {
+    if (t.backing != Backing::kAnalytic) continue;
+    JobState& js = t.state;
+    if (js.finished() || js.alloc.empty()) continue;
+    const double start = std::max(now, js.pause_until_s);
+    const double dt = t_next - start;
+    if (dt <= 0.0) continue;
+    const double steps = dt / t.step_time_s;
+    js.remaining_steps -= steps;
+    const double tput = static_cast<double>(js.spec.global_batch) / t.step_time_s;
+    js.attained_service +=
+        dt * tput / reference_throughput(js.spec.profile, js.spec.global_batch);
+    if (js.remaining_steps <= kStepEps) {
+      js.remaining_steps = 0.0;
+      js.completion_s = t_next;
+    }
+  }
+}
+
+void ClusterController::refresh_from_leases(double now) {
+  for (Tenant& t : tenants_) {
+    if (t.lease == nullptr || t.retired || t.state.finished()) continue;
+    if (!t.state.arrived(now)) continue;
+    JobState& js = t.state;
+    if (t.backing == Backing::kTrainLease) {
+      const sched::LoadSignal sig = t.lease->load();
+      js.remaining_steps = std::max(0.0, static_cast<double>(sig.queue_depth));
+      // Attained service in the same normalized units simulate() uses, so
+      // LAS-style policies rank live engines against analytic jobs.
+      const double done =
+          static_cast<double>(js.spec.total_steps) - js.remaining_steps;
+      if (t.step_time_s < kInf && t.step_time_s > 0.0) {
+        const double tput =
+            static_cast<double>(js.spec.global_batch) / t.step_time_s;
+        js.attained_service = done * t.step_time_s * tput /
+            reference_throughput(js.spec.profile, js.spec.global_batch);
+      }
+      continue;
+    }
+    // Serving: the whole point of the refactor. The lease reports facts;
+    // the controller turns them into the policy-facing demand.
+    const sched::LoadSignal sig = t.lease->load();
+    // The live band intersects the spec's band with the lease's: the
+    // lease's max caps both sides (fault kills shrink capacity), and its
+    // min floors them (a mid-cutover rolling migration reports
+    // min == max == devices, pinning the set until the cutover lands).
+    js.live_min_gpus = std::max<std::int64_t>(
+        1, std::min(std::max(js.spec.min_gpus, sig.min_devices),
+                    sig.max_devices));
+    js.live_max_gpus =
+        std::max(js.live_min_gpus, std::min(js.spec.max_gpus, sig.max_devices));
+    std::int64_t desired = sched::elastic_resize_target(
+        sig.queue_depth, sig.inflight, sig.devices, sig.high_watermark,
+        sig.low_watermark, js.live_min_gpus, js.live_max_gpus);
+    js.slo_pressure =
+        sig.deadline_s > 0.0 ? sig.oldest_wait_s / sig.deadline_s : 0.0;
+    if (js.slo_pressure > 1.0) {
+      // The oldest request has already blown its deadline: doubling one
+      // step at a time would pay a migration per doubling while the
+      // backlog keeps aging, so ask for the whole band ceiling at once.
+      desired = js.live_max_gpus;
+    } else if (js.slo_pressure > 0.5) {
+      // Deadline pressure overrides hysteresis: the oldest request has
+      // burned half its SLO budget, so ask for double the devices now
+      // rather than waiting for the watermark to trip.
+      desired = std::max(desired, std::min(js.live_max_gpus, sig.devices * 2));
+    }
+    js.desired_gpus = clamp64(desired, js.live_min_gpus, js.live_max_gpus);
+    // Reconcile the recorded allocation with the lease's actual device
+    // count — a fault kill shrinks the set without any grant being issued.
+    if (sig.devices != js.alloc.total() && !js.alloc.empty()) {
+      const DeviceType pool = js.alloc.per_type.begin()->first;
+      if (t.open_since_s >= 0.0 && now > t.open_since_s) {
+        js.timeline.push_back({t.open_since_s, now, js.alloc});
+      }
+      js.alloc = Allocation::of(pool, sig.devices);
+      t.open_since_s = now;
+    }
+  }
+}
+
+double ClusterController::next_event(double now) const {
+  double t_next = kInf;
+  bool lease_active = false;
+  for (const Tenant& t : tenants_) {
+    const JobState& js = t.state;
+    if (js.finished() || t.retired) continue;
+    if (!js.arrived(now)) {
+      t_next = std::min(t_next, js.spec.arrival_s);
+      continue;
+    }
+    if (t.lease != nullptr) {
+      lease_active = true;
+      const double e = t.lease->next_event_s();
+      if (e < kInf) t_next = std::min(t_next, std::max(e, now));
+      continue;
+    }
+    if (!js.alloc.empty() && t.step_time_s < kInf) {
+      const double start = std::max(now, js.pause_until_s);
+      t_next = std::min(t_next, start + js.remaining_steps * t.step_time_s);
+    }
+  }
+  const double round = policy_.round_interval_s();
+  if (round > 0.0) {
+    const double tick = (std::floor(now / round + 1e-9) + 1.0) * round;
+    t_next = std::min(t_next, tick);
+  }
+  if (options_.reeval_interval_s > 0.0 && lease_active) {
+    const double iv = options_.reeval_interval_s;
+    const double tick = (std::floor(now / iv + 1e-9) + 1.0) * iv;
+    t_next = std::min(t_next, tick);
+  }
+  return t_next;
+}
+
+void ClusterController::apply_train_alloc(Tenant& t, const Allocation& next,
+                                          double now) {
+  JobState& js = t.state;
+  if (next == js.alloc) return;
+  if (t.open_since_s >= 0.0 && now > t.open_since_s && !js.alloc.empty()) {
+    js.timeline.push_back({t.open_since_s, now, js.alloc});
+  }
+  const bool had_run = js.first_start_s >= 0.0;
+  js.alloc = next;
+  if (!next.empty()) {
+    if (!had_run) {
+      js.first_start_s = now;
+    } else {
+      ++js.resizes;
+      js.pause_until_s = now + policy_.resize_penalty_s();
+    }
+    t.open_since_s = now;
+    t.step_time_s = allocation_step_time_s(js.spec.profile, js.spec.global_batch,
+                                           next, options_.link);
+  } else {
+    t.open_since_s = -1.0;
+    t.step_time_s = kInf;
+  }
+}
+
+void ClusterController::grant(Tenant& t, const Allocation& next, double now) {
+  JobState& js = t.state;
+  const std::int64_t cur = js.alloc.total();
+  const std::int64_t want = next.total();
+  if (t.backing == Backing::kServeLease) {
+    check(want >= js.live_min_gpus && want <= js.live_max_gpus,
+          "policy " + policy_.name() + " granted serving job " +
+              std::to_string(js.spec.id) + " " + std::to_string(want) +
+              " devices, outside its live band [" +
+              std::to_string(js.live_min_gpus) + ", " +
+              std::to_string(js.live_max_gpus) + "]");
+  } else {
+    check(next.per_type.size() <= 1,
+          "train lease grants must be homogeneous (job " +
+              std::to_string(js.spec.id) + ")");
+  }
+  const double migration_s = t.lease->apply_grant(want);
+  if (want == cur) return;
+  if (js.first_start_s < 0.0 && want > 0) js.first_start_s = now;
+  ++js.resizes;
+  if (t.open_since_s >= 0.0 && now > t.open_since_s && !js.alloc.empty()) {
+    js.timeline.push_back({t.open_since_s, now, js.alloc});
+  }
+  js.alloc = next;
+  t.open_since_s = next.empty() ? -1.0 : now;
+  if (t.backing == Backing::kTrainLease && !next.empty()) {
+    // Refresh the cost-model step time so attained service stays
+    // comparable with analytic jobs after a resize.
+    t.step_time_s = allocation_step_time_s(js.spec.profile, js.spec.global_batch,
+                                           next, options_.link);
+  }
+  grants_.push_back({now, js.spec.id, cur, want, migration_s});
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("sched.grants").add();
+    obs_.metrics->counter(want > cur ? "sched.grants.grow" : "sched.grants.shrink")
+        .add();
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant("grant", now, /*device=*/-1,
+                        /*vn=*/static_cast<std::int32_t>(js.spec.id),
+                        /*model=*/-1, cur, want, migration_s);
+  }
+}
+
+void ClusterController::consult_policy(double now) {
+  std::vector<const JobState*> active;
+  std::vector<Tenant*> active_tenants;
+  for (Tenant& t : tenants_) {
+    if (t.state.finished() || t.retired || !t.state.arrived(now)) continue;
+    active.push_back(&t.state);
+    active_tenants.push_back(&t);
+  }
+  if (active.empty()) return;
+  std::map<std::int64_t, Allocation> allocs =
+      policy_.schedule(cluster_, active, now);
+  // The defensive over-commit check: a buggy policy dies HERE, at the
+  // decision point, not as corrupted downstream accounting.
+  validate_allocations(cluster_, allocs);
+  if (obs_.metrics != nullptr) obs_.metrics->counter("sched.policy_calls").add();
+  std::int64_t serve_devices = 0;
+  std::int64_t train_devices = 0;
+  std::int64_t running = 0;
+  for (Tenant* t : active_tenants) {
+    const auto it = allocs.find(t->state.spec.id);
+    const Allocation next = it == allocs.end() ? Allocation{} : it->second;
+    if (t->lease != nullptr) {
+      grant(*t, next, now);
+    } else {
+      apply_train_alloc(*t, next, now);
+    }
+    const std::int64_t n = t->state.alloc.total();
+    if (t->state.is_serve()) serve_devices += n; else train_devices += n;
+    if (n > 0) ++running;
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->gauge("sched.devices.serve")
+        .set(static_cast<double>(serve_devices), now);
+    obs_.metrics->gauge("sched.devices.train")
+        .set(static_cast<double>(train_devices), now);
+    obs_.metrics->gauge("sched.jobs.running").set(static_cast<double>(running),
+                                                  now);
+  }
+}
+
+ClusterReport ClusterController::run() {
+  check(!ran_, "ClusterController::run() may only be called once");
+  ran_ = true;
+  check(!tenants_.empty(), "no jobs added");
+
+  double now = 0.0;
+  std::int64_t events = 0;
+  refresh_from_leases(now);
+  consult_policy(now);  // jobs arriving at t = 0 get their first decision
+
+  auto unfinished = [&]() {
+    for (const Tenant& t : tenants_) {
+      if (t.lease != nullptr) {
+        if (!t.retired) return true;
+      } else if (!t.state.finished()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (unfinished()) {
+    check(++events <= options_.max_events,
+          "cluster controller exceeded max_events (policy/lease livelock?)");
+    const double t_next = next_event(now);
+    check(t_next < kInf,
+          "cluster controller stalled: jobs remain but no future event "
+          "(policy " + policy_.name() + " starving a job?)");
+    advance_analytic(now, std::max(now, t_next));
+    now = std::max(now, t_next);
+    // Pump live holders up to the new stamp, in add order.
+    for (Tenant& t : tenants_) {
+      if (t.lease == nullptr || t.retired || t.state.finished()) continue;
+      if (!t.state.arrived(now)) continue;
+      t.lease->pump(now);
+    }
+    // Retire drained leases: devices return to the pool at this stamp. A
+    // drained lease still reporting a finite next event (EngineTrainLease
+    // whose last step overshot the horizon) keeps its devices until that
+    // stamp, so completion lands on the holder's own clock.
+    for (Tenant& t : tenants_) {
+      if (t.lease == nullptr || t.retired) continue;
+      if (!t.state.arrived(now) || !t.lease->drained()) continue;
+      if (t.lease->next_event_s() < kInf) continue;
+      if (t.backing == Backing::kServeLease) {
+        // Serving drains only once its trace is exhausted; a mid-run empty
+        // queue with future arrivals reports drained() == false.
+        t.state.completion_s = now;
+      } else if (t.state.completion_s < 0.0) {
+        t.state.completion_s = now;
+      }
+      if (t.open_since_s >= 0.0 && now > t.open_since_s && !t.state.alloc.empty()) {
+        t.state.timeline.push_back({t.open_since_s, now, t.state.alloc});
+      }
+      t.state.alloc = {};
+      t.open_since_s = -1.0;
+      t.retired = true;
+    }
+    refresh_from_leases(now);
+    consult_policy(now);
+  }
+
+  ClusterReport report;
+  report.end_s = now;
+  for (Tenant& t : tenants_) {
+    if (t.open_since_s >= 0.0 && now > t.open_since_s && !t.state.alloc.empty()) {
+      t.state.timeline.push_back({t.open_since_s, now, t.state.alloc});
+      t.open_since_s = -1.0;
+    }
+    if (t.state.spec.kind == JobKind::kTrain && t.state.finished()) {
+      report.train_makespan_s =
+          std::max(report.train_makespan_s, t.state.completion_s);
+    }
+    report.jobs.push_back(t.state);
+  }
+  report.grants = grants_;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// StaticPartitionScheduler
+// ---------------------------------------------------------------------------
+
+StaticPartitionScheduler::StaticPartitionScheduler(Scheduler& inner,
+                                                   DeviceType pool_type)
+    : inner_(inner), pool_type_(pool_type) {}
+
+std::map<std::int64_t, Allocation> StaticPartitionScheduler::schedule(
+    const ClusterInventory& cluster, const std::vector<const JobState*>& jobs,
+    double now) {
+  ClusterInventory remainder = cluster;
+  std::map<std::int64_t, Allocation> out;
+  std::vector<const JobState*> train;
+  for (const JobState* j : jobs) {
+    if (!j->is_serve()) {
+      train.push_back(j);
+      continue;
+    }
+    // The static partition: the serving job gets its provisioned size no
+    // matter the load, clamped into the live band so a device kill still
+    // caps it and the floor stays honoured.
+    const std::int64_t pinned =
+        clamp64(j->spec.demand_gpus, j->live_min_gpus, j->live_max_gpus);
+    auto& free = remainder.per_type[pool_type_];
+    check(pinned <= free,
+          "static partition does not fit: serving job " +
+              std::to_string(j->spec.id) + " pins " + std::to_string(pinned) +
+              " devices but only " + std::to_string(free) + " remain");
+    free -= pinned;
+    out[j->spec.id] = Allocation::of(pool_type_, pinned);
+  }
+  std::map<std::int64_t, Allocation> train_out =
+      inner_.schedule(remainder, train, now);
+  out.insert(train_out.begin(), train_out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EngineTrainLease
+// ---------------------------------------------------------------------------
+
+EngineTrainLease::EngineTrainLease(VirtualFlowEngine& engine,
+                                   std::int64_t total_steps, DeviceType pool_type)
+    : engine_(engine), total_steps_(total_steps), pool_type_(pool_type) {
+  check(total_steps_ > 0, "EngineTrainLease needs total_steps > 0");
+}
+
+double EngineTrainLease::clock_now() const {
+  return std::max(clock_, engine_.sim_time_s() + clock_offset_);
+}
+
+double EngineTrainLease::next_event_s() const {
+  if (granted_ == 0) return kInf;
+  if (drained()) {
+    // The final step overshot the last pumped horizon; report its true
+    // completion stamp once so the controller retires the lease at the
+    // engine's clock, not one event early.
+    const double ahead = engine_.sim_time_s() + clock_offset_;
+    return ahead > clock_ ? ahead : kInf;
+  }
+  return clock_now();
+}
+
+void EngineTrainLease::pump(double horizon_s) {
+  if (granted_ > 0) {
+    // Run whole steps until the engine's offset clock passes the horizon.
+    // `<=` is deliberate: stopping exactly AT the horizon would report the
+    // same stamp as the next event and livelock the controller.
+    while (!drained() && clock_now() <= horizon_s) {
+      engine_.train_step();
+      ++steps_done_;
+    }
+  }
+  if (horizon_s < kInf) clock_ = std::max(clock_, horizon_s);
+}
+
+sched::LoadSignal EngineTrainLease::load() const {
+  sched::LoadSignal sig;
+  sig.queue_depth = std::max<std::int64_t>(0, total_steps_ - steps_done_);
+  sig.devices = granted_;
+  sig.min_devices = 0;  // training tolerates full preemption
+  sig.max_devices = engine_.mapping().total_vns();
+  sig.drained = drained();
+  return sig;
+}
+
+double EngineTrainLease::apply_grant(std::int64_t devices) {
+  check(devices >= 0, "negative device grant");
+  if (devices == granted_) return 0.0;
+  if (devices == 0) {
+    // Full preemption: the engine keeps its device set (no resize cost
+    // now) but stops stepping until a positive re-grant.
+    granted_ = 0;
+    return 0.0;
+  }
+  check(devices <= engine_.mapping().total_vns(),
+        "grant exceeds the engine's VN count");
+  if (granted_ == 0) {
+    // Re-basing the offset charges the preempted span to the lease: the
+    // engine's clock stood still while the controller's moved on.
+    clock_offset_ = clock_ - engine_.sim_time_s();
+  }
+  const double before = engine_.sim_time_s();
+  if (devices != static_cast<std::int64_t>(engine_.devices().size())) {
+    engine_.resize(make_devices(pool_type_, devices));
+  }
+  granted_ = devices;
+  return engine_.sim_time_s() - before;
+}
+
+}  // namespace vf

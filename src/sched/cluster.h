@@ -1,0 +1,209 @@
+// ClusterController — one device economy for training AND serving.
+//
+// Before this layer, the allocation decision lived in two places: the
+// Scheduler policies sized training jobs inside simulate(), and each
+// serving loop sized itself with a private elastic_resize_target rule.
+// The controller pulls both under ONE pluggable policy:
+//
+//   ClusterInventory (shared pool)
+//        |
+//   ClusterController ── event loop on the virtual clock
+//        |     analytic training jobs (simulate()'s advancement math)
+//        |     + live DeviceLease holders (Server, ColocatedServer,
+//        |       EngineTrainLease) pumped between events
+//        v
+//   Scheduler policy (gavel, WFS, priority, static-partition decorator)
+//        |     sees serving device-sets as first-class JobState entries:
+//        |     desired/min/max derived from the lease's load signal, SLO
+//        |     deadline pressure as urgency
+//        v
+//   device GRANTS ── applied through DeviceLease::apply_grant (the same
+//                    seamless/rolling-migration resize paths underneath)
+//
+// elastic_resize_target is demoted from the decision-maker to one load
+// signal among several: the controller derives each serving job's
+// desired_gpus from it, escalates under deadline pressure (an oldest
+// request past half its SLO budget asks for double the devices), and the
+// policy arbitrates those desires against training demand.
+//
+// Determinism contract: the controller is an event loop on the virtual
+// clock, exactly like simulate() — leases are pumped in add-order at each
+// event, the policy consulted at arrivals/completions/round-ticks/lease
+// events, grants applied in job-id order. Every decision is a pure
+// function of (job specs, traces, policy, cost model), so a full cluster
+// run — hundreds of devices, mixed train+serve — replays bit-identically
+// across host worker counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+#include "core/engine.h"
+#include "obs/obs.h"
+#include "sched/job.h"
+#include "sched/lease.h"
+#include "sched/simulator.h"
+
+namespace vf {
+
+/// Controller configuration.
+struct ClusterOptions {
+  /// Prices gradient synchronization in analytic training throughput.
+  LinkSpec link;
+  /// > 0 inserts a policy consult every interval while any lease is
+  /// active, on top of the event-driven consults (arrivals, completions,
+  /// lease events, policy round ticks). 0 (default) stays purely
+  /// event-driven — serving load changes only at lease events, so extra
+  /// ticks add cost without information.
+  double reeval_interval_s = 0.0;
+  /// Event budget; exceeded means a policy/lease livelock. Fails loudly.
+  std::int64_t max_events = 2'000'000;
+};
+
+/// One device grant the controller issued to a lease holder.
+struct GrantRecord {
+  double time_s = 0.0;
+  std::int64_t job_id = 0;
+  std::int64_t from_devices = 0;
+  std::int64_t to_devices = 0;
+  double migration_s = 0.0;  ///< seamless/rolling migration charge
+};
+
+/// Result of one cluster run.
+struct ClusterReport {
+  std::vector<JobState> jobs;        ///< final states, add order
+  double train_makespan_s = 0.0;     ///< last training completion
+  double end_s = 0.0;                ///< final controller clock
+  std::vector<GrantRecord> grants;   ///< every lease resize, in issue order
+};
+
+/// Drives a mixed train+serve job set over a shared inventory, asking the
+/// policy for allocations at each event and issuing device grants through
+/// the DeviceLease interface. One run per controller.
+class ClusterController {
+ public:
+  /// `policy` must outlive the controller; `cluster` is the shared pool
+  /// the policy allocates from (validated against on every consult).
+  ClusterController(ClusterInventory cluster, Scheduler& policy,
+                    ClusterOptions options = {});
+
+  /// Attaches observability sinks before run(): "sched.*" counters/gauges
+  /// (policy_calls, grants, per-class device gauges) plus one "grant"
+  /// instant per issued grant on the control track.
+  void set_observability(obs::Observability obs);
+
+  /// Adds an analytic training job (simulate()-style advancement: step
+  /// times from the cost model, attained service for LAS policies, resize
+  /// penalties as pauses). Ids must be unique across all added jobs.
+  void add_train_job(JobSpec spec);
+
+  /// Adds a live serving device-set. `spec.kind` must be kServe with
+  /// min_gpus >= 1 and max_gpus >= min_gpus; spec.demand_gpus records the
+  /// static-partition size baselines pin it to. The lease must be
+  /// cluster-governed and begun (Server::set_cluster_governed() +
+  /// begin()) before run(), and must outlive the controller. The job is
+  /// active from spec.arrival_s until the lease drains; call the
+  /// holder's finish() after run() to export its summary metrics.
+  void add_serve_job(JobSpec spec, sched::DeviceLease& lease);
+
+  /// Adds a REAL training engine as a lease (EngineTrainLease): the
+  /// engine steps on the virtual clock between events and consumes grants
+  /// through the same interface as serving. `spec.kind` must be kTrain;
+  /// total_steps is taken from the spec.
+  void add_train_lease(JobSpec spec, sched::DeviceLease& lease);
+
+  /// Runs the whole job set to completion: every training job finished,
+  /// every serving lease drained. Throws VfError on a buggy policy
+  /// (over-commit, serve grant outside [live_min, live_max]) or livelock.
+  ClusterReport run();
+
+ private:
+  enum class Backing { kAnalytic, kTrainLease, kServeLease };
+
+  struct Tenant {
+    JobState state;
+    Backing backing = Backing::kAnalytic;
+    sched::DeviceLease* lease = nullptr;  ///< null for analytic jobs
+    double step_time_s = 0.0;             ///< analytic: current step time
+    double open_since_s = -1.0;           ///< open timeline segment start
+    bool retired = false;                 ///< lease drained and released
+  };
+
+  void add_tenant(JobSpec spec, Backing backing, sched::DeviceLease* lease);
+  void advance_analytic(double now, double t_next);
+  void refresh_from_leases(double now);
+  double next_event(double now) const;
+  void consult_policy(double now);
+  void apply_train_alloc(Tenant& t, const Allocation& next, double now);
+  void grant(Tenant& t, const Allocation& next, double now);
+
+  ClusterInventory cluster_;
+  Scheduler& policy_;
+  ClusterOptions options_;
+  obs::Observability obs_;
+  std::vector<Tenant> tenants_;
+  std::vector<GrantRecord> grants_;
+  bool ran_ = false;
+};
+
+/// Static-partition baseline: pins every serving job at its configured
+/// spec.demand_gpus (clamped into the live [min, max] band, so a device
+/// kill still caps it) and lets `inner` schedule training over the
+/// REDUCED inventory. This is the "two static clusters" deployment the
+/// co-scheduled economy is benchmarked against (bench_cosched).
+class StaticPartitionScheduler : public Scheduler {
+ public:
+  /// `inner` must outlive this decorator.
+  StaticPartitionScheduler(Scheduler& inner, DeviceType pool_type);
+
+  std::map<std::int64_t, Allocation> schedule(
+      const ClusterInventory& cluster, const std::vector<const JobState*>& jobs,
+      double now) override;
+
+  double round_interval_s() const override { return inner_.round_interval_s(); }
+  double resize_penalty_s() const override { return inner_.resize_penalty_s(); }
+  std::string name() const override { return "static(" + inner_.name() + ")"; }
+
+ private:
+  Scheduler& inner_;
+  DeviceType pool_type_;
+};
+
+/// Adapts a real VirtualFlowEngine to the DeviceLease protocol so the
+/// cluster policy sizes live training the same way it sizes serving.
+/// pump() runs whole train_steps until the engine's clock (offset onto
+/// the controller clock across full preemptions) passes the horizon.
+/// Unlike serving leases, apply_grant(0) is legal and means FULL
+/// PREEMPTION: the engine keeps its last device set but steps stop until
+/// a positive re-grant (which also re-bases the clock offset).
+class EngineTrainLease : public sched::DeviceLease {
+ public:
+  /// The engine must outlive the lease. `pool_type` is the device type
+  /// grants are filled with; `total_steps` the training work to run.
+  EngineTrainLease(VirtualFlowEngine& engine, std::int64_t total_steps,
+                   DeviceType pool_type);
+
+  double next_event_s() const override;
+  void pump(double horizon_s) override;
+  sched::LoadSignal load() const override;
+  double apply_grant(std::int64_t devices) override;
+  bool drained() const override { return steps_done_ >= total_steps_; }
+
+  std::int64_t steps_done() const { return steps_done_; }
+
+ private:
+  double clock_now() const;  ///< engine sim time on the controller clock
+
+  VirtualFlowEngine& engine_;
+  std::int64_t total_steps_;
+  DeviceType pool_type_;
+  std::int64_t steps_done_ = 0;
+  std::int64_t granted_ = 0;     ///< 0 = fully preempted (no stepping)
+  double clock_offset_ = 0.0;    ///< controller time = engine time + offset
+  double clock_ = 0.0;           ///< last pumped horizon
+};
+
+}  // namespace vf

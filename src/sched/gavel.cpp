@@ -14,22 +14,62 @@ GavelScheduler::GavelScheduler(GavelOptions options) : options_(options) {
 std::map<std::int64_t, Allocation> GavelScheduler::schedule(
     const ClusterInventory& cluster, const std::vector<const JobState*>& jobs,
     double now) {
-  // Round-based: allocations only change at round boundaries. Between
-  // boundaries, return the cached decision restricted to still-active
-  // jobs (a finished job's GPUs stay idle until the round ends, exactly
-  // the slack the paper's elastic approaches exploit).
-  if (now + 1e-9 < next_recompute_s_) {
-    std::map<std::int64_t, Allocation> out;
-    for (const JobState* j : jobs) {
-      const auto it = cached_.find(j->spec.id);
-      if (it != cached_.end()) out[j->spec.id] = it->second;
+  // Mixed job sets: serving tenants are carved out of the pool before the
+  // training round (minimums guaranteed; see carve_serving_grants), and —
+  // unlike the round-cached training decision — re-carved at EVERY
+  // consult: a latency SLO cannot wait for a round boundary. Mid-round
+  // the carve draws only from what the cached training round left free,
+  // so serving grows into idle capacity immediately but reclaims
+  // training devices only at boundaries — the round contract intact. A
+  // serving arrival or departure forces a fresh round (its minimum must
+  // be honored now, and minimums are only guaranteed by a full carve).
+  std::vector<const JobState*> train;
+  std::vector<std::int64_t> serve_ids;
+  for (const JobState* j : jobs) {
+    if (j->is_serve()) {
+      serve_ids.push_back(j->spec.id);
+    } else {
+      train.push_back(j);
     }
-    return out;
+  }
+  const bool serve_set_changed = serve_ids != last_serve_ids_;
+  last_serve_ids_ = std::move(serve_ids);
+
+  // Round-based: training allocations only change at round boundaries.
+  // Between boundaries, return the cached decision restricted to
+  // still-active jobs (a finished job's GPUs stay idle until the round
+  // ends, exactly the slack the paper's elastic approaches exploit).
+  if (!serve_set_changed && now + 1e-9 < next_recompute_s_) {
+    std::map<std::int64_t, Allocation> out;
+    ClusterInventory free = cluster;
+    for (const JobState* j : train) {
+      const auto it = cached_.find(j->spec.id);
+      if (it != cached_.end()) {
+        out[j->spec.id] = it->second;
+        for (const auto& [type, count] : it->second.per_type)
+          free.per_type[type] -= count;
+      }
+    }
+    // A recover can raise a serving job's live minimum mid-round past
+    // what the cached training round left free; that also forces a fresh
+    // round rather than a carve that cannot honor the floor.
+    std::int64_t serve_mins = 0;
+    for (const JobState* j : jobs)
+      if (j->is_serve()) serve_mins += j->live_min_gpus;
+    if (serve_mins <= free.per_type[options_.serve_pool]) {
+      auto serve_out = carve_serving_grants(free, jobs, options_.serve_pool);
+      out.insert(serve_out.begin(), serve_out.end());
+      return out;
+    }
   }
   next_recompute_s_ =
       (std::floor(now / options_.round_s + 1e-9) + 1.0) * options_.round_s;
-  cached_ = compute_round(cluster, jobs);
-  return cached_;
+  ClusterInventory train_pool = cluster;
+  auto serve_out = carve_serving_grants(train_pool, jobs, options_.serve_pool);
+  cached_ = compute_round(train_pool, train);
+  std::map<std::int64_t, Allocation> out = cached_;
+  out.insert(serve_out.begin(), serve_out.end());
+  return out;
 }
 
 std::map<std::int64_t, Allocation> GavelScheduler::compute_round(

@@ -25,6 +25,9 @@ struct GavelOptions {
   /// Minimum relative throughput gain for adding another device type to a
   /// job's allocation (keeps the extension from mixing types for noise).
   double min_hetero_gain = 0.05;
+  /// Device type serving jobs draw from in mixed job sets (serving
+  /// engines run homogeneous pools; see carve_serving_grants).
+  DeviceType serve_pool = DeviceType::kV100;
 };
 
 class GavelScheduler : public Scheduler {
@@ -48,6 +51,10 @@ class GavelScheduler : public Scheduler {
   GavelOptions options_;
   double next_recompute_s_ = 0.0;
   std::map<std::int64_t, Allocation> cached_;
+  /// Serving job ids seen at the last consult: a serving arrival or
+  /// departure mid-round forces a full recompute (its minimum must be
+  /// honored immediately, which only a fresh carve can guarantee).
+  std::vector<std::int64_t> last_serve_ids_;
 };
 
 }  // namespace vf

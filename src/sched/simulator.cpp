@@ -38,12 +38,14 @@ void close_segment(JobState& job, double now, double& open_since) {
   open_since = -1.0;
 }
 
-void validate_no_overcommit(const ClusterInventory& cluster,
-                            const std::map<std::int64_t, Allocation>& allocs) {
+}  // namespace
+
+void validate_allocations(const ClusterInventory& cluster,
+                          const std::map<std::int64_t, Allocation>& allocs) {
   std::map<DeviceType, std::int64_t> used;
   for (const auto& [id, a] : allocs)
     for (const auto& [t, c] : a.per_type) {
-      check(c >= 0, "negative allocation");
+      check(c >= 0, "negative allocation for job " + std::to_string(id));
       used[t] += c;
     }
   for (const auto& [t, c] : used) {
@@ -54,7 +56,66 @@ void validate_no_overcommit(const ClusterInventory& cluster,
   }
 }
 
-}  // namespace
+std::map<std::int64_t, Allocation> carve_serving_grants(
+    ClusterInventory& pool, const std::vector<const JobState*>& jobs,
+    DeviceType pool_type) {
+  std::vector<const JobState*> serve;
+  for (const JobState* j : jobs)
+    if (j->is_serve()) serve.push_back(j);
+  std::map<std::int64_t, Allocation> out;
+  if (serve.empty()) return out;
+
+  std::sort(serve.begin(), serve.end(), [](const JobState* a, const JobState* b) {
+    if (a->spec.priority != b->spec.priority)
+      return a->spec.priority > b->spec.priority;
+    return a->spec.id < b->spec.id;
+  });
+
+  std::int64_t& free = pool.per_type[pool_type];
+  std::map<std::int64_t, std::int64_t> granted;
+
+  // Pass 1: every serving job gets its live minimum — the latency-critical
+  // floor a policy is never allowed to dip under. If the minimums alone do
+  // not fit, the cluster cannot host the serving set at all.
+  std::int64_t mins = 0;
+  for (const JobState* j : serve) {
+    check(j->live_min_gpus >= 1,
+          "serving job " + std::to_string(j->spec.id) +
+              " has live_min_gpus < 1 (a granted serving set never runs empty)");
+    mins += j->live_min_gpus;
+  }
+  check(mins <= free, "serving minimums (" + std::to_string(mins) +
+                          " GPUs) exceed the pool (" + std::to_string(free) +
+                          " " + device_type_name(pool_type) +
+                          "); the cluster cannot host the serving set");
+  for (const JobState* j : serve) {
+    granted[j->spec.id] = j->live_min_gpus;
+    free -= j->live_min_gpus;
+  }
+
+  // Pass 2: round-robin one device at a time, priority-desc / id-asc
+  // order, toward each job's clamped desire. One device per turn (not
+  // greedy take-all) so two bursting tenants split scarce headroom
+  // instead of the first starving the second.
+  bool progress = true;
+  while (free > 0 && progress) {
+    progress = false;
+    for (const JobState* j : serve) {
+      if (free == 0) break;
+      const std::int64_t want = std::clamp(j->desired_gpus, j->live_min_gpus,
+                                           j->live_max_gpus);
+      std::int64_t& g = granted[j->spec.id];
+      if (g < want) {
+        ++g;
+        --free;
+        progress = true;
+      }
+    }
+  }
+
+  for (const auto& [id, g] : granted) out[id] = Allocation::of(pool_type, g);
+  return out;
+}
 
 SimResult simulate(const ClusterInventory& cluster, std::vector<JobSpec> trace,
                    Scheduler& policy, const LinkSpec& link) {
@@ -69,6 +130,9 @@ SimResult simulate(const ClusterInventory& cluster, std::vector<JobSpec> trace,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     jobs[i].spec = trace[i];
     jobs[i].remaining_steps = static_cast<double>(trace[i].total_steps);
+    check(trace[i].kind == JobKind::kTrain,
+          "simulate() drives analytic training jobs only; serving jobs are "
+          "live replay loops — use the ClusterController (sched/cluster.h)");
     check(trace[i].total_steps > 0, "job must have positive work");
     check(trace[i].demand_gpus > 0, "job must demand at least one GPU");
   }
@@ -150,7 +214,7 @@ SimResult simulate(const ClusterInventory& cluster, std::vector<JobSpec> trace,
     if (active.empty()) continue;
 
     auto allocs = policy.schedule(cluster, active, now);
-    validate_no_overcommit(cluster, allocs);
+    validate_allocations(cluster, allocs);
 
     for (std::size_t k = 0; k < active.size(); ++k) {
       const std::size_t i = active_idx[k];

@@ -32,7 +32,17 @@ class Scheduler {
 
   /// Returns the desired allocation for every *arrived, unfinished* job
   /// (jobs omitted from the result are left queued/preempted with no
-  /// GPUs). Must never over-commit the inventory.
+  /// GPUs). Must never over-commit the inventory — both simulate() and
+  /// the ClusterController enforce this with validate_allocations() and
+  /// fail loudly on a buggy policy.
+  ///
+  /// Mixed job sets: `jobs` may contain serving jobs (JobKind::kServe)
+  /// alongside training jobs. A policy that supports co-scheduling must
+  /// grant every active serving job a count within
+  /// [live_min_gpus, live_max_gpus] (desired_gpus is the load-derived
+  /// target); gavel and WFS carve serving first and arbitrate training
+  /// over the remainder. Policies that predate serving can check() that
+  /// no serve jobs are present.
   virtual std::map<std::int64_t, Allocation> schedule(
       const ClusterInventory& cluster, const std::vector<const JobState*>& jobs,
       double now) = 0;
@@ -59,8 +69,29 @@ struct SimResult {
 };
 
 /// Runs the trace to completion. `link` prices gradient synchronization in
-/// each job's throughput.
+/// each job's throughput. Training jobs only — serving jobs are live
+/// replay loops, which the ClusterController (sched/cluster.h) drives.
 SimResult simulate(const ClusterInventory& cluster, std::vector<JobSpec> trace,
                    Scheduler& policy, const LinkSpec& link = {});
+
+/// Validates a policy's output against the inventory: no negative counts,
+/// no per-type over-commit. Throws VfError naming the offending device
+/// type on violation. Shared by simulate() and the ClusterController's
+/// grant path, so a buggy policy fails loudly at the decision point
+/// instead of corrupting downstream accounting.
+void validate_allocations(const ClusterInventory& cluster,
+                          const std::map<std::int64_t, Allocation>& allocs);
+
+/// The serving carve-out shared by the mixed-job policies: every serving
+/// job in `jobs` (non-serve entries are ignored) is granted
+/// clamp(desired_gpus, live_min, live_max) GPUs of `pool_type` from
+/// `pool`, minimums first (throws if the minimums alone do not fit —
+/// that is a cluster-sizing error, not a scheduling decision), then the
+/// remainder one device at a time in (priority desc, id asc) round-robin
+/// order until desires are met or the pool runs dry. On return `pool`
+/// has the granted devices subtracted, ready for the training pass.
+std::map<std::int64_t, Allocation> carve_serving_grants(
+    ClusterInventory& pool, const std::vector<const JobState*>& jobs,
+    DeviceType pool_type);
 
 }  // namespace vf

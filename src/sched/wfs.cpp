@@ -81,12 +81,24 @@ std::map<std::int64_t, Allocation> ElasticWfsScheduler::schedule(
     double /*now*/) {
   const auto it = cluster.per_type.find(pool_type_);
   check(it != cluster.per_type.end(), "cluster has no GPUs of the WFS pool type");
-  const std::int64_t total = it->second;
+
+  // Mixed job sets: serving device-sets are latency-critical tenants, so
+  // they carve their load-derived grants out of the pool first (minimums
+  // guaranteed, headroom round-robined — see carve_serving_grants) and
+  // the training jobs water-fill over what remains. Event-based like the
+  // rest of WFS: every consult re-derives the carve from live load.
+  ClusterInventory rest = cluster;
+  std::map<std::int64_t, Allocation> serve_out =
+      carve_serving_grants(rest, jobs, pool_type_);
+  const std::int64_t total = rest.per_type[pool_type_];
+  std::vector<const JobState*> train;
+  for (const JobState* j : jobs)
+    if (!j->is_serve()) train.push_back(j);
 
   // Algorithm 1, line 2: current running set, dropping finished jobs.
   std::vector<const JobState*> running;
   std::vector<const JobState*> queued;
-  for (const JobState* j : jobs) {
+  for (const JobState* j : train) {
     const bool was_admitted =
         std::find(admitted_.begin(), admitted_.end(), j->spec.id) != admitted_.end();
     (was_admitted ? running : queued).push_back(j);
@@ -121,7 +133,7 @@ std::map<std::int64_t, Allocation> ElasticWfsScheduler::schedule(
     admitted_.push_back(cand->spec.id);
   }
 
-  std::map<std::int64_t, Allocation> out;
+  std::map<std::int64_t, Allocation> out = std::move(serve_out);
   for (const auto& [id, gpus] : current)
     if (gpus > 0) out[id] = Allocation::of(pool_type_, gpus);
   return out;
@@ -136,12 +148,18 @@ std::map<std::int64_t, Allocation> PriorityScheduler::schedule(
     double /*now*/) {
   const auto it = cluster.per_type.find(pool_type_);
   check(it != cluster.per_type.end(), "cluster has no GPUs of the pool type");
-  std::int64_t free = it->second;
 
-  std::map<std::int64_t, Allocation> out;
+  // Serving tenants carve first (they are elastic even under a static
+  // training baseline — the training side is what "static" refers to).
+  ClusterInventory rest = cluster;
+  std::map<std::int64_t, Allocation> out =
+      carve_serving_grants(rest, jobs, pool_type_);
+  std::int64_t free = rest.per_type[pool_type_];
+
   // Running jobs keep their full demand (no resizing, no preemption).
   std::vector<const JobState*> queued;
   for (const JobState* j : jobs) {
+    if (j->is_serve()) continue;
     if (j->running()) {
       out[j->spec.id] = Allocation::of(pool_type_, j->spec.demand_gpus);
       free -= j->spec.demand_gpus;

@@ -25,6 +25,12 @@ std::map<std::int64_t, std::int64_t> weighted_fair_shares(
 ///
 /// The cluster is treated as a homogeneous pool of `pool_type` GPUs (the
 /// paper's elasticity experiments run on V100s only).
+///
+/// Mixed job sets: serving jobs (JobKind::kServe) are carved out first —
+/// live minimums guaranteed, load-derived desires round-robined — and
+/// training water-fills the remainder (carve_serving_grants). Being
+/// event-based, WFS re-derives the carve at every consult, so serving
+/// grants track bursts at controller-event granularity.
 class ElasticWfsScheduler : public Scheduler {
  public:
   explicit ElasticWfsScheduler(DeviceType pool_type = DeviceType::kV100);

@@ -154,6 +154,13 @@ double ColocatedServer::device_time_used(std::int32_t m) const {
 }
 
 void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& traces) {
+  if (config_.continuous) {
+    begin(traces);
+    pump(kInf);
+    finish();
+    traces_ = nullptr;
+    return;
+  }
   check(!replayed_, "a ColocatedServer replays exactly one trace set");
   replayed_ = true;
   check(registry_.size() == static_cast<std::int64_t>(models_.size()),
@@ -166,19 +173,58 @@ void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& trace
     for (std::size_t i = 1; i < trace.size(); ++i)
       check(trace[i - 1].arrival_s <= trace[i].arrival_s,
             "each trace must be sorted by arrival time");
-    if (!config_.continuous)
-      for (const InferRequest& r : trace)
-        check(!TokenStreamer::is_stream(r),
-              "token streams require continuous batching "
-              "(ColocationConfig::continuous)");
+    for (const InferRequest& r : trace)
+      check(!TokenStreamer::is_stream(r),
+            "token streams require continuous batching "
+            "(ColocationConfig::continuous)");
   }
   traces_ = &traces;
-  if (config_.continuous) {
-    replay_continuous();
-  } else {
-    replay_batch_boundary();
-  }
+  replay_batch_boundary();
   traces_ = nullptr;
+  finish();
+}
+
+void ColocatedServer::set_cluster_governed() {
+  check(!replayed_, "switch to cluster governance before replay()/begin()");
+  check(config_.continuous,
+        "cluster governance requires continuous batching — grants reuse "
+        "the rolling slice-level migration path");
+  // The ElasticPolicy band parameterizes the load() signal even when the
+  // internal loop is off, so it must be coherent regardless of `enabled`.
+  const ElasticPolicy& e = config_.elastic;
+  check(e.min_devices >= 1, "elastic min_devices must be >= 1");
+  check(e.max_devices >= e.min_devices, "elastic max_devices < min_devices");
+  check(e.high_watermark > e.low_watermark,
+        "elastic watermarks must satisfy high > low (hysteresis)");
+  for (std::int32_t m = 0; m < registry_.size(); ++m)
+    check(e.max_devices <= registry_.engine(m).mapping().total_vns(),
+          "elastic max_devices exceeds model " + std::to_string(m) +
+              "'s virtual-node count");
+  cluster_governed_ = true;
+}
+
+void ColocatedServer::begin(const std::vector<std::vector<InferRequest>>& traces) {
+  check(!replayed_, "a ColocatedServer replays exactly one trace set");
+  check(config_.continuous,
+        "externally stepped serving requires continuous batching");
+  replayed_ = true;
+  check(registry_.size() == static_cast<std::int64_t>(models_.size()),
+        "the registry grew after this server was built (it serves the " +
+            std::to_string(models_.size()) + " models registered at construction)");
+  check(traces.size() == models_.size(),
+        "one trace per registered model (got " + std::to_string(traces.size()) +
+            ", registry holds " + std::to_string(models_.size()) + ")");
+  for (const auto& trace : traces)
+    for (std::size_t i = 1; i < trace.size(); ++i)
+      check(trace[i - 1].arrival_s <= trace[i].arrival_s,
+            "each trace must be sorted by arrival time");
+  traces_ = &traces;
+  device_free_.assign(static_cast<std::size_t>(shared_devices()), 0.0);
+}
+
+void ColocatedServer::finish() {
+  if (finished_) return;
+  finished_ = true;
   if (obs_.metrics != nullptr) {
     for (std::int32_t m = 0; m < static_cast<std::int32_t>(models_.size()); ++m) {
       const ModelState& st = models_[static_cast<std::size_t>(m)];
@@ -191,6 +237,90 @@ void ColocatedServer::replay(const std::vector<std::vector<InferRequest>>& trace
     obs_.metrics->gauge("serve.devices")
         .set(static_cast<double>(shared_devices()), clock_);
   }
+}
+
+double ColocatedServer::next_event_s() const {
+  if (traces_ == nullptr) return kInf;
+  return next_event_internal();
+}
+
+bool ColocatedServer::drained() const {
+  if (traces_ == nullptr) return false;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const ModelState& st = models_[m];
+    if (st.next_arrival != (*traces_)[m].size() || !st.queue.empty() ||
+        !st.ledger.all_free() || st.streamer.has_paused() ||
+        !st.continuations.empty())
+      return false;
+  }
+  return true;
+}
+
+sched::LoadSignal ColocatedServer::load() const {
+  check(traces_ != nullptr, "begin() traces before reading the load signal");
+  const ElasticPolicy& e = config_.elastic;
+  sched::LoadSignal s;
+  // The co-located set is sized as one unit, so the signal is combined:
+  // total backlog, total in-flight — and the SLO terms come from the
+  // model under the worst RELATIVE deadline pressure (oldest wait divided
+  // by its own deadline), which is the tenant a size decision must save.
+  double worst_pressure = -1.0;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const ModelState& st = models_[m];
+    s.queue_depth += st.queue.size();
+    s.inflight += st.ledger.inflight_requests() + st.streamer.paused_streams();
+    const double deadline =
+        registry_.config(static_cast<std::int32_t>(m)).deadline_s;
+    const double wait =
+        st.queue.empty() ? 0.0
+                         : std::max(0.0, clock_ - st.queue.front().enqueued_s());
+    if (deadline > 0.0 && wait / deadline > worst_pressure) {
+      worst_pressure = wait / deadline;
+      s.oldest_wait_s = wait;
+      s.deadline_s = deadline;
+    }
+  }
+  s.devices = shared_devices();
+  std::int64_t max_dev = e.max_devices;
+  if (injector_ != nullptr)
+    max_dev = std::max<std::int64_t>(
+        1, std::min(max_dev, injector_->capacity_cap(e.max_devices)));
+  s.max_devices = max_dev;
+  s.min_devices = std::min(e.min_devices, max_dev);
+  s.high_watermark = e.high_watermark;
+  s.low_watermark = e.low_watermark;
+  s.drained = drained();
+  // A rolling migration is atomic: until the last model has cut over, the
+  // set is not resizable, so the band collapses to the current size. The
+  // cluster policy can then only re-grant the size we already are (a
+  // no-op), never interleave a second migration schedule.
+  if (migration_in_progress()) s.min_devices = s.max_devices = s.devices;
+  return s;
+}
+
+double ColocatedServer::apply_grant(std::int64_t devices) {
+  check(cluster_governed_,
+        "apply_grant() requires cluster governance (set_cluster_governed)");
+  check(traces_ != nullptr, "begin() traces before granting devices");
+  const std::int64_t cur = shared_devices();
+  if (devices == cur) return 0.0;
+  check(devices >= 1, "a device grant must keep at least one device");
+  for (std::int32_t m = 0; m < registry_.size(); ++m)
+    check(devices <= registry_.engine(m).mapping().total_vns(),
+          "device grant exceeds model " + std::to_string(m) +
+              "'s virtual-node count");
+  // A rolling migration is atomic; a grant mid-cutover would interleave
+  // two migration schedules. load() collapses the [min, max] band to the
+  // current size while cutting over, so a correct policy can only re-grant
+  // the current size (the no-op early return above) until the last model
+  // has cut over — reaching here mid-migration means a buggy policy.
+  check(!migration_in_progress(),
+        "device grant while a rolling migration is still cutting over");
+  std::int64_t depth = 0;
+  for (const ModelState& st : models_) depth += st.queue.size();
+  perform_resize(devices, depth);
+  device_free_.assign(static_cast<std::size_t>(shared_devices()), clock_);
+  return resizes_.back().migration_s;
 }
 
 void ColocatedServer::charge(std::int32_t m, double compute_s) {
@@ -247,6 +377,9 @@ bool ColocatedServer::migration_in_progress() const {
 }
 
 void ColocatedServer::resize_if_needed(std::int64_t combined_inflight) {
+  // Under cluster governance the ClusterController owns the size of the
+  // shared set; the same signals flow to it through load().
+  if (cluster_governed_) return;
   const ElasticPolicy& e = config_.elastic;
   if (!e.enabled) return;
   if (work_since_resize_ < e.cooldown_batches) return;
@@ -359,301 +492,353 @@ void ColocatedServer::dispatch_slice(std::int32_t m) {
   st.ledger.admit(vn, std::move(slot));
 }
 
-void ColocatedServer::replay_continuous() {
-  device_free_.assign(static_cast<std::size_t>(shared_devices()), 0.0);
+// Finalizes the newest slice event's trace span: post-admission queue
+// depth (the dispatcher stamped the model already).
+void ColocatedServer::finalize_span_depth() {
+  if (obs_.trace != nullptr)
+    obs_.trace->set_queue_depth(batches_.back().trace_span,
+                                batches_.back().queue_depth_after);
+}
 
-  // Completion transition: across ALL models, process every slot due at
-  // the current clock in (done_s, model id, VN id) order — the canonical
-  // multi-model completion order. Slots awaiting a deferred decode
-  // continuation (pending_chain) were already absorbed and are skipped.
-  const auto complete_due = [&]() {
-    std::vector<std::tuple<double, std::int32_t, std::int32_t>> due;
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      ModelState& st = models_[m];
-      for (const std::int32_t vn : st.ledger.due(clock_)) {
-        if (st.pending_chain[static_cast<std::size_t>(vn)]) continue;
-        due.emplace_back(st.ledger.slot(vn).done_s, static_cast<std::int32_t>(m), vn);
-      }
+// Completion transition: across ALL models, process every slot due at
+// the current clock in (done_s, model id, VN id) order — the canonical
+// multi-model completion order. Slots awaiting a deferred decode
+// continuation (pending_chain) were already absorbed and are skipped.
+void ColocatedServer::complete_due() {
+  std::vector<std::tuple<double, std::int32_t, std::int32_t>> due;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    ModelState& st = models_[m];
+    for (const std::int32_t vn : st.ledger.due(clock_)) {
+      if (st.pending_chain[static_cast<std::size_t>(vn)]) continue;
+      due.emplace_back(st.ledger.slot(vn).done_s, static_cast<std::int32_t>(m), vn);
     }
-    std::sort(due.begin(), due.end());
-    // Finalizes the newest slice event's trace span: post-admission queue
-    // depth (the dispatcher stamped the model already).
-    const auto finalize_span_depth = [&]() {
-      if (obs_.trace != nullptr)
-        obs_.trace->set_queue_depth(batches_.back().trace_span,
-                                    batches_.back().queue_depth_after);
-    };
-    for (const auto& [done_s, m, vn] : due) {
-      static_cast<void>(done_s);
-      ModelState& st = models_[static_cast<std::size_t>(m)];
-      if (st.ledger.slot(vn).kind == SliceKind::kClassify) {
-        const Slot done = st.ledger.complete(vn);
-        record_slice_requests(done, st.tracker);
-        ++work_since_resize_;
-        BatchEvent ev = make_slice_event(done, vn, st.queue.size());
-        ev.model = m;
-        batches_.push_back(ev);
-        finalize_span_depth();
-        continue;
-      }
-      // Stream slice: stamp one token off the finished slice, then chain,
-      // retire, or yield the slot at this token boundary.
-      const bool more = st.streamer.absorb(vn, st.ledger.slot(vn));
+  }
+  std::sort(due.begin(), due.end());
+  for (const auto& [done_s, m, vn] : due) {
+    static_cast<void>(done_s);
+    ModelState& st = models_[static_cast<std::size_t>(m)];
+    if (st.ledger.slot(vn).kind == SliceKind::kClassify) {
+      const Slot done = st.ledger.complete(vn);
+      record_slice_requests(done, st.tracker);
       ++work_since_resize_;
-      BatchEvent ev = make_slice_event(st.ledger.slot(vn), vn, st.queue.size());
+      BatchEvent ev = make_slice_event(done, vn, st.queue.size());
       ev.model = m;
       batches_.push_back(ev);
       finalize_span_depth();
-      if (!more) {
-        st.ledger.complete(vn);
-        st.tracker.record_completion(st.streamer.finish(vn));
-      } else if (config_.stream.disaggregate &&
-                 clock_ >= dispatch_ready_[static_cast<std::size_t>(m)] &&
-                 !st.streamer.has_paused() && st.ledger.lowest_free() < 0 &&
-                 !st.queue.empty() &&
-                 TokenStreamer::is_stream(st.queue.front())) {
-        // Token-boundary preemption, per model: every slot of THIS model
-        // is busy and a stream heads its queue — park the chain (at most
-        // one parked per model) and lend the slot to the waiting prefill.
-        const Slot freed = st.ledger.complete(vn);
-        st.streamer.pause(vn);
-        if (obs_.trace != nullptr)
-          obs_.trace->instant("preempt", clock_,
-                              static_cast<std::int32_t>(freed.device), vn, m);
-        if (obs_.metrics != nullptr)
-          obs_.metrics->counter("serve." + registry_.config(m).name +
-                                ".preemptions")
-              .add();
-      } else {
-        st.continuations.push_back(vn);
-        st.pending_chain[static_cast<std::size_t>(vn)] = 1;
-      }
+      continue;
     }
-  };
+    // Stream slice: stamp one token off the finished slice, then chain,
+    // retire, or yield the slot at this token boundary.
+    const bool more = st.streamer.absorb(vn, st.ledger.slot(vn));
+    ++work_since_resize_;
+    BatchEvent ev = make_slice_event(st.ledger.slot(vn), vn, st.queue.size());
+    ev.model = m;
+    batches_.push_back(ev);
+    finalize_span_depth();
+    if (!more) {
+      st.ledger.complete(vn);
+      st.tracker.record_completion(st.streamer.finish(vn));
+    } else if (config_.stream.disaggregate &&
+               clock_ >= dispatch_ready_[static_cast<std::size_t>(m)] &&
+               !st.streamer.has_paused() && st.ledger.lowest_free() < 0 &&
+               !st.queue.empty() &&
+               TokenStreamer::is_stream(st.queue.front())) {
+      // Token-boundary preemption, per model: every slot of THIS model
+      // is busy and a stream heads its queue — park the chain (at most
+      // one parked per model) and lend the slot to the waiting prefill.
+      const Slot freed = st.ledger.complete(vn);
+      st.streamer.pause(vn);
+      if (obs_.trace != nullptr)
+        obs_.trace->instant("preempt", clock_,
+                            static_cast<std::int32_t>(freed.device), vn, m);
+      if (obs_.metrics != nullptr)
+        obs_.metrics->counter("serve." + registry_.config(m).name +
+                              ".preemptions")
+            .add();
+    } else {
+      st.continuations.push_back(vn);
+      st.pending_chain[static_cast<std::size_t>(vn)] = 1;
+    }
+  }
+}
 
-  // Chain transition: swap finished stream slices for their next decode
-  // slices, model-id order, completion order within a model. Gated on the
-  // model's cutover stamp — a chain stalls while its model's state is
-  // mid-migration and resumes at dispatch_ready_.
-  const auto readmit_continuations = [&]() {
+// Chain transition: swap finished stream slices for their next decode
+// slices, model-id order, completion order within a model. Gated on the
+// model's cutover stamp — a chain stalls while its model's state is
+// mid-migration and resumes at dispatch_ready_.
+void ColocatedServer::readmit_continuations() {
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    ModelState& st = models_[m];
+    if (st.continuations.empty() || clock_ < dispatch_ready_[m]) continue;
+    for (const std::int32_t vn : st.continuations) {
+      Slot next = maybe_comm_fault(
+          st.streamer.next_decode(st.dispatcher, vn, clock_, device_free_));
+      charge(static_cast<std::int32_t>(m), next.compute_s);
+      st.ledger.readmit(vn, std::move(next));
+      st.pending_chain[static_cast<std::size_t>(vn)] = 0;
+    }
+    st.continuations.clear();
+  }
+}
+
+// The share-weighted deadline arbiter: while any model has a
+// dispatchable slice (free slot + stream at the head, full classify
+// prefix, or timed-out oldest request), claim slots in ascending
+// (deadline key + share debt, model id, VN id) order. Under contention
+// the debt term dominates — an over-served model's key drifts up and it
+// yields — fixing the small-batch starvation the deadline-only arbiter
+// had. The VN-id part comes free: within a model, lowest_free() claims
+// ascending VN ids.
+void ColocatedServer::try_dispatch() {
+  for (;;) {
+    std::int32_t best = -1;
+    double best_key = kInf;
     for (std::size_t m = 0; m < models_.size(); ++m) {
       ModelState& st = models_[m];
-      if (st.continuations.empty() || clock_ < dispatch_ready_[m]) continue;
-      for (const std::int32_t vn : st.continuations) {
-        Slot next = maybe_comm_fault(
-            st.streamer.next_decode(st.dispatcher, vn, clock_, device_free_));
-        charge(static_cast<std::int32_t>(m), next.compute_s);
-        st.ledger.readmit(vn, std::move(next));
-        st.pending_chain[static_cast<std::size_t>(vn)] = 0;
-      }
-      st.continuations.clear();
-    }
-  };
-
-  // The share-weighted deadline arbiter: while any model has a
-  // dispatchable slice (free slot + stream at the head, full classify
-  // prefix, or timed-out oldest request), claim slots in ascending
-  // (deadline key + share debt, model id, VN id) order. Under contention
-  // the debt term dominates — an over-served model's key drifts up and it
-  // yields — fixing the small-batch starvation the deadline-only arbiter
-  // had. The VN-id part comes free: within a model, lowest_free() claims
-  // ascending VN ids.
-  const auto try_dispatch = [&]() {
-    for (;;) {
-      std::int32_t best = -1;
-      double best_key = kInf;
-      for (std::size_t m = 0; m < models_.size(); ++m) {
-        ModelState& st = models_[m];
-        if (clock_ < dispatch_ready_[m]) continue;  // still cutting over
-        if (st.queue.empty()) continue;
-        const std::int32_t vn = st.ledger.lowest_free();
-        if (vn < 0) continue;
-        const ModelConfig& mc = registry_.config(static_cast<std::int32_t>(m));
-        bool dispatchable;
-        if (TokenStreamer::is_stream(st.queue.front())) {
-          dispatchable = true;  // a prefill admits alone, always ready
-        } else {
-          const std::int64_t cap =
-              registry_.engine(static_cast<std::int32_t>(m)).mapping().vn_batch(vn);
-          const std::int64_t prefix = classify_prefix(st, cap);
-          const bool full_slice = prefix >= cap || prefix < st.queue.size();
-          const bool timed_out =
-              clock_ >= st.queue.front().arrival_s + mc.batch.max_wait_s;
-          dispatchable = full_slice || timed_out;
-        }
-        if (!dispatchable) continue;
-        // Strict < keeps the lowest model id on key ties (scan order).
-        const double key = st.queue.front().arrival_s + mc.deadline_s +
-                           share_time_[m];
-        if (key < best_key) {
-          best_key = key;
-          best = static_cast<std::int32_t>(m);
-        }
-      }
-      if (best < 0) break;
-      dispatch_slice(best);
-    }
-  };
-
-  // Un-park transition: paused streams take free slots left over after
-  // admissions, least share debt first (model id tie-break by the strict
-  // <). A paused stream only fits its own model's slots.
-  const auto try_resumes = [&]() {
-    for (;;) {
-      std::int32_t best = -1;
-      double best_key = kInf;
-      for (std::size_t m = 0; m < models_.size(); ++m) {
-        ModelState& st = models_[m];
-        if (clock_ < dispatch_ready_[m]) continue;
-        if (!st.streamer.has_paused()) continue;
-        if (st.ledger.lowest_free() < 0) continue;
-        if (share_time_[m] < best_key) {
-          best_key = share_time_[m];
-          best = static_cast<std::int32_t>(m);
-        }
-      }
-      if (best < 0) break;
-      ModelState& st = models_[static_cast<std::size_t>(best)];
+      if (clock_ < dispatch_ready_[m]) continue;  // still cutting over
+      if (st.queue.empty()) continue;
       const std::int32_t vn = st.ledger.lowest_free();
-      Slot slot = maybe_comm_fault(
-          st.streamer.resume(st.dispatcher, vn, clock_, device_free_));
-      charge(best, slot.compute_s);
-      st.ledger.admit(vn, std::move(slot));
+      if (vn < 0) continue;
+      const ModelConfig& mc = registry_.config(static_cast<std::int32_t>(m));
+      bool dispatchable;
+      if (TokenStreamer::is_stream(st.queue.front())) {
+        dispatchable = true;  // a prefill admits alone, always ready
+      } else {
+        const std::int64_t cap =
+            registry_.engine(static_cast<std::int32_t>(m)).mapping().vn_batch(vn);
+        const std::int64_t prefix = classify_prefix(st, cap);
+        const bool full_slice = prefix >= cap || prefix < st.queue.size();
+        const bool timed_out =
+            clock_ >= st.queue.front().arrival_s + mc.batch.max_wait_s;
+        dispatchable = full_slice || timed_out;
+      }
+      if (!dispatchable) continue;
+      // Strict < keeps the lowest model id on key ties (scan order).
+      const double key = st.queue.front().arrival_s + mc.deadline_s +
+                         share_time_[m];
+      if (key < best_key) {
+        best_key = key;
+        best = static_cast<std::int32_t>(m);
+      }
     }
-  };
+    if (best < 0) break;
+    dispatch_slice(best);
+  }
+}
 
-  // Fault transition: fires every injected event due at the current stamp
-  // (complete_due first — a slice finishing exactly at a kill's stamp
-  // survives). A kill tears the dead device slot's in-flight slices off
-  // EVERY model with the single-model Server's per-kind recovery
-  // (classify/prefill requeue with honest retry stamps, decode chains park
-  // and resume from their last landed token), then remaps each engine's
-  // VNs onto the survivors as a ROLLING migration: the fail_device
-  // all-gathers serialize deepest-backlog-first (model id tie-break, like
-  // perform_resize), each model's new dispatches resuming at its own
-  // cutover stamp — on top of any cutover stamps still pending from an
-  // in-progress elastic migration, which is why the base is the max of the
-  // clock and the existing dispatch_ready_ horizon.
-  const auto process_faults_due = [&]() {
-    if (injector_ == nullptr) return;
-    for (const fault::FaultEvent& ev : injector_->due(clock_)) {
-      FaultRecord rec;
-      rec.time_s = clock_;
-      rec.kind = ev.kind;
-      rec.device = ev.device;
-      switch (ev.kind) {
-        case fault::FaultKind::kKill: {
-          const std::int64_t ndev = shared_devices();
-          if (ndev <= 1) {
-            injector_->kill_skipped();
-            rec.skipped = true;
-            break;
-          }
-          const std::int64_t dead = ev.device % ndev;
-          rec.device = dead;
-          std::int64_t depth = 0;
-          for (std::size_t m = 0; m < models_.size(); ++m) {
-            ModelState& st = models_[m];
-            std::vector<InferRequest> requeue;
-            for (std::int32_t vn = 0; vn < st.ledger.total_slots(); ++vn) {
-              const Slot& s = st.ledger.slot(vn);
-              if (!s.busy || s.device != dead) continue;
-              // A slice absorbed this instant (pending decode chain)
-              // finished before the kill; it re-dispatches after cutover.
-              if (st.pending_chain[static_cast<std::size_t>(vn)]) continue;
-              Slot evicted = st.ledger.evict(vn);
-              ++rec.evicted_slices;
-              if (evicted.kind == SliceKind::kClassify) {
-                for (InferRequest& r : evicted.requests) {
-                  r.queue_wait_accum_s += evicted.dispatch_s - r.enqueued_s();
-                  ++r.retries;
-                  requeue.push_back(std::move(r));
-                }
-              } else if (evicted.kind == SliceKind::kPrefill) {
-                InferRequest r = st.streamer.cancel(vn);
+// Un-park transition: paused streams take free slots left over after
+// admissions, least share debt first (model id tie-break by the strict
+// <). A paused stream only fits its own model's slots.
+void ColocatedServer::try_resumes() {
+  for (;;) {
+    std::int32_t best = -1;
+    double best_key = kInf;
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      ModelState& st = models_[m];
+      if (clock_ < dispatch_ready_[m]) continue;
+      if (!st.streamer.has_paused()) continue;
+      if (st.ledger.lowest_free() < 0) continue;
+      if (share_time_[m] < best_key) {
+        best_key = share_time_[m];
+        best = static_cast<std::int32_t>(m);
+      }
+    }
+    if (best < 0) break;
+    ModelState& st = models_[static_cast<std::size_t>(best)];
+    const std::int32_t vn = st.ledger.lowest_free();
+    Slot slot = maybe_comm_fault(
+        st.streamer.resume(st.dispatcher, vn, clock_, device_free_));
+    charge(best, slot.compute_s);
+    st.ledger.admit(vn, std::move(slot));
+  }
+}
+
+// Fault transition: fires every injected event due at the current stamp
+// (complete_due first — a slice finishing exactly at a kill's stamp
+// survives). A kill tears the dead device slot's in-flight slices off
+// EVERY model with the single-model Server's per-kind recovery
+// (classify/prefill requeue with honest retry stamps, decode chains park
+// and resume from their last landed token), then remaps each engine's
+// VNs onto the survivors as a ROLLING migration: the fail_device
+// all-gathers serialize deepest-backlog-first (model id tie-break, like
+// perform_resize), each model's new dispatches resuming at its own
+// cutover stamp — on top of any cutover stamps still pending from an
+// in-progress elastic migration, which is why the base is the max of the
+// clock and the existing dispatch_ready_ horizon.
+void ColocatedServer::process_faults_due() {
+  if (injector_ == nullptr) return;
+  for (const fault::FaultEvent& ev : injector_->due(clock_)) {
+    FaultRecord rec;
+    rec.time_s = clock_;
+    rec.kind = ev.kind;
+    rec.device = ev.device;
+    switch (ev.kind) {
+      case fault::FaultKind::kKill: {
+        const std::int64_t ndev = shared_devices();
+        if (ndev <= 1) {
+          injector_->kill_skipped();
+          rec.skipped = true;
+          break;
+        }
+        const std::int64_t dead = ev.device % ndev;
+        rec.device = dead;
+        std::int64_t depth = 0;
+        for (std::size_t m = 0; m < models_.size(); ++m) {
+          ModelState& st = models_[m];
+          std::vector<InferRequest> requeue;
+          for (std::int32_t vn = 0; vn < st.ledger.total_slots(); ++vn) {
+            const Slot& s = st.ledger.slot(vn);
+            if (!s.busy || s.device != dead) continue;
+            // A slice absorbed this instant (pending decode chain)
+            // finished before the kill; it re-dispatches after cutover.
+            if (st.pending_chain[static_cast<std::size_t>(vn)]) continue;
+            Slot evicted = st.ledger.evict(vn);
+            ++rec.evicted_slices;
+            if (evicted.kind == SliceKind::kClassify) {
+              for (InferRequest& r : evicted.requests) {
                 r.queue_wait_accum_s += evicted.dispatch_s - r.enqueued_s();
                 ++r.retries;
                 requeue.push_back(std::move(r));
-              } else {
-                st.streamer.mark_retry(vn);
-                st.streamer.pause(vn);
               }
+            } else if (evicted.kind == SliceKind::kPrefill) {
+              InferRequest r = st.streamer.cancel(vn);
+              r.queue_wait_accum_s += evicted.dispatch_s - r.enqueued_s();
+              ++r.retries;
+              requeue.push_back(std::move(r));
+            } else {
+              st.streamer.mark_retry(vn);
+              st.streamer.pause(vn);
             }
-            rec.requeued_requests += static_cast<std::int64_t>(requeue.size());
-            std::sort(requeue.begin(), requeue.end(),
-                      [](const InferRequest& a, const InferRequest& b) {
-                        return a.id < b.id;
-                      });
-            for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
-              it->requeue_s = clock_;
-              st.queue.push_front(*it);
-            }
-            depth += st.queue.size();
           }
-
-          // Rolling VN remap, deepest combined backlog first.
-          std::vector<std::int32_t> order(models_.size());
-          for (std::size_t m = 0; m < models_.size(); ++m)
-            order[m] = static_cast<std::int32_t>(m);
-          std::sort(order.begin(), order.end(),
-                    [&](std::int32_t a, std::int32_t b) {
-                      const std::int64_t qa =
-                          models_[static_cast<std::size_t>(a)].queue.size();
-                      const std::int64_t qb =
-                          models_[static_cast<std::size_t>(b)].queue.size();
-                      if (qa != qb) return qa > qb;
-                      return a < b;
+          rec.requeued_requests += static_cast<std::int64_t>(requeue.size());
+          std::sort(requeue.begin(), requeue.end(),
+                    [](const InferRequest& a, const InferRequest& b) {
+                      return a.id < b.id;
                     });
-          double base = clock_;
-          for (const double ready : dispatch_ready_)
-            base = std::max(base, ready);
-          double migration = 0.0;
-          for (const std::int32_t m : order) {
-            VirtualFlowEngine& eng = registry_.engine(m);
-            const double before = eng.sim_time_s();
-            eng.fail_device(dead);
-            migration += eng.sim_time_s() - before;
-            dispatch_ready_[static_cast<std::size_t>(m)] = base + migration;
-            if (obs_.trace != nullptr)
-              obs_.trace->instant("cutover", base + migration, /*device=*/-1,
-                                  /*vn=*/-1, m);
+          for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+            it->requeue_s = clock_;
+            st.queue.push_front(*it);
           }
-          rec.migration_s = migration;
-          device_free_.assign(static_cast<std::size_t>(shared_devices()), clock_);
-          for (std::size_t m = 0; m < models_.size(); ++m)
-            injector_->apply_slowdowns(registry_.engine(static_cast<std::int32_t>(m)));
-          work_since_resize_ = 0;
-          ResizeEvent rev;
-          rev.time_s = base + migration;
-          rev.from_devices = ndev;
-          rev.to_devices = ndev - 1;
-          rev.queue_depth = depth;
-          rev.migration_s = migration;
-          resizes_.push_back(rev);
-          if (obs_.metrics != nullptr) {
-            obs_.metrics->counter("serve.faults.requeued").add(rec.requeued_requests);
-            obs_.metrics->gauge("serve.devices")
-                .set(static_cast<double>(ndev - 1), clock_);
-          }
-          break;
+          depth += st.queue.size();
         }
-        case fault::FaultKind::kRecover:
-          // Capacity returns to the shared elastic budget (capacity_cap);
-          // the resize rule re-grows on observed load, not on the event.
-          break;
-        case fault::FaultKind::kStragglerStart:
-        case fault::FaultKind::kStragglerEnd:
-          for (std::size_t m = 0; m < models_.size(); ++m)
-            injector_->apply_slowdowns(registry_.engine(static_cast<std::int32_t>(m)));
-          break;
-        case fault::FaultKind::kCommFault:
-          // One-shot; consumed by the next dispatch (maybe_comm_fault).
-          break;
-      }
-      faults_.push_back(rec);
-    }
-  };
 
+        // Rolling VN remap, deepest combined backlog first.
+        std::vector<std::int32_t> order(models_.size());
+        for (std::size_t m = 0; m < models_.size(); ++m)
+          order[m] = static_cast<std::int32_t>(m);
+        std::sort(order.begin(), order.end(),
+                  [&](std::int32_t a, std::int32_t b) {
+                    const std::int64_t qa =
+                        models_[static_cast<std::size_t>(a)].queue.size();
+                    const std::int64_t qb =
+                        models_[static_cast<std::size_t>(b)].queue.size();
+                    if (qa != qb) return qa > qb;
+                    return a < b;
+                  });
+        double base = clock_;
+        for (const double ready : dispatch_ready_)
+          base = std::max(base, ready);
+        double migration = 0.0;
+        for (const std::int32_t m : order) {
+          VirtualFlowEngine& eng = registry_.engine(m);
+          const double before = eng.sim_time_s();
+          eng.fail_device(dead);
+          migration += eng.sim_time_s() - before;
+          dispatch_ready_[static_cast<std::size_t>(m)] = base + migration;
+          if (obs_.trace != nullptr)
+            obs_.trace->instant("cutover", base + migration, /*device=*/-1,
+                                /*vn=*/-1, m);
+        }
+        rec.migration_s = migration;
+        device_free_.assign(static_cast<std::size_t>(shared_devices()), clock_);
+        for (std::size_t m = 0; m < models_.size(); ++m)
+          injector_->apply_slowdowns(registry_.engine(static_cast<std::int32_t>(m)));
+        work_since_resize_ = 0;
+        ResizeEvent rev;
+        rev.time_s = base + migration;
+        rev.from_devices = ndev;
+        rev.to_devices = ndev - 1;
+        rev.queue_depth = depth;
+        rev.migration_s = migration;
+        resizes_.push_back(rev);
+        if (obs_.metrics != nullptr) {
+          obs_.metrics->counter("serve.faults.requeued").add(rec.requeued_requests);
+          obs_.metrics->gauge("serve.devices")
+              .set(static_cast<double>(ndev - 1), clock_);
+        }
+        break;
+      }
+      case fault::FaultKind::kRecover:
+        // Capacity returns to the shared elastic budget (capacity_cap);
+        // the resize rule re-grows on observed load, not on the event.
+        break;
+      case fault::FaultKind::kStragglerStart:
+      case fault::FaultKind::kStragglerEnd:
+        for (std::size_t m = 0; m < models_.size(); ++m)
+          injector_->apply_slowdowns(registry_.engine(static_cast<std::int32_t>(m)));
+        break;
+      case fault::FaultKind::kCommFault:
+        // One-shot; consumed by the next dispatch (maybe_comm_fault).
+        break;
+    }
+    faults_.push_back(rec);
+  }
+}
+
+// Next event over all models: earliest in-flight completion, next
+// arrival, a deferred decode chain's cutover stamp, a parked stream's
+// resume opportunity, or — where a partial classify slice waits on a
+// free slot — the oldest request's timeout. Terms at or before the
+// clock denote states the dispatch phases have already consumed, so
+// the pump loop always advances.
+double ColocatedServer::next_event_internal() const {
+  double next_t = kInf;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const ModelState& st = models_[m];
+    // Earliest in-flight completion, excluding slots already absorbed
+    // into a deferred decode chain (pending_chain): their done_s is
+    // stale — at or before the clock — and their real next event is the
+    // cutover stamp added below. Reading them through earliest_done_s()
+    // would pin the horizon at the clock and livelock the loop.
+    for (std::int32_t vn = 0; vn < st.ledger.total_slots(); ++vn) {
+      const Slot& s = st.ledger.slot(vn);
+      if (s.busy && !st.pending_chain[static_cast<std::size_t>(vn)])
+        next_t = std::min(next_t, s.done_s);
+    }
+    const auto& trace = (*traces_)[m];
+    if (st.next_arrival < trace.size())
+      next_t = std::min(next_t, trace[st.next_arrival].arrival_s);
+    if (!st.continuations.empty())
+      next_t = std::min(next_t, dispatch_ready_[m]);
+    if (st.streamer.has_paused() && st.ledger.lowest_free() >= 0)
+      next_t = std::min(next_t, dispatch_ready_[m]);
+    if (!st.queue.empty() && st.ledger.lowest_free() >= 0) {
+      if (TokenStreamer::is_stream(st.queue.front())) {
+        // A gated prefill fires at the cutover stamp; ungated it would
+        // have been admitted already.
+        next_t = std::min(next_t, dispatch_ready_[m]);
+      } else {
+        const std::int64_t cap = registry_.engine(static_cast<std::int32_t>(m))
+                                     .mapping()
+                                     .vn_batch(st.ledger.lowest_free());
+        const std::int64_t prefix = classify_prefix(st, cap);
+        const bool full_slice = prefix >= cap || prefix < st.queue.size();
+        const double timeout =
+            st.queue.front().arrival_s +
+            registry_.config(static_cast<std::int32_t>(m)).batch.max_wait_s;
+        const double t = full_slice
+                             ? dispatch_ready_[m]
+                             : std::max(timeout, dispatch_ready_[m]);
+        next_t = std::min(next_t, t);
+      }
+    }
+  }
+  if (injector_ != nullptr) next_t = std::min(next_t, injector_->next_event_s());
+  return next_t;
+}
+
+void ColocatedServer::pump(double horizon_s) {
+  check(traces_ != nullptr, "begin() traces before pump()");
   while (true) {
     admit_up_to_clock();
     complete_due();
@@ -675,58 +860,14 @@ void ColocatedServer::replay_continuous() {
       // faults: nothing pauses streams otherwise).
       try_resumes();
     }
-
-    // Next event over all models: earliest in-flight completion, next
-    // arrival, a deferred decode chain's cutover stamp, a parked stream's
-    // resume opportunity, or — where a partial classify slice waits on a
-    // free slot — the oldest request's timeout. Terms at or before the
-    // clock denote states the dispatch phases above have already
-    // consumed, so the loop always advances.
-    double next_t = kInf;
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      const ModelState& st = models_[m];
-      // Earliest in-flight completion, excluding slots already absorbed
-      // into a deferred decode chain (pending_chain): their done_s is
-      // stale — at or before the clock — and their real next event is the
-      // cutover stamp added below. Reading them through earliest_done_s()
-      // would pin the horizon at the clock and livelock the loop.
-      for (std::int32_t vn = 0; vn < st.ledger.total_slots(); ++vn) {
-        const Slot& s = st.ledger.slot(vn);
-        if (s.busy && !st.pending_chain[static_cast<std::size_t>(vn)])
-          next_t = std::min(next_t, s.done_s);
-      }
-      const auto& trace = (*traces_)[m];
-      if (st.next_arrival < trace.size())
-        next_t = std::min(next_t, trace[st.next_arrival].arrival_s);
-      if (!st.continuations.empty())
-        next_t = std::min(next_t, dispatch_ready_[m]);
-      if (st.streamer.has_paused() && st.ledger.lowest_free() >= 0)
-        next_t = std::min(next_t, dispatch_ready_[m]);
-      if (!st.queue.empty() && st.ledger.lowest_free() >= 0) {
-        if (TokenStreamer::is_stream(st.queue.front())) {
-          // A gated prefill fires at the cutover stamp; ungated it would
-          // have been admitted above.
-          next_t = std::min(next_t, dispatch_ready_[m]);
-        } else {
-          const std::int64_t cap = registry_.engine(static_cast<std::int32_t>(m))
-                                       .mapping()
-                                       .vn_batch(st.ledger.lowest_free());
-          const std::int64_t prefix = classify_prefix(st, cap);
-          const bool full_slice = prefix >= cap || prefix < st.queue.size();
-          const double timeout =
-              st.queue.front().arrival_s +
-              registry_.config(static_cast<std::int32_t>(m)).batch.max_wait_s;
-          const double t = full_slice
-                               ? dispatch_ready_[m]
-                               : std::max(timeout, dispatch_ready_[m]);
-          next_t = std::min(next_t, t);
-        }
-      }
-    }
-    if (injector_ != nullptr) next_t = std::min(next_t, injector_->next_event_s());
+    const double next_t = next_event_internal();
     if (next_t == kInf) break;  // ledgers idle, queues drained, traces done
+    if (next_t > horizon_s) break;  // next event beyond this pump's horizon
     clock_ = std::max(clock_, next_t);
   }
+  // A bounded pump leaves the clock at its horizon so the next load()
+  // snapshot and grant charge from a consistent stamp.
+  if (horizon_s < kInf && clock_ < horizon_s) clock_ = horizon_s;
 }
 
 void ColocatedServer::execute_model_batch(std::int32_t m, std::int64_t take) {

@@ -77,6 +77,7 @@
 
 #include "core/engine.h"
 #include "data/dataset.h"
+#include "sched/lease.h"
 #include "serve/batch_former.h"
 #include "serve/dispatch.h"
 #include "serve/request_queue.h"
@@ -148,7 +149,7 @@ struct ColocationConfig {
 /// degenerate case equivalent to a continuous-mode Server) on one shared
 /// device set. One replay per server, same one-shot contract as the
 /// single-model Server.
-class ColocatedServer {
+class ColocatedServer : public sched::DeviceLease {
  public:
   /// All engines must start on identical device counts (they stay in
   /// lockstep through shared resizes). Engines, pools, and the registry
@@ -179,7 +180,40 @@ class ColocatedServer {
 
   /// Replays one open-loop arrival trace per model (indexed by model id,
   /// each ascending in arrival time) to completion, draining every queue.
+  /// In continuous mode this is begin(traces); pump(+inf); finish().
   void replay(const std::vector<std::vector<InferRequest>>& traces);
+
+  // ---- Cluster-governed stepping (the sched::DeviceLease protocol) ----
+  //
+  // A co-located deployment is ONE lease: the ClusterController sizes the
+  // shared device set as a unit and the internal arbiter keeps splitting
+  // it between the co-tenants. See Server for the per-method contracts;
+  // the differences here are the combined load signal (sum of queues and
+  // in-flight, worst relative deadline pressure picks the reported SLO)
+  // and the rolling-migration grant (apply_grant returns the total
+  // serialized migration charge; each model cuts over at its own stamp).
+
+  /// Switches to cluster governance (before begin()): disables the shared
+  /// internal elastic loop and enables apply_grant(). Requires continuous
+  /// mode; validates the ElasticPolicy band regardless of `enabled`.
+  void set_cluster_governed();
+
+  /// Opens the per-model traces for externally-pumped stepping
+  /// (continuous mode only; validation matches replay(); one begin per
+  /// server). The traces must outlive the stepping run.
+  void begin(const std::vector<std::vector<InferRequest>>& traces);
+
+  void pump(double horizon_s) override;
+  double next_event_s() const override;
+  sched::LoadSignal load() const override;
+  /// Resizes the shared set to `devices` through perform_resize (rolling
+  /// migration). Returns the total serialized migration seconds.
+  double apply_grant(std::int64_t devices) override;
+  bool drained() const override;
+
+  /// Exports the per-model SLO summaries + devices gauge to the attached
+  /// metrics registry (idempotent). replay() calls it at the drain.
+  void finish();
 
   double now_s() const { return clock_; }
   /// Models frozen at construction (a registry that grows afterwards is
@@ -231,8 +265,17 @@ class ColocatedServer {
     std::size_t next_arrival = 0;
   };
 
-  void replay_continuous();
   void replay_batch_boundary();
+
+  // Continuous-mode transitions (one pump iteration = admit, complete,
+  // faults, elastic decision, dispatch phases; see pump()).
+  void finalize_span_depth();
+  void complete_due();
+  void readmit_continuations();
+  void try_dispatch();
+  void try_resumes();
+  void process_faults_due();
+  double next_event_internal() const;
 
   /// Admits every model's arrivals up to the clock, in model-id order.
   /// Re-activation snaps an idle model's share debt up to the system
@@ -290,6 +333,8 @@ class ColocatedServer {
 
   std::int64_t work_since_resize_ = 0;
   bool replayed_ = false;
+  bool cluster_governed_ = false;
+  bool finished_ = false;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
 

@@ -44,12 +44,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/engine.h"
 #include "data/dataset.h"
 #include "device/spec.h"
 #include "fault/fault.h"
+#include "sched/lease.h"
 #include "serve/batch_former.h"
 #include "serve/dispatch.h"
 #include "serve/request_queue.h"
@@ -125,7 +127,7 @@ struct FaultRecord {
 // BatchEvent lives in serve/dispatch.h (shared with the SliceDispatcher
 // that produces them); included above.
 
-class Server {
+class Server : public sched::DeviceLease {
  public:
   /// `engine` supplies the model replicas, mapping, and resize machinery;
   /// `request_pool` generates request payload features on demand. Both
@@ -160,8 +162,48 @@ class Server {
   void set_fault_injector(fault::FaultInjector* injector);
 
   /// Replays an open-loop arrival trace (ascending arrival order) to
-  /// completion, draining the queue. One replay per Server.
+  /// completion, draining the queue. One replay per Server. Implemented
+  /// on the stepping machinery below: begin(trace); pump(+inf); finish().
   void replay(const std::vector<InferRequest>& trace);
+
+  // ---- Cluster-governed stepping (the sched::DeviceLease protocol) ----
+  //
+  // The ClusterController (sched/cluster.h) drives a Server through
+  // begin()/pump()/apply_grant() instead of the self-driving replay():
+  // the internal elastic loop is off — the cluster policy owns sizing,
+  // with the ElasticPolicy watermarks and min/max demoted to the load()
+  // signal's advisory band — and the device set changes only when a
+  // grant arrives. The seamless-resize machinery underneath is the same
+  // one the self-driving loop uses (perform_resize).
+
+  /// Switches the server to cluster governance (before begin()):
+  /// disables the internal elastic_resize_target loop and enables
+  /// apply_grant(). Requires continuous batching and validates the
+  /// ElasticPolicy band fields (they parameterize load()) regardless of
+  /// `elastic.enabled`.
+  void set_cluster_governed();
+
+  /// Opens `trace` for externally-pumped stepping (continuous mode
+  /// only; validation matches replay(); one begin per Server). The trace
+  /// must outlive the stepping run.
+  void begin(const std::vector<InferRequest>& trace);
+
+  /// Processes every internal event due at or before `horizon_s` (slice
+  /// completions, arrivals, faults, timeouts) and, when work remains,
+  /// advances the clock to `horizon_s` so a grant applied next is
+  /// stamped at controller time. `horizon_s = +inf` runs to the drain.
+  void pump(double horizon_s) override;
+  double next_event_s() const override;
+  sched::LoadSignal load() const override;
+  /// Resizes to `devices` through perform_resize (seamless migration,
+  /// ResizeEvent record, obs markers). Returns the migration seconds.
+  double apply_grant(std::int64_t devices) override;
+  bool drained() const override;
+
+  /// Exports the SLO summary + devices gauge to the attached metrics
+  /// registry (idempotent). replay() calls it at the drain; cluster runs
+  /// call it when the lease retires.
+  void finish();
 
   double now_s() const { return clock_; }
   const SloTracker& slo() const { return tracker_; }
@@ -171,14 +213,48 @@ class Server {
   const std::vector<FaultRecord>& faults() const { return faults_; }
 
  private:
+  /// Continuous-mode in-flight state, created by begin() and alive for
+  /// the whole stepping run. Holding it as a member (rather than locals
+  /// of a closed replay loop) is what lets the ClusterController pump the
+  /// replay between grants.
+  struct Flight {
+    const std::vector<InferRequest>* trace;
+    SlotLedger ledger;
+    TokenStreamer streamer;
+    /// Per-device serialization horizon, indexed by device id under the
+    /// current mapping; rebuilt after every resize.
+    std::vector<double> device_free;
+    std::size_t next_arrival = 0;
+    /// Streams whose slice finished this instant and want another token;
+    /// drained within the same event-loop iteration.
+    std::vector<std::int32_t> continuations;
+
+    Flight(const std::vector<InferRequest>& t, std::int64_t vns,
+           std::int64_t pool_size, std::size_t devices)
+        : trace(&t), ledger(vns), streamer(vns, pool_size),
+          device_free(devices, 0.0) {}
+  };
+
   void replay_batch_boundary(const std::vector<InferRequest>& trace);
-  void replay_continuous(const std::vector<InferRequest>& trace);
   void execute_batch(std::int64_t take);
   void maybe_resize();
   /// Executes a decided resize to `target` devices: seamless migration on
   /// the engine, clock charge, event record, cooldown reset. `depth` is
   /// the queue depth that triggered the decision.
   void perform_resize(std::int64_t target, std::int64_t depth);
+
+  // Continuous-mode transitions (one pump iteration = admit, complete,
+  // faults, elastic decision, dispatch phases; see pump()).
+  void admit_up_to_clock();
+  Slot with_comm_fault(Slot slot);
+  void finalize_span_depth();
+  void complete_due();
+  void process_faults_due();
+  void resize_if_needed();
+  void try_dispatch();
+  void readmit_continuations();
+  void try_resumes();
+  double next_event_internal() const;
 
   VirtualFlowEngine& engine_;
   const Dataset& request_pool_;
@@ -201,6 +277,9 @@ class Server {
   /// Work units (batches or slices) since the last resize; cooldown gate.
   std::int64_t work_since_resize_ = 0;
   bool replayed_ = false;
+  bool cluster_governed_ = false;
+  bool finished_ = false;
+  std::unique_ptr<Flight> flight_;
   std::vector<ResizeEvent> resizes_;
   std::vector<BatchEvent> batches_;
   std::vector<FaultRecord> faults_;

@@ -75,9 +75,11 @@
 #include "serve/streaming.h"
 
 // Cluster scheduling.
+#include "sched/cluster.h"
 #include "sched/elastic.h"
 #include "sched/gavel.h"
 #include "sched/job.h"
+#include "sched/lease.h"
 #include "sched/simulator.h"
 #include "sched/throughput.h"
 #include "sched/trace.h"

@@ -1,0 +1,439 @@
+// ClusterController: the one device economy. Covers the grant/lease
+// protocol (fake + real holders), the defensive over-commit and
+// serve-band checks, the static-partition baseline, fault-driven
+// re-grants with zero loss, and bit-identical replay across host worker
+// counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sched/cluster.h"
+#include "sched/wfs.h"
+#include "serve/arrival.h"
+#include "serve/server.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+#include "workloads/tasks.h"
+
+namespace vf {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+ClusterInventory v100s(std::int64_t n) {
+  ClusterInventory c;
+  c.per_type[DeviceType::kV100] = n;
+  return c;
+}
+
+JobSpec train_spec(std::int64_t id, double arrival, std::int64_t steps,
+                   std::int64_t demand, double priority = 1.0) {
+  JobSpec j;
+  j.id = id;
+  j.arrival_s = arrival;
+  j.priority = priority;
+  j.workload = "resnet56";
+  j.profile = model_profile("resnet56");
+  j.global_batch = 128;
+  j.total_steps = steps;
+  j.demand_gpus = demand;
+  return j;
+}
+
+JobSpec serve_spec(std::int64_t id, std::int64_t demand, std::int64_t min_gpus,
+                   std::int64_t max_gpus, double priority = 10.0) {
+  JobSpec j;
+  j.id = id;
+  j.kind = JobKind::kServe;
+  j.priority = priority;
+  j.demand_gpus = demand;
+  j.min_gpus = min_gpus;
+  j.max_gpus = max_gpus;
+  return j;
+}
+
+/// Minimal scripted lease: reports a fixed backlog until `busy_until_s`,
+/// then drains. Lets the contract tests run without a full serving rig.
+struct FakeServeLease : sched::DeviceLease {
+  double busy_until_s = 2.0;
+  std::int64_t queue_depth = 100;
+  std::int64_t max_devices = 8;
+  double clock_ = 0.0;
+  std::int64_t devices_ = 1;
+  std::vector<std::int64_t> grants_seen;
+
+  double next_event_s() const override {
+    return clock_ < busy_until_s ? busy_until_s
+                                 : std::numeric_limits<double>::infinity();
+  }
+  void pump(double horizon_s) override {
+    if (horizon_s < std::numeric_limits<double>::infinity())
+      clock_ = std::max(clock_, horizon_s);
+  }
+  sched::LoadSignal load() const override {
+    sched::LoadSignal s;
+    s.queue_depth = clock_ < busy_until_s ? queue_depth : 0;
+    s.devices = devices_;
+    s.min_devices = 1;
+    s.max_devices = max_devices;
+    s.high_watermark = 8;
+    s.low_watermark = 1;
+    s.drained = clock_ >= busy_until_s;
+    return s;
+  }
+  double apply_grant(std::int64_t devices) override {
+    if (devices == devices_) return 0.0;
+    devices_ = devices;
+    grants_seen.push_back(devices);
+    return 0.1;
+  }
+  bool drained() const override { return clock_ >= busy_until_s; }
+};
+
+TEST(ClusterController, ValidatesConstructionAndSpecs) {
+  ElasticWfsScheduler wfs;
+  EXPECT_THROW(ClusterController(v100s(0), wfs), VfError);
+
+  ClusterController c(v100s(4), wfs);
+  c.add_train_job(train_spec(0, 0.0, 10, 2));
+  EXPECT_THROW(c.add_train_job(train_spec(0, 0.0, 10, 2)), VfError);  // dup id
+  EXPECT_THROW(c.add_train_job(serve_spec(1, 2, 1, 4)), VfError);  // wrong kind
+
+  FakeServeLease lease;
+  EXPECT_THROW(c.add_serve_job(train_spec(2, 0.0, 10, 2), lease), VfError);
+  JobSpec bad = serve_spec(3, 2, /*min=*/0, /*max=*/4);
+  EXPECT_THROW(c.add_serve_job(bad, lease), VfError);  // min_gpus < 1
+
+  ClusterController empty(v100s(4), wfs);
+  EXPECT_THROW(empty.run(), VfError);  // no jobs
+}
+
+TEST(ClusterController, OverCommittingPolicyFailsLoudly) {
+  struct Greedy : Scheduler {
+    std::map<std::int64_t, Allocation> schedule(
+        const ClusterInventory&, const std::vector<const JobState*>& jobs,
+        double) override {
+      std::map<std::int64_t, Allocation> out;
+      for (const JobState* j : jobs)
+        out[j->spec.id] = Allocation::of(DeviceType::kV100, 100);
+      return out;
+    }
+    std::string name() const override { return "greedy"; }
+  } policy;
+  ClusterController c(v100s(4), policy);
+  c.add_train_job(train_spec(0, 0.0, 10, 2));
+  EXPECT_THROW(c.run(), VfError);
+}
+
+TEST(ClusterController, ServeGrantOutsideLiveBandFailsLoudly) {
+  // A policy that ignores serving jobs entirely grants them 0 devices —
+  // below the latency-critical floor. The controller must refuse to
+  // forward that to the lease.
+  struct TrainOnly : Scheduler {
+    std::map<std::int64_t, Allocation> schedule(
+        const ClusterInventory&, const std::vector<const JobState*>&,
+        double) override {
+      return {};
+    }
+    std::string name() const override { return "train-only"; }
+  } policy;
+  ClusterController c(v100s(8), policy);
+  FakeServeLease lease;
+  c.add_serve_job(serve_spec(0, 2, 1, 8), lease);
+  EXPECT_THROW(c.run(), VfError);
+}
+
+TEST(ClusterController, WfsGrowsBackloggedServingJob) {
+  ElasticWfsScheduler wfs;
+  ClusterOptions opts;
+  opts.reeval_interval_s = 0.25;  // the fake lease has no internal events
+  ClusterController c(v100s(16), wfs, opts);
+  FakeServeLease lease;
+  c.add_serve_job(serve_spec(0, 2, 1, 8), lease);
+  c.add_train_job(train_spec(1, 0.0, 2000, 8));
+  const ClusterReport report = c.run();
+
+  // Sustained backlog over the high watermark must have doubled the
+  // serving device-set toward its ceiling, through grants only.
+  EXPECT_FALSE(lease.grants_seen.empty());
+  EXPECT_GT(*std::max_element(lease.grants_seen.begin(), lease.grants_seen.end()),
+            1);
+  for (const GrantRecord& g : report.grants) {
+    if (report.jobs[0].spec.id != g.job_id) continue;
+    EXPECT_GE(g.to_devices, 1);
+    EXPECT_LE(g.to_devices, 8);
+  }
+  EXPECT_TRUE(report.jobs[0].finished());
+  EXPECT_TRUE(report.jobs[1].finished());
+  EXPECT_GT(report.train_makespan_s, 0.0);
+}
+
+TEST(ClusterController, StaticPartitionPinsServingAtProvisionedSize) {
+  ElasticWfsScheduler wfs;
+  StaticPartitionScheduler policy(wfs, DeviceType::kV100);
+  EXPECT_EQ(policy.name(), "static(elastic-wfs)");
+
+  ClusterOptions opts;
+  opts.reeval_interval_s = 0.25;
+  ClusterController c(v100s(16), policy, opts);
+  FakeServeLease lease;  // backlog wants 8, partition pins 4
+  c.add_serve_job(serve_spec(0, /*demand=*/4, 1, 8), lease);
+  c.add_train_job(train_spec(1, 0.0, 500, 12));
+  const ClusterReport report = c.run();
+
+  ASSERT_FALSE(report.grants.empty());
+  for (const GrantRecord& g : report.grants) {
+    if (g.job_id == 0) {
+      EXPECT_EQ(g.to_devices, 4) << "partition must pin serving";
+    }
+  }
+  EXPECT_EQ(lease.devices_, 4);
+  EXPECT_TRUE(report.jobs[1].finished());
+}
+
+// ---------------------------------------------------------------------------
+// Real serving rig (mrpc-sim proxy task, as tests/serve uses).
+// ---------------------------------------------------------------------------
+
+struct Rig {
+  ProxyTask task;
+  Sequential model;
+  TrainRecipe recipe;
+};
+
+Rig make_rig() {
+  return Rig{make_task("mrpc-sim", kSeed), make_proxy_model("mrpc-sim", kSeed),
+             make_recipe("mrpc-sim")};
+}
+
+VirtualFlowEngine make_engine(Rig& rig, std::int64_t devices, std::int64_t workers,
+                              std::int64_t vns = 8) {
+  EngineConfig cfg;
+  cfg.seed = kSeed;
+  cfg.enforce_memory = false;
+  cfg.num_threads = workers;
+  return VirtualFlowEngine(rig.model, *rig.recipe.optimizer, *rig.recipe.schedule,
+                           *rig.task.train, model_profile("bert-base"),
+                           make_devices(DeviceType::kV100, devices),
+                           VnMapping::even(vns, devices, rig.recipe.global_batch),
+                           cfg);
+}
+
+serve::ServerConfig serve_config() {
+  serve::ServerConfig cfg;
+  cfg.continuous = true;
+  cfg.queue_capacity = 4096;
+  cfg.batch = {/*max_batch=*/64, /*max_wait_s=*/0.01};
+  cfg.deadline_s = 0.5;
+  cfg.elastic.enabled = true;
+  cfg.elastic.high_watermark = 48;
+  cfg.elastic.low_watermark = 4;
+  cfg.elastic.min_devices = 1;
+  cfg.elastic.max_devices = 8;
+  cfg.elastic.cooldown_batches = 1;
+  return cfg;
+}
+
+std::vector<serve::InferRequest> burst_trace(const Dataset& pool) {
+  return serve::phased_poisson_trace(
+      kSeed,
+      {{/*rate_rps=*/300.0, /*duration_s=*/0.5},
+       {/*rate_rps=*/2500.0, /*duration_s=*/1.0},
+       {/*rate_rps=*/150.0, /*duration_s=*/2.0}},
+      pool.size());
+}
+
+struct CoschedResult {
+  std::vector<GrantRecord> grants;
+  std::vector<double> latencies;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  double train_completion_s = 0.0;
+  double end_s = 0.0;
+};
+
+CoschedResult run_cosched(std::int64_t workers) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/1, workers);
+  serve::Server server(engine, *rig.task.val, serve_config());
+  server.set_cluster_governed();
+  const auto trace = burst_trace(*rig.task.val);  // begin() keeps a pointer
+  server.begin(trace);
+
+  ElasticWfsScheduler wfs;
+  ClusterController c(v100s(12), wfs);
+  c.add_serve_job(serve_spec(0, /*demand=*/4, 1, 8), server);
+  c.add_train_job(train_spec(1, 0.0, 1500, 4));
+  const ClusterReport report = c.run();
+  server.finish();
+
+  CoschedResult out;
+  out.grants = report.grants;
+  for (const serve::RequestRecord& r : server.slo().records()) {
+    if (!r.rejected) out.latencies.push_back(r.latency_s());
+  }
+  out.completed = server.slo().completed();
+  out.rejected = server.slo().rejected();
+  out.train_completion_s = report.jobs[1].completion_s;
+  out.end_s = report.end_s;
+  return out;
+}
+
+TEST(ClusterController, ServerLeaseEndToEnd) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, /*workers=*/0);
+  serve::Server server(engine, *rig.task.val, serve_config());
+  server.set_cluster_governed();
+  const auto trace = burst_trace(*rig.task.val);
+  ASSERT_GT(trace.size(), 100u);
+  server.begin(trace);
+
+  ElasticWfsScheduler wfs;
+  ClusterController c(v100s(12), wfs);
+  c.add_serve_job(serve_spec(0, 4, 1, 8), server);
+  c.add_train_job(train_spec(1, 0.0, 1500, 4));
+  const ClusterReport report = c.run();
+  server.finish();
+
+  // Conservation: every request was served or explicitly rejected, and
+  // the lease drained before the controller retired it.
+  EXPECT_EQ(server.slo().completed() + server.slo().rejected(),
+            static_cast<std::int64_t>(trace.size()));
+  EXPECT_GT(server.slo().completed(), 0);
+  EXPECT_TRUE(server.drained());
+  EXPECT_TRUE(report.jobs[0].finished());
+  EXPECT_TRUE(report.jobs[1].finished());
+  EXPECT_GT(report.train_makespan_s, 0.0);
+
+  // Every grant stayed inside the serving band; the burst forced growth.
+  bool grew = false;
+  for (const GrantRecord& g : report.grants) {
+    if (g.job_id != 0) continue;
+    EXPECT_GE(g.to_devices, 1);
+    EXPECT_LE(g.to_devices, 8);
+    if (g.to_devices > g.from_devices) grew = true;
+  }
+  EXPECT_TRUE(grew) << "the burst must force at least one growth grant";
+}
+
+TEST(ClusterController, BitIdenticalAcrossWorkerCounts) {
+  const CoschedResult base = run_cosched(/*workers=*/0);
+  ASSERT_GT(base.completed, 0);
+  for (std::int64_t workers : {2, 8}) {
+    const CoschedResult other = run_cosched(workers);
+    EXPECT_EQ(base.completed, other.completed) << "workers=" << workers;
+    EXPECT_EQ(base.rejected, other.rejected) << "workers=" << workers;
+    EXPECT_EQ(base.latencies, other.latencies) << "workers=" << workers;
+    EXPECT_EQ(base.train_completion_s, other.train_completion_s)
+        << "workers=" << workers;
+    EXPECT_EQ(base.end_s, other.end_s) << "workers=" << workers;
+    ASSERT_EQ(base.grants.size(), other.grants.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < base.grants.size(); ++i) {
+      EXPECT_EQ(base.grants[i].time_s, other.grants[i].time_s);
+      EXPECT_EQ(base.grants[i].job_id, other.grants[i].job_id);
+      EXPECT_EQ(base.grants[i].to_devices, other.grants[i].to_devices);
+      EXPECT_EQ(base.grants[i].migration_s, other.grants[i].migration_s);
+    }
+  }
+}
+
+TEST(ClusterController, FaultKillForcesRegrantWithZeroLoss) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, 1, 0);
+  serve::Server server(engine, *rig.task.val, serve_config());
+
+  fault::FaultPlan plan;
+  plan.kill(/*time_s=*/0.8, /*device=*/0).recover(/*time_s=*/1.6);
+  fault::FaultInjector injector(std::move(plan));
+  server.set_fault_injector(&injector);
+
+  server.set_cluster_governed();
+  const auto trace = burst_trace(*rig.task.val);
+  server.begin(trace);
+
+  ElasticWfsScheduler wfs;
+  ClusterController c(v100s(12), wfs);
+  c.add_serve_job(serve_spec(0, 4, 1, 8), server);
+  c.add_train_job(train_spec(1, 0.0, 1500, 4));
+  const ClusterReport report = c.run();
+  server.finish();
+
+  // Zero loss: the kill evicted and requeued work, but every request is
+  // accounted for and the trace fully drained.
+  EXPECT_EQ(server.slo().completed() + server.slo().rejected(),
+            static_cast<std::int64_t>(trace.size()));
+  EXPECT_TRUE(server.drained());
+  EXPECT_TRUE(report.jobs[1].finished()) << "training rides through the fault";
+
+  // The policy re-granted after the kill: the controller saw the capped
+  // ceiling / shrunk device-set through load() and kept governing.
+  bool regranted = false;
+  for (const GrantRecord& g : report.grants) {
+    if (g.job_id == 0 && g.time_s > 0.8) regranted = true;
+  }
+  EXPECT_TRUE(regranted) << "no grant after the kill — controller stopped governing";
+}
+
+TEST(EngineTrainLease, RunsGrantedEngineToCompletion) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/2, /*workers=*/0);
+  EngineTrainLease lease(engine, /*total_steps=*/25, DeviceType::kV100);
+
+  JobSpec spec = train_spec(0, 0.0, 25, 2);
+  spec.workload = "bert-base";
+  spec.profile = model_profile("bert-base");
+  spec.global_batch = rig.recipe.global_batch;
+
+  ElasticWfsScheduler wfs;
+  ClusterController c(v100s(4), wfs);
+  c.add_train_lease(spec, lease);
+  const ClusterReport report = c.run();
+
+  EXPECT_EQ(lease.steps_done(), 25);
+  EXPECT_TRUE(lease.drained());
+  EXPECT_TRUE(report.jobs[0].finished());
+  EXPECT_NEAR(report.jobs[0].completion_s, engine.sim_time_s(), 1e-9)
+      << "controller completion stamps at the engine's virtual clock";
+  EXPECT_GT(report.train_makespan_s, 0.0);
+}
+
+TEST(EngineTrainLease, FullPreemptionPausesAndResumes) {
+  Rig rig = make_rig();
+  VirtualFlowEngine engine = make_engine(rig, /*devices=*/2, /*workers=*/0);
+  EngineTrainLease lease(engine, /*total_steps=*/40, DeviceType::kV100);
+
+  JobSpec lease_spec = train_spec(0, 0.0, 40, 2, /*priority=*/1.0);
+  lease_spec.workload = "bert-base";
+  lease_spec.profile = model_profile("bert-base");
+  lease_spec.global_batch = rig.recipe.global_batch;
+
+  // A much heavier-weighted analytic job arrives mid-run; WFS water-fills
+  // the 2-GPU cluster as 10:1 which rounds to 2/0 — the lease is fully
+  // preempted (grant 0) and re-granted when the heavy job completes.
+  ElasticWfsScheduler policy;
+  ClusterController c(v100s(2), policy);
+  c.add_train_lease(lease_spec, lease);
+  c.add_train_job(train_spec(1, 0.5, 400, 2, /*priority=*/10.0));
+  const ClusterReport report = c.run();
+
+  EXPECT_EQ(lease.steps_done(), 40);
+  EXPECT_TRUE(report.jobs[0].finished());
+  EXPECT_TRUE(report.jobs[1].finished());
+  EXPECT_GT(report.jobs[0].completion_s, report.jobs[1].completion_s)
+      << "preempted lease finishes after the high-priority job";
+
+  bool preempted = false, resumed = false;
+  for (const GrantRecord& g : report.grants) {
+    if (g.job_id != 0) continue;
+    if (g.to_devices == 0) preempted = true;
+    if (preempted && g.to_devices > 0) resumed = true;
+  }
+  EXPECT_TRUE(preempted) << "priority arrival must fully preempt the lease";
+  EXPECT_TRUE(resumed) << "lease must be re-granted after the job completes";
+}
+
+}  // namespace
+}  // namespace vf

@@ -1,0 +1,172 @@
+// Legacy-policy regression net for the co-scheduling refactor: the mixed
+// train+serve code paths (serving carve-outs, mid-round cache rebuilds)
+// must leave pure-training behavior exactly where it was — round
+// quantization, weighted fairness, resize-penalty accounting, and
+// bit-identical policy output across repeated runs of the same trace seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sched/gavel.h"
+#include "sched/simulator.h"
+#include "sched/trace.h"
+#include "sched/wfs.h"
+#include "util/common.h"
+#include "workloads/profiles.h"
+
+namespace vf {
+namespace {
+
+JobSpec train_job(std::int64_t id, double arrival, std::int64_t steps,
+                  std::int64_t demand, double priority = 1.0) {
+  JobSpec j;
+  j.id = id;
+  j.arrival_s = arrival;
+  j.priority = priority;
+  j.workload = "resnet56";
+  j.profile = model_profile("resnet56");
+  j.global_batch = 128;
+  j.total_steps = steps;
+  j.demand_gpus = demand;
+  return j;
+}
+
+ClusterInventory v100s(std::int64_t n) {
+  ClusterInventory c;
+  c.per_type[DeviceType::kV100] = n;
+  return c;
+}
+
+std::vector<JobSpec> seeded_trace(std::uint64_t seed) {
+  TraceOptions opt;
+  opt.num_jobs = 8;
+  opt.jobs_per_hour = 240.0;  // compress arrivals so jobs overlap
+  opt.seed = seed;
+  opt.steps_scale = 0.05;
+  return poisson_trace(opt);
+}
+
+TEST(PolicyRegression, GavelQuantizesMidRoundArrivalsToRoundBoundaries) {
+  GavelOptions opt;
+  opt.round_s = 360.0;
+  GavelScheduler gavel(opt);
+  // Three staggered mid-round arrivals on a contended cluster: none may
+  // start (or be resized) anywhere but a round boundary.
+  const auto res = simulate(
+      v100s(4),
+      {train_job(0, 0.0, 4000, 2), train_job(1, 100.0, 4000, 2),
+       train_job(2, 500.0, 4000, 2)},
+      gavel);
+  for (const JobState& j : res.jobs) {
+    EXPECT_TRUE(j.finished()) << "job " << j.spec.id;
+    const double frac =
+        std::fmod(j.first_start_s, opt.round_s) / opt.round_s;
+    EXPECT_TRUE(frac < 1e-6 || frac > 1.0 - 1e-6)
+        << "job " << j.spec.id << " started mid-round at " << j.first_start_s;
+    for (const AllocSegment& seg : j.timeline) {
+      const double f = std::fmod(seg.t0, opt.round_s) / opt.round_s;
+      EXPECT_TRUE(f < 1e-6 || f > 1.0 - 1e-6)
+          << "job " << j.spec.id << " reallocated mid-round at " << seg.t0;
+    }
+  }
+}
+
+TEST(PolicyRegression, WfsSharesTrackWeightsUnderContention) {
+  ElasticWfsScheduler wfs;
+  // Equal weights, saturated cluster: three jobs demanding all 8 GPUs
+  // settle at the integerized equal split 3/3/2 (ties broken by id).
+  const auto equal = simulate(v100s(8),
+                              {train_job(0, 0.0, 3000, 8, 1.0),
+                               train_job(1, 0.0, 3000, 8, 1.0),
+                               train_job(2, 0.0, 3000, 8, 1.0)},
+                              wfs);
+  ASSERT_FALSE(equal.jobs[0].timeline.empty());
+  EXPECT_EQ(equal.jobs[0].timeline[0].alloc.total(), 3);
+  EXPECT_EQ(equal.jobs[1].timeline[0].alloc.total(), 3);
+  EXPECT_EQ(equal.jobs[2].timeline[0].alloc.total(), 2);
+
+  // Weighted contention: a weight-5 job arriving against a running
+  // weight-1 job water-fills 8 GPUs as 8 * 5/6 -> 7 vs 1, shrinking the
+  // incumbent (lower priority may be hurt; the reverse never happens).
+  ElasticWfsScheduler wfs2;
+  const auto weighted = simulate(v100s(8),
+                                 {train_job(0, 0.0, 20000, 8, 1.0),
+                                  train_job(1, 10.0, 3000, 8, 5.0)},
+                                 wfs2);
+  const JobState& light = weighted.jobs[0];
+  const JobState& heavy = weighted.jobs[1];
+  ASSERT_GE(light.timeline.size(), 2u);
+  EXPECT_EQ(light.timeline[0].alloc.total(), 8) << "sole job holds the cluster";
+  EXPECT_EQ(light.timeline[1].alloc.total(), 1) << "weighted share after arrival";
+  ASSERT_FALSE(heavy.timeline.empty());
+  EXPECT_EQ(heavy.timeline[0].alloc.total(), 7);
+  EXPECT_NEAR(heavy.first_start_s, 10.0, 1e-9) << "WFS consults at arrivals";
+  EXPECT_GE(light.resizes, 1);
+}
+
+TEST(PolicyRegression, ResizePenaltyChargesPausedProgress) {
+  // The same trace under two penalty settings: each resize of job 0 must
+  // push its completion out by exactly the penalty difference.
+  struct PenaltyWfs : ElasticWfsScheduler {
+    double penalty;
+    explicit PenaltyWfs(double p) : penalty(p) {}
+    double resize_penalty_s() const override { return penalty; }
+  };
+  // Job 1 outlives job 0, so job 0 resizes exactly once (the shrink at
+  // job 1's arrival) and runs at the same allocation either side of the
+  // pause — the completion delta is purely the penalty delta.
+  const std::vector<JobSpec> trace = {train_job(0, 0.0, 20000, 4),
+                                      train_job(1, 5.0, 200000, 2)};
+  PenaltyWfs cheap(1.0), dear(5.0);
+  const auto res_cheap = simulate(v100s(4), trace, cheap);
+  const auto res_dear = simulate(v100s(4), trace, dear);
+
+  ASSERT_EQ(res_cheap.jobs[0].resizes, 1);
+  ASSERT_EQ(res_cheap.jobs[0].resizes, res_dear.jobs[0].resizes);
+  const double extra =
+      (dear.penalty - cheap.penalty) * static_cast<double>(res_cheap.jobs[0].resizes);
+  EXPECT_NEAR(res_dear.jobs[0].completion_s - res_cheap.jobs[0].completion_s,
+              extra, 1e-6)
+      << "resize pauses must be charged once per resize, nothing more";
+}
+
+TEST(PolicyRegression, PolicyOutputDeterministicAcrossRepeatedRuns) {
+  const auto trace = seeded_trace(7);
+  ASSERT_EQ(trace.size(), 8u);
+
+  // Same seed, same policy, run twice: every stamp bit-identical.
+  for (int variant = 0; variant < 2; ++variant) {
+    auto make_policy = [&]() -> std::unique_ptr<Scheduler> {
+      if (variant == 0) return std::make_unique<ElasticWfsScheduler>();
+      GavelOptions opt;
+      opt.round_s = 60.0;
+      return std::make_unique<GavelScheduler>(opt);
+    };
+    auto p1 = make_policy();
+    auto p2 = make_policy();
+    const auto a = simulate(v100s(8), trace, *p1);
+    const auto b = simulate(v100s(8), trace, *p2);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    EXPECT_EQ(a.makespan_s, b.makespan_s) << p1->name();
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+      const JobState& ja = a.jobs[i];
+      const JobState& jb = b.jobs[i];
+      EXPECT_EQ(ja.completion_s, jb.completion_s) << p1->name() << " job " << i;
+      EXPECT_EQ(ja.first_start_s, jb.first_start_s) << p1->name() << " job " << i;
+      EXPECT_EQ(ja.resizes, jb.resizes) << p1->name() << " job " << i;
+      EXPECT_EQ(ja.attained_service, jb.attained_service)
+          << p1->name() << " job " << i;
+      ASSERT_EQ(ja.timeline.size(), jb.timeline.size());
+      for (std::size_t s = 0; s < ja.timeline.size(); ++s) {
+        EXPECT_EQ(ja.timeline[s].t0, jb.timeline[s].t0);
+        EXPECT_EQ(ja.timeline[s].t1, jb.timeline[s].t1);
+        EXPECT_TRUE(ja.timeline[s].alloc == jb.timeline[s].alloc);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vf
